@@ -1,0 +1,57 @@
+// Ablation bench for the design choices DESIGN.md calls out.
+//
+// Runs MAP-IT at f=0.5 with individual mechanisms disabled and reports the
+// precision/recall cost of each:
+//   - no sibling grouping (§4.4.1/§4.9)
+//   - no other-side (indirect) updates (§4.4.2)
+//   - no dual-inference resolution (§4.4.3)
+//   - no inverse-inference resolution (§4.4.4)
+//   - no stub heuristic (§4.8)
+//   - no IXP awareness (footnote 7)
+//   - remove step using the add rule instead of the majority rule (§4.5)
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mapit;
+  benchutil::print_header("Ablations: contribution of each mechanism (f = 0.5)");
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+
+  struct Ablation {
+    const char* name;
+    std::function<void(core::Options&)> apply;
+  };
+  const Ablation ablations[] = {
+      {"full algorithm", [](core::Options&) {}},
+      {"- sibling grouping",
+       [](core::Options& o) { o.sibling_grouping = false; }},
+      {"- other-side updates",
+       [](core::Options& o) { o.update_other_sides = false; }},
+      {"- dual resolution", [](core::Options& o) { o.resolve_duals = false; }},
+      {"- inverse resolution",
+       [](core::Options& o) { o.resolve_inverses = false; }},
+      {"- stub heuristic", [](core::Options& o) { o.stub_heuristic = false; }},
+      {"- IXP awareness", [](core::Options& o) { o.ixp_aware = false; }},
+      {"remove: add-rule",
+       [](core::Options& o) { o.remove_rule = core::RemoveRule::kAddRule; }},
+  };
+
+  for (const Ablation& ablation : ablations) {
+    core::Options options;
+    options.f = 0.5;
+    ablation.apply(options);
+    const core::Result result = experiment->run_mapit(options);
+    const baselines::Claims claims = baselines::claims_from_result(result);
+    for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+      const benchutil::Score score =
+          benchutil::score_target(*experiment, target, claims);
+      benchutil::print_score_row(ablation.name, target, score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

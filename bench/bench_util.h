@@ -1,0 +1,56 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Each binary regenerates one table or figure from the paper's §5 over the
+// synthetic corpus and prints the same rows/series the paper reports.
+// Everything is deterministic for a fixed ExperimentConfig.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/claims.h"
+#include "eval/experiment.h"
+
+namespace mapit::benchutil {
+
+/// Display names for the designated evaluation ASes, mirroring §5.1:
+/// the exact-ground-truth R&E network and the two hostname-verified tier-1s.
+inline const char* target_name(asdata::Asn target) {
+  if (target == topo::Generator::rne_asn()) return "I2";
+  if (target == topo::Generator::tier1_a()) return "L3";
+  if (target == topo::Generator::tier1_b()) return "TS";
+  return "??";
+}
+
+struct Score {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+/// Verifies a claim set against one target's ground truth.
+inline Score score_target(const eval::Experiment& experiment,
+                          asdata::Asn target,
+                          const baselines::Claims& claims) {
+  const eval::AsGroundTruth truth = experiment.ground_truth(target);
+  const eval::Verification v = experiment.evaluator().verify(truth, claims);
+  return Score{v.total.tp, v.total.fp, v.total.fn, v.total.precision(),
+               v.total.recall()};
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_score_row(const char* label, asdata::Asn target,
+                            const Score& score) {
+  std::printf("%-24s %-3s  TP=%5zu  FP=%5zu  FN=%5zu  precision=%6.1f%%  recall=%6.1f%%\n",
+              label, target_name(target), score.tp, score.fp, score.fn,
+              100.0 * score.precision, 100.0 * score.recall);
+}
+
+}  // namespace mapit::benchutil

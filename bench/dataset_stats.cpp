@@ -1,0 +1,49 @@
+// Regenerates the corpus statistics the paper reports in §4.1-§4.3 and §5:
+//   - fraction of traces discarded for interface cycles (paper: 2.7%)
+//   - fraction of distinct addresses retained after sanitization (89.1%)
+//   - fraction of interfaces numbered from /31 prefixes (40.4%)
+//   - addresses adjacent to at least one other address
+//   - interfaces with |N_F| > 1 and |N_B| > 1 (449,602 / 1,139,087)
+//   - interfaces with the same address in both Ns (0.3%)
+//   - IP2AS coverage of usable interfaces (99.2%)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mapit;
+  benchutil::print_header(
+      "Dataset statistics (paper §4.1-§4.3, §5)  [synthetic corpus, seed 42]");
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+  const trace::SanitizeStats& ss = experiment->sanitize_stats();
+  const graph::GraphStats gs = experiment->graph().stats();
+
+  std::printf("traces probed                        : %zu\n", ss.input_traces);
+  std::printf("traces discarded (interface cycles)  : %zu (%.2f%%)   [paper: 2.7%%]\n",
+              ss.discarded_traces, 100.0 * ss.discard_fraction());
+  std::printf("hops removed for quoted TTL=0        : %zu\n",
+              ss.removed_ttl0_hops);
+  std::printf("distinct addresses before/after      : %zu / %zu (%.1f%% retained)   [paper: 89.1%%]\n",
+              ss.input_addresses, ss.retained_addresses,
+              100.0 * ss.address_retention());
+
+  const auto adjacent = experiment->corpus().adjacent_addresses();
+  std::printf("addresses adjacent to another address: %zu\n", adjacent.size());
+  std::printf("interfaces numbered from /31         : %.1f%%   [paper: 40.4%%]\n",
+              100.0 * gs.slash31_fraction);
+  std::printf("interfaces with |N_F| > 1            : %zu\n", gs.forward_multi);
+  std::printf("interfaces with |N_B| > 1            : %zu\n", gs.backward_multi);
+  std::printf("interfaces with overlap in both Ns   : %zu (%.2f%%)   [paper: 0.3%%]\n",
+              gs.both_directions_overlap, 100.0 * gs.overlap_fraction());
+
+  const double coverage = experiment->ip2as().coverage(adjacent);
+  std::printf("IP2AS coverage of usable interfaces  : %.1f%%   [paper: 99.2%%]\n",
+              100.0 * coverage);
+
+  const tracesim::SimulatorStats& sim = experiment->simulator_stats();
+  std::printf("\nsimulator: %zu traces (%zu unreachable pairs, %zu load-balanced, %zu flapped)\n",
+              sim.traces, sim.unreachable, sim.lb_traces, sim.flapped_traces);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Regenerates Figure 6: the impact of the threshold parameter f on
+// precision and recall for the three verification networks, sweeping
+// f in {0.0, 0.1, ..., 1.0}.
+//
+// Expected shape (paper §5.3): tier-1 precision roughly flat; exact-truth
+// (I2) precision improves toward f=0.5 and degrades at f>=0.9; recall flat
+// for low f and sharply lower at high f.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mapit;
+  benchutil::print_header("Figure 6: the impact of f (precision/recall vs f)");
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+
+  std::printf("%4s ", "f");
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    std::printf("| %s P%%    R%%   ", benchutil::target_name(target));
+  }
+  std::printf("\n");
+
+  for (int step = 0; step <= 10; ++step) {
+    core::Options options;
+    options.f = 0.1 * step;
+    const core::Result result = experiment->run_mapit(options);
+    const baselines::Claims claims = baselines::claims_from_result(result);
+    std::printf("%4.1f ", options.f);
+    for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+      const benchutil::Score score =
+          benchutil::score_target(*experiment, target, claims);
+      std::printf("| %6.1f %6.1f ", 100.0 * score.precision,
+                  100.0 * score.recall);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper anchors: I2 precision 100%% at f=0.5, sharp drop at f>=0.9;\n"
+              "recall mostly flat for low f, decreasing for high f.\n");
+  return 0;
+}

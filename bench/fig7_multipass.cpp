@@ -1,0 +1,71 @@
+// Regenerates Figure 7: the contribution of each algorithm stage to
+// precision and recall, using the engine's per-stage snapshots:
+//
+//   Direct  - after the first direct-inference pass (original IP2AS only)
+//   P2P     - after resolving point-to-point (dual-inference) violations
+//   Inverse - after removing adjacent inverse inferences
+//   Add     - after the initial add step converges (multipass refinement)
+//   Iter k  - after the k-th full add+remove iteration
+//   Stub    - after the low-visibility/NAT stub heuristic
+//
+// Expected shape (paper §5.5): low initial precision on the exact-truth
+// network (43.8% in the paper), a large jump from inverse-inference
+// removal, further refinement from extra passes/iterations, and a visible
+// stub-heuristic recall boost for networks with many stub customers.
+#include <cstdio>
+
+#include "baselines/claims.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+mapit::baselines::Claims claims_from_snapshot(
+    const mapit::core::Snapshot& snapshot) {
+  mapit::baselines::Claims claims;
+  for (const mapit::core::Inference& inference : snapshot.inferences) {
+    if (!inference.complete()) continue;
+    if (inference.kind == mapit::core::InferenceKind::kIndirect) continue;
+    claims.push_back(mapit::baselines::make_claim(
+        inference.half.address, inference.router_as, inference.other_as));
+  }
+  mapit::baselines::normalize(claims);
+  return claims;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mapit;
+  benchutil::print_header(
+      "Figure 7: the impact of each step on the results (f = 0.5)");
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+  core::Options options;
+  options.f = 0.5;
+  options.capture_snapshots = true;
+  const core::Result result = experiment->run_mapit(options);
+
+  std::printf("%-10s ", "stage");
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    std::printf("| %s P%%    R%%   ", benchutil::target_name(target));
+  }
+  std::printf("\n");
+
+  for (const core::Snapshot& snapshot : result.snapshots) {
+    const baselines::Claims claims = claims_from_snapshot(snapshot);
+    std::printf("%-10s ", snapshot.label.c_str());
+    for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+      const benchutil::Score score =
+          benchutil::score_target(*experiment, target, claims);
+      std::printf("| %6.1f %6.1f ", 100.0 * score.precision,
+                  100.0 * score.recall);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper anchors: I2 precision starts at 43.8%% after Direct, exceeds 92%%\n"
+              "after Inverse for all networks, and the Stub step lifts recall sharply\n"
+              "for the network with many stub customers.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Regenerates Figures 8a/8b: recall and precision of MAP-IT (f = 0.5)
+// against the existing approaches the paper compares to:
+//
+//   Simple      - first address in a new AS is the link interface
+//   Convention  - Simple + provider-address-space convention for transit
+//   ITDK-Kapar  - router graph from aggressive alias resolution
+//   ITDK-MIDAR  - router graph from conservative alias resolution
+//
+// Expected shape (paper §5.6): MAP-IT dominates every baseline on
+// precision for all three networks; ITDK-MIDAR is the best baseline but
+// far below MAP-IT; Simple/Convention suffer both low precision and (for
+// networks violating addressing conventions) low recall.
+#include <cstdio>
+
+#include "baselines/itdk.h"
+#include "baselines/simple.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mapit;
+  benchutil::print_header(
+      "Figures 8a/8b: MAP-IT vs existing approaches (f = 0.5)");
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+
+  core::Options options;
+  options.f = 0.5;
+  const core::Result result = experiment->run_mapit(options);
+
+  struct Engine {
+    const char* name;
+    baselines::Claims claims;
+  };
+  const Engine engines[] = {
+      {"Simple",
+       baselines::simple_heuristic(experiment->corpus(), experiment->ip2as())},
+      {"Convention",
+       baselines::convention_heuristic(experiment->corpus(),
+                                       experiment->ip2as(),
+                                       experiment->relationships())},
+      {"ITDK-Kapar",
+       baselines::itdk_router_graph(experiment->corpus(),
+                                    experiment->internet(),
+                                    experiment->ip2as(),
+                                    baselines::AliasConfig::kapar())},
+      {"ITDK-MIDAR",
+       baselines::itdk_router_graph(experiment->corpus(),
+                                    experiment->internet(),
+                                    experiment->ip2as(),
+                                    baselines::AliasConfig::midar())},
+      {"MAP-IT", baselines::claims_from_result(result)},
+  };
+
+  for (const Engine& engine : engines) {
+    for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+      const benchutil::Score score =
+          benchutil::score_target(*experiment, target, engine.claims);
+      benchutil::print_score_row(engine.name, target, score);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("paper anchors: ITDK-MIDAR precision 52.2%% (I2), 67.3%% (L3), 43.4%% (TS);\n"
+              "MAP-IT 100%%/94.7%%/95.6%% — MAP-IT should dominate every baseline.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Operator-style diagnostics: link aggregation and evidence trails.
+//
+// Runs the full pipeline on a synthetic Internet, aggregates the
+// per-interface-half inferences into inter-AS *link* records, ranks them
+// by evidence, and prints the full evidence trail (both neighbour sets,
+// origins, refined mappings) for the strongest and weakest links — the
+// workflow a network operator would use to audit a boundary before
+// trusting it for congestion measurement or facility mapping.
+#include <algorithm>
+#include <iostream>
+
+#include "core/explain.h"
+#include "core/links.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace mapit;
+
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::small());
+  core::Options options;
+  options.f = 0.5;
+  const core::Result result = experiment->run_mapit(options);
+
+  std::vector<core::InterAsLink> links =
+      core::aggregate_links(result, experiment->graph());
+  std::cout << result.inferences.size() << " inferences aggregate into "
+            << links.size() << " inter-AS links\n\n";
+
+  std::sort(links.begin(), links.end(),
+            [](const core::InterAsLink& a, const core::InterAsLink& b) {
+              return a.votes > b.votes;
+            });
+
+  std::cout << "strongest links by evidence:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, links.size()); ++i) {
+    const core::InterAsLink& link = links[i];
+    std::cout << "  " << link.low.to_string() << " <-> "
+              << link.high.to_string() << "  AS" << link.as_a << " <-> AS"
+              << link.as_b << "  (" << link.votes << "/"
+              << link.neighbor_count << " neighbours, "
+              << link.supporting_inferences << " inferences"
+              << (link.via_stub_heuristic ? ", stub heuristic" : "")
+              << (link.conflicting ? ", CONFLICTING" : "") << ")\n";
+  }
+
+  if (!links.empty()) {
+    std::cout << "\nevidence trail for the strongest link's interface:\n";
+    std::cout << core::explain(result, experiment->graph(),
+                               experiment->ip2as(), links.front().high);
+
+    // And the weakest confident link, which deserves scrutiny.
+    const core::InterAsLink& weakest = links.back();
+    std::cout << "\nweakest confident link ("
+              << weakest.votes << "/" << weakest.neighbor_count
+              << " neighbours):\n";
+    std::cout << core::explain(result, experiment->graph(),
+                               experiment->ip2as(), weakest.high);
+  }
+  return links.empty() ? 1 : 0;
+}

@@ -1,0 +1,62 @@
+// AS-to-organization (sibling) mapping, modelled on CAIDA's AS2ORG dataset.
+//
+// MAP-IT treats sibling ASes — ASes run by the same organization — as a
+// single AS when counting neighbour-set majorities, and never infers links
+// *between* siblings (paper §4.4.1, §4.9). This class answers both
+// questions. The dataset may be incomplete; unknown ASes are treated as
+// singleton organizations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asdata/asn.h"
+
+namespace mapit::asdata {
+
+/// Organization identifier. 0 means "no organization on record".
+using OrgId = std::uint32_t;
+inline constexpr OrgId kNoOrg = 0;
+
+class As2Org {
+ public:
+  As2Org() = default;
+
+  /// Assigns `asn` to `org`. Re-assignment overwrites (last writer wins).
+  void assign(Asn asn, OrgId org);
+
+  /// Registers a sibling pair directly (the "140 additional pairs gathered
+  /// from independent research" path, paper §5). Merges the two ASes into a
+  /// common organization, allocating one if neither has an org yet.
+  void add_sibling_pair(Asn a, Asn b);
+
+  /// The organization of `asn`, or kNoOrg.
+  [[nodiscard]] OrgId org_of(Asn asn) const;
+
+  /// True when both ASes are on record as run by the same organization.
+  /// An AS is always a sibling of itself.
+  [[nodiscard]] bool are_siblings(Asn a, Asn b) const;
+
+  /// Canonical representative for sibling-grouped counting: the org id when
+  /// known, otherwise a singleton key derived from the ASN itself. Two ASes
+  /// share a group key iff are_siblings() is true.
+  [[nodiscard]] std::uint64_t group_key(Asn asn) const;
+
+  /// All ASes assigned to `org`, sorted.
+  [[nodiscard]] std::vector<Asn> members(OrgId org) const;
+
+  [[nodiscard]] std::size_t size() const { return org_.size(); }
+
+  /// Text format: one "asn|org_id" record per line; '#' comments allowed.
+  static As2Org read(std::istream& in);
+  void write(std::ostream& out) const;
+
+ private:
+  std::unordered_map<Asn, OrgId> org_;
+  OrgId next_org_ = 1'000'000;  // allocator for add_sibling_pair()
+};
+
+}  // namespace mapit::asdata

@@ -1,0 +1,14 @@
+// Autonomous System number type.
+#pragma once
+
+#include <cstdint>
+
+namespace mapit::asdata {
+
+/// AS number. Plain 32-bit value; 0 is reserved and used as "unknown".
+using Asn = std::uint32_t;
+
+/// Sentinel for "no AS known for this address" (unannounced space).
+inline constexpr Asn kUnknownAsn = 0;
+
+}  // namespace mapit::asdata

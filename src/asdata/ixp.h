@@ -1,0 +1,65 @@
+// IXP prefix registry, modelled on the PeeringDB + Packet Clearing House
+// prefix lists the paper combines (§5).
+//
+// Addresses inside IXP peering LANs are assigned in a multipoint fashion, so
+// MAP-IT must (a) recognise them to avoid bogus other-side updates
+// (footnote 7) and (b) tolerate staleness/incompleteness in the list.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "asdata/asn.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace mapit::asdata {
+
+/// Identifier of an IXP within the registry.
+using IxpId = std::uint32_t;
+
+class IxpRegistry {
+ public:
+  IxpRegistry() = default;
+
+  /// Registers a peering-LAN prefix for IXP `id`.
+  void add_prefix(const net::Prefix& prefix, IxpId id);
+
+  /// Registers an IXP's route-server/management ASN (PeeringDB provides
+  /// these for some IXPs; combined with BGP announcements they identify
+  /// additional IXP addresses, paper §5).
+  void add_ixp_asn(Asn asn);
+
+  /// True when `address` is inside a registered IXP peering LAN.
+  [[nodiscard]] bool is_ixp_address(net::Ipv4Address address) const {
+    return prefixes_.longest_match(address) != nullptr;
+  }
+
+  /// IXP owning `address`'s peering LAN, or nullptr.
+  [[nodiscard]] const IxpId* lookup(net::Ipv4Address address) const {
+    return prefixes_.longest_match(address);
+  }
+
+  /// True when `asn` is a registered IXP ASN.
+  [[nodiscard]] bool is_ixp_asn(Asn asn) const { return asns_.contains(asn); }
+
+  [[nodiscard]] std::size_t prefix_count() const { return prefixes_.size(); }
+  [[nodiscard]] std::vector<net::Prefix> prefixes() const {
+    return prefixes_.prefixes();
+  }
+  [[nodiscard]] const std::unordered_set<Asn>& asns() const { return asns_; }
+
+  /// Text format: "prefix|ixp_id" and "asn|A|ixp-asn" records.
+  static IxpRegistry read(std::istream& in);
+  void write(std::ostream& out) const;
+
+ private:
+  net::PrefixTrie<IxpId> prefixes_;
+  std::unordered_set<Asn> asns_;
+};
+
+}  // namespace mapit::asdata

@@ -1,0 +1,91 @@
+// AS business-relationship dataset, modelled on CAIDA's AS Relationships
+// (serial-1) files.
+//
+// MAP-IT uses relationships for three things (paper §5, §5.4):
+//   * identifying ISP ASes ("at least one non-sibling customer") for the
+//     stub heuristic's gate,
+//   * classifying inferred links as transit vs peering for Table 1,
+//   * the Convention baseline's provider-address-space rule.
+#pragma once
+
+#include <iosfwd>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asdata/as2org.h"
+#include "asdata/asn.h"
+
+namespace mapit::asdata {
+
+/// Relationship between two ASes, from the first AS's point of view.
+enum class Relationship {
+  kNone,      ///< no link on record between the two ASes
+  kProvider,  ///< first AS is a transit provider of the second
+  kCustomer,  ///< first AS is a transit customer of the second
+  kPeer,      ///< settlement-free peers
+};
+
+/// Link classification used in Table 1 of the paper.
+enum class LinkClass {
+  kIspTransit,   ///< customer-provider link where the customer is an ISP
+  kPeer,         ///< peering link (or no transit relationship on record)
+  kStubTransit,  ///< customer-provider link whose customer is a stub, or an
+                 ///< AS absent from the relationship dataset entirely
+};
+
+[[nodiscard]] const char* to_string(Relationship relationship);
+[[nodiscard]] const char* to_string(LinkClass link_class);
+
+class AsRelationships {
+ public:
+  AsRelationships() = default;
+
+  /// Records that `provider` transits for `customer`.
+  void add_transit(Asn provider, Asn customer);
+
+  /// Records a settlement-free peering.
+  void add_peering(Asn a, Asn b);
+
+  /// Relationship of `a` towards `b`.
+  [[nodiscard]] Relationship relationship(Asn a, Asn b) const;
+
+  /// True when the AS appears anywhere in the dataset.
+  [[nodiscard]] bool known(Asn asn) const;
+
+  /// True when the AS has no customers at all (or is absent from the
+  /// dataset). Paper §5.4: absent ASes are treated as stubs.
+  [[nodiscard]] bool is_stub(Asn asn) const;
+
+  /// True when the AS has at least one non-sibling customer (paper §5's
+  /// definition of an ISP AS).
+  [[nodiscard]] bool is_isp(Asn asn, const As2Org& orgs) const;
+
+  /// Table 1 classification for a link between `a` and `b`.
+  [[nodiscard]] LinkClass classify_link(Asn a, Asn b,
+                                        const As2Org& orgs) const;
+
+  [[nodiscard]] const std::unordered_set<Asn>& providers_of(Asn asn) const;
+  [[nodiscard]] const std::unordered_set<Asn>& customers_of(Asn asn) const;
+  [[nodiscard]] const std::unordered_set<Asn>& peers_of(Asn asn) const;
+
+  /// All ASes appearing in the dataset, sorted.
+  [[nodiscard]] std::vector<Asn> all_ases() const;
+
+  [[nodiscard]] std::size_t transit_count() const { return transit_count_; }
+  [[nodiscard]] std::size_t peering_count() const { return peering_count_; }
+
+  /// CAIDA serial-1 text format: "provider|customer|-1" and "peer|peer|0";
+  /// '#' comments allowed.
+  static AsRelationships read(std::istream& in);
+  void write(std::ostream& out) const;
+
+ private:
+  std::unordered_map<Asn, std::unordered_set<Asn>> providers_;
+  std::unordered_map<Asn, std::unordered_set<Asn>> customers_;
+  std::unordered_map<Asn, std::unordered_set<Asn>> peers_;
+  std::size_t transit_count_ = 0;
+  std::size_t peering_count_ = 0;
+};
+
+}  // namespace mapit::asdata

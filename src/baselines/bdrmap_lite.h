@@ -1,0 +1,51 @@
+// bdrmap-lite: a simplified implementation of the border-mapping approach
+// of Luckie et al. ("bdrmap: Inference of Borders Between IP Networks",
+// IMC 2016) — the contemporaneous system the paper names as future-work
+// comparison (§6).
+//
+// bdrmap infers the borders of ONE network: the network hosting the
+// vantage points. Probing outward from inside, it finds the last hop
+// mapped to the host network and decides whether the following hop is a
+// genuine neighbour using AS relationships and customer-cone evidence.
+// This restriction is the key contrast with MAP-IT (§2: "MAP-IT, unlike
+// bdrmap, tries to identify inter-AS link interfaces between all connected
+// ASes seen in traceroute results, not just for directly connected
+// networks").
+//
+// Simplifications relative to full bdrmap: no targeted follow-up probing
+// (we are passive, like MAP-IT), no alias resolution, and a reduced
+// heuristic ladder; the retained core is last-hop detection + the
+// relationship/customer-cone filters that give bdrmap its precision.
+#pragma once
+
+#include "asdata/as2org.h"
+#include "asdata/relationships.h"
+#include "baselines/claims.h"
+#include "bgp/ip2as.h"
+#include "trace/trace.h"
+
+namespace mapit::baselines {
+
+struct BdrmapConfig {
+  /// Minimum number of distinct (monitor, destination-AS) observations of
+  /// a candidate border before it is believed (defends against
+  /// third-party addresses, as bdrmap's heuristics do).
+  std::size_t min_observations = 2;
+  /// Require the probe destination's origin AS to be reachable through the
+  /// candidate neighbour (equal to it, in its customer cone, or unknown) —
+  /// bdrmap's cone-consistency test.
+  bool require_cone_consistency = true;
+};
+
+/// Infers the borders of `host_network` from traces launched by its own
+/// monitors (`host_monitors` lists the trace::MonitorId values inside it).
+/// Returns claims on both visible interfaces of each accepted border.
+[[nodiscard]] Claims bdrmap_lite(const trace::TraceCorpus& corpus,
+                                 const std::vector<trace::MonitorId>& host_monitors,
+                                 asdata::Asn host_network,
+                                 const bgp::Ip2As& ip2as,
+                                 const asdata::AsRelationships& relationships,
+                                 const asdata::As2Org& orgs,
+                                 const BdrmapConfig& config = {});
+
+}  // namespace mapit::baselines

@@ -1,0 +1,33 @@
+#include "baselines/claims.h"
+
+#include <algorithm>
+
+namespace mapit::baselines {
+
+Claim make_claim(net::Ipv4Address address, asdata::Asn x, asdata::Asn y) {
+  return x <= y ? Claim{address, x, y} : Claim{address, y, x};
+}
+
+void normalize(Claims& claims) {
+  std::sort(claims.begin(), claims.end());
+  claims.erase(std::unique(claims.begin(), claims.end()), claims.end());
+}
+
+Claims claims_from_result(const core::Result& result) {
+  // Direct and stub inferences only: an inference names the link, and the
+  // evaluator credits a link when either endpoint is claimed (§5.2), so the
+  // propagated other-side (indirect) records add no coverage — but they
+  // would add errors whenever the §4.2 other-side heuristic guessed wrong.
+  Claims claims;
+  claims.reserve(result.inferences.size());
+  for (const core::Inference& inference : result.inferences) {
+    if (!inference.complete()) continue;
+    if (inference.kind == core::InferenceKind::kIndirect) continue;
+    claims.push_back(make_claim(inference.half.address, inference.router_as,
+                                inference.other_as));
+  }
+  normalize(claims);
+  return claims;
+}
+
+}  // namespace mapit::baselines

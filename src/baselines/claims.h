@@ -1,0 +1,40 @@
+// Common output currency for inter-AS link interface inference engines.
+//
+// Every engine — MAP-IT, the Simple and Convention heuristics, and the
+// ITDK-style router-graph approaches — reduces to a set of claims
+// "interface <address> is used on an inter-AS link connecting <a> and <b>",
+// which the evaluator scores against ground truth.
+#pragma once
+
+#include <vector>
+
+#include "asdata/asn.h"
+#include "core/engine.h"
+#include "net/ipv4.h"
+
+namespace mapit::baselines {
+
+/// One inter-AS link interface claim. The AS pair is stored normalized
+/// (a <= b).
+struct Claim {
+  net::Ipv4Address address;
+  asdata::Asn a = asdata::kUnknownAsn;
+  asdata::Asn b = asdata::kUnknownAsn;
+
+  friend auto operator<=>(const Claim&, const Claim&) = default;
+};
+
+using Claims = std::vector<Claim>;
+
+/// Builds a normalized claim (swaps the pair into order).
+[[nodiscard]] Claim make_claim(net::Ipv4Address address, asdata::Asn x,
+                               asdata::Asn y);
+
+/// Sorts and deduplicates a claim set in place.
+void normalize(Claims& claims);
+
+/// Converts a MAP-IT result into claims: confident inferences whose AS pair
+/// is fully known (unannounced-sided inferences carry no testable pair).
+[[nodiscard]] Claims claims_from_result(const core::Result& result);
+
+}  // namespace mapit::baselines

@@ -1,0 +1,53 @@
+// ITDK-style router-graph inference (paper §5.6).
+//
+// CAIDA's ITDK derives inter-AS links from alias-resolved router graphs:
+// interfaces are clustered into routers (MIDAR conservatively; kapar much
+// more aggressively), routers are assigned to ASes by interface-origin
+// election, and links between routers in different ASes become inter-AS
+// link claims.
+//
+// We do not have the probing machinery, so alias resolution is *simulated*
+// against the synthetic ground truth with calibrated error rates:
+//   * `split_prob`   — an interface is missed and left as a singleton
+//                      (incomplete alias resolution; dominant MIDAR error);
+//   * `false_merge_prob` — two trace-adjacent clusters are wrongly merged
+//                      (dominant kapar error).
+// This reproduces the *failure modes* that make router graphs imprecise at
+// AS boundaries (§5.6: 43-67% precision), which is what the comparison in
+// Fig 8 measures.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/claims.h"
+#include "bgp/ip2as.h"
+#include "topo/internet.h"
+#include "trace/trace.h"
+
+namespace mapit::baselines {
+
+struct AliasConfig {
+  std::uint64_t seed = 13;
+  double split_prob = 0.45;
+  double false_merge_prob = 0.02;
+
+  /// MIDAR-like: high-confidence merges only -> many splits, few bad merges.
+  [[nodiscard]] static AliasConfig midar(std::uint64_t seed = 13) {
+    return AliasConfig{seed, 0.45, 0.02};
+  }
+  /// kapar-like: analytical inference on top -> fewer splits, more bad merges.
+  [[nodiscard]] static AliasConfig kapar(std::uint64_t seed = 13) {
+    return AliasConfig{seed, 0.15, 0.12};
+  }
+};
+
+/// Runs the ITDK-style pipeline over `corpus`: simulate alias resolution
+/// for all observed addresses (using `net` as physical truth), elect
+/// router-to-AS assignments with `ip2as`, and claim the far-side interface
+/// of every inter-AS router adjacency.
+[[nodiscard]] Claims itdk_router_graph(const trace::TraceCorpus& corpus,
+                                       const topo::Internet& net,
+                                       const bgp::Ip2As& ip2as,
+                                       const AliasConfig& config);
+
+}  // namespace mapit::baselines

@@ -1,0 +1,26 @@
+// The Simple and Convention heuristics (paper §5.6).
+//
+// Simple: scan each trace for adjacent addresses in different ASes and
+// claim the first address in the new AS as the inter-AS link interface.
+//
+// Convention: like Simple, but when the AS relationship dataset says one
+// side transits for the other, claim the address in the *provider's* space
+// instead (transit links are conventionally numbered from provider space);
+// otherwise fall back to Simple.
+#pragma once
+
+#include "asdata/relationships.h"
+#include "baselines/claims.h"
+#include "bgp/ip2as.h"
+#include "trace/trace.h"
+
+namespace mapit::baselines {
+
+[[nodiscard]] Claims simple_heuristic(const trace::TraceCorpus& corpus,
+                                      const bgp::Ip2As& ip2as);
+
+[[nodiscard]] Claims convention_heuristic(
+    const trace::TraceCorpus& corpus, const bgp::Ip2As& ip2as,
+    const asdata::AsRelationships& relationships);
+
+}  // namespace mapit::baselines

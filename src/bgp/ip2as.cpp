@@ -1,0 +1,42 @@
+#include "bgp/ip2as.h"
+
+namespace mapit::bgp {
+
+const char* to_string(Ip2AsSource source) {
+  switch (source) {
+    case Ip2AsSource::kUnannounced: return "unannounced";
+    case Ip2AsSource::kSpecial: return "special";
+    case Ip2AsSource::kIxp: return "ixp";
+    case Ip2AsSource::kBgp: return "bgp";
+    case Ip2AsSource::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+Ip2As::Ip2As(const Rib& rib, net::PrefixTrie<asdata::Asn> fallback,
+             const asdata::IxpRegistry* ixps)
+    : bgp_(rib.consolidate()), fallback_(std::move(fallback)), ixps_(ixps) {}
+
+Ip2As::Ip2As(const Rib& rib) : bgp_(rib.consolidate()) {}
+
+Ip2AsResult Ip2As::lookup(net::Ipv4Address address) const {
+  if (net::is_special_purpose(address)) {
+    return {asdata::kUnknownAsn, Ip2AsSource::kSpecial, std::nullopt};
+  }
+  if (ixps_ != nullptr && ixps_->is_ixp_address(address)) {
+    return {asdata::kUnknownAsn, Ip2AsSource::kIxp, std::nullopt};
+  }
+  if (auto hit = bgp_.longest_match_entry(address)) {
+    return {*hit->second, Ip2AsSource::kBgp, hit->first};
+  }
+  if (auto hit = fallback_.longest_match_entry(address)) {
+    return {*hit->second, Ip2AsSource::kFallback, hit->first};
+  }
+  return {asdata::kUnknownAsn, Ip2AsSource::kUnannounced, std::nullopt};
+}
+
+asdata::Asn Ip2As::origin(net::Ipv4Address address) const {
+  return lookup(address).asn;
+}
+
+}  // namespace mapit::bgp

@@ -1,0 +1,97 @@
+// Composite IP-to-AS mapping service.
+//
+// Layering follows the paper's §5 recipe: special-purpose registry first
+// (those addresses are never mapped), then IXP prefixes, then consolidated
+// BGP announcements, then a Team-Cymru-style fallback table for prefixes
+// absent from the collectors' view. Addresses matched by no layer map to
+// kUnknownAsn ("unannounced").
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "asdata/asn.h"
+#include "asdata/ixp.h"
+#include "bgp/rib.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "net/special_purpose.h"
+
+namespace mapit::bgp {
+
+/// Which layer of the composite produced a lookup result.
+enum class Ip2AsSource {
+  kUnannounced,  ///< no layer matched
+  kSpecial,      ///< RFC 6890 special-purpose space
+  kIxp,          ///< known IXP peering LAN
+  kBgp,          ///< consolidated BGP announcements
+  kFallback,     ///< Team-Cymru-style fallback table
+};
+
+[[nodiscard]] const char* to_string(Ip2AsSource source);
+
+/// Result of a composite lookup.
+struct Ip2AsResult {
+  asdata::Asn asn = asdata::kUnknownAsn;
+  Ip2AsSource source = Ip2AsSource::kUnannounced;
+  /// Matched prefix (meaningful for kIxp/kBgp/kFallback).
+  std::optional<net::Prefix> prefix;
+};
+
+class Ip2As {
+ public:
+  /// Builds the composite. `ixps` must outlive this object.
+  /// IXP addresses resolve to the IXP's ASN when one is registered for the
+  /// matched prefix's IXP, else to kUnknownAsn with source kIxp.
+  Ip2As(const Rib& rib, net::PrefixTrie<asdata::Asn> fallback,
+        const asdata::IxpRegistry* ixps);
+
+  /// Convenience: BGP-only mapping with no fallback or IXP layer.
+  explicit Ip2As(const Rib& rib);
+
+  /// Full lookup with provenance.
+  [[nodiscard]] Ip2AsResult lookup(net::Ipv4Address address) const;
+
+  /// Origin AS of `address`, or kUnknownAsn for special/IXP/unannounced
+  /// space. This is the mapping MAP-IT's neighbour-set counting consumes.
+  [[nodiscard]] asdata::Asn origin(net::Ipv4Address address) const;
+
+  [[nodiscard]] bool is_special(net::Ipv4Address address) const {
+    return net::is_special_purpose(address);
+  }
+
+  [[nodiscard]] bool is_ixp(net::Ipv4Address address) const {
+    return ixps_ != nullptr && ixps_->is_ixp_address(address);
+  }
+
+  /// Fraction of a set of addresses covered by any non-special layer;
+  /// mirrors the paper's "99.2% of usable interfaces covered" statistic.
+  template <typename Range>
+  [[nodiscard]] double coverage(const Range& addresses) const {
+    std::size_t usable = 0;
+    std::size_t covered = 0;
+    for (net::Ipv4Address address : addresses) {
+      if (is_special(address)) continue;
+      ++usable;
+      const Ip2AsResult result = lookup(address);
+      if (result.source != Ip2AsSource::kUnannounced) ++covered;
+    }
+    return usable == 0 ? 1.0
+                       : static_cast<double>(covered) /
+                             static_cast<double>(usable);
+  }
+
+  [[nodiscard]] std::size_t bgp_prefix_count() const { return bgp_.size(); }
+  [[nodiscard]] std::size_t fallback_prefix_count() const {
+    return fallback_.size();
+  }
+
+ private:
+  net::PrefixTrie<asdata::Asn> bgp_;
+  net::PrefixTrie<asdata::Asn> fallback_;
+  const asdata::IxpRegistry* ixps_ = nullptr;
+};
+
+}  // namespace mapit::bgp

@@ -1,0 +1,579 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/error.h"
+
+namespace mapit::core {
+
+namespace {
+
+/// f-threshold test with a tolerance so that f = 0.5 accepts an exact half.
+[[nodiscard]] bool meets_fraction(std::size_t count, std::size_t total,
+                                  double f) {
+  return static_cast<double>(count) + 1e-9 >=
+         f * static_cast<double>(total);
+}
+
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Engine::Engine(const graph::InterfaceGraph& graph, const bgp::Ip2As& ip2as,
+               const asdata::As2Org& orgs, const asdata::AsRelationships& rels,
+               Options options)
+    : graph_(graph),
+      ip2as_(ip2as),
+      orgs_(orgs),
+      rels_(rels),
+      options_(std::move(options)) {
+  MAPIT_ENSURE(options_.f >= 0.0 && options_.f <= 1.0,
+               "f must be within [0, 1]");
+  MAPIT_ENSURE(options_.max_iterations > 0, "max_iterations must be positive");
+}
+
+// ---------------------------------------------------------------------------
+// Mapping views
+// ---------------------------------------------------------------------------
+
+asdata::Asn Engine::base_as(net::Ipv4Address address) const {
+  if (auto it = base_cache_.find(address); it != base_cache_.end()) {
+    return it->second;
+  }
+  const asdata::Asn asn = ip2as_.origin(address);
+  base_cache_.emplace(address, asn);
+  return asn;
+}
+
+asdata::Asn Engine::current_as(const graph::InterfaceHalf& half) const {
+  if (const HalfState* st = state_if_any(half)) {
+    if (st->direct_override) return *st->direct_override;
+    if (st->indirect_override) return *st->indirect_override;
+  }
+  return base_as(half.address);
+}
+
+Engine::MappingView Engine::freeze_mappings() const {
+  MappingView view;
+  view.reserve(halves_.size());
+  for (const auto& [half, st] : halves_) {
+    if (st.direct_override) {
+      view.emplace(half, *st.direct_override);
+    } else if (st.indirect_override) {
+      view.emplace(half, *st.indirect_override);
+    }
+  }
+  return view;
+}
+
+asdata::Asn Engine::view_as(const MappingView& view,
+                            const graph::InterfaceHalf& half) const {
+  if (auto it = view.find(half); it != view.end()) return it->second;
+  return base_as(half.address);
+}
+
+// ---------------------------------------------------------------------------
+// Counting
+// ---------------------------------------------------------------------------
+
+std::uint64_t Engine::group_key(asdata::Asn asn) const {
+  return options_.sibling_grouping ? orgs_.group_key(asn)
+                                   : (std::uint64_t{1} << 62) | asn;
+}
+
+Engine::MajorityResult Engine::count_majority(const graph::InterfaceHalf& half,
+                                              const MappingView& view) const {
+  // Group neighbour votes by sibling organization; remember per-ASN counts
+  // so the representative is the most frequent sibling (paper §4.4.1).
+  struct Group {
+    std::size_t count = 0;
+    std::unordered_map<asdata::Asn, std::size_t> members;
+  };
+  std::unordered_map<std::uint64_t, Group> groups;
+  const graph::Direction nd = opposite(half.direction);
+  for (net::Ipv4Address neighbor : graph_.neighbors(half)) {
+    const asdata::Asn asn = view_as(view, {neighbor, nd});
+    if (asn == asdata::kUnknownAsn) continue;  // denominator only
+    Group& group = groups[group_key(asn)];
+    ++group.count;
+    ++group.members[asn];
+  }
+
+  MajorityResult best;
+  std::size_t runner_up = 0;
+  for (const auto& [key, group] : groups) {
+    // Representative: most frequent member ASN, ties to the lowest ASN.
+    asdata::Asn representative = asdata::kUnknownAsn;
+    std::size_t rep_count = 0;
+    for (const auto& [asn, count] : group.members) {
+      if (count > rep_count || (count == rep_count && asn < representative)) {
+        representative = asn;
+        rep_count = count;
+      }
+    }
+    if (group.count > best.count ||
+        (group.count == best.count && representative < best.asn)) {
+      runner_up = best.count;
+      best.count = group.count;
+      best.asn = representative;
+    } else if (group.count > runner_up) {
+      runner_up = group.count;
+    }
+  }
+  best.strict = best.count > runner_up && best.count > 0;
+  return best;
+}
+
+std::size_t Engine::group_count(const graph::InterfaceHalf& half,
+                                asdata::Asn target,
+                                const MappingView& view) const {
+  const std::uint64_t key = group_key(target);
+  std::size_t count = 0;
+  const graph::Direction nd = opposite(half.direction);
+  for (net::Ipv4Address neighbor : graph_.neighbors(half)) {
+    const asdata::Asn asn = view_as(view, {neighbor, nd});
+    if (asn != asdata::kUnknownAsn && group_key(asn) == key) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+// ---------------------------------------------------------------------------
+
+Engine::HalfState& Engine::state(const graph::InterfaceHalf& half) {
+  return halves_[half];
+}
+
+const Engine::HalfState* Engine::state_if_any(
+    const graph::InterfaceHalf& half) const {
+  auto it = halves_.find(half);
+  return it == halves_.end() ? nullptr : &it->second;
+}
+
+void Engine::clear_suppressions() {
+  for (auto& [_, st] : halves_) st.suppressed = false;
+}
+
+void Engine::discard_direct(const graph::InterfaceHalf& half, bool suppress) {
+  auto it = halves_.find(half);
+  if (it == halves_.end() || !it->second.direct) return;
+  it->second.direct.reset();
+  it->second.direct_override.reset();
+  it->second.uncertain = false;
+  if (suppress) it->second.suppressed = true;
+  // The indirect inference propagated to the other side dies with its
+  // source (§4.4.2).
+  const graph::InterfaceHalf other = graph_.other_side_half(half);
+  auto ot = halves_.find(other);
+  if (ot != halves_.end() && ot->second.indirect_source == half) {
+    discard_indirect(other);
+  }
+}
+
+void Engine::discard_indirect(const graph::InterfaceHalf& half) {
+  auto it = halves_.find(half);
+  if (it == halves_.end()) return;
+  it->second.indirect_source.reset();
+  it->second.indirect_override.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Add step (§4.4)
+// ---------------------------------------------------------------------------
+
+void Engine::apply_indirect(const graph::InterfaceHalf& source) {
+  if (!options_.update_other_sides) return;
+  // IXP LANs are multipoint: the /30-/31 other-side relation does not hold
+  // there (footnote 7).
+  if (options_.ixp_aware && ip2as_.is_ixp(source.address)) return;
+  const auto& st = halves_.at(source);
+  if (!st.direct) return;
+  const graph::InterfaceHalf other = graph_.other_side_half(source);
+  if (net::is_special_purpose(other.address)) return;
+  HalfState& ot = state(other);
+  ot.indirect_source = source;
+  ot.indirect_override = st.direct->router_as;
+}
+
+bool Engine::direct_pass(const MappingView& view) {
+  bool changed = false;
+  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+    for (graph::Direction direction :
+         {graph::Direction::kForward, graph::Direction::kBackward}) {
+      const auto& neighbors = record.neighbors(direction);
+      if (neighbors.size() < 2) continue;  // §4.3's two-address floor
+      const graph::InterfaceHalf half{record.address, direction};
+      HalfState& st = state(half);
+      if (st.direct || st.suppressed) continue;
+
+      const MajorityResult majority = count_majority(half, view);
+      if (!majority.strict) continue;
+      if (!meets_fraction(majority.count, neighbors.size(), options_.f)) {
+        continue;
+      }
+      // "previous IP2AS(h) != AS_N": the half's own mapping, ignoring any
+      // indirect override it carries — an indirect inference must not
+      // preclude the direct one (§4.4.2, DESIGN.md §5).
+      const asdata::Asn own = base_as(half.address);
+      if (group_key(majority.asn) == group_key(own)) continue;
+
+      st.direct = DirectInference{majority.asn, own, false,
+                                  static_cast<std::uint32_t>(majority.count),
+                                  static_cast<std::uint32_t>(neighbors.size())};
+      st.direct_override = majority.asn;
+      ++stats_.direct_made;
+      changed = true;
+      apply_indirect(half);
+    }
+  }
+  return changed;
+}
+
+bool Engine::resolve_dual_inferences() {
+  // Both halves of the same interface carry direct inferences naming
+  // different ASes: a third-party artifact; the forward inference wins
+  // (§4.4.3). Interfaces without a base IP2AS mapping are left alone.
+  bool changed = false;
+  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+    const graph::InterfaceHalf fwd{record.address, graph::Direction::kForward};
+    const graph::InterfaceHalf bwd{record.address, graph::Direction::kBackward};
+    const HalfState* fs = state_if_any(fwd);
+    const HalfState* bs = state_if_any(bwd);
+    if (fs == nullptr || bs == nullptr || !fs->direct || !bs->direct) continue;
+    if (base_as(record.address) == asdata::kUnknownAsn) continue;
+    if (group_key(fs->direct->router_as) == group_key(bs->direct->router_as)) {
+      continue;  // same AS both ways: load balancing/siblings; keep both
+    }
+    discard_direct(bwd, /*suppress=*/true);
+    ++stats_.duals_resolved;
+    changed = true;
+  }
+  return changed;
+}
+
+bool Engine::resolve_inverse_inferences() {
+  // A forward inference {AS_N, AS_P} on interface a, and a backward
+  // inference {AS_P, AS_N} on a member of a's N_F, cannot both be right
+  // (§4.4.4). The forward one is topologically nearer to the monitors and
+  // wins — unless the backward IH's other side also carries a direct
+  // inference, in which case both are flagged uncertain.
+  // Uncertainty is recomputed from scratch each resolution pass, so the
+  // stats counter reflects the latest pass, not a running total.
+  for (auto& [_, st] : halves_) st.uncertain = false;
+  stats_.uncertain_pairs = 0;
+
+  bool changed = false;
+  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+    const graph::InterfaceHalf fwd{record.address, graph::Direction::kForward};
+    const HalfState* fs = state_if_any(fwd);
+    if (fs == nullptr || !fs->direct) continue;
+    const auto fwd_router = fs->direct->router_as;
+    const auto fwd_other = fs->direct->other_as;
+    for (net::Ipv4Address neighbor : record.forward) {
+      const graph::InterfaceHalf nb{neighbor, graph::Direction::kBackward};
+      auto it = halves_.find(nb);
+      if (it == halves_.end() || !it->second.direct) continue;
+      const auto& bd = *it->second.direct;
+      const bool mirrored =
+          group_key(bd.router_as) == group_key(fwd_other) &&
+          group_key(bd.other_as) == group_key(fwd_router);
+      if (!mirrored) continue;
+
+      const graph::InterfaceHalf nb_other = graph_.other_side_half(nb);
+      const HalfState* os = state_if_any(nb_other);
+      if (os != nullptr && os->direct) {
+        // Neither IH is nearer: emit both as uncertain (§4.4.4).
+        state(fwd).uncertain = true;
+        it->second.uncertain = true;
+        ++stats_.uncertain_pairs;
+      } else {
+        discard_direct(nb, /*suppress=*/true);
+        ++stats_.inverses_resolved;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void Engine::add_step() {
+  clear_suppressions();
+  const bool first_step = stats_.iterations == 0;
+  bool first_pass = true;
+  bool changed = true;
+  while (changed) {
+    ++stats_.add_passes;
+    const MappingView view = freeze_mappings();
+    changed = direct_pass(view);
+    if (first_step && first_pass) snapshot("Direct");
+    if (options_.resolve_duals) changed |= resolve_dual_inferences();
+    if (first_step && first_pass) snapshot("P2P");
+    if (options_.resolve_inverses) changed |= resolve_inverse_inferences();
+    if (first_step && first_pass) snapshot("Inverse");
+    first_pass = false;
+  }
+  if (first_step) snapshot("Add");
+}
+
+// ---------------------------------------------------------------------------
+// Remove step (§4.5)
+// ---------------------------------------------------------------------------
+
+void Engine::remove_step() {
+  bool discarded = true;
+  while (discarded) {
+    discarded = false;
+    const MappingView view = freeze_mappings();
+
+    // Pass 1: demote unsupported direct inferences to indirect, retaining
+    // their mapping update.
+    for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+      for (graph::Direction direction :
+           {graph::Direction::kForward, graph::Direction::kBackward}) {
+        const graph::InterfaceHalf half{record.address, direction};
+        auto it = halves_.find(half);
+        if (it == halves_.end() || !it->second.direct) continue;
+        const DirectInference inference = *it->second.direct;
+        const auto& neighbors = graph_.neighbors(half);
+
+        bool supported = false;
+        if (inference.from_stub_heuristic) {
+          // Stub inferences are produced after the main loop; if one is ever
+          // present during a remove step, judge it by its single neighbour.
+          supported = !neighbors.empty();
+        } else if (options_.remove_rule == RemoveRule::kMajority) {
+          supported = 2 * group_count(half, inference.router_as, view) >
+                      neighbors.size();
+        } else {
+          const MajorityResult majority = count_majority(half, view);
+          supported =
+              majority.strict &&
+              group_key(majority.asn) == group_key(inference.router_as) &&
+              meets_fraction(majority.count, neighbors.size(), options_.f);
+        }
+        if (supported) continue;
+
+        HalfState& st = it->second;
+        st.direct.reset();
+        st.uncertain = false;
+        // Retain the mapping as an indirect inference associated with the
+        // other side's direct inference (§4.5).
+        st.indirect_override = st.direct_override;
+        st.direct_override.reset();
+        st.indirect_source = graph_.other_side_half(half);
+      }
+    }
+
+    // Pass 2: discard indirect inferences whose associated direct
+    // inference is gone, along with their IP2AS updates.
+    std::vector<graph::InterfaceHalf> to_discard;
+    for (const auto& [half, st] : halves_) {
+      if (!st.indirect_source) continue;
+      const HalfState* source = state_if_any(*st.indirect_source);
+      if (source == nullptr || !source->direct) to_discard.push_back(half);
+    }
+    for (const graph::InterfaceHalf& half : to_discard) {
+      discard_indirect(half);
+      ++stats_.removed_in_remove_step;
+      discarded = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stub heuristic (§4.8)
+// ---------------------------------------------------------------------------
+
+void Engine::stub_step() {
+  if (!options_.stub_heuristic) return;
+  const MappingView view = freeze_mappings();
+  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+    if (record.forward.size() != 1) continue;
+    const graph::InterfaceHalf h_f{record.address, graph::Direction::kForward};
+    const graph::InterfaceHalf h_b{record.address, graph::Direction::kBackward};
+    const net::Ipv4Address neighbor = record.forward.front();
+    const graph::InterfaceHalf n_b{neighbor, graph::Direction::kBackward};
+
+    auto has_inference = [&](const graph::InterfaceHalf& half) {
+      const HalfState* st = state_if_any(half);
+      return st != nullptr &&
+             (st->direct ||
+              (st->indirect_source &&
+               [&] {
+                 const HalfState* src = state_if_any(*st->indirect_source);
+                 return src != nullptr && src->direct.has_value();
+               }()));
+    };
+    if (has_inference(h_b) || has_inference(n_b) || has_inference(h_f)) {
+      continue;
+    }
+
+    const asdata::Asn as_h = view_as(view, h_f);
+    const asdata::Asn as_n = view_as(view, n_b);
+    if (as_h == asdata::kUnknownAsn || as_n == asdata::kUnknownAsn) continue;
+    if (group_key(as_h) == group_key(as_n)) continue;
+    if (!rels_.is_stub(as_n)) continue;  // providers are never stubs, which
+                                         // also defuses third-party replies
+    HalfState& st = state(h_f);
+    st.direct = DirectInference{as_n, as_h, /*from_stub_heuristic=*/true,
+                                /*votes=*/1, /*neighbor_count=*/1};
+    st.direct_override = as_n;
+    ++stats_.stub_inferences;
+    apply_indirect(h_f);  // "Mark an indirect inference for h'_b"
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output assembly
+// ---------------------------------------------------------------------------
+
+std::vector<Inference> Engine::collect(bool confident) const {
+  std::vector<Inference> out;
+  for (const auto& [half, st] : halves_) {
+    if (st.direct) {
+      if (st.uncertain == confident) continue;
+      out.push_back(Inference{
+          half, st.direct->router_as, st.direct->other_as,
+          st.direct->from_stub_heuristic ? InferenceKind::kStub
+                                         : InferenceKind::kDirect,
+          st.uncertain, st.direct->votes, st.direct->neighbor_count});
+      continue;
+    }
+    if (st.indirect_source && confident) {
+      const HalfState* source = state_if_any(*st.indirect_source);
+      if (source == nullptr || !source->direct || source->uncertain) continue;
+      // The other side of a link shares its AS pair with the direct
+      // inference, with the roles mirrored (§4.4.2).
+      out.push_back(Inference{half, source->direct->other_as,
+                              source->direct->router_as,
+                              InferenceKind::kIndirect, false,
+                              source->direct->votes,
+                              source->direct->neighbor_count});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Inference& a, const Inference& b) {
+              if (a.half.address != b.half.address) {
+                return a.half.address < b.half.address;
+              }
+              return a.half.direction < b.half.direction;
+            });
+  return out;
+}
+
+std::uint64_t Engine::state_hash() const {
+  std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [half, st] : halves_) {
+    std::uint64_t entry = std::hash<graph::InterfaceHalf>{}(half);
+    if (st.direct) {
+      entry = mix(entry ^ (0x11ULL + st.direct->router_as));
+      entry = mix(entry ^ (0x23ULL + st.direct->other_as));
+      if (st.direct->from_stub_heuristic) entry = mix(entry ^ 0x31ULL);
+    }
+    if (st.indirect_source) {
+      entry = mix(entry ^ std::hash<graph::InterfaceHalf>{}(*st.indirect_source));
+    }
+    if (st.direct_override) entry = mix(entry ^ (0x47ULL + *st.direct_override));
+    if (st.indirect_override) {
+      entry = mix(entry ^ (0x53ULL + *st.indirect_override));
+    }
+    if (st.uncertain) entry = mix(entry ^ 0x61ULL);
+    hash ^= entry;  // order-independent combine
+  }
+  return hash;
+}
+
+void Engine::snapshot(const std::string& label) {
+  if (!options_.capture_snapshots) return;
+  snapshots_.push_back(Snapshot{label, collect(/*confident=*/true)});
+}
+
+void Engine::count_divergent_other_sides() {
+  // Direct inferences on both endpoints of a link naming different AS
+  // pairs (§4.4.3). Counted once per link, keyed by the lower address.
+  stats_.divergent_other_sides = 0;
+  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
+    const net::Ipv4Address other = record.other_side.address;
+    if (!(record.address < other)) continue;
+    if (base_as(record.address) == asdata::kUnknownAsn) continue;
+
+    auto pair_of = [&](net::Ipv4Address address)
+        -> std::optional<std::pair<std::uint64_t, std::uint64_t>> {
+      for (graph::Direction d :
+           {graph::Direction::kForward, graph::Direction::kBackward}) {
+        const HalfState* st = state_if_any({address, d});
+        if (st != nullptr && st->direct) {
+          std::uint64_t a = group_key(st->direct->router_as);
+          std::uint64_t b = group_key(st->direct->other_as);
+          if (b < a) std::swap(a, b);
+          return std::make_pair(a, b);
+        }
+      }
+      return std::nullopt;
+    };
+    const auto mine = pair_of(record.address);
+    const auto theirs = pair_of(other);
+    if (mine && theirs && *mine != *theirs) ++stats_.divergent_other_sides;
+  }
+}
+
+Result Engine::run() {
+  halves_.clear();
+  base_cache_.clear();
+  stats_ = EngineStats{};
+  snapshots_.clear();
+
+  std::unordered_set<std::uint64_t> seen_states;
+  for (int i = 0; i < options_.max_iterations; ++i) {
+    add_step();
+    remove_step();
+    ++stats_.iterations;
+    snapshot("Iter " + std::to_string(stats_.iterations));
+    if (!seen_states.insert(state_hash()).second) {
+      stats_.converged = true;
+      break;
+    }
+  }
+  stub_step();
+  snapshot("Stub");
+  count_divergent_other_sides();
+
+  Result result;
+  result.inferences = collect(/*confident=*/true);
+  result.uncertain = collect(/*confident=*/false);
+  result.final_mappings = freeze_mappings();
+  result.stats = stats_;
+  result.snapshots = std::move(snapshots_);
+  return result;
+}
+
+const Inference* Result::find(const graph::InterfaceHalf& half) const {
+  for (const Inference& inference : inferences) {
+    if (inference.half == half) return &inference;
+  }
+  return nullptr;
+}
+
+std::vector<const Inference*> Result::find_address(
+    net::Ipv4Address address) const {
+  std::vector<const Inference*> out;
+  for (const Inference& inference : inferences) {
+    if (inference.half.address == address) out.push_back(&inference);
+  }
+  return out;
+}
+
+Result run_mapit(const graph::InterfaceGraph& graph, const bgp::Ip2As& ip2as,
+                 const asdata::As2Org& orgs,
+                 const asdata::AsRelationships& rels, const Options& options) {
+  Engine engine(graph, ip2as, orgs, rels, options);
+  return engine.run();
+}
+
+}  // namespace mapit::core

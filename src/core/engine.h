@@ -1,0 +1,198 @@
+// The MAP-IT multipass inference engine (paper §4).
+//
+// Pipeline position: traces have been sanitized (trace/sanitize.h) and
+// folded into an InterfaceGraph (graph/interface_graph.h); an Ip2As
+// composite supplies base address-to-AS mappings. The engine then:
+//
+//   1. repeatedly ADDs inferences — direct neighbour-set-majority
+//      inferences (§4.4.1), indirect other-side propagation (§4.4.2),
+//      dual-inference and divergent-other-side resolution (§4.4.3), and
+//      adjacent-inverse-inference resolution (§4.4.4) — until a full pass
+//      makes no change;
+//   2. REMOVEs inferences no longer supported by the refined per-half
+//      IP2AS mappings (§4.5);
+//   3. repeats 1-2 until the end-of-remove state repeats (§4.6);
+//   4. finally applies the stub-AS heuristic (§4.8).
+//
+// All counting during a pass uses the mappings frozen at the end of the
+// previous pass, making results independent of visit order (§4.4.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asdata/as2org.h"
+#include "asdata/asn.h"
+#include "asdata/relationships.h"
+#include "bgp/ip2as.h"
+#include "core/inference.h"
+#include "graph/interface_graph.h"
+
+namespace mapit::core {
+
+/// Rule used by the remove step to decide whether a direct inference is
+/// still supported (DESIGN.md §5: the paper's prose and pseudocode differ).
+enum class RemoveRule : std::uint8_t {
+  kMajority,  ///< AS_N still accounts for more than half of N (§4.5 prose)
+  kAddRule,   ///< the add-step criterion would still fire (Alg 3 comment)
+};
+
+struct Options {
+  /// Minimum fraction of a neighbour set the dominating AS must reach
+  /// (paper's f, §4.4.1; evaluated in §5.3).
+  double f = 0.5;
+  RemoveRule remove_rule = RemoveRule::kMajority;
+
+  /// Ablation toggles (all true reproduces the paper's algorithm).
+  bool sibling_grouping = true;       ///< group sibling ASes when counting
+  bool update_other_sides = true;     ///< §4.4.2 indirect propagation
+  bool ixp_aware = true;              ///< skip other-side updates in IXP LANs
+  bool resolve_duals = true;          ///< §4.4.3 dual-inference fixing
+  bool resolve_inverses = true;       ///< §4.4.4 inverse-inference fixing
+  bool stub_heuristic = true;         ///< §4.8
+
+  /// Capture per-stage inference snapshots (Fig 7 instrumentation).
+  bool capture_snapshots = false;
+
+  /// Safety bound on outer add/remove iterations (the paper's runs
+  /// converge in 3).
+  int max_iterations = 64;
+};
+
+/// A labelled copy of the confident inference list at one pipeline stage.
+struct Snapshot {
+  std::string label;
+  std::vector<Inference> inferences;
+};
+
+struct EngineStats {
+  int iterations = 0;             ///< outer add/remove iterations executed
+  int add_passes = 0;             ///< total direct-inference sweeps
+  std::size_t direct_made = 0;    ///< direct inferences ever added
+  std::size_t duals_resolved = 0;
+  std::size_t inverses_resolved = 0;
+  std::size_t uncertain_pairs = 0;
+  std::size_t divergent_other_sides = 0;
+  std::size_t removed_in_remove_step = 0;
+  std::size_t stub_inferences = 0;
+  bool converged = false;         ///< repeated state found within bounds
+};
+
+struct Result {
+  /// High-confidence inter-AS link interface inferences (direct + stub +
+  /// surviving indirect), ordered by address then direction.
+  std::vector<Inference> inferences;
+  /// Uncertain inferences (§4.4.4's unresolvable inverse pairs).
+  std::vector<Inference> uncertain;
+  /// Final per-half IP2AS overrides at convergence: every interface half
+  /// whose mapping the algorithm refined away from the BGP-derived origin.
+  std::unordered_map<graph::InterfaceHalf, asdata::Asn> final_mappings;
+  EngineStats stats;
+  std::vector<Snapshot> snapshots;
+
+  /// Confident inference on the given half, if any.
+  [[nodiscard]] const Inference* find(const graph::InterfaceHalf& half) const;
+  /// Any confident inference (either half) on the given address.
+  [[nodiscard]] std::vector<const Inference*> find_address(
+      net::Ipv4Address address) const;
+};
+
+class Engine {
+ public:
+  /// All referenced objects must outlive the engine.
+  Engine(const graph::InterfaceGraph& graph, const bgp::Ip2As& ip2as,
+         const asdata::As2Org& orgs, const asdata::AsRelationships& rels,
+         Options options);
+
+  /// Runs the full algorithm. Idempotent: each call restarts from scratch.
+  [[nodiscard]] Result run();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct DirectInference {
+    asdata::Asn router_as = asdata::kUnknownAsn;  // AS_N
+    asdata::Asn other_as = asdata::kUnknownAsn;   // previous IP2AS(h)
+    bool from_stub_heuristic = false;
+    std::uint32_t votes = 0;           // neighbours voting for AS_N
+    std::uint32_t neighbor_count = 0;  // |N| at inference time
+  };
+
+  struct HalfState {
+    std::optional<DirectInference> direct;
+    /// Indirect inference propagated from the direct inference on the other
+    /// side (stores that source half for lifetime coupling).
+    std::optional<graph::InterfaceHalf> indirect_source;
+    std::optional<asdata::Asn> direct_override;
+    std::optional<asdata::Asn> indirect_override;
+    bool uncertain = false;
+    /// Direct inference discarded during this add step; cannot be re-made
+    /// until the next add step (§4.4.5 single-inference-per-step rule).
+    bool suppressed = false;
+  };
+
+  // --- mapping views -------------------------------------------------
+  [[nodiscard]] asdata::Asn base_as(net::Ipv4Address address) const;
+  [[nodiscard]] asdata::Asn current_as(const graph::InterfaceHalf& half) const;
+  using MappingView = std::unordered_map<graph::InterfaceHalf, asdata::Asn>;
+  [[nodiscard]] MappingView freeze_mappings() const;
+  [[nodiscard]] asdata::Asn view_as(const MappingView& view,
+                                    const graph::InterfaceHalf& half) const;
+
+  // --- counting ------------------------------------------------------
+  struct MajorityResult {
+    asdata::Asn asn = asdata::kUnknownAsn;  // representative of the group
+    std::size_t count = 0;                  // group's vote count
+    bool strict = false;                    // strictly more than every other
+  };
+  [[nodiscard]] MajorityResult count_majority(
+      const graph::InterfaceHalf& half, const MappingView& view) const;
+  [[nodiscard]] std::size_t group_count(const graph::InterfaceHalf& half,
+                                        asdata::Asn target,
+                                        const MappingView& view) const;
+  [[nodiscard]] std::uint64_t group_key(asdata::Asn asn) const;
+
+  // --- algorithm steps -------------------------------------------------
+  bool direct_pass(const MappingView& view);
+  void apply_indirect(const graph::InterfaceHalf& source);
+  bool resolve_dual_inferences();
+  void count_divergent_other_sides();
+  bool resolve_inverse_inferences();
+  void add_step();
+  void remove_step();
+  void stub_step();
+  void discard_direct(const graph::InterfaceHalf& half, bool suppress);
+  void discard_indirect(const graph::InterfaceHalf& half);
+
+  // --- bookkeeping -----------------------------------------------------
+  [[nodiscard]] HalfState& state(const graph::InterfaceHalf& half);
+  [[nodiscard]] const HalfState* state_if_any(
+      const graph::InterfaceHalf& half) const;
+  [[nodiscard]] std::uint64_t state_hash() const;
+  [[nodiscard]] std::vector<Inference> collect(bool confident) const;
+  void snapshot(const std::string& label);
+  void clear_suppressions();
+
+  const graph::InterfaceGraph& graph_;
+  const bgp::Ip2As& ip2as_;
+  const asdata::As2Org& orgs_;
+  const asdata::AsRelationships& rels_;
+  Options options_;
+
+  std::unordered_map<graph::InterfaceHalf, HalfState> halves_;
+  mutable std::unordered_map<net::Ipv4Address, asdata::Asn> base_cache_;
+  EngineStats stats_;
+  std::vector<Snapshot> snapshots_;
+};
+
+/// Convenience wrapper: construct an Engine and run it.
+[[nodiscard]] Result run_mapit(const graph::InterfaceGraph& graph,
+                               const bgp::Ip2As& ip2as,
+                               const asdata::As2Org& orgs,
+                               const asdata::AsRelationships& rels,
+                               const Options& options = {});
+
+}  // namespace mapit::core

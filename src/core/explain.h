@@ -1,0 +1,26 @@
+// Human-readable evidence trails for MAP-IT decisions.
+//
+// Given a finished Result, explain() reconstructs why an interface did or
+// did not receive an inference: both neighbour sets with each member's
+// BGP-derived origin and final (refined) mapping, the other-side
+// determination, and the inference records. This is the diagnostic view a
+// network operator uses to audit a single boundary (the paper's §5.7
+// anecdote is exactly such a trail).
+#pragma once
+
+#include <string>
+
+#include "bgp/ip2as.h"
+#include "core/engine.h"
+#include "graph/interface_graph.h"
+
+namespace mapit::core {
+
+/// Formats the evidence trail for `address`. Multi-line, ends with '\n'.
+/// Useful even for addresses without inferences (explains the absence).
+[[nodiscard]] std::string explain(const Result& result,
+                                  const graph::InterfaceGraph& graph,
+                                  const bgp::Ip2As& ip2as,
+                                  net::Ipv4Address address);
+
+}  // namespace mapit::core

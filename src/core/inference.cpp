@@ -1,0 +1,33 @@
+#include "core/inference.h"
+
+#include <ostream>
+
+namespace mapit::core {
+
+const char* to_string(InferenceKind kind) {
+  switch (kind) {
+    case InferenceKind::kDirect: return "direct";
+    case InferenceKind::kIndirect: return "indirect";
+    case InferenceKind::kStub: return "stub";
+  }
+  return "?";
+}
+
+std::string Inference::to_string() const {
+  std::string out = half.to_string();
+  out += ": AS";
+  out += std::to_string(router_as);
+  out += " <-> AS";
+  out += std::to_string(other_as);
+  out += " (";
+  out += core::to_string(kind);
+  if (uncertain) out += ", uncertain";
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Inference& inference) {
+  return os << inference.to_string();
+}
+
+}  // namespace mapit::core

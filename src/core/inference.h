@@ -1,0 +1,69 @@
+// Inference records produced by the MAP-IT engine.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "asdata/asn.h"
+#include "graph/halves.h"
+
+namespace mapit::core {
+
+/// How an inference was established.
+enum class InferenceKind : std::uint8_t {
+  kDirect,    ///< neighbour-set majority (paper §4.4.1)
+  kIndirect,  ///< propagated to the other side of a direct one (§4.4.2)
+  kStub,      ///< low-visibility / NAT stub heuristic (§4.8)
+};
+
+[[nodiscard]] const char* to_string(InferenceKind kind);
+
+/// One inter-AS-link interface inference.
+///
+/// `half` is the interface half on which evidence was observed. The link
+/// connects `router_as` (the AS inferred to operate the interface's router,
+/// the dominating AS_N of the neighbour set) and `other_as` (the AS the
+/// interface's address space belonged to before the inference; kUnknownAsn
+/// when the address is unannounced).
+struct Inference {
+  graph::InterfaceHalf half;
+  asdata::Asn router_as = asdata::kUnknownAsn;
+  asdata::Asn other_as = asdata::kUnknownAsn;
+  InferenceKind kind = InferenceKind::kDirect;
+  bool uncertain = false;
+  /// Evidence at the moment the inference was made: how many of the
+  /// half's neighbours voted for `router_as`, out of how many total.
+  /// The paper's §5.7 anecdote ("113 of 141 addresses") is this ratio.
+  /// Indirect inferences inherit their source's evidence.
+  std::uint32_t votes = 0;
+  std::uint32_t neighbor_count = 0;
+
+  /// The unordered AS pair the link connects, low ASN first.
+  [[nodiscard]] std::pair<asdata::Asn, asdata::Asn> as_pair() const {
+    return router_as <= other_as ? std::make_pair(router_as, other_as)
+                                 : std::make_pair(other_as, router_as);
+  }
+
+  /// True when the inference names both ASes (no unannounced side).
+  [[nodiscard]] bool complete() const {
+    return router_as != asdata::kUnknownAsn &&
+           other_as != asdata::kUnknownAsn;
+  }
+
+  /// Fraction of the neighbour set supporting the inference (0 when no
+  /// evidence was recorded, e.g. for stub-heuristic singletons).
+  [[nodiscard]] double support() const {
+    return neighbor_count == 0
+               ? 0.0
+               : static_cast<double>(votes) /
+                     static_cast<double>(neighbor_count);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Inference&, const Inference&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Inference& inference);
+
+}  // namespace mapit::core

@@ -1,0 +1,48 @@
+#include "core/links.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mapit::core {
+
+std::vector<InterAsLink> aggregate_links(const Result& result,
+                                         const graph::InterfaceGraph& graph) {
+  // Key each inference by the unordered {address, other-side} pair.
+  std::map<std::pair<net::Ipv4Address, net::Ipv4Address>, InterAsLink> links;
+
+  for (const Inference& inference : result.inferences) {
+    const net::Ipv4Address address = inference.half.address;
+    const net::Ipv4Address other =
+        graph.other_sides().other_address(address);
+    const auto key = address < other ? std::make_pair(address, other)
+                                     : std::make_pair(other, address);
+    auto [it, inserted] = links.try_emplace(key);
+    InterAsLink& link = it->second;
+    if (inserted) {
+      link.low = key.first;
+      link.high = key.second;
+    }
+    ++link.supporting_inferences;
+    const auto pair = inference.as_pair();
+    const bool stronger = link.neighbor_count == 0 ||
+                          inference.support() > link.support_ratio();
+    if (link.supporting_inferences == 1) {
+      std::tie(link.as_a, link.as_b) = pair;
+    } else if (pair != std::make_pair(link.as_a, link.as_b)) {
+      link.conflicting = true;
+      if (stronger) std::tie(link.as_a, link.as_b) = pair;
+    }
+    if (stronger) {
+      link.votes = inference.votes;
+      link.neighbor_count = inference.neighbor_count;
+    }
+    link.via_stub_heuristic |= inference.kind == InferenceKind::kStub;
+  }
+
+  std::vector<InterAsLink> out;
+  out.reserve(links.size());
+  for (auto& [_, link] : links) out.push_back(link);
+  return out;  // std::map iteration is already (low, high) ordered
+}
+
+}  // namespace mapit::core

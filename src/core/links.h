@@ -1,0 +1,58 @@
+// Link-level aggregation of MAP-IT inferences.
+//
+// MAP-IT emits per-interface-half inferences; most consumers (congestion
+// studies, facility mapping, diagnostics) want the *links*: one record per
+// point-to-point inter-AS link with both interface addresses and the AS
+// pair. Aggregation folds the direct inference, its other-side indirect
+// mirror, and any independent inference on the far interface into one
+// record, keyed by the link's /31-or-/30 pair.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/interface_graph.h"
+
+namespace mapit::core {
+
+/// One inferred inter-AS link.
+struct InterAsLink {
+  /// Lower-numbered interface address of the link prefix.
+  net::Ipv4Address low;
+  /// Higher-numbered interface address (the inferred other side).
+  net::Ipv4Address high;
+  /// The connected ASes, lower ASN first (kUnknownAsn possible when one
+  /// side's address space is unannounced).
+  asdata::Asn as_a = asdata::kUnknownAsn;
+  asdata::Asn as_b = asdata::kUnknownAsn;
+  /// Number of confident inferences supporting this link (1 when only one
+  /// half was inferred, up to 4 when both interfaces were inferred in both
+  /// roles).
+  std::uint32_t supporting_inferences = 0;
+  /// Strongest evidence ratio among the supporting inferences.
+  std::uint32_t votes = 0;
+  std::uint32_t neighbor_count = 0;
+  /// True when any supporting inference came from the stub heuristic.
+  bool via_stub_heuristic = false;
+  /// True when the supporting inferences disagree on the AS pair (the
+  /// §4.4.3 "divergent other sides" situation); `as_a`/`as_b` then carry
+  /// the pair of the strongest-evidence inference.
+  bool conflicting = false;
+
+  /// Evidence ratio of the strongest supporting inference.
+  [[nodiscard]] double support_ratio() const {
+    return neighbor_count == 0 ? 0.0
+                               : static_cast<double>(votes) /
+                                     static_cast<double>(neighbor_count);
+  }
+
+  friend bool operator==(const InterAsLink&, const InterAsLink&) = default;
+};
+
+/// Aggregates a result's confident inferences into link records, using the
+/// graph's other-side relation to pair interfaces. Deterministic: records
+/// are sorted by (low, high).
+[[nodiscard]] std::vector<InterAsLink> aggregate_links(
+    const Result& result, const graph::InterfaceGraph& graph);
+
+}  // namespace mapit::core

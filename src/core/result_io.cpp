@@ -1,0 +1,97 @@
+#include "core/result_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/error.h"
+
+namespace mapit::core {
+
+namespace {
+
+[[nodiscard]] InferenceKind kind_from(const std::string& text,
+                                      std::size_t line_no) {
+  if (text == "direct") return InferenceKind::kDirect;
+  if (text == "indirect") return InferenceKind::kIndirect;
+  if (text == "stub") return InferenceKind::kStub;
+  throw ParseError("inferences line " + std::to_string(line_no) +
+                   ": unknown kind '" + text + "'");
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+void write_inferences(std::ostream& out,
+                      const std::vector<Inference>& inferences) {
+  out << "# address|direction|router_asn|other_asn|kind|votes/neighbors\n";
+  for (const Inference& inference : inferences) {
+    out << inference.half.address.to_string() << '|'
+        << graph::suffix(inference.half.direction) << '|'
+        << inference.router_as << '|' << inference.other_as << '|'
+        << to_string(inference.kind) << '|' << inference.votes << '/'
+        << inference.neighbor_count << '\n';
+  }
+}
+
+std::vector<Inference> read_inferences(std::istream& in) {
+  std::vector<Inference> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = split(line, '|');
+    if (fields.size() != 6) {
+      throw ParseError("inferences line " + std::to_string(line_no) +
+                       ": expected 6 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    try {
+      Inference inference;
+      inference.half.address = net::Ipv4Address::parse_or_throw(fields[0]);
+      if (fields[1] == "f") {
+        inference.half.direction = graph::Direction::kForward;
+      } else if (fields[1] == "b") {
+        inference.half.direction = graph::Direction::kBackward;
+      } else {
+        throw ParseError("bad direction '" + fields[1] + "'");
+      }
+      inference.router_as = static_cast<asdata::Asn>(std::stoul(fields[2]));
+      inference.other_as = static_cast<asdata::Asn>(std::stoul(fields[3]));
+      inference.kind = kind_from(fields[4], line_no);
+      const std::size_t slash = fields[5].find('/');
+      if (slash == std::string::npos) {
+        throw ParseError("bad evidence '" + fields[5] + "'");
+      }
+      inference.votes =
+          static_cast<std::uint32_t>(std::stoul(fields[5].substr(0, slash)));
+      inference.neighbor_count =
+          static_cast<std::uint32_t>(std::stoul(fields[5].substr(slash + 1)));
+      out.push_back(inference);
+    } catch (const ParseError& e) {
+      throw ParseError("inferences line " + std::to_string(line_no) + ": " +
+                       e.what());
+    } catch (const std::exception&) {
+      throw ParseError("inferences line " + std::to_string(line_no) +
+                       ": malformed number in '" + line + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace mapit::core

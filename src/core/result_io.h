@@ -1,0 +1,25 @@
+// Text serialization for MAP-IT inference results.
+//
+// Format (one inference per line, '#' comments allowed):
+//
+//   <address>|<f or b>|<router_asn>|<other_asn>|<kind>|<votes>/<neighbors>
+//
+// e.g. "109.105.98.10|f|11537|2603|direct|3/3".
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/inference.h"
+
+namespace mapit::core {
+
+/// Writes inferences one per line with a header comment.
+void write_inferences(std::ostream& out,
+                      const std::vector<Inference>& inferences);
+
+/// Reads inferences written by write_inferences. Throws mapit::ParseError
+/// naming the offending line.
+[[nodiscard]] std::vector<Inference> read_inferences(std::istream& in);
+
+}  // namespace mapit::core

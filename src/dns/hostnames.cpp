@@ -1,0 +1,212 @@
+#include "dns/hostnames.h"
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "net/error.h"
+
+namespace mapit::dns {
+
+namespace {
+
+constexpr std::array<std::string_view, 16> kCities = {
+    "newy", "chic", "wash", "atla", "hous", "kans", "salt", "seat",
+    "losa", "denv", "dall", "mia",  "bost", "phil", "clev", "minn"};
+
+std::string_view city_of(topo::RouterId router) {
+  return kCities[router % kCities.size()];
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string as_label(asdata::Asn asn) { return "as" + std::to_string(asn); }
+
+std::optional<asdata::Asn> parse_as_label(std::string_view text) {
+  if (text.size() < 3 || text.substr(0, 2) != "as") return std::nullopt;
+  asdata::Asn value = 0;
+  for (char c : text.substr(2)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<asdata::Asn>(c - '0');
+  }
+  return value == asdata::kUnknownAsn ? std::nullopt
+                                      : std::optional<asdata::Asn>(value);
+}
+
+ParsedHostname parse_hostname(std::string_view hostname) {
+  ParsedHostname parsed;
+  const std::vector<std::string_view> labels = split(hostname, '.');
+  // Expect "<role>.<city>.<owner>.net" (4 labels). Anything else is noise.
+  if (labels.size() < 3) return parsed;
+  parsed.owner_label = std::string(labels[labels.size() - 2]);
+
+  const std::string_view role = labels.front();
+  // External tag: "<peer>-ic-<id>" ("-ic-" is the interconnection marker,
+  // telia.net style).
+  if (const std::size_t marker = role.find("-ic-");
+      marker != std::string_view::npos && marker > 0) {
+    parsed.kind = TagKind::kExternal;
+    parsed.peer_label = std::string(role.substr(0, marker));
+    parsed.peer_asn = parse_as_label(parsed.peer_label);
+    return parsed;
+  }
+  // Internal tag: aggregated-ethernet bundle naming, level3.net style
+  // ("ae-41-41.ebr1...").
+  if (role.substr(0, 3) == "ae-" || role.substr(0, 3) == "xe-") {
+    parsed.kind = TagKind::kInternal;
+    return parsed;
+  }
+  // Everything else (dialup pools, bare gateways) is uninterpretable.
+  parsed.kind = TagKind::kAmbiguous;
+  return parsed;
+}
+
+HostnameOracle::HostnameOracle(const topo::Internet& net, asdata::Asn target,
+                               const HostnameConfig& config)
+    : target_(target) {
+  MAPIT_ENSURE(config.coverage >= 0.0 && config.coverage <= 1.0,
+               "coverage out of range");
+  std::mt19937_64 rng(config.seed ^ (std::uint64_t{target} << 18) ^ 0xD45ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> as_pick(0, net.ases().size() - 1);
+
+  auto synthesize = [&](net::Ipv4Address address) {
+    if (hostnames_.contains(address)) return;
+    if (coin(rng) >= config.coverage) return;  // unresolvable
+    const topo::RouterId router = net.router_of_address(address);
+    const topo::LinkId link_id = net.link_of_address(address);
+    if (router == topo::kNoRouter || link_id == topo::kNoLink) return;
+    const topo::Link& link = net.link(link_id);
+    const asdata::Asn owner = net.router(router).owner;
+    const std::string owner_label = as_label(owner);
+    const std::string city(city_of(router));
+
+    if (coin(rng) < config.ambiguous_prob) {
+      hostnames_.emplace(address, "gw" + std::to_string(link_id) + "." +
+                                      city + "." + owner_label + ".net");
+      return;
+    }
+    if (link.inter_as) {
+      asdata::Asn peer =
+          net.router(link.other_router(router)).owner;
+      if (coin(rng) < config.stale_prob) {
+        // Stale tag: the hostname still names a previous peer.
+        asdata::Asn wrong = peer;
+        while (wrong == peer || wrong == owner) {
+          wrong = net.ases()[as_pick(rng)].asn;
+        }
+        peer = wrong;
+      }
+      hostnames_.emplace(address, as_label(peer) + "-ic-" +
+                                      std::to_string(link_id) + "." + city +
+                                      "." + owner_label + ".net");
+      return;
+    }
+    hostnames_.emplace(address,
+                       "ae-" + std::to_string(link_id % 64) + "-" +
+                           std::to_string(router % 16) + ".cr" +
+                           std::to_string(router % 8) + "." + city + "." +
+                           owner_label + ".net");
+  };
+
+  // The population the paper resolves: every interface on the target's
+  // routers plus the far side of its inter-AS links.
+  for (const topo::Link& link : net.links()) {
+    const bool a_is_target = net.router(link.a).owner == target;
+    const bool b_is_target = net.router(link.b).owner == target;
+    if (a_is_target || b_is_target) {
+      synthesize(link.addr_a);
+      synthesize(link.addr_b);
+    }
+  }
+}
+
+const std::string* HostnameOracle::lookup(net::Ipv4Address address) const {
+  auto it = hostnames_.find(address);
+  return it == hostnames_.end() ? nullptr : &it->second;
+}
+
+eval::AsGroundTruth ground_truth_from_hostnames(const topo::Internet& net,
+                                                const HostnameOracle& oracle) {
+  const asdata::Asn target = oracle.target();
+  std::vector<eval::LinkTruth> links;
+  std::unordered_set<net::Ipv4Address> internal;
+
+  for (const topo::TrueLink& link : net.true_links()) {
+    if (link.as_a != target && link.as_b != target) continue;
+    const bool target_is_a = link.as_a == target;
+    const net::Ipv4Address near = target_is_a ? link.addr_a : link.addr_b;
+    const net::Ipv4Address far = target_is_a ? link.addr_b : link.addr_a;
+    const asdata::Asn remote = target_is_a ? link.as_b : link.as_a;
+
+    // Interpret the near-side hostname first (it is in the target's zone);
+    // fall back to the far side, whose owner label names the peer.
+    std::optional<asdata::Asn> recorded;
+    if (const std::string* hostname = oracle.lookup(near)) {
+      const ParsedHostname parsed = parse_hostname(*hostname);
+      if (parsed.kind == TagKind::kExternal && parsed.peer_asn) {
+        recorded = parsed.peer_asn;
+      } else if (parsed.kind == TagKind::kAmbiguous) {
+        continue;  // the paper drops uninterpretable interfaces
+      }
+    }
+    if (!recorded) {
+      if (const std::string* hostname = oracle.lookup(far)) {
+        const ParsedHostname parsed = parse_hostname(*hostname);
+        if (parsed.kind == TagKind::kExternal) {
+          recorded = parse_as_label(parsed.owner_label);
+        }
+      }
+    }
+    if (!recorded) continue;  // no usable tag on either side
+
+    eval::LinkTruth truth;
+    truth.addr_a = near;
+    truth.addr_b = far;
+    truth.remote = remote;
+    truth.recorded_remote = *recorded;
+    truth.via_ixp = link.via_ixp;
+    links.push_back(truth);
+  }
+
+  // Internal interfaces: both the hostname and its link partner's hostname
+  // must lack an external tag (§5.1.2's two-sided rule).
+  for (const topo::Link& link : net.links()) {
+    if (link.inter_as) continue;
+    if (net.router(link.a).owner != target) continue;
+    for (const auto& [address, partner] :
+         {std::pair{link.addr_a, link.addr_b},
+          std::pair{link.addr_b, link.addr_a}}) {
+      const std::string* own = oracle.lookup(address);
+      if (own == nullptr) continue;
+      const ParsedHostname own_parsed = parse_hostname(*own);
+      if (own_parsed.kind != TagKind::kInternal) continue;
+      const std::string* partner_hostname = oracle.lookup(partner);
+      if (partner_hostname != nullptr &&
+          parse_hostname(*partner_hostname).kind == TagKind::kExternal) {
+        continue;
+      }
+      internal.insert(address);
+    }
+  }
+
+  return eval::AsGroundTruth::from_parts(target, /*exact=*/false,
+                                         std::move(links),
+                                         std::move(internal));
+}
+
+}  // namespace mapit::dns

@@ -1,0 +1,101 @@
+// DNS hostname substrate (paper §5.1.2).
+//
+// The paper's Level3/TeliaSonera ground truth is built by resolving the
+// hostnames of interfaces seen in traces and manually interpreting their
+// tags: external tags name the connected network
+// ("cogent-ic-309423-den-bl.c.telia.net"), internal tags name router roles
+// ("ae-41-41.ebr1.berlin1.level3.net"), and some hostnames are missing,
+// ambiguous, or stale.
+//
+// This module reproduces that pathway end to end: a synthesizer that
+// assigns hostnames to a target AS's interfaces (with coverage, staleness
+// and ambiguity noise), a parser that classifies hostnames and extracts
+// the peer tag, and a ground-truth builder that mirrors the paper's manual
+// dataset-construction process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "asdata/asn.h"
+#include "eval/ground_truth.h"
+#include "net/ipv4.h"
+#include "topo/internet.h"
+
+namespace mapit::dns {
+
+struct HostnameConfig {
+  /// Probability an interface has a resolvable hostname at all.
+  double coverage = 0.9;
+  /// Probability an external tag names the wrong network (stale after an
+  /// acquisition or re-provisioning; inflates false positives, §5.1.2).
+  double stale_prob = 0.01;
+  /// Probability a hostname carries no interpretable tag (the paper
+  /// removes such interfaces from its dataset).
+  double ambiguous_prob = 0.04;
+  std::uint64_t seed = 99;
+};
+
+/// The network label used in synthesized hostnames ("as11537").
+[[nodiscard]] std::string as_label(asdata::Asn asn);
+
+/// Parses an "asNNN" label back to its ASN; nullopt for anything else.
+[[nodiscard]] std::optional<asdata::Asn> parse_as_label(std::string_view text);
+
+/// Classification of one hostname.
+enum class TagKind : std::uint8_t {
+  kExternal,   ///< carries an interconnection tag naming a peer network
+  kInternal,   ///< router/bundle naming with no interconnection tag
+  kAmbiguous,  ///< no interpretable tag (dropped from datasets)
+};
+
+struct ParsedHostname {
+  TagKind kind = TagKind::kAmbiguous;
+  /// For kExternal: the peer network's label ("as10044").
+  std::string peer_label;
+  /// The peer label resolved to an ASN, when it parses.
+  std::optional<asdata::Asn> peer_asn;
+  /// The owning network's label (the second-level domain's first token).
+  std::string owner_label;
+};
+
+/// Classifies a hostname and extracts its tags. Pure function; handles
+/// arbitrary inputs (anything unrecognizable is kAmbiguous).
+[[nodiscard]] ParsedHostname parse_hostname(std::string_view hostname);
+
+/// Synthesizes hostnames for every interface on the target AS's routers
+/// plus the far-side interfaces of its inter-AS links — the address
+/// population the paper resolves for its verification datasets.
+class HostnameOracle {
+ public:
+  HostnameOracle(const topo::Internet& net, asdata::Asn target,
+                 const HostnameConfig& config);
+
+  /// The hostname for `address`, or nullptr when unresolvable.
+  [[nodiscard]] const std::string* lookup(net::Ipv4Address address) const;
+
+  [[nodiscard]] const std::unordered_map<net::Ipv4Address, std::string>&
+  hostnames() const {
+    return hostnames_;
+  }
+
+  [[nodiscard]] asdata::Asn target() const { return target_; }
+
+ private:
+  asdata::Asn target_;
+  std::unordered_map<net::Ipv4Address, std::string> hostnames_;
+};
+
+/// Builds the §5.1.2-style verification dataset by *parsing* the oracle's
+/// hostnames, mirroring the paper's manual process: a link enters the
+/// dataset when the hostname of either endpoint carries an interpretable
+/// external tag; an interface is recorded internal when its hostname and
+/// its other side's hostname both lack external tags; everything
+/// ambiguous or unresolved is dropped.
+[[nodiscard]] eval::AsGroundTruth ground_truth_from_hostnames(
+    const topo::Internet& net, const HostnameOracle& oracle);
+
+}  // namespace mapit::dns

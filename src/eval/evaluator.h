@@ -1,0 +1,64 @@
+// Verification of inter-AS link claims against per-AS ground truth,
+// implementing the paper's §5.2 accounting:
+//
+//   correct   — a dataset link with a claim on either of its interface
+//               addresses naming the right AS pair (sibling-aware);
+//   missing   — a dataset link that was *eligible* (an endpoint appears in
+//               the traces, and either the link is numbered from the
+//               connected AS or an address of the connected AS is seen
+//               adjacent to it) with no correct claim;
+//   error     — a claim on an internal interface; a claim on a dataset link
+//               naming the wrong pair; for exact ground truth, any claim
+//               involving the target on an address outside the dataset; for
+//               approximate ground truth, a claim naming a dataset link's
+//               pair made on an interface adjacent to that link.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "asdata/relationships.h"
+#include "baselines/claims.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "graph/interface_graph.h"
+#include "net/prefix_trie.h"
+#include "topo/internet.h"
+
+namespace mapit::eval {
+
+struct Verification {
+  Metrics total;
+  /// Table 1 breakdown keyed by the relationship class of the link/claim.
+  std::map<asdata::LinkClass, Metrics> by_class;
+  /// Details for inspection and debugging.
+  baselines::Claims false_positives;
+  std::vector<LinkTruth> false_negatives;
+};
+
+class Evaluator {
+ public:
+  /// `net` supplies physical truth (true origins, relationships, siblings);
+  /// `graph` supplies what the traces exposed. Both must outlive the
+  /// evaluator.
+  Evaluator(const topo::Internet& net, const graph::InterfaceGraph& graph);
+
+  [[nodiscard]] Verification verify(const AsGroundTruth& truth,
+                                    const baselines::Claims& claims) const;
+
+ private:
+  [[nodiscard]] bool pair_matches(asdata::Asn claim_a, asdata::Asn claim_b,
+                                  asdata::Asn truth_a,
+                                  asdata::Asn truth_b) const;
+  [[nodiscard]] bool involves(asdata::Asn asn, asdata::Asn target) const;
+  [[nodiscard]] asdata::Asn true_origin(net::Ipv4Address address) const;
+  [[nodiscard]] bool link_eligible(const AsGroundTruth& truth,
+                                   const LinkTruth& link) const;
+  [[nodiscard]] asdata::LinkClass classify(asdata::Asn a, asdata::Asn b) const;
+
+  const topo::Internet& net_;
+  const graph::InterfaceGraph& graph_;
+  net::PrefixTrie<asdata::Asn> true_origins_;
+};
+
+}  // namespace mapit::eval

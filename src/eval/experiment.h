@@ -1,0 +1,110 @@
+// End-to-end experiment harness.
+//
+// Wires the whole reproduction pipeline together: synthetic Internet ->
+// valley-free routing -> traceroute campaign -> sanitization -> interface
+// graph -> (MAP-IT | baselines) -> verification. Every bench binary and
+// most integration tests run through this type, so one seed fully
+// determines an experiment.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "asdata/as2org.h"
+#include "asdata/ixp.h"
+#include "asdata/relationships.h"
+#include "bgp/ip2as.h"
+#include "bgp/rib.h"
+#include "core/engine.h"
+#include "eval/evaluator.h"
+#include "eval/ground_truth.h"
+#include "graph/interface_graph.h"
+#include "route/as_routing.h"
+#include "route/forwarder.h"
+#include "topo/generator.h"
+#include "topo/internet.h"
+#include "trace/sanitize.h"
+#include "tracesim/simulator.h"
+
+namespace mapit::eval {
+
+struct ExperimentConfig {
+  topo::GeneratorConfig topology;
+  tracesim::SimulatorConfig simulation;
+  topo::DatasetNoise noise;
+  /// Seed for dataset exports (RIB visibility, sibling dropout, ...).
+  std::uint64_t dataset_seed = 99;
+  /// Approximate-ground-truth hostname model (§5.1.2).
+  double hostname_coverage = 0.9;
+  double hostname_stale_prob = 0.01;
+
+  /// A laptop-fast configuration used by integration tests.
+  [[nodiscard]] static ExperimentConfig small();
+  /// The default bench configuration (paper-scale shape, minutes not hours).
+  [[nodiscard]] static ExperimentConfig standard();
+};
+
+/// Owns every pipeline stage. Not movable: later stages hold references
+/// into earlier ones.
+class Experiment {
+ public:
+  /// Runs generation, routing, the traceroute campaign, sanitization, and
+  /// graph construction. Everything downstream (MAP-IT, baselines,
+  /// verification) is on-demand.
+  [[nodiscard]] static std::unique_ptr<Experiment> build(
+      const ExperimentConfig& config);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const topo::Internet& internet() const { return internet_; }
+  [[nodiscard]] const asdata::As2Org& orgs() const { return orgs_; }
+  [[nodiscard]] const asdata::AsRelationships& relationships() const {
+    return rels_;
+  }
+  [[nodiscard]] const asdata::IxpRegistry& ixps() const { return ixps_; }
+  [[nodiscard]] const bgp::Ip2As& ip2as() const { return *ip2as_; }
+  [[nodiscard]] const trace::TraceCorpus& raw_corpus() const { return raw_; }
+  [[nodiscard]] const trace::TraceCorpus& corpus() const {
+    return sanitized_.clean;
+  }
+  [[nodiscard]] const trace::SanitizeStats& sanitize_stats() const {
+    return sanitized_.stats;
+  }
+  [[nodiscard]] const tracesim::SimulatorStats& simulator_stats() const {
+    return sim_stats_;
+  }
+  [[nodiscard]] const graph::InterfaceGraph& graph() const { return *graph_; }
+  [[nodiscard]] const Evaluator& evaluator() const { return *evaluator_; }
+
+  /// Runs MAP-IT over the experiment's graph with the given options.
+  [[nodiscard]] core::Result run_mapit(const core::Options& options = {}) const;
+
+  /// Ground truth for one of the designated evaluation ASes. The R&E AS
+  /// gets the exact inventory; the tier-1s get the hostname-derived one.
+  [[nodiscard]] AsGroundTruth ground_truth(asdata::Asn target) const;
+
+  /// Designated evaluation ASes: {R&E "I2", tier-1 "L3", tier-1 "TS"}.
+  [[nodiscard]] static std::array<asdata::Asn, 3> evaluation_targets();
+
+ private:
+  explicit Experiment(const ExperimentConfig& config);
+
+  ExperimentConfig config_;
+  topo::Internet internet_;
+  asdata::As2Org orgs_;
+  asdata::AsRelationships rels_;
+  asdata::IxpRegistry ixps_;
+  bgp::Rib rib_;
+  std::unique_ptr<bgp::Ip2As> ip2as_;
+  std::unique_ptr<route::AsRouting> routing_;
+  std::unique_ptr<route::Forwarder> forwarder_;
+  trace::TraceCorpus raw_;
+  tracesim::SimulatorStats sim_stats_;
+  trace::SanitizeResult sanitized_;
+  std::unique_ptr<graph::InterfaceGraph> graph_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+}  // namespace mapit::eval

@@ -1,0 +1,90 @@
+#include "eval/ground_truth.h"
+
+#include <random>
+
+#include "net/error.h"
+
+namespace mapit::eval {
+
+AsGroundTruth AsGroundTruth::exact(const topo::Internet& net,
+                                   asdata::Asn target) {
+  return build(net, target, /*exact=*/true, 1.0, 0.0, 0);
+}
+
+AsGroundTruth AsGroundTruth::approximate(const topo::Internet& net,
+                                         asdata::Asn target, double coverage,
+                                         double stale_prob,
+                                         std::uint64_t seed) {
+  return build(net, target, /*exact=*/false, coverage, stale_prob, seed);
+}
+
+AsGroundTruth AsGroundTruth::from_parts(
+    asdata::Asn target, bool exact, std::vector<LinkTruth> links,
+    std::unordered_set<net::Ipv4Address> internal) {
+  AsGroundTruth gt;
+  gt.target_ = target;
+  gt.exact_ = exact;
+  gt.links_ = std::move(links);
+  gt.internal_ = std::move(internal);
+  for (std::size_t i = 0; i < gt.links_.size(); ++i) {
+    gt.link_by_address_.emplace(gt.links_[i].addr_a, i);
+    gt.link_by_address_.emplace(gt.links_[i].addr_b, i);
+  }
+  return gt;
+}
+
+AsGroundTruth AsGroundTruth::build(const topo::Internet& net,
+                                   asdata::Asn target, bool exact,
+                                   double coverage, double stale_prob,
+                                   std::uint64_t seed) {
+  MAPIT_ENSURE(coverage >= 0.0 && coverage <= 1.0, "coverage out of range");
+  MAPIT_ENSURE(stale_prob >= 0.0 && stale_prob <= 1.0,
+               "stale_prob out of range");
+  AsGroundTruth gt;
+  gt.target_ = target;
+  gt.exact_ = exact;
+  std::mt19937_64 rng(seed ^ (std::uint64_t{target} << 20) ^ 0x67ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> as_pick(0, net.ases().size() - 1);
+
+  for (const topo::TrueLink& link : net.true_links()) {
+    if (link.as_a != target && link.as_b != target) continue;
+    if (!exact && coin(rng) >= coverage) continue;  // no usable hostname
+    LinkTruth truth;
+    if (link.as_a == target) {
+      truth.addr_a = link.addr_a;
+      truth.addr_b = link.addr_b;
+      truth.remote = link.as_b;
+    } else {
+      truth.addr_a = link.addr_b;
+      truth.addr_b = link.addr_a;
+      truth.remote = link.as_a;
+    }
+    truth.via_ixp = link.via_ixp;
+    truth.recorded_remote = truth.remote;
+    if (!exact && coin(rng) < stale_prob) {
+      // Stale hostname tag: the recorded neighbour is some other network.
+      asdata::Asn wrong = truth.remote;
+      while (wrong == truth.remote || wrong == target) {
+        wrong = net.ases()[as_pick(rng)].asn;
+      }
+      truth.recorded_remote = wrong;
+    }
+    const std::size_t index = gt.links_.size();
+    gt.links_.push_back(truth);
+    gt.link_by_address_.emplace(truth.addr_a, index);
+    gt.link_by_address_.emplace(truth.addr_b, index);
+  }
+
+  for (const topo::Link& link : net.links()) {
+    if (link.inter_as) continue;
+    if (net.router(link.a).owner != target) continue;
+    for (net::Ipv4Address address : {link.addr_a, link.addr_b}) {
+      if (!exact && coin(rng) >= coverage) continue;
+      gt.internal_.insert(address);
+    }
+  }
+  return gt;
+}
+
+}  // namespace mapit::eval

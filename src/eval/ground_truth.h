@@ -1,0 +1,86 @@
+// Per-AS ground truth, in the two flavours the paper verifies against.
+//
+// Exact (§5.1.1, Internet2): the designated AS's complete interface
+// inventory — every internal interface and every inter-AS link with the
+// connected AS, always correct.
+//
+// Approximate (§5.1.2, Level3/TeliaSonera DNS hostnames): the same
+// inventory filtered through a hostname-coverage model — some interfaces
+// have no usable hostname (dropped from the dataset entirely), and a small
+// fraction of inter-AS tags are stale, recording the wrong connected AS
+// (which inflates false positives, as the paper notes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asdata/asn.h"
+#include "net/ipv4.h"
+#include "topo/internet.h"
+
+namespace mapit::eval {
+
+/// One inter-AS link of the target AS, as recorded in the dataset.
+struct LinkTruth {
+  net::Ipv4Address addr_a;  ///< interface on the target-side router
+  net::Ipv4Address addr_b;  ///< interface on the connected AS's router
+  asdata::Asn remote = asdata::kUnknownAsn;  ///< true connected AS
+  /// Connected AS as the dataset records it (differs from `remote` when the
+  /// hostname tag is stale).
+  asdata::Asn recorded_remote = asdata::kUnknownAsn;
+  bool via_ixp = false;
+};
+
+class AsGroundTruth {
+ public:
+  /// Complete, error-free inventory for `target`.
+  [[nodiscard]] static AsGroundTruth exact(const topo::Internet& net,
+                                           asdata::Asn target);
+
+  /// Hostname-derived inventory: each interface is covered with probability
+  /// `coverage`; covered inter-AS tags are stale (wrong remote AS) with
+  /// probability `stale_prob`. Deterministic given `seed`.
+  [[nodiscard]] static AsGroundTruth approximate(const topo::Internet& net,
+                                                 asdata::Asn target,
+                                                 double coverage,
+                                                 double stale_prob,
+                                                 std::uint64_t seed);
+
+  /// Assembles a dataset from externally derived parts (e.g. the dns
+  /// module's hostname-parsing pathway, §5.1.2).
+  [[nodiscard]] static AsGroundTruth from_parts(
+      asdata::Asn target, bool exact, std::vector<LinkTruth> links,
+      std::unordered_set<net::Ipv4Address> internal);
+
+  [[nodiscard]] asdata::Asn target() const { return target_; }
+  [[nodiscard]] bool is_exact() const { return exact_; }
+
+  /// Inter-AS links of the target recorded in the dataset.
+  [[nodiscard]] const std::vector<LinkTruth>& links() const { return links_; }
+
+  /// Internal interface addresses of the target recorded in the dataset.
+  [[nodiscard]] const std::unordered_set<net::Ipv4Address>& internal() const {
+    return internal_;
+  }
+
+  /// Index of the link owning `address`, or nullptr.
+  [[nodiscard]] const std::size_t* link_of(net::Ipv4Address address) const {
+    auto it = link_by_address_.find(address);
+    return it == link_by_address_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  static AsGroundTruth build(const topo::Internet& net, asdata::Asn target,
+                             bool exact, double coverage, double stale_prob,
+                             std::uint64_t seed);
+
+  asdata::Asn target_ = asdata::kUnknownAsn;
+  bool exact_ = true;
+  std::vector<LinkTruth> links_;
+  std::unordered_set<net::Ipv4Address> internal_;
+  std::unordered_map<net::Ipv4Address, std::size_t> link_by_address_;
+};
+
+}  // namespace mapit::eval

@@ -1,0 +1,32 @@
+// Precision/recall accounting (paper §5.2).
+#pragma once
+
+#include <cstddef>
+
+namespace mapit::eval {
+
+struct Metrics {
+  std::size_t tp = 0;  ///< ground-truth links correctly identified
+  std::size_t fp = 0;  ///< incorrect inferences
+  std::size_t fn = 0;  ///< eligible links the algorithm missed
+
+  [[nodiscard]] double precision() const {
+    const std::size_t denom = tp + fp;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+  [[nodiscard]] double recall() const {
+    const std::size_t denom = tp + fn;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+
+  Metrics& operator+=(const Metrics& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+}  // namespace mapit::eval

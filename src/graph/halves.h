@@ -1,0 +1,60 @@
+// Interface halves (paper §3.2).
+//
+// MAP-IT reasons about each interface in the forward and backward direction
+// independently, because only one direction is expected to expose the AS
+// switch of a point-to-point inter-AS link. An InterfaceHalf names one such
+// (address, direction) view.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace mapit::graph {
+
+enum class Direction : std::uint8_t {
+  kForward,   ///< the half that sees the forward neighbour set N_F
+  kBackward,  ///< the half that sees the backward neighbour set N_B
+};
+
+[[nodiscard]] constexpr Direction opposite(Direction d) {
+  return d == Direction::kForward ? Direction::kBackward : Direction::kForward;
+}
+
+[[nodiscard]] constexpr char suffix(Direction d) {
+  return d == Direction::kForward ? 'f' : 'b';
+}
+
+/// One directional view of an interface address.
+struct InterfaceHalf {
+  net::Ipv4Address address;
+  Direction direction = Direction::kForward;
+
+  friend constexpr auto operator<=>(const InterfaceHalf&,
+                                    const InterfaceHalf&) = default;
+
+  /// "198.71.46.180_f" — the paper's notation.
+  [[nodiscard]] std::string to_string() const {
+    return address.to_string() + '_' + suffix(direction);
+  }
+};
+
+[[nodiscard]] constexpr InterfaceHalf forward_half(net::Ipv4Address a) {
+  return {a, Direction::kForward};
+}
+[[nodiscard]] constexpr InterfaceHalf backward_half(net::Ipv4Address a) {
+  return {a, Direction::kBackward};
+}
+
+}  // namespace mapit::graph
+
+template <>
+struct std::hash<mapit::graph::InterfaceHalf> {
+  std::size_t operator()(const mapit::graph::InterfaceHalf& h) const noexcept {
+    const std::size_t base = std::hash<mapit::net::Ipv4Address>{}(h.address);
+    return h.direction == mapit::graph::Direction::kForward
+               ? base
+               : base ^ 0x9e3779b97f4a7c15ULL;
+  }
+};

@@ -1,0 +1,114 @@
+#include "graph/interface_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/special_purpose.h"
+
+namespace mapit::graph {
+
+namespace {
+
+const std::vector<net::Ipv4Address>& empty_neighbors() {
+  static const std::vector<net::Ipv4Address> empty;
+  return empty;
+}
+
+void sort_unique(std::vector<net::Ipv4Address>& addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+}
+
+}  // namespace
+
+InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
+                               std::span<const net::Ipv4Address> all_addresses)
+    : other_sides_(all_addresses) {
+  // Gather raw adjacency lists keyed by address.
+  std::unordered_map<net::Ipv4Address, std::size_t> index;
+  auto record_for = [&](net::Ipv4Address address) -> InterfaceRecord& {
+    auto [it, inserted] = index.emplace(address, records_.size());
+    if (inserted) {
+      records_.push_back(InterfaceRecord{address, {}, {}, {}});
+    }
+    return records_[it->second];
+  };
+
+  for (const trace::Trace& trace : sanitized.traces()) {
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const trace::TraceHop& a = trace.hops[i];
+      const trace::TraceHop& b = trace.hops[i + 1];
+      if (!a.address || !b.address) continue;           // null hops break adjacency
+      if (b.probe_ttl != a.probe_ttl + 1) continue;     // must be one hop apart
+      if (*a.address == *b.address) continue;           // never own neighbour
+      if (net::is_special_purpose(*a.address) ||
+          net::is_special_purpose(*b.address)) {
+        continue;  // private/shared addresses excluded from Ns (§4.3)
+      }
+      record_for(*a.address).forward.push_back(*b.address);
+      record_for(*b.address).backward.push_back(*a.address);
+    }
+  }
+
+  for (InterfaceRecord& record : records_) {
+    sort_unique(record.forward);
+    sort_unique(record.backward);
+    record.other_side = other_sides_.other_side(record.address);
+  }
+
+  std::sort(records_.begin(), records_.end(),
+            [](const InterfaceRecord& x, const InterfaceRecord& y) {
+              return x.address < y.address;
+            });
+  index_.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    index_.emplace(records_[i].address, i);
+  }
+}
+
+const InterfaceRecord* InterfaceGraph::find(net::Ipv4Address address) const {
+  auto it = index_.find(address);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+const std::vector<net::Ipv4Address>& InterfaceGraph::neighbors(
+    const InterfaceHalf& half) const {
+  const InterfaceRecord* record = find(half.address);
+  if (record == nullptr) return empty_neighbors();
+  return record->neighbors(half.direction);
+}
+
+InterfaceHalf InterfaceGraph::other_side_half(const InterfaceHalf& half) const {
+  return {other_sides_.other_address(half.address),
+          opposite(half.direction)};
+}
+
+GraphStats InterfaceGraph::stats() const {
+  GraphStats stats;
+  stats.interfaces = records_.size();
+  stats.slash31_fraction = other_sides_.slash31_fraction();
+  for (const InterfaceRecord& record : records_) {
+    if (record.forward.size() > 1) ++stats.forward_multi;
+    if (record.backward.size() > 1) ++stats.backward_multi;
+    // Sorted-set intersection test for the §3.2 footnote-3 statistic.
+    auto f = record.forward.begin();
+    auto b = record.backward.begin();
+    bool overlap = false;
+    while (f != record.forward.end() && b != record.backward.end()) {
+      if (*f == *b) {
+        overlap = true;
+        break;
+      }
+      if (*f < *b) {
+        ++f;
+      } else {
+        ++b;
+      }
+    }
+    if (overlap) ++stats.both_directions_overlap;
+  }
+  return stats;
+}
+
+}  // namespace mapit::graph

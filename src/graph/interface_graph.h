@@ -1,0 +1,88 @@
+// Interface-level graph: neighbour sets per interface (paper §3, §4.3)
+// plus the other-side relation.
+//
+// For every interface address the graph stores the set of unique addresses
+// seen exactly one hop before it (N_B) and after it (N_F) across all
+// sanitized traces. Null hops break adjacency; private/shared/special
+// addresses are excluded both as subjects and as neighbours; an address is
+// never its own neighbour.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/halves.h"
+#include "graph/other_side.h"
+#include "net/ipv4.h"
+#include "trace/trace.h"
+
+namespace mapit::graph {
+
+/// Per-interface record.
+struct InterfaceRecord {
+  net::Ipv4Address address;
+  std::vector<net::Ipv4Address> forward;   ///< N_F, sorted unique
+  std::vector<net::Ipv4Address> backward;  ///< N_B, sorted unique
+  OtherSide other_side;
+
+  [[nodiscard]] const std::vector<net::Ipv4Address>& neighbors(
+      Direction d) const {
+    return d == Direction::kForward ? forward : backward;
+  }
+};
+
+/// Corpus-level statistics mirroring §4.3's reported numbers.
+struct GraphStats {
+  std::size_t interfaces = 0;             ///< addresses with any neighbour
+  std::size_t forward_multi = 0;          ///< |N_F| > 1
+  std::size_t backward_multi = 0;         ///< |N_B| > 1
+  std::size_t both_directions_overlap = 0;///< same address in N_F and N_B
+  double slash31_fraction = 0.0;          ///< §4.2's 40.4% statistic
+
+  [[nodiscard]] double overlap_fraction() const {
+    return interfaces == 0 ? 0.0
+                           : static_cast<double>(both_directions_overlap) /
+                                 static_cast<double>(interfaces);
+  }
+};
+
+class InterfaceGraph {
+ public:
+  /// Builds the graph from sanitized traces. `all_addresses` must be the
+  /// address population of the *unsanitized* corpus (the §4.2 heuristic
+  /// deliberately uses discarded traces too); pass the sanitized corpus's
+  /// own addresses when the original corpus is unavailable.
+  InterfaceGraph(const trace::TraceCorpus& sanitized,
+                 std::span<const net::Ipv4Address> all_addresses);
+
+  /// The record for `address`, or nullptr when the address never appeared
+  /// adjacent to another address.
+  [[nodiscard]] const InterfaceRecord* find(net::Ipv4Address address) const;
+
+  /// Neighbour set of one interface half (empty if unknown address).
+  [[nodiscard]] const std::vector<net::Ipv4Address>& neighbors(
+      const InterfaceHalf& half) const;
+
+  /// The other-side half of `half`: the opposite-direction view of the
+  /// interface on the far end of the link prefix (paper §3.2).
+  [[nodiscard]] InterfaceHalf other_side_half(const InterfaceHalf& half) const;
+
+  /// All interface records, ordered by address.
+  [[nodiscard]] const std::vector<InterfaceRecord>& interfaces() const {
+    return records_;
+  }
+
+  [[nodiscard]] const OtherSideMap& other_sides() const { return other_sides_; }
+
+  [[nodiscard]] GraphStats stats() const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<InterfaceRecord> records_;                       // sorted by address
+  std::unordered_map<net::Ipv4Address, std::size_t> index_;
+  OtherSideMap other_sides_;
+};
+
+}  // namespace mapit::graph

@@ -1,0 +1,4 @@
+#include "net/point_to_point.h"
+
+// Currently header-only logic; this translation unit anchors the target and
+// provides a home for future non-inline helpers.

@@ -1,0 +1,57 @@
+// Point-to-point (/30 and /31) addressing helpers.
+//
+// The two endpoints of a layer-3 point-to-point link are addressed from the
+// same /30 or /31 prefix (RFC 3021, paper §3). These helpers compute the
+// candidate "other side" of an address under each convention; the full
+// dataset-driven disambiguation heuristic (paper §4.2) lives in
+// graph/other_side.h.
+#pragma once
+
+#include <optional>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace mapit::net {
+
+/// The /31 sibling of `address` (the only other address in its /31).
+[[nodiscard]] constexpr Ipv4Address slash31_other_side(Ipv4Address address) {
+  return Ipv4Address(address.value() ^ 1u);
+}
+
+/// True when `address` is a usable host address in its /30 block
+/// (i.e. not the all-zeroes network or all-ones broadcast address).
+[[nodiscard]] constexpr bool is_slash30_host(Ipv4Address address) {
+  const std::uint32_t low2 = address.value() & 0x3u;
+  return low2 == 1u || low2 == 2u;
+}
+
+/// The /30 partner host of `address`: .1 <-> .2 within its /30 block.
+/// Returns nullopt when `address` is not a /30 host address.
+[[nodiscard]] constexpr std::optional<Ipv4Address> slash30_other_side(
+    Ipv4Address address) {
+  if (!is_slash30_host(address)) return std::nullopt;
+  return Ipv4Address(address.value() ^ 3u);
+}
+
+/// The address that would be reserved (network or broadcast) in the /30
+/// containing `address`, on the same side as its /31 sibling. Seeing this
+/// address in a dataset proves `address` is numbered from a /31 (paper §4.2).
+[[nodiscard]] constexpr Ipv4Address slash30_reserved_witness(
+    Ipv4Address address) {
+  // The /31 sibling of a /30 host address is reserved exactly when the pair
+  // (sibling's low two bits) is 00 or 11.
+  return slash31_other_side(address);
+}
+
+/// The /30 block containing `address`.
+[[nodiscard]] inline Prefix slash30_block(Ipv4Address address) {
+  return Prefix(address, 30);
+}
+
+/// The /31 block containing `address`.
+[[nodiscard]] inline Prefix slash31_block(Ipv4Address address) {
+  return Prefix(address, 31);
+}
+
+}  // namespace mapit::net

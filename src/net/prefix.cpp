@@ -1,0 +1,46 @@
+#include "net/prefix.h"
+
+#include <ostream>
+
+#include "net/error.h"
+
+namespace mapit::net {
+
+Prefix::Prefix(Ipv4Address address, int length) : length_(length) {
+  MAPIT_ENSURE(length >= 0 && length <= 32, "prefix length out of range");
+  network_ = Ipv4Address(address.value() & mask_for(length));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  int length = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + (c - '0');
+  }
+  if (length > 32) return std::nullopt;
+  return Prefix(*address, length);
+}
+
+Prefix Prefix::parse_or_throw(std::string_view text) {
+  auto parsed = parse(text);
+  if (!parsed) {
+    throw ParseError("invalid IPv4 prefix: '" + std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace mapit::net

@@ -1,0 +1,87 @@
+// IPv4 prefix (CIDR block) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace mapit::net {
+
+/// An IPv4 CIDR prefix. Always stored canonically: host bits are zero.
+class Prefix {
+ public:
+  /// 0.0.0.0/0.
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from any address inside it; host bits are masked off.
+  /// Precondition: length <= 32 (checked).
+  Prefix(Ipv4Address address, int length);
+
+  [[nodiscard]] constexpr Ipv4Address network() const { return network_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// Network mask as a host-order integer (e.g. /24 -> 0xFFFFFF00).
+  [[nodiscard]] constexpr std::uint32_t mask() const { return mask_for(length_); }
+
+  /// First address of the block (== network()).
+  [[nodiscard]] constexpr Ipv4Address first() const { return network_; }
+
+  /// Last address of the block (broadcast for lengths < 31).
+  [[nodiscard]] constexpr Ipv4Address last() const {
+    return Ipv4Address(network_.value() | ~mask());
+  }
+
+  /// Number of addresses covered; 2^(32-length) (as 64-bit to allow /0).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address address) const {
+    return (address.value() & mask()) == network_.value();
+  }
+
+  /// True when `other` is fully inside this prefix (or equal).
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax errors or len > 32.
+  /// Host bits set in the text are tolerated and masked off, matching the
+  /// permissive behaviour of BGP dump tooling.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text);
+
+  /// Like parse() but throws mapit::ParseError with context on failure.
+  [[nodiscard]] static Prefix parse_or_throw(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Address network_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+}  // namespace mapit::net
+
+template <>
+struct std::hash<mapit::net::Prefix> {
+  std::size_t operator()(const mapit::net::Prefix& p) const noexcept {
+    std::uint64_t x =
+        (std::uint64_t{p.network().value()} << 6) ^ std::uint64_t(p.length());
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

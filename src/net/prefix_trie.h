@@ -1,0 +1,141 @@
+// Binary (Patricia-style, one bit per level) trie keyed by IPv4 prefixes,
+// supporting exact insert/lookup and longest-prefix-match queries.
+//
+// This is the substrate for every IP-to-AS mapping in the library: BGP RIB
+// lookups, the Team-Cymru-style fallback layer, IXP prefix sets, and the
+// RFC 6890 special-purpose registry all sit on top of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace mapit::net {
+
+/// A map from Prefix to T with longest-prefix-match lookup by address.
+///
+/// Inserting the same prefix twice overwrites the old value (the last writer
+/// wins), mirroring how successive RIB entries supersede one another.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Number of prefixes stored.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites the value at `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Inserts only if the prefix is absent; returns true when inserted.
+  bool insert_if_absent(const Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    if (node->value) return false;
+    node->value = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = child_of(node, bit_at(bits, depth));
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match: the value of the most specific stored prefix
+  /// containing `address`, or nullptr if none.
+  [[nodiscard]] const T* longest_match(Ipv4Address address) const {
+    auto hit = longest_match_entry(address);
+    return hit ? hit->second : nullptr;
+  }
+
+  /// Longest-prefix match returning both the matched prefix and value.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match_entry(
+      Ipv4Address address) const {
+    const Node* node = root_.get();
+    const T* best = nullptr;
+    int best_len = -1;
+    std::uint32_t bits = address.value();
+    for (int depth = 0; depth <= 32; ++depth) {
+      if (node->value) {
+        best = &*node->value;
+        best_len = depth;
+      }
+      if (depth == 32) break;
+      node = child_of(node, bit_at(bits, depth));
+      if (node == nullptr) break;
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Prefix(address, best_len), best);
+  }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), 0u, 0, fn);
+  }
+
+  /// All stored prefixes, lexicographically ordered.
+  [[nodiscard]] std::vector<Prefix> prefixes() const {
+    std::vector<Prefix> out;
+    out.reserve(size_);
+    for_each([&](const Prefix& p, const T&) { out.push_back(p); });
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  static constexpr bool bit_at(std::uint32_t bits, int depth) {
+    return ((bits >> (31 - depth)) & 1u) != 0;
+  }
+
+  static const Node* child_of(const Node* node, bool bit) {
+    return bit ? node->one.get() : node->zero.get();
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      std::unique_ptr<Node>& next = bit_at(bits, depth) ? node->one : node->zero;
+      if (!next) next = std::make_unique<Node>();
+      node = next.get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void walk(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (node->value) fn(Prefix(Ipv4Address(bits), depth), *node->value);
+    if (depth == 32) return;
+    if (node->zero) walk(node->zero.get(), bits, depth + 1, fn);
+    if (node->one) {
+      walk(node->one.get(), bits | (1u << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mapit::net

@@ -1,0 +1,52 @@
+#include "net/special_purpose.h"
+
+namespace mapit::net {
+
+namespace {
+
+struct RawEntry {
+  std::string_view text;
+  std::string_view name;
+};
+
+// RFC 6890 table 1 plus multicast (RFC 5771) and reserved class E.
+constexpr RawEntry kRawEntries[] = {
+    {"0.0.0.0/8", "this host on this network"},
+    {"10.0.0.0/8", "private-use"},
+    {"100.64.0.0/10", "shared address space (CGN)"},
+    {"127.0.0.0/8", "loopback"},
+    {"169.254.0.0/16", "link local"},
+    {"172.16.0.0/12", "private-use"},
+    {"192.0.0.0/24", "IETF protocol assignments"},
+    {"192.0.2.0/24", "documentation (TEST-NET-1)"},
+    {"192.88.99.0/24", "6to4 relay anycast"},
+    {"192.168.0.0/16", "private-use"},
+    {"198.18.0.0/15", "benchmarking"},
+    {"198.51.100.0/24", "documentation (TEST-NET-2)"},
+    {"203.0.113.0/24", "documentation (TEST-NET-3)"},
+    {"224.0.0.0/4", "multicast"},
+    {"240.0.0.0/4", "reserved (class E)"},
+    {"255.255.255.255/32", "limited broadcast"},
+};
+
+}  // namespace
+
+SpecialPurposeRegistry::SpecialPurposeRegistry() {
+  entries_.reserve(std::size(kRawEntries));
+  for (const RawEntry& raw : kRawEntries) {
+    Entry entry{Prefix::parse_or_throw(raw.text), raw.name};
+    entries_.push_back(entry);
+    trie_.insert(entry.prefix, entry);
+  }
+}
+
+const SpecialPurposeRegistry& SpecialPurposeRegistry::instance() {
+  static const SpecialPurposeRegistry registry;
+  return registry;
+}
+
+bool is_special_purpose(Ipv4Address address) {
+  return SpecialPurposeRegistry::instance().is_special(address);
+}
+
+}  // namespace mapit::net

@@ -1,0 +1,53 @@
+// RFC 6890 special-purpose address registry.
+//
+// MAP-IT excludes private/shared/special addresses from neighbour sets and
+// never draws inferences on them (paper §3.1 footnote 2, §4.3). This class
+// answers "is this address special-purpose?" via the same LPM trie used for
+// BGP lookups.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace mapit::net {
+
+/// Registry of special-purpose (non-globally-routable or reserved) space.
+class SpecialPurposeRegistry {
+ public:
+  /// Builds the registry with the RFC 6890 table (plus multicast and
+  /// class E, which likewise never belong in a traceroute neighbour set).
+  SpecialPurposeRegistry();
+
+  /// True when `address` falls inside any special-purpose block.
+  [[nodiscard]] bool is_special(Ipv4Address address) const {
+    return trie_.longest_match(address) != nullptr;
+  }
+
+  /// The registered block containing `address`, if any, with its RFC name.
+  struct Entry {
+    Prefix prefix;
+    std::string_view name;
+  };
+  [[nodiscard]] const Entry* lookup(Ipv4Address address) const {
+    return trie_.longest_match(address);
+  }
+
+  /// All registered blocks.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Shared process-wide instance (immutable after construction).
+  [[nodiscard]] static const SpecialPurposeRegistry& instance();
+
+ private:
+  std::vector<Entry> entries_;
+  PrefixTrie<Entry> trie_;
+};
+
+/// Convenience wrapper over SpecialPurposeRegistry::instance().
+[[nodiscard]] bool is_special_purpose(Ipv4Address address);
+
+}  // namespace mapit::net

@@ -1,0 +1,149 @@
+#include "route/as_routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mapit::route {
+
+const char* to_string(RouteType type) {
+  switch (type) {
+    case RouteType::kSelf: return "self";
+    case RouteType::kCustomer: return "customer";
+    case RouteType::kPeer: return "peer";
+    case RouteType::kProvider: return "provider";
+    case RouteType::kNone: return "none";
+  }
+  return "?";
+}
+
+AsRouting::AsRouting(const asdata::AsRelationships& relationships)
+    : rels_(relationships), all_ases_(relationships.all_ases()) {}
+
+const std::unordered_map<asdata::Asn, AsRouting::Entry>& AsRouting::table(
+    asdata::Asn destination) const {
+  auto it = cache_.find(destination);
+  if (it == cache_.end()) {
+    it = cache_.emplace(destination,
+                        std::unordered_map<asdata::Asn, Entry>{})
+             .first;
+    compute(destination, it->second);
+  }
+  return it->second;
+}
+
+void AsRouting::compute(asdata::Asn destination,
+                        std::unordered_map<asdata::Asn, Entry>& table) const {
+  // Stage 1: customer routes. BFS from the destination along
+  // customer->provider edges; the learning provider forwards *down* to the
+  // customer it heard the route from. Candidates at equal distance break
+  // ties toward the lowest next-hop ASN, implemented by scanning each BFS
+  // frontier in sorted order and keeping the first offer.
+  table[destination] = Entry{RouteType::kSelf, 0, destination};
+  std::vector<asdata::Asn> frontier{destination};
+  std::uint16_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::sort(frontier.begin(), frontier.end());
+    std::vector<asdata::Asn> next_frontier;
+    for (asdata::Asn learned_from : frontier) {
+      std::vector<asdata::Asn> providers(
+          rels_.providers_of(learned_from).begin(),
+          rels_.providers_of(learned_from).end());
+      std::sort(providers.begin(), providers.end());
+      for (asdata::Asn provider : providers) {
+        auto [it, inserted] = table.emplace(
+            provider, Entry{RouteType::kCustomer, depth, learned_from});
+        if (inserted) {
+          next_frontier.push_back(provider);
+        } else if (it->second.type == RouteType::kCustomer &&
+                   it->second.length == depth &&
+                   learned_from < it->second.next) {
+          it->second.next = learned_from;  // same depth, lower next hop
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Stage 2: peer routes. Only customer routes are exported across
+  // peerings; an AS without a customer route may pick the best peer offer.
+  std::vector<std::pair<asdata::Asn, Entry>> peer_routes;
+  for (asdata::Asn asn : all_ases_) {
+    if (table.contains(asn)) continue;  // customer/self route preferred
+    Entry best;
+    std::vector<asdata::Asn> peers(rels_.peers_of(asn).begin(),
+                                   rels_.peers_of(asn).end());
+    std::sort(peers.begin(), peers.end());
+    for (asdata::Asn peer : peers) {
+      auto it = table.find(peer);
+      if (it == table.end()) continue;
+      if (it->second.type != RouteType::kSelf &&
+          it->second.type != RouteType::kCustomer) {
+        continue;  // peers only export customer routes
+      }
+      const auto length = static_cast<std::uint16_t>(it->second.length + 1);
+      if (best.type == RouteType::kNone || length < best.length) {
+        best = Entry{RouteType::kPeer, length, peer};
+      }
+    }
+    if (best.type == RouteType::kPeer) peer_routes.emplace_back(asn, best);
+  }
+  for (const auto& [asn, entry] : peer_routes) table.emplace(asn, entry);
+
+  // Stage 3: provider routes. Anything is exported to customers, so this is
+  // a multi-source Dijkstra over provider->customer edges seeded with every
+  // AS that already holds a route. Ties break toward the lowest provider.
+  using Item = std::tuple<std::uint16_t, asdata::Asn, asdata::Asn>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  for (const auto& [asn, entry] : table) {
+    std::vector<asdata::Asn> customers(rels_.customers_of(asn).begin(),
+                                       rels_.customers_of(asn).end());
+    std::sort(customers.begin(), customers.end());
+    for (asdata::Asn customer : customers) {
+      if (!table.contains(customer)) {
+        queue.emplace(static_cast<std::uint16_t>(entry.length + 1), customer,
+                      asn);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const auto [length, asn, via] = queue.top();
+    queue.pop();
+    if (table.contains(asn)) continue;
+    table.emplace(asn, Entry{RouteType::kProvider, length, via});
+    std::vector<asdata::Asn> customers(rels_.customers_of(asn).begin(),
+                                       rels_.customers_of(asn).end());
+    std::sort(customers.begin(), customers.end());
+    for (asdata::Asn customer : customers) {
+      if (!table.contains(customer)) {
+        queue.emplace(static_cast<std::uint16_t>(length + 1), customer, asn);
+      }
+    }
+  }
+}
+
+AsRouting::Entry AsRouting::route(asdata::Asn source,
+                                  asdata::Asn destination) const {
+  const auto& routes = table(destination);
+  auto it = routes.find(source);
+  return it == routes.end() ? Entry{} : it->second;
+}
+
+std::vector<asdata::Asn> AsRouting::as_path(asdata::Asn source,
+                                            asdata::Asn destination) const {
+  std::vector<asdata::Asn> path;
+  const auto& routes = table(destination);
+  asdata::Asn current = source;
+  // The path length is bounded by the AS count; guard against surprises.
+  for (std::size_t guard = 0; guard <= all_ases_.size(); ++guard) {
+    auto it = routes.find(current);
+    if (it == routes.end()) return {};
+    path.push_back(current);
+    if (it->second.type == RouteType::kSelf) return path;
+    current = it->second.next;
+  }
+  return {};  // defensive: should be unreachable
+}
+
+}  // namespace mapit::route

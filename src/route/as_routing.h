@@ -1,0 +1,65 @@
+// AS-level routing under the Gao-Rexford valley-free policy model.
+//
+// For each destination AS we compute every source AS's best route with the
+// standard preference order: customer routes over peer routes over provider
+// routes, then shortest AS-path, then lowest next-hop ASN (determinism).
+// Export rules are the classic ones: routes learned from peers or providers
+// are re-exported only to customers; customer routes go to everyone.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asdata/asn.h"
+#include "asdata/relationships.h"
+
+namespace mapit::route {
+
+/// Kind of the best route an AS holds toward a destination.
+enum class RouteType : std::uint8_t {
+  kSelf,      ///< the AS itself originates the destination
+  kCustomer,  ///< learned from a customer
+  kPeer,      ///< learned from a peer
+  kProvider,  ///< learned from a provider
+  kNone,      ///< unreachable
+};
+
+[[nodiscard]] const char* to_string(RouteType type);
+
+class AsRouting {
+ public:
+  /// `relationships` must outlive this object; it should be the *true*
+  /// relationship graph (the network routes on reality, not on the noisy
+  /// exported dataset).
+  explicit AsRouting(const asdata::AsRelationships& relationships);
+
+  struct Entry {
+    RouteType type = RouteType::kNone;
+    std::uint16_t length = 0;            ///< AS-path length in hops
+    asdata::Asn next = asdata::kUnknownAsn;  ///< next-hop AS toward dest
+  };
+
+  /// Best route at `source` toward `destination` (kNone if unreachable).
+  [[nodiscard]] Entry route(asdata::Asn source, asdata::Asn destination) const;
+
+  /// Full AS path source..destination inclusive; empty when unreachable.
+  [[nodiscard]] std::vector<asdata::Asn> as_path(
+      asdata::Asn source, asdata::Asn destination) const;
+
+  /// Precomputes (and caches) the routing table toward `destination`.
+  const std::unordered_map<asdata::Asn, Entry>& table(
+      asdata::Asn destination) const;
+
+ private:
+  void compute(asdata::Asn destination,
+               std::unordered_map<asdata::Asn, Entry>& table) const;
+
+  const asdata::AsRelationships& rels_;
+  std::vector<asdata::Asn> all_ases_;
+  mutable std::unordered_map<asdata::Asn,
+                             std::unordered_map<asdata::Asn, Entry>>
+      cache_;
+};
+
+}  // namespace mapit::route

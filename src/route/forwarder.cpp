@@ -1,0 +1,178 @@
+#include "route/forwarder.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "net/error.h"
+
+namespace mapit::route {
+
+namespace {
+[[nodiscard]] std::uint64_t pair_key(asdata::Asn a, asdata::Asn b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | std::uint64_t{b};
+}
+}  // namespace
+
+Forwarder::Forwarder(const topo::Internet& net, const AsRouting& routing)
+    : net_(net), routing_(routing) {
+  for (const topo::AsInfo& info : net.ases()) {
+    for (const net::Prefix& prefix : info.announced) {
+      true_origins_.insert(prefix, info.asn);
+    }
+  }
+  for (const topo::Link& link : net.links()) {
+    if (link.inter_as) {
+      const asdata::Asn a = net.router(link.a).owner;
+      const asdata::Asn b = net.router(link.b).owner;
+      as_pair_links_[pair_key(a, b)].push_back(link.id);
+    }
+  }
+  for (auto& [_, links] : as_pair_links_) {
+    std::sort(links.begin(), links.end());
+  }
+  internal_adj_.resize(net.routers().size());
+  for (const topo::Link& link : net.links()) {
+    if (link.inter_as) continue;
+    internal_adj_[link.a].emplace_back(link.b, link.id);
+    internal_adj_[link.b].emplace_back(link.a, link.id);
+  }
+  for (auto& adj : internal_adj_) std::sort(adj.begin(), adj.end());
+}
+
+asdata::Asn Forwarder::true_origin(net::Ipv4Address destination) const {
+  const asdata::Asn* asn = true_origins_.longest_match(destination);
+  return asn == nullptr ? asdata::kUnknownAsn : *asn;
+}
+
+topo::RouterId Forwarder::attachment_router(
+    asdata::Asn asn, net::Ipv4Address destination) const {
+  const topo::AsInfo& info = net_.as_info(asn);
+  MAPIT_ENSURE(!info.routers.empty(), "AS without routers");
+  const std::size_t index =
+      std::hash<net::Ipv4Address>{}(destination) % info.routers.size();
+  return info.routers[index];
+}
+
+std::vector<RouterHop> Forwarder::intra_as_path(topo::RouterId from,
+                                                topo::RouterId to,
+                                                std::uint32_t variant) const {
+  std::vector<RouterHop> out;
+  if (from == to) {
+    out.push_back(RouterHop{from, topo::kNoLink});
+    return out;
+  }
+  // BFS with parent tracking. When `variant` is odd, adjacency is scanned
+  // in reverse so equal-length paths flip, modelling ECMP churn.
+  std::unordered_map<topo::RouterId, std::pair<topo::RouterId, topo::LinkId>>
+      parent;
+  std::deque<topo::RouterId> queue{from};
+  parent.emplace(from, std::make_pair(topo::kNoRouter, topo::kNoLink));
+  while (!queue.empty()) {
+    const topo::RouterId current = queue.front();
+    queue.pop_front();
+    if (current == to) break;
+    const auto& adj = internal_adj_[current];
+    auto visit = [&](const std::pair<topo::RouterId, topo::LinkId>& edge) {
+      if (parent.emplace(edge.first, std::make_pair(current, edge.second))
+              .second) {
+        queue.push_back(edge.first);
+      }
+    };
+    if ((variant & 1u) == 0) {
+      for (const auto& edge : adj) visit(edge);
+    } else {
+      for (auto it = adj.rbegin(); it != adj.rend(); ++it) visit(*it);
+    }
+  }
+  if (!parent.contains(to)) return {};
+  std::vector<RouterHop> reversed;
+  topo::RouterId current = to;
+  while (current != topo::kNoRouter) {
+    const auto& [prev, link] = parent.at(current);
+    reversed.push_back(RouterHop{current, link});
+    current = prev;
+  }
+  out.assign(reversed.rbegin(), reversed.rend());
+  return out;
+}
+
+Forwarder::EgressChoice Forwarder::pick_egress(topo::RouterId from,
+                                               asdata::Asn next_as,
+                                               std::uint32_t variant) const {
+  const asdata::Asn current_as = net_.router(from).owner;
+  auto it = as_pair_links_.find(pair_key(current_as, next_as));
+  if (it == as_pair_links_.end() || it->second.empty()) return {};
+
+  // Hot potato: choose the candidate whose near-side border router is
+  // closest to `from`; break ties by link id (flipped for odd variants).
+  // Distances come from one BFS over the AS's internal links.
+  std::unordered_map<topo::RouterId, int> dist;
+  std::deque<topo::RouterId> queue{from};
+  dist.emplace(from, 0);
+  while (!queue.empty()) {
+    const topo::RouterId current = queue.front();
+    queue.pop_front();
+    for (const auto& [neighbor, _] : internal_adj_[current]) {
+      if (dist.emplace(neighbor, dist.at(current) + 1).second) {
+        queue.push_back(neighbor);
+      }
+    }
+  }
+
+  std::vector<std::tuple<int, topo::LinkId, topo::RouterId>> ranked;
+  for (topo::LinkId id : it->second) {
+    const topo::Link& link = net_.link(id);
+    const topo::RouterId near =
+        net_.router(link.a).owner == current_as ? link.a : link.b;
+    auto dit = dist.find(near);
+    if (dit == dist.end()) continue;  // border unreachable inside the AS
+    ranked.emplace_back(dit->second, id, near);
+  }
+  if (ranked.empty()) return {};
+  std::sort(ranked.begin(), ranked.end());
+  // Variant bit 1 selects the second-best exit when one exists — the
+  // "route flap" alternative the traceroute simulator splices in.
+  const std::size_t index = ((variant & 2u) != 0 && ranked.size() > 1) ? 1 : 0;
+  const auto& [d, id, near] = ranked[index];
+  return EgressChoice{near, id};
+}
+
+std::vector<RouterHop> Forwarder::path(topo::RouterId source,
+                                       net::Ipv4Address destination,
+                                       std::uint32_t variant) const {
+  const asdata::Asn dest_as = true_origin(destination);
+  if (dest_as == asdata::kUnknownAsn) return {};
+  const asdata::Asn src_as = net_.router(source).owner;
+  const std::vector<asdata::Asn> as_path =
+      routing_.as_path(src_as, dest_as);
+  if (as_path.empty()) return {};
+
+  std::vector<RouterHop> out;
+  topo::RouterId current = source;
+  topo::LinkId entry_link = topo::kNoLink;
+  for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {
+    const EgressChoice egress = pick_egress(current, as_path[i + 1], variant);
+    if (egress.link == topo::kNoLink) return {};  // no physical link: drop
+    // Walk inside the current AS to the chosen border router.
+    std::vector<RouterHop> inside =
+        intra_as_path(current, egress.border, variant);
+    if (inside.empty()) return {};
+    inside.front().in_link = entry_link;
+    out.insert(out.end(), inside.begin(), inside.end());
+    // Cross the inter-AS link.
+    const topo::Link& link = net_.link(egress.link);
+    current = link.other_router(egress.border);
+    entry_link = egress.link;
+  }
+  // Final AS: walk to the destination's attachment router.
+  const topo::RouterId attach = attachment_router(dest_as, destination);
+  std::vector<RouterHop> inside = intra_as_path(current, attach, variant);
+  if (inside.empty()) return {};
+  inside.front().in_link = entry_link;
+  out.insert(out.end(), inside.begin(), inside.end());
+  return out;
+}
+
+}  // namespace mapit::route

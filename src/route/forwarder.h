@@ -1,0 +1,76 @@
+// Router-level packet forwarding over the synthetic Internet.
+//
+// Combines the AS-level valley-free route (as_routing.h) with intra-AS
+// shortest-path forwarding and hot-potato egress selection: on entering an
+// AS, the packet exits toward the next AS at the border router closest to
+// its ingress router (ties toward the lowest link id).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "route/as_routing.h"
+#include "topo/internet.h"
+
+namespace mapit::route {
+
+/// One router traversal: the router and the link the packet arrived on
+/// (kNoLink for the very first router).
+struct RouterHop {
+  topo::RouterId router = topo::kNoRouter;
+  topo::LinkId in_link = topo::kNoLink;
+
+  friend bool operator==(const RouterHop&, const RouterHop&) = default;
+};
+
+class Forwarder {
+ public:
+  /// Both references must outlive the forwarder.
+  Forwarder(const topo::Internet& net, const AsRouting& routing);
+
+  /// The router path from `source` to the router that owns `destination`'s
+  /// address space. Empty when the destination is unreachable or unknown.
+  ///
+  /// `variant` perturbs equal-cost tie-breaking (egress link choice and
+  /// intra-AS equal-length paths); the traceroute simulator uses it to
+  /// model per-packet load balancing. variant 0 is the canonical path.
+  [[nodiscard]] std::vector<RouterHop> path(
+      topo::RouterId source, net::Ipv4Address destination,
+      std::uint32_t variant = 0) const;
+
+  /// Origin AS of `destination` under the *true* announced address plan
+  /// (the forwarding plane routes on reality, not on collector data).
+  [[nodiscard]] asdata::Asn true_origin(net::Ipv4Address destination) const;
+
+  /// The router inside `asn` that `destination` is attached to.
+  [[nodiscard]] topo::RouterId attachment_router(
+      asdata::Asn asn, net::Ipv4Address destination) const;
+
+  /// Intra-AS shortest router path (internal links only); includes both
+  /// endpoints; empty when disconnected. Deterministic; `variant` flips
+  /// equal-cost next-hop choices.
+  [[nodiscard]] std::vector<RouterHop> intra_as_path(
+      topo::RouterId from, topo::RouterId to, std::uint32_t variant) const;
+
+ private:
+  struct EgressChoice {
+    topo::RouterId border = topo::kNoRouter;
+    topo::LinkId link = topo::kNoLink;
+  };
+  [[nodiscard]] EgressChoice pick_egress(topo::RouterId from,
+                                         asdata::Asn next_as,
+                                         std::uint32_t variant) const;
+
+  const topo::Internet& net_;
+  const AsRouting& routing_;
+  net::PrefixTrie<asdata::Asn> true_origins_;
+  /// (asn_low, asn_high) -> links between the two ASes, sorted by id.
+  std::unordered_map<std::uint64_t, std::vector<topo::LinkId>> as_pair_links_;
+  /// Per-router internal adjacency, sorted for determinism.
+  std::vector<std::vector<std::pair<topo::RouterId, topo::LinkId>>> internal_adj_;
+};
+
+}  // namespace mapit::route

@@ -1,0 +1,490 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <unordered_map>
+
+#include "net/error.h"
+
+namespace mapit::topo {
+
+namespace {
+
+// Address-space layout (all public, far from RFC 6890 blocks):
+//   tier-1 ASes:  /14 blocks from 11.0.0.0
+//   transit ASes: /16 blocks from 20.0.0.0
+//   stub ASes:    /20 blocks from 40.0.0.0
+//   unannounced:  /20 blocks from 150.0.0.0
+//   IXP LANs:     /24 blocks at 195.1.X.0
+constexpr std::uint32_t kTier1Base = 0x0B000000;        // 11.0.0.0
+constexpr std::uint32_t kTransitBase = 0x14000000;      // 20.0.0.0
+constexpr std::uint32_t kStubBase = 0x28000000;         // 40.0.0.0
+constexpr std::uint32_t kUnannouncedBase = 0x96000000;  // 150.0.0.0
+constexpr std::uint32_t kIxpBase = 0xC3010000;          // 195.1.0.0
+
+/// Sequential allocator of /30 and /31 point-to-point blocks inside one
+/// prefix. /31 requests pack two to a /30 (exercising the §4.2 witness
+/// logic); /30 requests use the middle host addresses.
+class P2pAllocator {
+ public:
+  P2pAllocator() = default;
+  P2pAllocator(std::uint32_t begin, std::uint32_t end)
+      : cursor_((begin + 3u) & ~3u), end_(end) {}
+
+  struct Pair {
+    net::Ipv4Address near;
+    net::Ipv4Address far;
+    bool slash31 = false;
+  };
+
+  [[nodiscard]] Pair allocate(bool slash31) {
+    if (slash31) {
+      if (pending31_) {
+        const std::uint32_t base = *pending31_;
+        pending31_.reset();
+        return {net::Ipv4Address(base), net::Ipv4Address(base + 1), true};
+      }
+      const std::uint32_t base = take_block();
+      pending31_ = base + 2;
+      return {net::Ipv4Address(base), net::Ipv4Address(base + 1), true};
+    }
+    const std::uint32_t base = take_block();
+    return {net::Ipv4Address(base + 1), net::Ipv4Address(base + 2), false};
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t take_block() {
+    MAPIT_ENSURE(cursor_ + 4 <= end_, "p2p address pool exhausted");
+    const std::uint32_t base = cursor_;
+    cursor_ += 4;
+    return base;
+  }
+
+  std::uint32_t cursor_ = 0;
+  std::uint32_t end_ = 0;
+  std::optional<std::uint32_t> pending31_;
+};
+
+struct BuildContext {
+  std::unordered_map<asdata::Asn, P2pAllocator> own_space;
+  std::unordered_map<asdata::Asn, P2pAllocator> unannounced_space;
+  std::vector<std::uint32_t> ixp_cursor;  // next free offset per IXP LAN
+  std::unordered_map<asdata::Asn, std::vector<std::uint32_t>> ixp_membership;
+};
+
+}  // namespace
+
+Internet Generator::generate() const {
+  const GeneratorConfig& cfg = config_;
+  MAPIT_ENSURE(cfg.tier1_count >= 2, "need at least two tier-1 ASes");
+  MAPIT_ENSURE(cfg.transit_count >= 1, "need at least one transit AS");
+  MAPIT_ENSURE(cfg.rne_customer_count <= cfg.stub_count,
+               "more R&E customers than stubs");
+
+  Internet net;
+  BuildContext ctx;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // ---- 1. AS population with address space --------------------------------
+  auto add_as = [&](asdata::Asn asn, AsTier tier, net::Prefix prefix) {
+    AsInfo info;
+    info.asn = asn;
+    info.tier = tier;
+    info.announced.push_back(prefix);
+    net.as_index_.emplace(asn, net.ases_.size());
+    net.ases_.push_back(std::move(info));
+    // Infrastructure links are numbered from the upper half of the block.
+    const std::uint32_t begin = prefix.network().value() +
+                                static_cast<std::uint32_t>(prefix.size() / 2);
+    const std::uint32_t end =
+        prefix.network().value() + static_cast<std::uint32_t>(prefix.size());
+    ctx.own_space.emplace(asn, P2pAllocator(begin, end));
+  };
+
+  for (int i = 0; i < cfg.tier1_count; ++i) {
+    const auto base = kTier1Base + static_cast<std::uint32_t>(i) * (1u << 18);
+    add_as(tier1_a() + static_cast<asdata::Asn>(i), AsTier::kTier1,
+           net::Prefix(net::Ipv4Address(base), 14));
+  }
+  for (int i = 0; i < cfg.transit_count; ++i) {
+    const auto base = kTransitBase + static_cast<std::uint32_t>(i) * (1u << 16);
+    add_as(rne_asn() + static_cast<asdata::Asn>(i), AsTier::kTransit,
+           net::Prefix(net::Ipv4Address(base), 16));
+  }
+  for (int i = 0; i < cfg.stub_count; ++i) {
+    const auto base = kStubBase + static_cast<std::uint32_t>(i) * (1u << 12);
+    add_as(10000 + static_cast<asdata::Asn>(i), AsTier::kStub,
+           net::Prefix(net::Ipv4Address(base), 20));
+  }
+
+  // Unannounced infrastructure space for a sample of non-stub ASes.
+  {
+    std::uint32_t next_unannounced = kUnannouncedBase;
+    for (AsInfo& info : net.ases_) {
+      if (info.tier == AsTier::kStub) continue;
+      if (coin(rng) >= cfg.unannounced_as_prob) continue;
+      info.unannounced = net::Prefix(net::Ipv4Address(next_unannounced), 20);
+      ctx.unannounced_space.emplace(
+          info.asn, P2pAllocator(next_unannounced, next_unannounced + (1u << 12)));
+      next_unannounced += 1u << 12;
+    }
+  }
+
+  // ---- 2. Sibling organizations -------------------------------------------
+  {
+    asdata::OrgId next_org = 500;
+    for (int i = 0; i + 1 < cfg.transit_count; ++i) {
+      AsInfo& a = net.ases_[static_cast<std::size_t>(cfg.tier1_count + i)];
+      AsInfo& b = net.ases_[static_cast<std::size_t>(cfg.tier1_count + i + 1)];
+      if (a.org != asdata::kNoOrg || b.org != asdata::kNoOrg) continue;
+      if (a.asn == rne_asn() || b.asn == rne_asn()) continue;
+      if (coin(rng) < cfg.sibling_org_prob) {
+        a.org = next_org;
+        b.org = next_org;
+        net.true_orgs_.assign(a.asn, next_org);
+        net.true_orgs_.assign(b.asn, next_org);
+        ++next_org;
+      }
+    }
+  }
+
+  // ---- 3. Business relationships ------------------------------------------
+  auto& rels = net.true_relationships_;
+  for (int i = 0; i < cfg.tier1_count; ++i) {
+    for (int j = i + 1; j < cfg.tier1_count; ++j) {
+      rels.add_peering(tier1_a() + static_cast<asdata::Asn>(i),
+                       tier1_a() + static_cast<asdata::Asn>(j));
+    }
+  }
+
+  auto pick = [&](const std::vector<asdata::Asn>& from) {
+    std::uniform_int_distribution<std::size_t> dist(0, from.size() - 1);
+    return from[dist(rng)];
+  };
+
+  std::vector<asdata::Asn> tier1s;
+  for (int i = 0; i < cfg.tier1_count; ++i) {
+    tier1s.push_back(tier1_a() + static_cast<asdata::Asn>(i));
+  }
+
+  for (int i = 0; i < cfg.transit_count; ++i) {
+    const asdata::Asn asn = rne_asn() + static_cast<asdata::Asn>(i);
+    std::uniform_int_distribution<int> count_dist(cfg.transit_providers_min,
+                                                  cfg.transit_providers_max);
+    const int providers = (asn == rne_asn()) ? 2 : count_dist(rng);
+    std::vector<asdata::Asn> earlier_transits;
+    for (int j = 0; j < i; ++j) {
+      earlier_transits.push_back(rne_asn() + static_cast<asdata::Asn>(j));
+    }
+    for (int p = 0; p < providers; ++p) {
+      const bool from_tier1 =
+          earlier_transits.empty() || asn == rne_asn() || coin(rng) < 0.6;
+      const asdata::Asn provider =
+          from_tier1 ? pick(tier1s) : pick(earlier_transits);
+      if (provider != asn &&
+          rels.relationship(provider, asn) == asdata::Relationship::kNone &&
+          !net.true_orgs_.are_siblings(provider, asn)) {
+        rels.add_transit(provider, asn);
+      }
+    }
+  }
+  // Ensure the designated tier-1s are well represented as transit providers.
+  for (int i = 0; i < cfg.transit_count; i += 4) {
+    const asdata::Asn asn = rne_asn() + static_cast<asdata::Asn>(i);
+    const asdata::Asn provider = (i % 8 == 0) ? tier1_a() : tier1_b();
+    if (rels.relationship(provider, asn) == asdata::Relationship::kNone) {
+      rels.add_transit(provider, asn);
+    }
+  }
+
+  for (int i = 0; i < cfg.transit_count; ++i) {
+    for (int j = i + 1; j < cfg.transit_count; ++j) {
+      const asdata::Asn a = rne_asn() + static_cast<asdata::Asn>(i);
+      const asdata::Asn b = rne_asn() + static_cast<asdata::Asn>(j);
+      if (coin(rng) < cfg.transit_peer_prob &&
+          rels.relationship(a, b) == asdata::Relationship::kNone &&
+          !net.true_orgs_.are_siblings(a, b)) {
+        rels.add_peering(a, b);
+      }
+    }
+  }
+  // The R&E network peers with the designated tier-1s (paper Fig 2 flavour:
+  // Internet2 exchanges traffic with large commodity providers) and with
+  // many other networks — Internet2's link population is dominated by
+  // peerings with regional/R&E networks (Table 1: 125 of 164 links).
+  for (asdata::Asn t1 : {tier1_a(), tier1_b()}) {
+    if (rels.relationship(rne_asn(), t1) == asdata::Relationship::kNone) {
+      rels.add_peering(rne_asn(), t1);
+    }
+  }
+  for (int i = 3; i < cfg.transit_count; i += 5) {
+    const asdata::Asn peer = rne_asn() + static_cast<asdata::Asn>(i);
+    if (rels.relationship(rne_asn(), peer) == asdata::Relationship::kNone &&
+        !net.true_orgs_.are_siblings(rne_asn(), peer)) {
+      rels.add_peering(rne_asn(), peer);
+    }
+  }
+
+  std::vector<asdata::Asn> transits;
+  for (int i = 0; i < cfg.transit_count; ++i) {
+    transits.push_back(rne_asn() + static_cast<asdata::Asn>(i));
+  }
+
+  for (int i = 0; i < cfg.stub_count; ++i) {
+    const asdata::Asn asn = 10000 + static_cast<asdata::Asn>(i);
+    int providers = 1;
+    if (coin(rng) < cfg.stub_multihome_prob) {
+      std::uniform_int_distribution<int> extra(1, cfg.stub_providers_max - 1);
+      providers += extra(rng);
+    }
+    if (i < cfg.rne_customer_count) {
+      rels.add_transit(rne_asn(), asn);
+      --providers;
+    }
+    for (int p = 0; p < providers; ++p) {
+      const asdata::Asn provider = coin(rng) < 0.85 ? pick(transits) : pick(tier1s);
+      if (rels.relationship(provider, asn) == asdata::Relationship::kNone) {
+        rels.add_transit(provider, asn);
+      }
+    }
+  }
+
+  // ---- 4. IXPs --------------------------------------------------------------
+  for (int i = 0; i < cfg.ixp_count; ++i) {
+    const auto base = kIxpBase + static_cast<std::uint32_t>(i) * (1u << 8);
+    net.ixp_lans_.emplace_back(net::Prefix(net::Ipv4Address(base), 24),
+                               static_cast<std::uint32_t>(i + 1));
+    ctx.ixp_cursor.push_back(1);  // .0 is the network address
+  }
+  for (const AsInfo& info : net.ases_) {
+    if (info.tier == AsTier::kStub) continue;
+    for (int i = 0; i < cfg.ixp_count; ++i) {
+      if (coin(rng) < 0.4) {
+        ctx.ixp_membership[info.asn].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  // ---- 5. Routers and intra-AS links ---------------------------------------
+  auto add_router = [&](AsInfo& info) {
+    Router router;
+    router.id = static_cast<RouterId>(net.routers_.size());
+    router.owner = info.asn;
+    router.buggy_ttl_forwarder = coin(rng) < cfg.buggy_router_prob;
+    router.replies_with_egress = coin(rng) < cfg.egress_reply_router_prob;
+    router.reply_probability = coin(rng) < cfg.router_silent_prob ? 0.0 : 1.0;
+    info.routers.push_back(router.id);
+    net.routers_.push_back(router);
+    return router.id;
+  };
+
+  auto add_link = [&](RouterId ra, RouterId rb, net::Ipv4Address aa,
+                      net::Ipv4Address ab, int plen, bool inter_as,
+                      LinkAddressing addressing, std::uint32_t ixp) {
+    Link link;
+    link.id = static_cast<LinkId>(net.links_.size());
+    link.a = ra;
+    link.b = rb;
+    link.addr_a = aa;
+    link.addr_b = ab;
+    link.prefix_length = plen;
+    link.inter_as = inter_as;
+    link.addressing = addressing;
+    link.ixp = ixp;
+    net.routers_[ra].links.push_back(link.id);
+    net.routers_[rb].links.push_back(link.id);
+    if (inter_as) {
+      net.routers_[ra].border = true;
+      net.routers_[rb].border = true;
+    }
+    net.address_router_.emplace(aa, ra);
+    net.address_router_.emplace(ab, rb);
+    net.address_link_.emplace(aa, link.id);
+    net.address_link_.emplace(ab, link.id);
+    net.links_.push_back(link);
+    return link.id;
+  };
+
+  for (AsInfo& info : net.ases_) {
+    const bool rne_customer =
+        rels.providers_of(info.asn).contains(rne_asn());
+    int router_count = 1;
+    if (info.tier == AsTier::kTier1) {
+      router_count = cfg.tier1_routers;
+    } else if (info.asn == rne_asn()) {
+      // The designated R&E network has an Internet2-scale backbone: many
+      // core routers mean many distinct ingress interfaces ahead of each
+      // border, which is what gives its links rich neighbour sets.
+      router_count = std::max(8, cfg.transit_routers_max);
+    } else if (info.tier == AsTier::kTransit) {
+      std::uniform_int_distribution<int> dist(cfg.transit_routers_min,
+                                              cfg.transit_routers_max);
+      router_count = dist(rng);
+    } else if (rne_customer) {
+      // University campuses: routed internal networks behind the border
+      // (the paper's Fig 5 inverse-inference scenario needs these).
+      router_count = 2 + (coin(rng) < 0.5 ? 1 : 0);
+    } else if (coin(rng) < 0.25) {
+      router_count = 2;
+    }
+    for (int r = 0; r < router_count; ++r) add_router(info);
+
+    // Ring plus random chords; internal links numbered from own space (or
+    // unannounced infrastructure space when the AS has some).
+    const auto& routers = info.routers;
+    auto internal_pair = [&]() -> P2pAllocator::Pair {
+      const bool slash31 = coin(rng) < cfg.slash31_prob;
+      auto un = ctx.unannounced_space.find(info.asn);
+      if (un != ctx.unannounced_space.end() &&
+          coin(rng) < cfg.unannounced_link_prob) {
+        return un->second.allocate(slash31);
+      }
+      return ctx.own_space.at(info.asn).allocate(slash31);
+    };
+    if (routers.size() > 1) {
+      for (std::size_t r = 0; r < routers.size(); ++r) {
+        const RouterId ra = routers[r];
+        const RouterId rb = routers[(r + 1) % routers.size()];
+        if (routers.size() == 2 && r == 1) break;  // avoid duplicate pair
+        const auto pair = internal_pair();
+        add_link(ra, rb, pair.near, pair.far, pair.slash31 ? 31 : 30, false,
+                 LinkAddressing::kFromA, 0);
+      }
+      for (std::size_t r = 0; r + 2 < routers.size(); ++r) {
+        if (coin(rng) < cfg.extra_chord_prob) {
+          const auto pair = internal_pair();
+          add_link(routers[r], routers[r + 2], pair.near, pair.far,
+                   pair.slash31 ? 31 : 30, false, LinkAddressing::kFromA, 0);
+        }
+      }
+    }
+
+    // Stub behaviour flags. Customers of the R&E network are modelled as
+    // universities: visible routed campuses, never NAT'd (this is also why
+    // the paper's Internet2 verification sees no adjacent-beyond-the-link
+    // errors, unlike the tier-1s).
+    if (info.tier == AsTier::kStub) {
+      if (!rne_customer && coin(rng) < cfg.nat_stub_prob) {
+        info.nat_stub = true;
+        // The NAT address is a host inside the stub's announced block.
+        info.nat_address = net::Ipv4Address(
+            info.announced.front().network().value() + 10);
+      }
+    } else if (coin(rng) < cfg.silent_border_as_prob) {
+      info.border_replies_disabled = true;
+    }
+  }
+
+  // ---- 6. Inter-AS links ----------------------------------------------------
+  auto random_router = [&](const AsInfo& info) {
+    std::uniform_int_distribution<std::size_t> dist(0, info.routers.size() - 1);
+    return info.routers[dist(rng)];
+  };
+
+  auto common_ixp = [&](asdata::Asn a,
+                        asdata::Asn b) -> std::optional<std::uint32_t> {
+    auto ia = ctx.ixp_membership.find(a);
+    auto ib = ctx.ixp_membership.find(b);
+    if (ia == ctx.ixp_membership.end() || ib == ctx.ixp_membership.end()) {
+      return std::nullopt;
+    }
+    for (std::uint32_t x : ia->second) {
+      for (std::uint32_t y : ib->second) {
+        if (x == y) return x;
+      }
+    }
+    return std::nullopt;
+  };
+
+  auto connect = [&](asdata::Asn as_a, asdata::Asn as_b, bool transit_link) {
+    // as_a is the provider for transit links.
+    AsInfo& info_a = net.ases_[net.as_index_.at(as_a)];
+    AsInfo& info_b = net.ases_[net.as_index_.at(as_b)];
+    const RouterId ra = random_router(info_a);
+    const RouterId rb = random_router(info_b);
+
+    LinkAddressing addressing = LinkAddressing::kFromA;
+    std::uint32_t ixp_id = 0;
+    if (!transit_link) {
+      const auto ixp = common_ixp(as_a, as_b);
+      if (ixp && coin(rng) < cfg.peering_via_ixp_prob &&
+          ctx.ixp_cursor[*ixp] + 2 < 255) {
+        addressing = LinkAddressing::kIxp;
+        ixp_id = *ixp + 1;
+        const std::uint32_t lan =
+            net.ixp_lans_[*ixp].first.network().value();
+        const std::uint32_t offset = ctx.ixp_cursor[*ixp];
+        ctx.ixp_cursor[*ixp] += 2;
+        const LinkId id = add_link(ra, rb, net::Ipv4Address(lan + offset),
+                                   net::Ipv4Address(lan + offset + 1), 24,
+                                   true, addressing, ixp_id);
+        net.true_links_.push_back(TrueLink{id, net.links_[id].addr_a,
+                                           net.links_[id].addr_b, as_a, as_b,
+                                           true});
+        return;
+      }
+      // Direct peering: numbered from either side.
+      addressing = coin(rng) < 0.5 ? LinkAddressing::kFromA
+                                   : LinkAddressing::kFromB;
+    } else {
+      // Transit: provider space by convention, with violations; the R&E
+      // network prefers customer space (paper §3, §5.6).
+      const double customer_space_prob = (as_a == rne_asn())
+                                             ? cfg.rne_customer_space_prob
+                                             : cfg.transit_from_customer_space_prob;
+      addressing = coin(rng) < customer_space_prob ? LinkAddressing::kFromB
+                                                   : LinkAddressing::kFromA;
+    }
+
+    const asdata::Asn space_owner =
+        addressing == LinkAddressing::kFromA ? as_a : as_b;
+    const bool slash31 = coin(rng) < cfg.slash31_prob;
+    const auto pair = ctx.own_space.at(space_owner).allocate(slash31);
+    // `pair.near` goes to the space owner's router.
+    const bool owner_is_a = addressing == LinkAddressing::kFromA;
+    const net::Ipv4Address aa = owner_is_a ? pair.near : pair.far;
+    const net::Ipv4Address ab = owner_is_a ? pair.far : pair.near;
+    const LinkId id =
+        add_link(ra, rb, aa, ab, slash31 ? 31 : 30, true, addressing, 0);
+    net.true_links_.push_back(TrueLink{id, aa, ab, as_a, as_b, false});
+  };
+
+  // Deterministic creation order: the relationship sets are unordered, so
+  // sort the edge lists before drawing from the RNG.
+  for (asdata::Asn asn : rels.all_ases()) {
+    std::vector<asdata::Asn> customers(rels.customers_of(asn).begin(),
+                                       rels.customers_of(asn).end());
+    std::sort(customers.begin(), customers.end());
+    for (asdata::Asn customer : customers) {
+      connect(asn, customer, /*transit_link=*/true);
+      // Customers often interconnect with their provider at several points
+      // (universities on an R&E backbone almost always do). Parallel links
+      // give the forwarding plane equal-preference diversity (per-packet
+      // load balancing, route flaps) and expose several provider-space
+      // ingresses on customer border routers — the raw material of the
+      // paper's Fig 5 inverse-inference errors.
+      const bool customer_is_stub =
+          net.as_info(customer).tier == AsTier::kStub;
+      const double second_link_prob =
+          !customer_is_stub ? 0.35 : (asn == rne_asn() ? 0.8 : 0.25);
+      if (coin(rng) < second_link_prob) {
+        connect(asn, customer, /*transit_link=*/true);
+      }
+    }
+    std::vector<asdata::Asn> peers(rels.peers_of(asn).begin(),
+                                   rels.peers_of(asn).end());
+    std::sort(peers.begin(), peers.end());
+    for (asdata::Asn peer : peers) {
+      if (asn < peer) {
+        connect(asn, peer, /*transit_link=*/false);
+        if (coin(rng) < 0.25) connect(asn, peer, /*transit_link=*/false);
+      }
+    }
+  }
+
+  return net;
+}
+
+}  // namespace mapit::topo

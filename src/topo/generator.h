@@ -1,0 +1,80 @@
+// Synthetic Internet generator.
+//
+// Produces an Internet with the structural and addressing properties the
+// paper's inference problem depends on (see DESIGN.md §2's substitution
+// table): a tier-1 clique, transit ISPs, stub edge networks, sibling
+// organizations, IXP peering LANs, /30-/31 point-to-point numbering with
+// both provider- and customer-space conventions, unannounced infrastructure
+// space, and per-router behaviour flags for the traceroute simulator.
+//
+// Three ASes are designated for evaluation, mirroring the paper's §5.1:
+//   * rne_asn()    — an Internet2-like R&E transit AS whose transit links
+//                    are often numbered from customer space;
+//   * tier1_a/b()  — two Level3/TeliaSonera-like tier-1 providers.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/internet.h"
+
+namespace mapit::topo {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // --- population -----------------------------------------------------
+  int tier1_count = 8;
+  int transit_count = 100;
+  int stub_count = 900;
+  int ixp_count = 4;
+
+  // --- intra-AS router topology ----------------------------------------
+  int tier1_routers = 10;
+  int transit_routers_min = 3;
+  int transit_routers_max = 6;
+  double extra_chord_prob = 0.4;  ///< chance of each ring chord
+
+  // --- inter-AS connectivity -------------------------------------------
+  int transit_providers_min = 1;
+  int transit_providers_max = 3;
+  double transit_peer_prob = 0.02;   ///< pairwise peering between transits
+  int stub_providers_min = 1;
+  int stub_providers_max = 3;
+  double stub_multihome_prob = 0.35; ///< chance a stub takes >1 provider
+  double peering_via_ixp_prob = 0.5; ///< peerings that ride an IXP LAN
+  int rne_customer_count = 60;       ///< stubs homed to the R&E AS
+
+  // --- addressing -------------------------------------------------------
+  double slash31_prob = 0.4;                      ///< §4.2's 40.4%
+  double transit_from_customer_space_prob = 0.1;  ///< convention violation
+  double rne_customer_space_prob = 0.7;           ///< I2-style convention
+  double unannounced_as_prob = 0.05;  ///< AS keeps unannounced infra space
+  double unannounced_link_prob = 0.5; ///< internal links using that space
+
+  // --- behaviour flags for the simulator --------------------------------
+  double nat_stub_prob = 0.12;
+  double silent_border_as_prob = 0.02;
+  double buggy_router_prob = 0.01;
+  double egress_reply_router_prob = 0.05;
+  double router_silent_prob = 0.02;
+  double sibling_org_prob = 0.08;  ///< transit ASes grouped into orgs
+};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config) : config_(config) {}
+
+  /// Builds the Internet. Deterministic for a given config.
+  [[nodiscard]] Internet generate() const;
+
+  /// ASN of the designated R&E (Internet2-like) transit AS.
+  [[nodiscard]] static constexpr asdata::Asn rne_asn() { return 1000; }
+  /// ASNs of the two designated tier-1 (Level3/TeliaSonera-like) ASes.
+  [[nodiscard]] static constexpr asdata::Asn tier1_a() { return 100; }
+  [[nodiscard]] static constexpr asdata::Asn tier1_b() { return 101; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace mapit::topo

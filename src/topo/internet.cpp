@@ -1,0 +1,148 @@
+#include "topo/internet.h"
+
+#include <algorithm>
+
+#include "net/error.h"
+
+namespace mapit::topo {
+
+const char* to_string(AsTier tier) {
+  switch (tier) {
+    case AsTier::kTier1: return "tier1";
+    case AsTier::kTransit: return "transit";
+    case AsTier::kStub: return "stub";
+  }
+  return "?";
+}
+
+const AsInfo& Internet::as_info(asdata::Asn asn) const {
+  auto it = as_index_.find(asn);
+  MAPIT_ENSURE(it != as_index_.end(), "unknown ASN in as_info()");
+  return ases_[it->second];
+}
+
+RouterId Internet::router_of_address(net::Ipv4Address address) const {
+  auto it = address_router_.find(address);
+  return it == address_router_.end() ? kNoRouter : it->second;
+}
+
+LinkId Internet::link_of_address(net::Ipv4Address address) const {
+  auto it = address_link_.find(address);
+  return it == address_link_.end() ? kNoLink : it->second;
+}
+
+bgp::Rib Internet::export_rib(const DatasetNoise& noise,
+                              std::uint64_t seed) const {
+  std::mt19937_64 rng(seed ^ 0xA11CE5ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  bgp::Rib rib;
+  std::vector<bgp::CollectorId> collectors;
+  collectors.reserve(static_cast<std::size_t>(noise.collectors));
+  for (int i = 0; i < noise.collectors; ++i) {
+    collectors.push_back(rib.add_collector("rc" + std::to_string(i)));
+  }
+  for (const AsInfo& info : ases_) {
+    for (const net::Prefix& prefix : info.announced) {
+      if (coin(rng) < noise.fallback_only) continue;  // hidden everywhere
+      bool seen = false;
+      for (bgp::CollectorId collector : collectors) {
+        if (coin(rng) < noise.collector_visibility) {
+          rib.add_announcement(collector, prefix, info.asn);
+          seen = true;
+        }
+      }
+      if (!seen && !collectors.empty()) {
+        // Guarantee at least one collector carries it, so "fallback_only"
+        // is the only mechanism that hides announced space from BGP.
+        rib.add_announcement(collectors.front(), prefix, info.asn);
+      }
+    }
+  }
+  return rib;
+}
+
+net::PrefixTrie<asdata::Asn> Internet::export_fallback(
+    const DatasetNoise& noise, std::uint64_t seed) const {
+  // Replays the same coin flips as export_rib so the fallback table covers
+  // exactly the prefixes hidden from all collectors.
+  std::mt19937_64 rng(seed ^ 0xA11CE5ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  net::PrefixTrie<asdata::Asn> fallback;
+  for (const AsInfo& info : ases_) {
+    for (const net::Prefix& prefix : info.announced) {
+      if (coin(rng) < noise.fallback_only) {
+        fallback.insert(prefix, info.asn);
+        continue;
+      }
+      for (int i = 0; i < noise.collectors; ++i) coin(rng);
+    }
+  }
+  return fallback;
+}
+
+asdata::AsRelationships Internet::export_relationships(
+    const DatasetNoise& noise, std::uint64_t seed) const {
+  std::mt19937_64 rng(seed ^ 0x4E1A71ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  asdata::AsRelationships out;
+  for (asdata::Asn provider : true_relationships_.all_ases()) {
+    for (asdata::Asn customer : true_relationships_.customers_of(provider)) {
+      if (coin(rng) < noise.missing_relationship) continue;
+      out.add_transit(provider, customer);
+    }
+    for (asdata::Asn peer : true_relationships_.peers_of(provider)) {
+      if (provider < peer && coin(rng) >= noise.missing_relationship) {
+        out.add_peering(provider, peer);
+      }
+    }
+  }
+  return out;
+}
+
+asdata::As2Org Internet::export_as2org(const DatasetNoise& noise,
+                                       std::uint64_t seed) const {
+  std::mt19937_64 rng(seed ^ 0x51B1ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  asdata::As2Org out;
+  for (const AsInfo& info : ases_) {
+    if (info.org == asdata::kNoOrg) continue;
+    if (coin(rng) < noise.missing_sibling) continue;
+    out.assign(info.asn, info.org);
+  }
+  return out;
+}
+
+asdata::IxpRegistry Internet::export_ixps(const DatasetNoise& noise,
+                                          std::uint64_t seed) const {
+  std::mt19937_64 rng(seed ^ 0x1A9ULL);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  asdata::IxpRegistry out;
+  for (const auto& [prefix, ixp] : ixp_lans_) {
+    if (coin(rng) < noise.missing_ixp_prefix) continue;
+    out.add_prefix(prefix, ixp);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Address> Internet::probe_destinations(
+    int per_prefix, std::uint64_t seed) const {
+  MAPIT_ENSURE(per_prefix > 0, "per_prefix must be positive");
+  std::mt19937_64 rng(seed ^ 0xDE57ULL);
+  std::vector<net::Ipv4Address> out;
+  for (const AsInfo& info : ases_) {
+    for (const net::Prefix& prefix : info.announced) {
+      std::uniform_int_distribution<std::uint64_t> offset(
+          0, prefix.size() - 1);
+      for (int i = 0; i < per_prefix; ++i) {
+        const auto value = prefix.network().value() +
+                           static_cast<std::uint32_t>(offset(rng));
+        out.push_back(net::Ipv4Address(value));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mapit::topo

@@ -1,0 +1,117 @@
+// The synthetic Internet: ASes, routers, links, addressing, ground truth,
+// and exporters for every external dataset the paper consumes.
+#pragma once
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "asdata/as2org.h"
+#include "asdata/ixp.h"
+#include "asdata/relationships.h"
+#include "bgp/rib.h"
+#include "net/prefix_trie.h"
+#include "topo/types.h"
+
+namespace mapit::topo {
+
+/// Options controlling how imperfect the exported datasets are, mirroring
+/// the noise sources the paper describes for the real ones.
+struct DatasetNoise {
+  /// Number of simulated route collectors.
+  int collectors = 8;
+  /// Probability that a given collector sees a given announced prefix.
+  double collector_visibility = 0.9;
+  /// Probability an announced prefix is missing from *all* collectors but
+  /// present in the Team-Cymru-style fallback table.
+  double fallback_only = 0.02;
+  /// Probability a true sibling pair is absent from the AS2ORG export
+  /// (WHOIS incompleteness, §4.9).
+  double missing_sibling = 0.1;
+  /// Probability a true relationship edge is absent from the export.
+  double missing_relationship = 0.02;
+  /// Probability an IXP LAN prefix is absent from the export (stale
+  /// PeeringDB/PCH data, §5).
+  double missing_ixp_prefix = 0.05;
+};
+
+class Internet {
+ public:
+  [[nodiscard]] const std::vector<AsInfo>& ases() const { return ases_; }
+  [[nodiscard]] const std::vector<Router>& routers() const { return routers_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  [[nodiscard]] const AsInfo& as_info(asdata::Asn asn) const;
+  [[nodiscard]] bool has_as(asdata::Asn asn) const {
+    return as_index_.contains(asn);
+  }
+  [[nodiscard]] const Router& router(RouterId id) const { return routers_[id]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id]; }
+
+  /// The router owning the interface `address`, or kNoRouter.
+  [[nodiscard]] RouterId router_of_address(net::Ipv4Address address) const;
+  /// The link carrying `address`, or kNoLink.
+  [[nodiscard]] LinkId link_of_address(net::Ipv4Address address) const;
+
+  /// Ground truth: every inter-AS link with its interface addresses.
+  [[nodiscard]] const std::vector<TrueLink>& true_links() const {
+    return true_links_;
+  }
+
+  /// True business relationships (complete, error-free).
+  [[nodiscard]] const asdata::AsRelationships& true_relationships() const {
+    return true_relationships_;
+  }
+  /// True sibling organizations (complete).
+  [[nodiscard]] const asdata::As2Org& true_orgs() const { return true_orgs_; }
+
+  /// All IXP LAN prefixes with their IXP ids.
+  [[nodiscard]] const std::vector<std::pair<net::Prefix, std::uint32_t>>&
+  ixp_lans() const {
+    return ixp_lans_;
+  }
+
+  // --- dataset exporters (each deterministic given `seed`) -------------
+
+  /// Multi-collector RIB with per-collector visibility gaps.
+  [[nodiscard]] bgp::Rib export_rib(const DatasetNoise& noise,
+                                    std::uint64_t seed) const;
+
+  /// Fallback (Team-Cymru-style) table covering the prefixes export_rib
+  /// hid from all collectors, given the same noise/seed.
+  [[nodiscard]] net::PrefixTrie<asdata::Asn> export_fallback(
+      const DatasetNoise& noise, std::uint64_t seed) const;
+
+  /// AS relationship file with dropout noise.
+  [[nodiscard]] asdata::AsRelationships export_relationships(
+      const DatasetNoise& noise, std::uint64_t seed) const;
+
+  /// AS2ORG-style sibling data with dropout noise.
+  [[nodiscard]] asdata::As2Org export_as2org(const DatasetNoise& noise,
+                                             std::uint64_t seed) const;
+
+  /// IXP prefix list with dropout noise.
+  [[nodiscard]] asdata::IxpRegistry export_ixps(const DatasetNoise& noise,
+                                                std::uint64_t seed) const;
+
+  /// Destination addresses suitable for probing: `per_prefix` host
+  /// addresses sampled inside every announced prefix (deterministic).
+  [[nodiscard]] std::vector<net::Ipv4Address> probe_destinations(
+      int per_prefix, std::uint64_t seed) const;
+
+ private:
+  friend class Generator;
+
+  std::vector<AsInfo> ases_;
+  std::vector<Router> routers_;
+  std::vector<Link> links_;
+  std::vector<TrueLink> true_links_;
+  std::unordered_map<asdata::Asn, std::size_t> as_index_;
+  std::unordered_map<net::Ipv4Address, RouterId> address_router_;
+  std::unordered_map<net::Ipv4Address, LinkId> address_link_;
+  asdata::AsRelationships true_relationships_;
+  asdata::As2Org true_orgs_;
+  std::vector<std::pair<net::Prefix, std::uint32_t>> ixp_lans_;
+};
+
+}  // namespace mapit::topo

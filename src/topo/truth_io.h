@@ -1,0 +1,25 @@
+// Text serialization for ground-truth inter-AS links.
+//
+// Format (one link per line, '#' comments allowed):
+//
+//   <addr_a>|<addr_b>|<as_a>|<as_b>[|ixp]
+//
+// where addr_a sits on the as_a router and the optional trailing "ixp"
+// marks links established across an IXP peering LAN.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "topo/types.h"
+
+namespace mapit::topo {
+
+/// Writes the links with a header comment.
+void write_true_links(std::ostream& out, const std::vector<TrueLink>& links);
+
+/// Reads links written by write_true_links (link ids are not persisted and
+/// read back as kNoLink). Throws mapit::ParseError naming the line.
+[[nodiscard]] std::vector<TrueLink> read_true_links(std::istream& in);
+
+}  // namespace mapit::topo

@@ -1,0 +1,113 @@
+// Value types shared by the synthetic Internet substrate.
+//
+// The generator builds a router-level Internet with realistic addressing so
+// that the traceroute simulator can exercise every behaviour the paper's
+// Ark corpus exhibits: links numbered from either endpoint's space, /30 and
+// /31 prefixes, IXP LANs, sibling organizations, unannounced infrastructure,
+// silent and NAT'd networks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "asdata/as2org.h"
+#include "asdata/asn.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace mapit::topo {
+
+using RouterId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr RouterId kNoRouter = ~RouterId{0};
+inline constexpr LinkId kNoLink = ~LinkId{0};
+
+/// Role of an AS in the synthetic hierarchy.
+enum class AsTier : std::uint8_t {
+  kTier1,    ///< clique of peers at the top, global customer cones
+  kTransit,  ///< regional/national ISPs: customers of tier-1s/transits
+  kStub,     ///< edge networks with no customers
+};
+
+[[nodiscard]] const char* to_string(AsTier tier);
+
+/// Per-AS metadata.
+struct AsInfo {
+  asdata::Asn asn = asdata::kUnknownAsn;
+  AsTier tier = AsTier::kStub;
+  asdata::OrgId org = asdata::kNoOrg;  ///< sibling organization, if any
+
+  /// Announced address space (first entry is the primary block).
+  std::vector<net::Prefix> announced;
+  /// Infrastructure space used on links but never announced in BGP.
+  std::optional<net::Prefix> unannounced;
+
+  /// Routers of this AS (indices into Internet::routers()).
+  std::vector<RouterId> routers;
+
+  /// Behaviour flags consumed by the traceroute simulator.
+  bool border_replies_disabled = false;  ///< border routers never answer
+  bool nat_stub = false;                 ///< replies always use one NAT addr
+  /// NAT address for nat_stub networks.
+  std::optional<net::Ipv4Address> nat_address;
+};
+
+/// One router. Routers belong to exactly one AS.
+struct Router {
+  RouterId id = kNoRouter;
+  asdata::Asn owner = asdata::kUnknownAsn;
+  /// Links incident to this router (indices into Internet::links()).
+  std::vector<LinkId> links;
+  /// True when the router terminates at least one inter-AS link.
+  bool border = false;
+  /// Simulator behaviour (set by the generator).
+  bool buggy_ttl_forwarder = false;  ///< forwards TTL=1 instead of replying
+  bool replies_with_egress = false;  ///< sources replies from reply-path egress
+  double reply_probability = 1.0;    ///< per-probe response likelihood
+};
+
+/// How an inter-AS link was provisioned.
+enum class LinkAddressing : std::uint8_t {
+  kFromA,  ///< numbered from endpoint A's address space
+  kFromB,  ///< numbered from endpoint B's address space
+  kIxp,    ///< numbered from an IXP peering LAN (multipoint)
+};
+
+/// A layer-3 link between two routers, with its interface addresses.
+/// `addr_a` lives on router `a`; `addr_b` on router `b`.
+struct Link {
+  LinkId id = kNoLink;
+  RouterId a = kNoRouter;
+  RouterId b = kNoRouter;
+  net::Ipv4Address addr_a;
+  net::Ipv4Address addr_b;
+  /// 30 or 31 for point-to-point links; 24 for IXP LAN segments.
+  int prefix_length = 30;
+  bool inter_as = false;
+  LinkAddressing addressing = LinkAddressing::kFromA;
+  /// IXP id when addressing == kIxp.
+  std::uint32_t ixp = 0;
+
+  [[nodiscard]] RouterId other_router(RouterId r) const {
+    return r == a ? b : a;
+  }
+  [[nodiscard]] net::Ipv4Address address_on(RouterId r) const {
+    return r == a ? addr_a : addr_b;
+  }
+  [[nodiscard]] net::Ipv4Address address_facing(RouterId r) const {
+    return r == a ? addr_b : addr_a;
+  }
+};
+
+/// Ground-truth record for one inter-AS link (exported for evaluation).
+struct TrueLink {
+  LinkId link = kNoLink;
+  net::Ipv4Address addr_a;  ///< interface on the AS-a router
+  net::Ipv4Address addr_b;  ///< interface on the AS-b router
+  asdata::Asn as_a = asdata::kUnknownAsn;
+  asdata::Asn as_b = asdata::kUnknownAsn;
+  bool via_ixp = false;
+};
+
+}  // namespace mapit::topo

@@ -1,0 +1,39 @@
+#include "trace/sanitize.h"
+
+namespace mapit::trace {
+
+Trace strip_ttl0_hops(const Trace& trace, std::size_t* removed) {
+  Trace out;
+  out.monitor = trace.monitor;
+  out.destination = trace.destination;
+  out.hops.reserve(trace.hops.size());
+  for (const TraceHop& hop : trace.hops) {
+    if (hop.address && hop.quoted_ttl && *hop.quoted_ttl == 0) {
+      if (removed != nullptr) ++*removed;
+      continue;
+    }
+    out.hops.push_back(hop);
+  }
+  return out;
+}
+
+SanitizeResult sanitize(const TraceCorpus& corpus) {
+  SanitizeResult result;
+  result.stats.input_traces = corpus.size();
+  result.stats.input_addresses = corpus.distinct_addresses().size();
+
+  for (const Trace& trace : corpus.traces()) {
+    Trace cleaned = strip_ttl0_hops(trace, &result.stats.removed_ttl0_hops);
+    if (cleaned.has_interface_cycle()) {
+      ++result.stats.discarded_traces;
+      continue;
+    }
+    result.clean.add(std::move(cleaned));
+  }
+
+  result.stats.retained_addresses =
+      result.clean.distinct_addresses().size();
+  return result;
+}
+
+}  // namespace mapit::trace

@@ -1,0 +1,55 @@
+// Trace sanitization (paper §4.1).
+//
+// Two defenses against traceroute artifacts before any inference is drawn:
+//   1. Hops whose ICMP reply quotes TTL 0 are removed (a buggy upstream
+//      router forwarded the probe with TTL=1 instead of answering); the
+//      rest of the trace is retained.
+//   2. Traces containing an interface cycle — the same address twice,
+//      separated by at least one different address — are discarded wholesale
+//      (per-packet load balancing / transient route changes).
+//
+// The paper reports discarding 2.7% of Ark traces while retaining 89.1% of
+// distinct addresses; SanitizeStats exposes the same ratios.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.h"
+
+namespace mapit::trace {
+
+struct SanitizeStats {
+  std::size_t input_traces = 0;
+  std::size_t discarded_traces = 0;     ///< dropped for interface cycles
+  std::size_t removed_ttl0_hops = 0;    ///< hops stripped for quoted TTL 0
+  std::size_t input_addresses = 0;      ///< distinct addresses before
+  std::size_t retained_addresses = 0;   ///< distinct addresses after
+
+  [[nodiscard]] double discard_fraction() const {
+    return input_traces == 0 ? 0.0
+                             : static_cast<double>(discarded_traces) /
+                                   static_cast<double>(input_traces);
+  }
+  [[nodiscard]] double address_retention() const {
+    return input_addresses == 0 ? 1.0
+                                : static_cast<double>(retained_addresses) /
+                                      static_cast<double>(input_addresses);
+  }
+};
+
+struct SanitizeResult {
+  TraceCorpus clean;
+  SanitizeStats stats;
+};
+
+/// Returns a copy of `hops`-stripped, cycle-free traces plus statistics.
+/// TTL-0 hop removal happens *before* the cycle check, mirroring the paper's
+/// step order ("After sanitizing a trace, we attempt to identify if load
+/// balancing or a transient routing change occurred").
+[[nodiscard]] SanitizeResult sanitize(const TraceCorpus& corpus);
+
+/// Removes quoted-TTL-0 hops from one trace, preserving the other hops.
+[[nodiscard]] Trace strip_ttl0_hops(const Trace& trace,
+                                    std::size_t* removed = nullptr);
+
+}  // namespace mapit::trace

@@ -1,0 +1,66 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mapit::trace {
+
+std::size_t Trace::responsive_hops() const {
+  return static_cast<std::size_t>(
+      std::count_if(hops.begin(), hops.end(),
+                    [](const TraceHop& hop) { return hop.address.has_value(); }));
+}
+
+bool Trace::has_interface_cycle() const {
+  // For each responsive hop, remember the index of its previous occurrence;
+  // a cycle needs a *different* address strictly between the two.
+  std::unordered_map<net::Ipv4Address, std::size_t> last_seen;
+  std::vector<net::Ipv4Address> responsive;
+  responsive.reserve(hops.size());
+  for (const TraceHop& hop : hops) {
+    if (hop.address) responsive.push_back(*hop.address);
+  }
+  for (std::size_t i = 0; i < responsive.size(); ++i) {
+    auto it = last_seen.find(responsive[i]);
+    if (it != last_seen.end()) {
+      for (std::size_t j = it->second + 1; j < i; ++j) {
+        if (responsive[j] != responsive[i]) return true;
+      }
+    }
+    last_seen[responsive[i]] = i;
+  }
+  return false;
+}
+
+std::vector<net::Ipv4Address> TraceCorpus::distinct_addresses() const {
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const Trace& trace : traces_) {
+    for (const TraceHop& hop : trace.hops) {
+      if (hop.address) seen.insert(*hop.address);
+    }
+  }
+  std::vector<net::Ipv4Address> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Ipv4Address> TraceCorpus::adjacent_addresses() const {
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const Trace& trace : traces_) {
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const TraceHop& a = trace.hops[i];
+      const TraceHop& b = trace.hops[i + 1];
+      if (a.address && b.address &&
+          b.probe_ttl == a.probe_ttl + 1) {
+        seen.insert(*a.address);
+        seen.insert(*b.address);
+      }
+    }
+  }
+  std::vector<net::Ipv4Address> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mapit::trace

@@ -1,0 +1,83 @@
+// Traceroute data model.
+//
+// A trace is the sequence of hop responses for one (monitor, destination)
+// probe run. Only the fields MAP-IT consumes are modelled: the responding
+// address (or silence), the probe TTL, and the quoted TTL from the ICMP
+// time-exceeded payload, which exposes the TTL=1-forwarding router bug the
+// sanitizer filters (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace mapit::trace {
+
+/// Identifier of the monitor (vantage point) that ran a trace.
+using MonitorId = std::uint32_t;
+
+/// One hop of a traceroute.
+struct TraceHop {
+  /// Responding interface address; nullopt for an unresponsive hop ('*').
+  std::optional<net::Ipv4Address> address;
+  /// TTL of the probe that elicited this hop (1-based).
+  std::uint8_t probe_ttl = 0;
+  /// TTL quoted in the ICMP time-exceeded payload, when the reply carried
+  /// one. A quoted TTL of 0 identifies probes forwarded with TTL=1 by a
+  /// buggy upstream router (paper §4.1).
+  std::optional<std::uint8_t> quoted_ttl;
+
+  friend bool operator==(const TraceHop&, const TraceHop&) = default;
+};
+
+/// A single traceroute: monitor, destination, and hop responses in probe
+/// TTL order.
+struct Trace {
+  MonitorId monitor = 0;
+  net::Ipv4Address destination;
+  std::vector<TraceHop> hops;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+  /// Count of hops that carried a response.
+  [[nodiscard]] std::size_t responsive_hops() const;
+
+  /// True when the same address appears twice separated by at least one
+  /// *different* responsive address — the cycle definition of Viger et al.
+  /// adopted by the paper (§4.1 footnote 5). Immediately repeated addresses
+  /// (e.g. a router answering two TTLs) are not cycles.
+  [[nodiscard]] bool has_interface_cycle() const;
+};
+
+/// An ordered collection of traces with corpus-level accessors.
+class TraceCorpus {
+ public:
+  TraceCorpus() = default;
+  explicit TraceCorpus(std::vector<Trace> traces)
+      : traces_(std::move(traces)) {}
+
+  void add(Trace trace) { traces_.push_back(std::move(trace)); }
+
+  [[nodiscard]] const std::vector<Trace>& traces() const { return traces_; }
+  [[nodiscard]] std::vector<Trace>& traces() { return traces_; }
+  [[nodiscard]] std::size_t size() const { return traces_.size(); }
+  [[nodiscard]] bool empty() const { return traces_.empty(); }
+
+  /// Every distinct responding address across all traces (sorted). The
+  /// other-side heuristic (§4.2) uses this set *including* traces the
+  /// sanitizer later discards.
+  [[nodiscard]] std::vector<net::Ipv4Address> distinct_addresses() const;
+
+  /// Distinct addresses that respond adjacent (consecutive probe TTLs) to at
+  /// least one other responding address — the population MAP-IT can reason
+  /// about (paper §5 reports 4,992,879 of 6,565,421 for Ark).
+  [[nodiscard]] std::vector<net::Ipv4Address> adjacent_addresses() const;
+
+ private:
+  std::vector<Trace> traces_;
+};
+
+}  // namespace mapit::trace

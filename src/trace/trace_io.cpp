@@ -1,0 +1,135 @@
+#include "trace/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "net/error.h"
+
+namespace mapit::trace {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+[[noreturn]] void fail(std::string_view context, std::string_view detail) {
+  throw ParseError(std::string(context) + ": " + std::string(detail));
+}
+
+TraceHop parse_hop(std::string_view token, std::uint8_t ttl,
+                   std::string_view context) {
+  TraceHop hop;
+  hop.probe_ttl = ttl;
+  if (token == "*") return hop;
+  std::string_view addr_text = token;
+  const std::size_t at = token.find('@');
+  if (at != std::string_view::npos) {
+    addr_text = token.substr(0, at);
+    const std::string_view quoted_text = token.substr(at + 1);
+    if (quoted_text.empty() || quoted_text.size() > 3) {
+      fail(context, "bad quoted TTL in hop '" + std::string(token) + "'");
+    }
+    unsigned value = 0;
+    for (char c : quoted_text) {
+      if (c < '0' || c > '9') {
+        fail(context, "bad quoted TTL in hop '" + std::string(token) + "'");
+      }
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value > 255) {
+      fail(context, "quoted TTL out of range in hop '" + std::string(token) + "'");
+    }
+    hop.quoted_ttl = static_cast<std::uint8_t>(value);
+  }
+  const auto address = net::Ipv4Address::parse(addr_text);
+  if (!address) {
+    fail(context, "bad address in hop '" + std::string(token) + "'");
+  }
+  hop.address = *address;
+  return hop;
+}
+
+}  // namespace
+
+std::string format_trace(const Trace& trace) {
+  std::string out = std::to_string(trace.monitor);
+  out.push_back('|');
+  out += trace.destination.to_string();
+  out.push_back('|');
+  bool first = true;
+  for (const TraceHop& hop : trace.hops) {
+    if (!first) out.push_back(' ');
+    first = false;
+    if (!hop.address) {
+      out.push_back('*');
+      continue;
+    }
+    out += hop.address->to_string();
+    if (hop.quoted_ttl) {
+      out.push_back('@');
+      out += std::to_string(*hop.quoted_ttl);
+    }
+  }
+  return out;
+}
+
+Trace parse_trace(std::string_view line, std::string_view context) {
+  const auto fields = split(line, '|');
+  if (fields.size() != 3) {
+    fail(context, "expected 'monitor|destination|hops'");
+  }
+  Trace trace;
+  try {
+    trace.monitor = static_cast<MonitorId>(std::stoul(std::string(fields[0])));
+  } catch (const std::exception&) {
+    fail(context, "bad monitor id '" + std::string(fields[0]) + "'");
+  }
+  const auto destination = net::Ipv4Address::parse(fields[1]);
+  if (!destination) {
+    fail(context, "bad destination '" + std::string(fields[1]) + "'");
+  }
+  trace.destination = *destination;
+  std::uint8_t ttl = 0;
+  if (!fields[2].empty()) {
+    for (std::string_view token : split(fields[2], ' ')) {
+      if (token.empty()) continue;
+      if (ttl == 255) fail(context, "more than 255 hops");
+      ++ttl;
+      trace.hops.push_back(parse_hop(token, ttl, context));
+    }
+  }
+  return trace;
+}
+
+void write_corpus(std::ostream& out, const TraceCorpus& corpus) {
+  out << "# mapit trace corpus v1: monitor|destination|hop hop ...\n";
+  for (const Trace& trace : corpus.traces()) {
+    out << format_trace(trace) << '\n';
+  }
+}
+
+TraceCorpus read_corpus(std::istream& in) {
+  TraceCorpus corpus;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    corpus.add(parse_trace(line, "trace line " + std::to_string(line_no)));
+  }
+  return corpus;
+}
+
+}  // namespace mapit::trace

@@ -1,0 +1,38 @@
+// Text serialization for traceroute corpora.
+//
+// Line format (one trace per line, '#' comments and blank lines allowed):
+//
+//   <monitor_id>|<destination>|<hop> <hop> ...
+//
+// where each hop is one of
+//   *                unresponsive hop
+//   A.B.C.D          response, no quoted TTL recorded
+//   A.B.C.D@Q        response with quoted TTL Q (0..255)
+//
+// Hops are listed in probe-TTL order starting at TTL 1; a '*' keeps the TTL
+// counter advancing, matching how traceroute output is read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.h"
+
+namespace mapit::trace {
+
+/// Serializes one trace to its line representation (no trailing newline).
+[[nodiscard]] std::string format_trace(const Trace& trace);
+
+/// Parses one line. Throws mapit::ParseError with `context` on failure.
+[[nodiscard]] Trace parse_trace(std::string_view line,
+                                std::string_view context = "trace");
+
+/// Writes the whole corpus, one trace per line, with a header comment.
+void write_corpus(std::ostream& out, const TraceCorpus& corpus);
+
+/// Reads a corpus written by write_corpus (or hand-authored in the same
+/// format). Throws mapit::ParseError naming the offending line.
+[[nodiscard]] TraceCorpus read_corpus(std::istream& in);
+
+}  // namespace mapit::trace

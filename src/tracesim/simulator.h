@@ -1,0 +1,96 @@
+// Traceroute campaign simulator.
+//
+// Emits a trace corpus over the synthetic Internet with every artifact
+// class the paper's sanitizer and algorithm must survive (§4.1, §4.7):
+//
+//   * unresponsive hops and fully silent routers,
+//   * ASes whose border routers never answer,
+//   * NAT'd stub networks answering with a single address,
+//   * routers replying with the egress interface of the *reply* path
+//     (third-party addresses, Fig 4),
+//   * buggy routers forwarding TTL=1 probes (next hop quotes TTL 0),
+//   * per-packet load balancing (hops drawn from two equal-cost paths),
+//   * transient route changes (path splice mid-trace).
+//
+// Every trace is deterministic given (config seed, monitor, destination).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "route/forwarder.h"
+#include "topo/internet.h"
+#include "trace/trace.h"
+
+namespace mapit::tracesim {
+
+struct SimulatorConfig {
+  std::uint64_t seed = 7;
+  /// Number of monitors (vantage points), spread over transits and stubs.
+  int monitor_count = 25;
+  /// Destinations sampled per announced prefix (Ark probes every /24; we
+  /// scale down proportionally).
+  int destinations_per_prefix = 2;
+  /// Probability the destination itself answers as the final hop.
+  double dest_reply_prob = 0.35;
+  /// Per-hop random loss on top of router behaviour flags.
+  double hop_loss_prob = 0.01;
+  /// Probability a trace crosses a per-packet load balancer (hops mixed
+  /// from two equal-cost path variants).
+  double per_packet_lb_prob = 0.015;
+  /// Probability of a transient route change mid-trace.
+  double route_flap_prob = 0.03;
+  std::uint8_t max_ttl = 30;
+};
+
+struct Monitor {
+  trace::MonitorId id = 0;
+  asdata::Asn asn = asdata::kUnknownAsn;
+  topo::RouterId source_router = topo::kNoRouter;
+};
+
+struct SimulatorStats {
+  std::size_t traces = 0;
+  std::size_t unreachable = 0;  ///< (monitor, destination) pairs with no path
+  std::size_t lb_traces = 0;
+  std::size_t flapped_traces = 0;
+};
+
+class TracerouteSimulator {
+ public:
+  /// Both references must outlive the simulator.
+  TracerouteSimulator(const topo::Internet& net,
+                      const route::Forwarder& forwarder,
+                      SimulatorConfig config);
+
+  /// Monitor placement chosen at construction (deterministic).
+  [[nodiscard]] const std::vector<Monitor>& monitors() const {
+    return monitors_;
+  }
+
+  /// Runs the full campaign: every monitor probes every sampled
+  /// destination.
+  [[nodiscard]] trace::TraceCorpus run_campaign(SimulatorStats* stats = nullptr) const;
+
+  /// Simulates a single traceroute. When `stats` is given, artifact
+  /// counters (load-balanced / flapped traces) are accumulated into it.
+  [[nodiscard]] trace::Trace probe(const Monitor& monitor,
+                                   net::Ipv4Address destination,
+                                   SimulatorStats* stats = nullptr) const;
+
+ private:
+  [[nodiscard]] net::Ipv4Address router_address(topo::RouterId router) const;
+  [[nodiscard]] net::Ipv4Address reply_egress_address(
+      topo::RouterId router, const Monitor& monitor) const;
+  [[nodiscard]] std::vector<route::RouterHop> hop_sequence(
+      topo::RouterId source, net::Ipv4Address destination,
+      std::mt19937_64& rng, SimulatorStats* stats) const;
+
+  const topo::Internet& net_;
+  const route::Forwarder& forwarder_;
+  SimulatorConfig config_;
+  std::vector<Monitor> monitors_;
+};
+
+}  // namespace mapit::tracesim

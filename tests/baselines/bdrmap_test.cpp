@@ -1,0 +1,205 @@
+// bdrmap-lite tests: host-network restriction, observation thresholds,
+// cone consistency, and precision on the vantage-point network.
+#include "baselines/bdrmap_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/claims.h"
+#include "eval/experiment.h"
+#include "test_util.h"
+
+namespace mapit::baselines {
+namespace {
+
+class BdrmapTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const auto instance =
+        eval::Experiment::build(eval::ExperimentConfig::small());
+    return *instance;
+  }
+
+  /// Monitor ids hosted inside `asn` under the experiment's placement.
+  static std::vector<trace::MonitorId> monitors_in(asdata::Asn asn) {
+    // The simulator places monitor 0 in the R&E network (§5.1); recover
+    // the placement from the corpus is unnecessary — rebuild it.
+    std::vector<trace::MonitorId> out;
+    route::AsRouting routing(experiment().internet().true_relationships());
+    route::Forwarder forwarder(experiment().internet(), routing);
+    tracesim::TracerouteSimulator simulator(
+        experiment().internet(), forwarder,
+        experiment().config().simulation);
+    for (const tracesim::Monitor& monitor : simulator.monitors()) {
+      if (monitor.asn == asn) out.push_back(monitor.id);
+    }
+    return out;
+  }
+};
+
+TEST_F(BdrmapTest, HostNetworkHasAMonitor) {
+  EXPECT_FALSE(monitors_in(topo::Generator::rne_asn()).empty());
+}
+
+TEST_F(BdrmapTest, AllClaimsInvolveTheHostNetwork) {
+  const asdata::Asn host = topo::Generator::rne_asn();
+  const Claims claims = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs());
+  ASSERT_FALSE(claims.empty());
+  for (const Claim& claim : claims) {
+    EXPECT_TRUE(claim.a == host || claim.b == host) << claim.a << " " << claim.b;
+  }
+}
+
+TEST_F(BdrmapTest, HighPrecisionOnTheVantagePointNetwork) {
+  const asdata::Asn host = topo::Generator::rne_asn();
+  const Claims claims = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs());
+  const eval::AsGroundTruth truth = experiment().ground_truth(host);
+  const eval::Verification v = experiment().evaluator().verify(truth, claims);
+  // bdrmap's design point: precise for the hosting network (the paper
+  // quotes 96.3-98.9% for real bdrmap).
+  EXPECT_GE(v.total.precision(), 0.85);
+  EXPECT_GT(v.total.tp, 0u);
+}
+
+TEST_F(BdrmapTest, CannotCoverNetworksWithoutVantagePoints) {
+  // The restriction MAP-IT lifts (§2): borders are only found for the
+  // monitor-hosting network. Running bdrmap for the host finds nothing
+  // useful about a remote tier-1's links beyond those it shares with the
+  // host itself.
+  const asdata::Asn host = topo::Generator::rne_asn();
+  const Claims claims = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs());
+  const asdata::Asn tier1 = topo::Generator::tier1_a();
+  const eval::AsGroundTruth truth = experiment().ground_truth(tier1);
+  const eval::Verification v = experiment().evaluator().verify(truth, claims);
+  // At most the direct host<->tier1 links can be credited.
+  std::size_t host_tier1_links = 0;
+  for (const eval::LinkTruth& link : truth.links()) {
+    if (link.remote == host) ++host_tier1_links;
+  }
+  EXPECT_LE(v.total.tp, host_tier1_links);
+}
+
+TEST_F(BdrmapTest, ObservationThresholdFilters) {
+  const asdata::Asn host = topo::Generator::rne_asn();
+  BdrmapConfig strict;
+  strict.min_observations = 1000;  // impossible
+  const Claims none = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs(), strict);
+  EXPECT_TRUE(none.empty());
+
+  BdrmapConfig loose;
+  loose.min_observations = 1;
+  const Claims many = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs(), loose);
+  BdrmapConfig standard;
+  const Claims normal = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs(), standard);
+  EXPECT_GE(many.size(), normal.size());
+}
+
+TEST_F(BdrmapTest, ConeConsistencyReducesClaims) {
+  const asdata::Asn host = topo::Generator::rne_asn();
+  BdrmapConfig with;
+  BdrmapConfig without;
+  without.require_cone_consistency = false;
+  const Claims strict = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs(), with);
+  const Claims permissive = bdrmap_lite(
+      experiment().corpus(), monitors_in(host), host, experiment().ip2as(),
+      experiment().relationships(), experiment().orgs(), without);
+  EXPECT_LE(strict.size(), permissive.size());
+}
+
+TEST_F(BdrmapTest, NoMonitorsNoClaims) {
+  const Claims claims = bdrmap_lite(
+      experiment().corpus(), {}, topo::Generator::rne_asn(),
+      experiment().ip2as(), experiment().relationships(),
+      experiment().orgs());
+  EXPECT_TRUE(claims.empty());
+}
+
+TEST(BdrmapUnit, HandCraftedBorderDetection) {
+  using testutil::corpus_from;
+  using testutil::rib_from;
+  // Monitor 0 sits in AS100; traces leave toward AS200's cone.
+  const auto corpus = corpus_from({
+      "0|2.0.0.99|1.0.0.1 1.0.0.9 2.0.0.2 2.0.0.50",
+      "0|2.0.0.77|1.0.0.5 1.0.0.9 2.0.0.2 2.0.0.60",
+      "1|2.0.0.99|1.0.0.1 1.0.0.9 2.0.0.2",  // other monitor, also in AS100
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 200);
+  const asdata::As2Org orgs;
+  const Claims claims =
+      bdrmap_lite(corpus, {0, 1}, 100, ip2as, rels, orgs);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, testutil::addr("2.0.0.2"));
+  EXPECT_EQ(claims[0].a, 100u);
+  EXPECT_EQ(claims[0].b, 200u);
+}
+
+TEST(BdrmapUnit, SharedPrefixClaimsBothSides) {
+  using testutil::corpus_from;
+  using testutil::rib_from;
+  // The host->neighbor transition happens across a /30 pair
+  // (1.0.0.9 / 1.0.0.10 are the two hosts of 1.0.0.8/30) — wait, the far
+  // side must be in the neighbour's space for a transition; use a
+  // neighbour-named link instead: 2.0.0.1/2.0.0.2 with the near side
+  // 2.0.0.1 NOT in host space. Transition is host-internal 1.0.0.9 ->
+  // 2.0.0.2; different /30s, so only the far side is claimed.
+  const auto corpus = corpus_from({
+      "0|2.0.0.99|1.0.0.9 2.0.0.2 2.0.0.50",
+      "0|2.0.0.77|1.0.0.9 2.0.0.2 2.0.0.60",
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 200);
+  const Claims claims =
+      bdrmap_lite(corpus, {0}, 100, ip2as, rels, asdata::As2Org{});
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, testutil::addr("2.0.0.2"));
+}
+
+TEST(BdrmapUnit, HostNamedLinkClaimsBothSides) {
+  using testutil::corpus_from;
+  using testutil::rib_from;
+  // Host-named border: 1.0.0.9 (host egress) and 1.0.0.10 would share the
+  // /30 — but then the far hop is in host space and no transition fires.
+  // The realistic both-sides case: neighbour-named /30 where the last host
+  // hop IS the near link interface (2.0.0.1 in neighbour space is
+  // impossible to be "in host"), so test the same-/30 path with an
+  // unannounced-side... Simplest: transition 2.0.0.1 -> 2.0.0.2 cannot be
+  // host->foreign. Therefore the same-/30 branch triggers only via
+  // host-space /30s that the IP2AS maps to the host on one side and the
+  // neighbour on the other — a MOAS-style split:
+  const auto corpus = corpus_from({
+      "0|9.0.0.99|1.0.0.5 1.0.0.9 1.0.0.10 9.0.0.50",
+      "0|9.0.0.77|1.0.0.5 1.0.0.9 1.0.0.10 9.0.0.60",
+  });
+  // 1.0.0.10 falls in a more specific prefix announced by the neighbour
+  // (the customer-assigned-from-provider-space situation).
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100},
+                                   {"1.0.0.10/31", 900},
+                                   {"9.0.0.0/16", 900}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 900);
+  const Claims claims =
+      bdrmap_lite(corpus, {0}, 100, ip2as, rels, asdata::As2Org{});
+  // Both 1.0.0.9 and 1.0.0.10 share 1.0.0.8/30 -> both sides claimed.
+  ASSERT_EQ(claims.size(), 2u);
+  EXPECT_EQ(claims[0].address, testutil::addr("1.0.0.9"));
+  EXPECT_EQ(claims[1].address, testutil::addr("1.0.0.10"));
+}
+
+}  // namespace
+}  // namespace mapit::baselines

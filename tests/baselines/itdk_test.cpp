@@ -1,0 +1,112 @@
+// ITDK-style router-graph baseline tests: behaviour at the error-free
+// extreme, the effect of splits and false merges, and determinism.
+#include "baselines/itdk.h"
+
+#include <gtest/gtest.h>
+
+#include "route/as_routing.h"
+#include "route/forwarder.h"
+#include "topo/generator.h"
+#include "tracesim/simulator.h"
+#include "trace/sanitize.h"
+
+namespace mapit::baselines {
+namespace {
+
+class ItdkTest : public ::testing::Test {
+ protected:
+  static topo::GeneratorConfig topo_config() {
+    topo::GeneratorConfig c;
+    c.seed = 17;
+    c.tier1_count = 3;
+    c.transit_count = 12;
+    c.stub_count = 40;
+    c.rne_customer_count = 6;
+    return c;
+  }
+
+  ItdkTest()
+      : net_(topo::Generator(topo_config()).generate()),
+        routing_(net_.true_relationships()),
+        forwarder_(net_, routing_) {
+    tracesim::SimulatorConfig sim;
+    sim.seed = 29;
+    sim.monitor_count = 6;
+    sim.destinations_per_prefix = 1;
+    tracesim::TracerouteSimulator simulator(net_, forwarder_, sim);
+    corpus_ = trace::sanitize(simulator.run_campaign(nullptr)).clean;
+    rib_ = net_.export_rib(topo::DatasetNoise{}, 7);
+    ip2as_ = std::make_unique<bgp::Ip2As>(rib_);
+  }
+
+  topo::Internet net_;
+  route::AsRouting routing_;
+  route::Forwarder forwarder_;
+  trace::TraceCorpus corpus_;
+  bgp::Rib rib_;
+  std::unique_ptr<bgp::Ip2As> ip2as_;
+};
+
+TEST_F(ItdkTest, DeterministicForSameConfig) {
+  const AliasConfig config = AliasConfig::midar();
+  const Claims a = itdk_router_graph(corpus_, net_, *ip2as_, config);
+  const Claims b = itdk_router_graph(corpus_, net_, *ip2as_, config);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ItdkTest, PerfectAliasResolutionStillMakesElectionErrors) {
+  // Even with no split/merge errors, router-to-AS election mis-assigns
+  // border routers whose interfaces are mostly neighbour-numbered — the
+  // core reason router graphs struggle at boundaries (§5.6).
+  AliasConfig perfect;
+  perfect.split_prob = 0.0;
+  perfect.false_merge_prob = 0.0;
+  const Claims claims = itdk_router_graph(corpus_, net_, *ip2as_, perfect);
+  EXPECT_FALSE(claims.empty());
+}
+
+TEST_F(ItdkTest, FullSplitDegeneratesToPerInterfaceNodes) {
+  AliasConfig shattered;
+  shattered.split_prob = 1.0;
+  shattered.false_merge_prob = 0.0;
+  const Claims claims = itdk_router_graph(corpus_, net_, *ip2as_, shattered);
+  // With singleton clusters the graph reduces to the Simple heuristic's
+  // adjacency view: plenty of claims.
+  EXPECT_GT(claims.size(), 50u);
+}
+
+TEST_F(ItdkTest, MergesReduceInterAsAdjacencies) {
+  // Aggressively merging trace-adjacent clusters absorbs boundaries, so a
+  // kapar-like config should not produce *more* claims than a fully split
+  // one on the same corpus.
+  AliasConfig shattered;
+  shattered.split_prob = 1.0;
+  shattered.false_merge_prob = 0.0;
+  AliasConfig merged;
+  merged.split_prob = 0.0;
+  merged.false_merge_prob = 0.9;
+  const Claims many = itdk_router_graph(corpus_, net_, *ip2as_, shattered);
+  const Claims fewer = itdk_router_graph(corpus_, net_, *ip2as_, merged);
+  EXPECT_LT(fewer.size(), many.size());
+}
+
+TEST_F(ItdkTest, PresetConfigs) {
+  EXPECT_LT(AliasConfig::midar().false_merge_prob,
+            AliasConfig::kapar().false_merge_prob);
+  EXPECT_GT(AliasConfig::midar().split_prob, AliasConfig::kapar().split_prob);
+}
+
+TEST_F(ItdkTest, ClaimsAreNormalized) {
+  const Claims claims =
+      itdk_router_graph(corpus_, net_, *ip2as_, AliasConfig::midar());
+  for (std::size_t i = 1; i < claims.size(); ++i) {
+    EXPECT_LT(claims[i - 1], claims[i]);
+  }
+  for (const Claim& claim : claims) {
+    EXPECT_LE(claim.a, claim.b);
+    EXPECT_NE(claim.a, claim.b);
+  }
+}
+
+}  // namespace
+}  // namespace mapit::baselines

@@ -1,0 +1,132 @@
+// Simple / Convention heuristic tests, including the customer-space
+// failure mode the paper demonstrates with Internet2.
+#include "baselines/simple.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mapit::baselines {
+namespace {
+
+using testutil::addr;
+using testutil::corpus_from;
+using testutil::rib_from;
+
+TEST(SimpleHeuristic, ClaimsFirstAddressInNewAs) {
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 1.0.0.2 2.0.0.1 2.0.0.2",
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  const Claims claims = simple_heuristic(corpus, ip2as);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, addr("2.0.0.1"));
+  EXPECT_EQ(claims[0].a, 100u);
+  EXPECT_EQ(claims[0].b, 200u);
+}
+
+TEST(SimpleHeuristic, EveryAsSwitchClaims) {
+  // Third-party-style noise: each switch in the trace produces a claim,
+  // which is exactly why the heuristic's precision is poor.
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1 3.0.0.1 1.0.0.5",
+  });
+  const bgp::Ip2As ip2as(rib_from(
+      {{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}, {"3.0.0.0/16", 300}}));
+  const Claims claims = simple_heuristic(corpus, ip2as);
+  EXPECT_EQ(claims.size(), 3u);
+}
+
+TEST(SimpleHeuristic, SkipsUnknownAndNullHops) {
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 * 2.0.0.1",      // null hop breaks adjacency
+      "1|9.9.9.9|1.0.0.1 66.0.0.1",       // unannounced neighbour
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  EXPECT_TRUE(simple_heuristic(corpus, ip2as).empty());
+}
+
+TEST(SimpleHeuristic, DeduplicatesAcrossTraces) {
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.1 2.0.0.1",
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  EXPECT_EQ(simple_heuristic(corpus, ip2as).size(), 1u);
+}
+
+TEST(ConventionHeuristic, PrefersProviderAddressOnTransitLinks) {
+  // Provider-named transit link: hops [provider-internal][customer border
+  // ingress in provider space? no —] the convention heuristic just picks
+  // whichever adjacent address is in the provider's space.
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",  // AS100 (provider) then AS200 (customer)
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 200);
+  const Claims claims = convention_heuristic(corpus, ip2as, rels);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, addr("1.0.0.1"));  // provider-space address
+}
+
+TEST(ConventionHeuristic, CustomerDirectionPicksProviderSide) {
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|2.0.0.1 1.0.0.1",  // customer then provider
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 200);
+  const Claims claims = convention_heuristic(corpus, ip2as, rels);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, addr("1.0.0.1"));
+}
+
+TEST(ConventionHeuristic, FallsBackToSimpleForPeers) {
+  const auto corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_peering(100, 200);
+  const Claims claims = convention_heuristic(corpus, ip2as, rels);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].address, addr("2.0.0.1"));  // Simple's choice
+}
+
+TEST(ConventionHeuristic, CustomerNamedLinksFoolTheConvention) {
+  // The Internet2 failure mode: the link is numbered from the *customer's*
+  // space, so the provider-space address the heuristic claims is actually
+  // an internal provider interface.
+  const auto corpus = corpus_from({
+      // [provider internal 1.0.0.1][customer border ingress 2.0.0.9
+      //  (customer-named link)][customer internal 2.0.0.17]
+      "0|9.9.9.9|1.0.0.1 2.0.0.9 2.0.0.17",
+  });
+  const bgp::Ip2As ip2as(rib_from({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}}));
+  asdata::AsRelationships rels;
+  rels.add_transit(100, 200);
+  const Claims claims = convention_heuristic(corpus, ip2as, rels);
+  ASSERT_EQ(claims.size(), 1u);
+  // Claims the provider-side internal interface — a false positive — and
+  // misses the true link interface 2.0.0.9.
+  EXPECT_EQ(claims[0].address, addr("1.0.0.1"));
+}
+
+TEST(MakeClaim, NormalizesPairOrder) {
+  const Claim claim = make_claim(addr("1.2.3.4"), 300, 100);
+  EXPECT_EQ(claim.a, 100u);
+  EXPECT_EQ(claim.b, 300u);
+}
+
+TEST(Normalize, SortsAndDeduplicates) {
+  Claims claims = {make_claim(addr("2.0.0.1"), 1, 2),
+                   make_claim(addr("1.0.0.1"), 3, 4),
+                   make_claim(addr("2.0.0.1"), 1, 2)};
+  normalize(claims);
+  ASSERT_EQ(claims.size(), 2u);
+  EXPECT_EQ(claims[0].address, addr("1.0.0.1"));
+}
+
+}  // namespace
+}  // namespace mapit::baselines

@@ -1,0 +1,110 @@
+#include "bgp/ip2as.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asdata/ixp.h"
+#include "bgp/rib.h"
+
+namespace mapit::bgp {
+namespace {
+
+net::Prefix P(const char* text) { return net::Prefix::parse_or_throw(text); }
+net::Ipv4Address A(const char* text) {
+  return net::Ipv4Address::parse_or_throw(text);
+}
+
+class Ip2AsTest : public ::testing::Test {
+ protected:
+  Ip2AsTest() {
+    const CollectorId c = rib_.add_collector("rc");
+    rib_.add_announcement(c, P("20.0.0.0/16"), 1000);
+    rib_.add_announcement(c, P("20.0.128.0/17"), 2000);  // more specific
+    fallback_.insert(P("50.0.0.0/16"), 5000);
+    ixps_.add_prefix(P("195.1.0.0/24"), 1);
+    ixps_.add_ixp_asn(64500);
+  }
+
+  Rib rib_;
+  net::PrefixTrie<asdata::Asn> fallback_;
+  asdata::IxpRegistry ixps_;
+};
+
+TEST_F(Ip2AsTest, BgpLayerWithLongestMatch) {
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  EXPECT_EQ(ip2as.origin(A("20.0.1.1")), 1000u);
+  EXPECT_EQ(ip2as.origin(A("20.0.200.1")), 2000u);
+  const Ip2AsResult result = ip2as.lookup(A("20.0.1.1"));
+  EXPECT_EQ(result.source, Ip2AsSource::kBgp);
+  ASSERT_TRUE(result.prefix.has_value());
+  EXPECT_EQ(*result.prefix, P("20.0.0.0/16"));
+}
+
+TEST_F(Ip2AsTest, FallbackCoversPrefixesMissingFromBgp) {
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  const Ip2AsResult result = ip2as.lookup(A("50.0.9.9"));
+  EXPECT_EQ(result.asn, 5000u);
+  EXPECT_EQ(result.source, Ip2AsSource::kFallback);
+}
+
+TEST_F(Ip2AsTest, BgpShadowsFallback) {
+  fallback_.insert(P("20.0.0.0/16"), 9999);  // conflicting fallback entry
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  EXPECT_EQ(ip2as.origin(A("20.0.1.1")), 1000u);
+}
+
+TEST_F(Ip2AsTest, SpecialPurposeBeatsEverything) {
+  const CollectorId c = rib_.add_collector("rc2");
+  rib_.add_announcement(c, P("0.0.0.0/0"), 42);  // covers everything
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  const Ip2AsResult result = ip2as.lookup(A("192.168.1.1"));
+  EXPECT_EQ(result.source, Ip2AsSource::kSpecial);
+  EXPECT_EQ(result.asn, asdata::kUnknownAsn);
+  EXPECT_TRUE(ip2as.is_special(A("10.1.1.1")));
+}
+
+TEST_F(Ip2AsTest, IxpAddressesMapToUnknown) {
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  const Ip2AsResult result = ip2as.lookup(A("195.1.0.7"));
+  EXPECT_EQ(result.source, Ip2AsSource::kIxp);
+  EXPECT_EQ(result.asn, asdata::kUnknownAsn);
+  EXPECT_TRUE(ip2as.is_ixp(A("195.1.0.7")));
+  EXPECT_FALSE(ip2as.is_ixp(A("195.2.0.7")));
+}
+
+TEST_F(Ip2AsTest, UnannouncedAddresses) {
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  const Ip2AsResult result = ip2as.lookup(A("99.99.99.99"));
+  EXPECT_EQ(result.source, Ip2AsSource::kUnannounced);
+  EXPECT_EQ(result.asn, asdata::kUnknownAsn);
+}
+
+TEST_F(Ip2AsTest, BgpOnlyConvenienceConstructor) {
+  const Ip2As ip2as(rib_);
+  EXPECT_EQ(ip2as.origin(A("20.0.1.1")), 1000u);
+  EXPECT_EQ(ip2as.origin(A("50.0.9.9")), asdata::kUnknownAsn);
+  EXPECT_FALSE(ip2as.is_ixp(A("195.1.0.7")));  // no IXP layer
+}
+
+TEST_F(Ip2AsTest, CoverageCountsUsableAddressesOnly) {
+  const Ip2As ip2as(rib_, std::move(fallback_), &ixps_);
+  const std::vector<net::Ipv4Address> addresses = {
+      A("20.0.1.1"),      // covered by BGP
+      A("50.0.9.9"),      // covered by fallback
+      A("99.99.99.99"),   // unannounced
+      A("192.168.1.1"),   // special: excluded from the denominator
+  };
+  EXPECT_NEAR(ip2as.coverage(addresses), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Ip2AsSourceNames, AllDistinct) {
+  EXPECT_STREQ(to_string(Ip2AsSource::kBgp), "bgp");
+  EXPECT_STREQ(to_string(Ip2AsSource::kFallback), "fallback");
+  EXPECT_STREQ(to_string(Ip2AsSource::kIxp), "ixp");
+  EXPECT_STREQ(to_string(Ip2AsSource::kSpecial), "special");
+  EXPECT_STREQ(to_string(Ip2AsSource::kUnannounced), "unannounced");
+}
+
+}  // namespace
+}  // namespace mapit::bgp

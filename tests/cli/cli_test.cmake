@@ -1,0 +1,70 @@
+# End-to-end exercise of the mapit CLI: synthesize datasets, run MAP-IT on
+# them, print stats, and check the outputs exist and parse.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${MAPIT_BIN} simulate --out ${WORK_DIR} --seed 9
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed (${rc}): ${out}${err}")
+endif()
+
+foreach(f traces.txt rib.txt relationships.txt as2org.txt ixps.txt)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "simulate did not write ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${MAPIT_BIN} run
+    --traces ${WORK_DIR}/traces.txt
+    --rib ${WORK_DIR}/rib.txt
+    --relationships ${WORK_DIR}/relationships.txt
+    --as2org ${WORK_DIR}/as2org.txt
+    --ixps ${WORK_DIR}/ixps.txt
+    --output ${WORK_DIR}/inferences.txt
+    --uncertain ${WORK_DIR}/uncertain.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run failed (${rc}): ${out}${err}")
+endif()
+if(NOT err MATCHES "confident inferences")
+  message(FATAL_ERROR "run did not report inference counts: ${err}")
+endif()
+
+file(STRINGS ${WORK_DIR}/inferences.txt inference_lines)
+list(LENGTH inference_lines n)
+if(n LESS 10)
+  message(FATAL_ERROR "suspiciously few inferences written (${n} lines)")
+endif()
+
+execute_process(
+  COMMAND ${MAPIT_BIN} stats --traces ${WORK_DIR}/traces.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "graph interfaces")
+  message(FATAL_ERROR "stats failed (${rc}): ${out}${err}")
+endif()
+
+# Unknown arguments must be rejected.
+execute_process(
+  COMMAND ${MAPIT_BIN} run --traces ${WORK_DIR}/traces.txt
+          --rib ${WORK_DIR}/rib.txt --bogus-flag
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown argument was not rejected")
+endif()
+
+message(STATUS "cli end-to-end OK (${n} inference lines)")
+
+# Truth file + eval subcommand.
+if(NOT EXISTS ${WORK_DIR}/truth.txt)
+  message(FATAL_ERROR "simulate did not write truth.txt")
+endif()
+execute_process(
+  COMMAND ${MAPIT_BIN} eval --inferences ${WORK_DIR}/inferences.txt
+          --truth ${WORK_DIR}/truth.txt --target 1000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "matched by inferences")
+  message(FATAL_ERROR "eval failed (${rc}): ${out}${err}")
+endif()

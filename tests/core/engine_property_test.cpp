@@ -1,0 +1,162 @@
+// Property sweeps for the engine over generated worlds: determinism,
+// convergence, output well-formedness, and cross-option relationships.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/claims.h"
+#include "core/engine.h"
+#include "eval/experiment.h"
+
+namespace mapit::core {
+namespace {
+
+eval::ExperimentConfig config_for_seed(std::uint64_t seed) {
+  eval::ExperimentConfig config = eval::ExperimentConfig::small();
+  config.topology.seed = seed;
+  config.simulation.seed = seed ^ 0xFEEDu;
+  config.dataset_seed = seed ^ 0xBEEFu;
+  return config;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginePropertyTest, DeterministicAcrossIndependentRuns) {
+  const auto a = eval::Experiment::build(config_for_seed(GetParam()));
+  const auto b = eval::Experiment::build(config_for_seed(GetParam()));
+  Options options;
+  options.f = 0.5;
+  const Result ra = a->run_mapit(options);
+  const Result rb = b->run_mapit(options);
+  EXPECT_EQ(ra.inferences, rb.inferences);
+  EXPECT_EQ(ra.uncertain, rb.uncertain);
+  EXPECT_EQ(ra.stats.iterations, rb.stats.iterations);
+}
+
+TEST_P(EnginePropertyTest, ConvergesWithinBound) {
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  Options options;
+  options.f = 0.5;
+  const Result result = experiment->run_mapit(options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_LE(result.stats.iterations, options.max_iterations);
+  // The paper reports convergence in 3 iterations; allow slack but catch
+  // runaway dynamics.
+  EXPECT_LE(result.stats.iterations, 10);
+}
+
+TEST_P(EnginePropertyTest, OutputsAreWellFormed) {
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  Options options;
+  options.f = 0.5;
+  const Result result = experiment->run_mapit(options);
+
+  std::set<graph::InterfaceHalf> seen;
+  for (const Inference& inference : result.inferences) {
+    EXPECT_FALSE(inference.uncertain);
+    if (inference.kind != InferenceKind::kIndirect) {
+      // Direct/stub inferences always name the dominating AS; an indirect
+      // mirror can carry kUnknownAsn when its source's address space is
+      // unannounced.
+      EXPECT_NE(inference.router_as, asdata::kUnknownAsn);
+    }
+    // At most one confident inference per interface half.
+    EXPECT_TRUE(seen.insert(inference.half).second)
+        << inference.to_string();
+    // Sorted by (address, direction).
+  }
+  for (std::size_t i = 1; i < result.inferences.size(); ++i) {
+    EXPECT_LE(result.inferences[i - 1].half, result.inferences[i].half);
+  }
+  for (const Inference& inference : result.uncertain) {
+    EXPECT_TRUE(inference.uncertain);
+  }
+}
+
+TEST_P(EnginePropertyTest, DirectInferencesNeverSitOnOwnAsMajority) {
+  // Structural soundness: every direct inference names a router AS whose
+  // sibling group differs from the interface's base origin group.
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  Options options;
+  options.f = 0.5;
+  const Result result = experiment->run_mapit(options);
+  const auto& orgs = experiment->orgs();
+  for (const Inference& inference : result.inferences) {
+    if (inference.kind != InferenceKind::kDirect) continue;
+    const asdata::Asn own =
+        experiment->ip2as().origin(inference.half.address);
+    if (own == asdata::kUnknownAsn) continue;
+    EXPECT_NE(orgs.group_key(inference.router_as), orgs.group_key(own))
+        << inference.to_string();
+    EXPECT_EQ(inference.other_as, own) << inference.to_string();
+  }
+}
+
+TEST_P(EnginePropertyTest, StubInferencesOnlyNameStubAses) {
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  const Result result = experiment->run_mapit({});
+  for (const Inference& inference : result.inferences) {
+    if (inference.kind != InferenceKind::kStub) continue;
+    EXPECT_TRUE(experiment->relationships().is_stub(inference.router_as))
+        << inference.to_string();
+  }
+}
+
+TEST_P(EnginePropertyTest, HigherFNeverAddsStublessDirectInferences) {
+  // f only gates direct inferences; with the multipass dynamics the final
+  // sets are not strictly nested, but the very first Direct snapshot is:
+  // every f=0.9 first-pass inference must also fire at f=0.1.
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  Options strict;
+  strict.f = 0.9;
+  strict.capture_snapshots = true;
+  Options loose;
+  loose.f = 0.1;
+  loose.capture_snapshots = true;
+  const Result rs = experiment->run_mapit(strict);
+  const Result rl = experiment->run_mapit(loose);
+  ASSERT_FALSE(rs.snapshots.empty());
+  ASSERT_FALSE(rl.snapshots.empty());
+  ASSERT_EQ(rs.snapshots[0].label, "Direct");
+  std::set<std::tuple<graph::InterfaceHalf, asdata::Asn, asdata::Asn>> loose_set;
+  for (const Inference& inference : rl.snapshots[0].inferences) {
+    if (inference.kind == InferenceKind::kIndirect) continue;
+    loose_set.insert({inference.half, inference.router_as, inference.other_as});
+  }
+  for (const Inference& inference : rs.snapshots[0].inferences) {
+    if (inference.kind == InferenceKind::kIndirect) continue;
+    EXPECT_TRUE(loose_set.contains(
+        {inference.half, inference.router_as, inference.other_as}))
+        << inference.to_string();
+  }
+}
+
+TEST_P(EnginePropertyTest, ClaimsAreDeduplicatedAndComplete) {
+  const auto experiment = eval::Experiment::build(config_for_seed(GetParam()));
+  const Result result = experiment->run_mapit({});
+  const baselines::Claims claims = baselines::claims_from_result(result);
+  for (std::size_t i = 1; i < claims.size(); ++i) {
+    EXPECT_LT(claims[i - 1], claims[i]);  // sorted + unique
+  }
+  // Claims carry only direct/stub evidence (DESIGN.md §5): every claim
+  // address must have a non-indirect confident inference behind it.
+  std::set<net::Ipv4Address> evidenced;
+  for (const Inference& inference : result.inferences) {
+    if (inference.kind != InferenceKind::kIndirect) {
+      evidenced.insert(inference.half.address);
+    }
+  }
+  for (const baselines::Claim& claim : claims) {
+    EXPECT_NE(claim.a, asdata::kUnknownAsn);
+    EXPECT_NE(claim.b, asdata::kUnknownAsn);
+    EXPECT_LE(claim.a, claim.b);
+    EXPECT_TRUE(evidenced.contains(claim.address))
+        << claim.address.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace mapit::core

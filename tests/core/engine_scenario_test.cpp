@@ -1,0 +1,280 @@
+// Scenario tests reconstructing the paper's worked examples (Figs 2-5 and
+// the §4.4.1 multipass narrative) on hand-built mini-worlds.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace mapit::core {
+namespace {
+
+using graph::Direction;
+using testutil::MiniWorld;
+using testutil::find_inference;
+
+// ---------------------------------------------------------------------------
+// §3.1 / Fig 2: a forward neighbour set dominated by another AS pins the
+// interface to a router in that AS and names the inter-AS link.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, ForwardDirectInference) {
+  // 1.0.0.10 is announced by AS100 but sits on an AS200 router (the
+  // 109.105.98.10 situation): its successors are AS200-internal addresses.
+  MiniWorld world(
+      {{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}},
+      {
+          "0|9.9.9.9|1.0.0.10 2.0.0.2",
+          "1|9.9.9.9|1.0.0.10 2.0.0.6",
+      });
+  const Result result = world.run();
+  const Inference* inference =
+      find_inference(result, "1.0.0.10", Direction::kForward);
+  ASSERT_NE(inference, nullptr);
+  EXPECT_EQ(inference->router_as, 200u);  // resides on an AS200 router
+  EXPECT_EQ(inference->other_as, 100u);   // link connects AS200 <-> AS100
+  EXPECT_EQ(inference->kind, InferenceKind::kDirect);
+  EXPECT_FALSE(inference->uncertain);
+}
+
+TEST(EngineScenario, BackwardDirectInference) {
+  // The mirrored case: predecessors of 3.0.0.1 are AS200-internal, so
+  // 3.0.0.1 heads the AS200->AS300 link on an AS300 router.
+  MiniWorld world(
+      {{"2.0.0.0/16", 200}, {"3.0.0.0/16", 300}},
+      {
+          "0|9.9.9.9|2.0.0.2 3.0.0.1",
+          "1|9.9.9.9|2.0.0.6 3.0.0.1",
+      });
+  const Result result = world.run();
+  const Inference* inference =
+      find_inference(result, "3.0.0.1", Direction::kBackward);
+  ASSERT_NE(inference, nullptr);
+  EXPECT_EQ(inference->router_as, 200u);
+  EXPECT_EQ(inference->other_as, 300u);
+}
+
+// ---------------------------------------------------------------------------
+// §4.4.1's multipass narrative: no inference is possible for 199.109.5.1_b
+// on the first pass; the IP2AS update from 109.105.98.10_f's inference
+// tips the count on the second pass.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, SecondPassInferenceAfterIp2AsUpdate) {
+  // Cast: AS100 ~ NORDUnet (owns 1.0.0.10's space), AS200 ~ Internet2,
+  // AS300 ~ NYSERNet (owns 3.0.0.1), AS500 ~ an unrelated network.
+  MiniWorld world(
+      {{"1.0.0.0/16", 100},
+       {"2.0.0.0/16", 200},
+       {"3.0.0.0/16", 300},
+       {"5.0.0.0/16", 500}},
+      {
+          // Establish 1.0.0.10's forward inference (router in AS200).
+          "0|9.9.9.9|1.0.0.10 2.0.0.2",
+          "1|9.9.9.9|1.0.0.10 2.0.0.6",
+          // 3.0.0.1's N_B = {1.0.0.10, 2.0.0.14, 5.0.0.1}: initially one
+          // vote each for AS100/AS200/AS500 -> no strict majority.
+          "2|9.9.9.9|1.0.0.10 3.0.0.1 3.0.0.50",
+          "3|9.9.9.9|2.0.0.14 3.0.0.1 3.0.0.60",
+          "4|9.9.9.9|5.0.0.1 3.0.0.1 3.0.0.70",
+      });
+  core::Options options;
+  options.f = 0.5;
+  const Result result = world.run(options);
+
+  // After 1.0.0.10_f maps to AS200, N_B(3.0.0.1) counts AS200 twice.
+  const Inference* inference =
+      find_inference(result, "3.0.0.1", Direction::kBackward);
+  ASSERT_NE(inference, nullptr);
+  EXPECT_EQ(inference->router_as, 200u);
+  EXPECT_EQ(inference->other_as, 300u);
+  EXPECT_GE(result.stats.add_passes, 2);
+}
+
+TEST(EngineScenario, NoSecondPassInferenceWithoutTheUpdate) {
+  // Control: disable other-side/mapping refinement by replacing 1.0.0.10's
+  // helper traces; N_B(3.0.0.1) stays 1-1-1 and no inference appears.
+  MiniWorld world(
+      {{"1.0.0.0/16", 100},
+       {"2.0.0.0/16", 200},
+       {"3.0.0.0/16", 300},
+       {"5.0.0.0/16", 500}},
+      {
+          "2|9.9.9.9|1.0.0.10 3.0.0.1 3.0.0.50",
+          "3|9.9.9.9|2.0.0.14 3.0.0.1 3.0.0.60",
+          "4|9.9.9.9|5.0.0.1 3.0.0.1 3.0.0.70",
+      });
+  const Result result = world.run();
+  EXPECT_EQ(find_inference(result, "3.0.0.1", Direction::kBackward), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// §4.4.3 / Fig 4: a third-party address draws inferences in both directions
+// naming different ASes; the forward inference wins.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, DualInferenceKeepsForwardDropsBackward) {
+  // 6.0.0.1 (AS600 ~ Level3's 212.113.9.210) appears after AS800 hops
+  // (TeliaSonera) and before AS700 hops (Think Systems).
+  MiniWorld world(
+      {{"6.0.0.0/16", 600}, {"7.0.0.0/16", 700}, {"8.0.0.0/16", 800}},
+      {
+          "0|9.9.9.9|8.0.0.1 6.0.0.1 7.0.0.1",
+          "1|9.9.9.9|8.0.0.5 6.0.0.1 7.0.0.5",
+      });
+  const Result result = world.run();
+  const Inference* forward =
+      find_inference(result, "6.0.0.1", Direction::kForward);
+  ASSERT_NE(forward, nullptr);
+  EXPECT_EQ(forward->router_as, 700u);
+  EXPECT_EQ(forward->other_as, 600u);
+  EXPECT_EQ(find_inference(result, "6.0.0.1", Direction::kBackward), nullptr);
+  EXPECT_GE(result.stats.duals_resolved, 1u);
+}
+
+TEST(EngineScenario, DualInferenceSameAsKeepsBoth) {
+  // When both directions name the same AS (load balancing / outgoing
+  // interfaces), both inferences stay (§4.4.3).
+  MiniWorld world(
+      {{"6.0.0.0/16", 600}, {"7.0.0.0/16", 700}},
+      {
+          "0|9.9.9.9|7.0.0.1 6.0.0.1 7.0.0.9",
+          "1|9.9.9.9|7.0.0.5 6.0.0.1 7.0.0.13",
+      });
+  const Result result = world.run();
+  EXPECT_NE(find_inference(result, "6.0.0.1", Direction::kForward), nullptr);
+  EXPECT_NE(find_inference(result, "6.0.0.1", Direction::kBackward), nullptr);
+  EXPECT_EQ(result.stats.duals_resolved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// §4.4.4 / Fig 5: inverse inferences. The campus border ingress (numbered
+// from the provider) is the real boundary; the campus-internal interface
+// with a provider-dominated N_B is the mistaken mirror inference.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, InverseInferenceKeepsForwardDropsBackward) {
+  // AS900 ~ Internet2 (9/16), AS1100 ~ U. Montana (11.0/16).
+  // 9.0.50.1 and 9.0.50.5 are ingresses of the campus border router
+  // (provider-numbered links); 11.0.0.1 / 11.0.0.2 are campus-internal.
+  MiniWorld world(
+      {{"9.0.0.0/16", 900}, {"11.0.0.0/16", 1100}},
+      {
+          "0|9.9.9.9|9.0.0.10 9.0.50.1 11.0.0.1 11.0.0.9",
+          "1|9.9.9.9|9.0.0.14 9.0.50.5 11.0.0.1 11.0.0.9",
+          "2|9.9.9.9|9.0.0.10 9.0.50.1 11.0.0.2 11.0.0.9",
+          "3|9.9.9.9|9.0.0.14 9.0.50.5 11.0.0.2 11.0.0.9",
+      });
+  const Result result = world.run();
+
+  // Correct: the provider-numbered border ingresses are inferred forward.
+  const Inference* fwd1 =
+      find_inference(result, "9.0.50.1", Direction::kForward);
+  ASSERT_NE(fwd1, nullptr);
+  EXPECT_EQ(fwd1->router_as, 1100u);
+  EXPECT_EQ(fwd1->other_as, 900u);
+  EXPECT_NE(find_inference(result, "9.0.50.5", Direction::kForward), nullptr);
+
+  // Mistaken mirror inferences on campus-internal interfaces are gone.
+  EXPECT_EQ(find_inference(result, "11.0.0.1", Direction::kBackward), nullptr);
+  EXPECT_EQ(find_inference(result, "11.0.0.2", Direction::kBackward), nullptr);
+  EXPECT_GE(result.stats.inverses_resolved, 1u);
+}
+
+TEST(EngineScenario, UnresolvableInversePairBecomesUncertain) {
+  // Same as above, but the other side of the mistaken backward IH also
+  // carries a direct inference: neither IH is topologically nearer, so
+  // MAP-IT emits both as uncertain (§4.4.4).
+  //
+  // 11.0.0.1's other side is 11.0.0.2 (no /30 witness -> /30 pairing);
+  // giving 11.0.0.2_f an AS900-dominated N_F creates the stalemate.
+  MiniWorld world(
+      {{"9.0.0.0/16", 900}, {"11.0.0.0/16", 1100}},
+      {
+          "0|9.9.9.9|9.0.0.10 9.0.50.1 11.0.0.1 11.0.0.9",
+          "1|9.9.9.9|9.0.0.14 9.0.50.5 11.0.0.1 11.0.0.9",
+          // A third AS900 predecessor keeps 11.0.0.1_b supported through
+          // the remove step even after 9.0.50.1_f is remapped.
+          "2|9.9.9.9|9.0.70.1 11.0.0.1 11.0.0.9",
+          // Extra forward neighbours so 9.0.50.1_f keeps its inference
+          // (11.0.0.5/11.0.0.7 sit in a different /30, so they are not /31
+          // witnesses for 11.0.0.1 and the other-side relation stays
+          // 11.0.0.1 <-> 11.0.0.2).
+          "3|9.9.9.9|9.0.0.10 9.0.50.1 11.0.0.5 11.0.0.9",
+          "4|9.9.9.9|9.0.0.10 9.0.50.1 11.0.0.7 11.0.0.9",
+          // 11.0.0.2's forward neighbours are AS900 addresses.
+          "5|9.9.9.9|11.0.0.50 11.0.0.2 9.0.60.1",
+          "6|9.9.9.9|11.0.0.54 11.0.0.2 9.0.60.5",
+      });
+  const Result result = world.run();
+  EXPECT_GE(result.stats.uncertain_pairs, 1u);
+  ASSERT_FALSE(result.uncertain.empty());
+  // Both members of the inverse pair are excluded from confident output
+  // and present on the uncertain list.
+  bool found_backward = false;
+  for (const Inference& inference : result.uncertain) {
+    if (inference.half.address == testutil::addr("11.0.0.1") &&
+        inference.half.direction == Direction::kBackward) {
+      found_backward = true;
+    }
+  }
+  EXPECT_TRUE(found_backward);
+  EXPECT_EQ(find_inference(result, "11.0.0.1", Direction::kBackward), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// §4.4.2: the other side of a direct inference receives an indirect
+// inference naming the same link.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, IndirectInferenceOnOtherSide) {
+  MiniWorld world(
+      {{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}},
+      {
+          "0|9.9.9.9|1.0.0.10 2.0.0.2",
+          "1|9.9.9.9|1.0.0.10 2.0.0.6",
+      });
+  const Result result = world.run();
+  // 1.0.0.10 is a /30 host without witness: other side is 1.0.0.9, whose
+  // backward half mirrors the link {AS200, AS100}.
+  const Inference* indirect =
+      find_inference(result, "1.0.0.9", Direction::kBackward);
+  ASSERT_NE(indirect, nullptr);
+  EXPECT_EQ(indirect->kind, InferenceKind::kIndirect);
+  EXPECT_EQ(indirect->as_pair(), (std::pair<asdata::Asn, asdata::Asn>{100, 200}));
+}
+
+// ---------------------------------------------------------------------------
+// §4.5: an inference invalidated by later mapping updates is demoted and
+// discarded; the engine re-derives the corrected link.
+// ---------------------------------------------------------------------------
+TEST(EngineScenario, RemoveStepRevisesInvalidatedInference) {
+  // Z = 20.0.0.1 (AS20). Its N_F = {21.0.0.1, 21.0.0.2} (AS21) initially
+  // supports {21, 20}. But both members' backward halves are dominated by
+  // AS22, remapping them; Z's support for AS21 collapses, the remove step
+  // demotes and discards the inference, and the next add step settles on
+  // {22, 20}. (The AS23 padding keeps 22.0.0.x's forward halves tied so
+  // the inverse-inference machinery stays out of the picture.)
+  MiniWorld world(
+      {{"20.0.0.0/16", 20},
+       {"21.0.0.0/16", 21},
+       {"22.0.0.0/16", 22},
+       {"23.0.0.0/16", 23}},
+      {
+          "0|9.9.9.9|20.0.0.1 21.0.0.1",
+          "1|9.9.9.9|20.0.0.1 21.0.0.2",
+          "2|9.9.9.9|22.0.0.1 21.0.0.1 21.0.0.99",
+          "3|9.9.9.9|22.0.0.5 21.0.0.1 21.0.0.99",
+          "4|9.9.9.9|22.0.0.1 21.0.0.2 21.0.0.99",
+          "5|9.9.9.9|22.0.0.5 21.0.0.2 21.0.0.99",
+          "6|9.9.9.9|22.0.0.1 23.0.0.9",
+          "7|9.9.9.9|22.0.0.1 23.0.0.13",
+          "8|9.9.9.9|22.0.0.5 23.0.0.9",
+          "9|9.9.9.9|22.0.0.5 23.0.0.13",
+      });
+  const Result result = world.run();
+  const Inference* inference =
+      find_inference(result, "20.0.0.1", Direction::kForward);
+  ASSERT_NE(inference, nullptr);
+  EXPECT_EQ(inference->router_as, 22u);
+  EXPECT_EQ(inference->other_as, 20u);
+  EXPECT_GE(result.stats.removed_in_remove_step, 1u);
+  EXPECT_TRUE(result.stats.converged);
+}
+
+}  // namespace
+}  // namespace mapit::core

@@ -1,0 +1,78 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mapit::core {
+namespace {
+
+using testutil::MiniWorld;
+
+TEST(Explain, InferredInterfaceTrail) {
+  MiniWorld world({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}},
+                  {
+                      "0|9.9.9.9|1.0.0.10 2.0.0.2",
+                      "1|9.9.9.9|1.0.0.10 2.0.0.6",
+                  });
+  const Result result = world.run();
+  const std::string text = explain(result, world.graph(), world.ip2as(),
+                                   testutil::addr("1.0.0.10"));
+  EXPECT_NE(text.find("interface 1.0.0.10"), std::string::npos);
+  EXPECT_NE(text.find("origin AS100"), std::string::npos);
+  EXPECT_NE(text.find("other side 1.0.0.9"), std::string::npos);
+  EXPECT_NE(text.find("2.0.0.2_b"), std::string::npos);
+  EXPECT_NE(text.find("AS200 <-> AS100 (direct)"), std::string::npos);
+  EXPECT_NE(text.find("2/2 neighbours agree"), std::string::npos);
+  // The backward half has no neighbours at all.
+  EXPECT_NE(text.find("fewer than two neighbour addresses"),
+            std::string::npos);
+}
+
+TEST(Explain, ShowsRefinedMappings) {
+  // The multipass example: after refinement, 1.0.0.10_f maps to AS200 and
+  // the trail for its successor must say so.
+  MiniWorld world(
+      {{"1.0.0.0/16", 100},
+       {"2.0.0.0/16", 200},
+       {"3.0.0.0/16", 300},
+       {"5.0.0.0/16", 500}},
+      {
+          "0|9.9.9.9|1.0.0.10 2.0.0.2",
+          "1|9.9.9.9|1.0.0.10 2.0.0.6",
+          "2|9.9.9.9|1.0.0.10 3.0.0.1 3.0.0.50",
+          "3|9.9.9.9|2.0.0.14 3.0.0.1 3.0.0.60",
+          "4|9.9.9.9|5.0.0.1 3.0.0.1 3.0.0.70",
+      });
+  const Result result = world.run();
+  const std::string text = explain(result, world.graph(), world.ip2as(),
+                                   testutil::addr("3.0.0.1"));
+  // 1.0.0.10_f appears in N_B with both its origin and refined mapping.
+  EXPECT_NE(text.find("1.0.0.10_f  origin AS100, refined to AS200"),
+            std::string::npos);
+  EXPECT_NE(text.find("AS200 <-> AS300 (direct)"), std::string::npos);
+}
+
+TEST(Explain, UnknownAddress) {
+  MiniWorld world({{"1.0.0.0/16", 100}},
+                  {"0|9.9.9.9|1.0.0.1 1.0.0.2"});
+  const Result result = world.run();
+  const std::string text = explain(result, world.graph(), world.ip2as(),
+                                   testutil::addr("99.99.99.99"));
+  EXPECT_NE(text.find("never seen adjacent"), std::string::npos);
+}
+
+TEST(Explain, UnannouncedOrigin) {
+  MiniWorld world({{"2.0.0.0/16", 200}},
+                  {
+                      "0|9.9.9.9|66.0.0.10 2.0.0.2",
+                      "1|9.9.9.9|66.0.0.10 2.0.0.6",
+                  });
+  const Result result = world.run();
+  const std::string text = explain(result, world.graph(), world.ip2as(),
+                                   testutil::addr("66.0.0.10"));
+  EXPECT_NE(text.find("origin unannounced"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapit::core

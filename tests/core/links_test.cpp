@@ -1,0 +1,75 @@
+#include "core/links.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "test_util.h"
+
+namespace mapit::core {
+namespace {
+
+using graph::Direction;
+using testutil::MiniWorld;
+
+TEST(AggregateLinks, PairsDirectWithItsIndirectMirror) {
+  MiniWorld world({{"1.0.0.0/16", 100}, {"2.0.0.0/16", 200}},
+                  {
+                      "0|9.9.9.9|1.0.0.10 2.0.0.2",
+                      "1|9.9.9.9|1.0.0.10 2.0.0.6",
+                  });
+  const Result result = world.run();
+  const auto links = aggregate_links(result, world.graph());
+  // One link: 1.0.0.9/1.0.0.10 with pair {100, 200}, supported by the
+  // direct inference and its other-side mirror.
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].low, testutil::addr("1.0.0.9"));
+  EXPECT_EQ(links[0].high, testutil::addr("1.0.0.10"));
+  EXPECT_EQ(links[0].as_a, 100u);
+  EXPECT_EQ(links[0].as_b, 200u);
+  EXPECT_EQ(links[0].supporting_inferences, 2u);
+  EXPECT_FALSE(links[0].conflicting);
+  EXPECT_FALSE(links[0].via_stub_heuristic);
+  EXPECT_NEAR(links[0].support_ratio(), 1.0, 1e-9);
+}
+
+TEST(AggregateLinks, StubLinksAreFlagged) {
+  MiniWorld world({{"12.0.0.0/16", 1200}, {"13.0.0.0/16", 1300}},
+                  {
+                      "0|13.0.0.77|12.0.0.1 12.0.0.9 13.0.0.77",
+                      "1|13.0.0.77|12.0.0.5 12.0.0.9 13.0.0.77",
+                  });
+  world.relationships().add_transit(1200, 1300);
+  const Result result = world.run();
+  const auto links = aggregate_links(result, world.graph());
+  bool found = false;
+  for (const InterAsLink& link : links) {
+    if (link.low == testutil::addr("12.0.0.9") ||
+        link.high == testutil::addr("12.0.0.9")) {
+      found = true;
+      EXPECT_TRUE(link.via_stub_heuristic);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AggregateLinks, SortedAndConsistentOnGeneratedWorld) {
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::small());
+  const Result result = experiment->run_mapit({});
+  const auto links = aggregate_links(result, experiment->graph());
+  ASSERT_FALSE(links.empty());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_LT(links[i].low, links[i].high);
+    if (i > 0) {
+      EXPECT_LT(std::make_pair(links[i - 1].low, links[i - 1].high),
+                std::make_pair(links[i].low, links[i].high));
+    }
+    EXPECT_GE(links[i].supporting_inferences, 1u);
+    EXPECT_LE(links[i].supporting_inferences, 4u);
+  }
+  // Aggregation never exceeds the inference count and compresses mirrors.
+  EXPECT_LE(links.size(), result.inferences.size());
+}
+
+}  // namespace
+}  // namespace mapit::core

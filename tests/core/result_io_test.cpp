@@ -1,0 +1,85 @@
+#include "core/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/error.h"
+#include "test_util.h"
+
+namespace mapit::core {
+namespace {
+
+using testutil::addr;
+
+std::vector<Inference> sample() {
+  return {
+      Inference{graph::forward_half(addr("109.105.98.10")), 11537, 2603,
+                InferenceKind::kDirect, false, 3, 3},
+      Inference{graph::backward_half(addr("199.109.5.1")), 11537, 3754,
+                InferenceKind::kDirect, false, 2, 3},
+      Inference{graph::backward_half(addr("109.105.98.9")), 2603, 11537,
+                InferenceKind::kIndirect, false, 3, 3},
+      Inference{graph::forward_half(addr("12.0.0.9")), 1300, 1200,
+                InferenceKind::kStub, false, 1, 1},
+  };
+}
+
+TEST(ResultIo, RoundTrip) {
+  const std::vector<Inference> original = sample();
+  std::stringstream stream;
+  write_inferences(stream, original);
+  const std::vector<Inference> reread = read_inferences(stream);
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread[i].half, original[i].half) << i;
+    EXPECT_EQ(reread[i].router_as, original[i].router_as) << i;
+    EXPECT_EQ(reread[i].other_as, original[i].other_as) << i;
+    EXPECT_EQ(reread[i].kind, original[i].kind) << i;
+    EXPECT_EQ(reread[i].votes, original[i].votes) << i;
+    EXPECT_EQ(reread[i].neighbor_count, original[i].neighbor_count) << i;
+  }
+}
+
+TEST(ResultIo, LineFormatIsStable) {
+  std::stringstream stream;
+  write_inferences(stream, {sample()[0]});
+  std::string header, line;
+  std::getline(stream, header);
+  std::getline(stream, line);
+  EXPECT_EQ(line, "109.105.98.10|f|11537|2603|direct|3/3");
+}
+
+TEST(ResultIo, EmptyList) {
+  std::stringstream stream;
+  write_inferences(stream, {});
+  EXPECT_TRUE(read_inferences(stream).empty());
+}
+
+class ResultIoBadInputTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ResultIoBadInputTest, Rejected) {
+  std::stringstream stream(GetParam());
+  EXPECT_THROW((void)read_inferences(stream), mapit::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ResultIoBadInputTest,
+    ::testing::Values("1.2.3.4|f|1|2|direct",            // missing evidence
+                      "1.2.3.4|f|1|2|direct|3/3|extra",  // extra field
+                      "1.2.3.4|x|1|2|direct|3/3",        // bad direction
+                      "1.2.3.4|f|1|2|maybe|3/3",         // bad kind
+                      "1.2.3.4|f|1|2|direct|33",         // bad evidence
+                      "1.2.3.4|f|one|2|direct|3/3",      // bad asn
+                      "nonsense|f|1|2|direct|3/3"));     // bad address
+
+TEST(ResultIo, SkipsComments) {
+  std::stringstream stream("# comment\n\n1.2.3.4|b|5|6|stub|1/1\n");
+  const auto inferences = read_inferences(stream);
+  ASSERT_EQ(inferences.size(), 1u);
+  EXPECT_EQ(inferences[0].kind, InferenceKind::kStub);
+  EXPECT_EQ(inferences[0].half.direction, graph::Direction::kBackward);
+}
+
+}  // namespace
+}  // namespace mapit::core

@@ -1,0 +1,158 @@
+// DNS hostname substrate tests: label parsing, the tag classifier
+// (including the paper's literal §5.1.2 examples), the synthesizer, and
+// the hostname-derived ground-truth pathway.
+#include "dns/hostnames.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace mapit::dns {
+namespace {
+
+TEST(AsLabel, RoundTrip) {
+  EXPECT_EQ(as_label(11537), "as11537");
+  EXPECT_EQ(parse_as_label("as11537"), 11537u);
+  EXPECT_EQ(parse_as_label("as1"), 1u);
+}
+
+TEST(AsLabel, RejectsNonLabels) {
+  EXPECT_FALSE(parse_as_label("").has_value());
+  EXPECT_FALSE(parse_as_label("as").has_value());
+  EXPECT_FALSE(parse_as_label("as0").has_value());   // unknown sentinel
+  EXPECT_FALSE(parse_as_label("asx1").has_value());
+  EXPECT_FALSE(parse_as_label("cogent").has_value());
+  EXPECT_FALSE(parse_as_label("1234").has_value());
+}
+
+TEST(ParseHostname, PaperExternalExample) {
+  // "cogent-ic-309423-den-bl.c.telia.net": an interconnection tag naming
+  // the connected network by name (§5.1.2).
+  const ParsedHostname parsed =
+      parse_hostname("cogent-ic-309423-den-bl.c.telia.net");
+  EXPECT_EQ(parsed.kind, TagKind::kExternal);
+  EXPECT_EQ(parsed.peer_label, "cogent");
+  EXPECT_FALSE(parsed.peer_asn.has_value());  // named, not numbered
+  EXPECT_EQ(parsed.owner_label, "telia");
+}
+
+TEST(ParseHostname, PaperInternalExample) {
+  // "ae-41-41.ebr1.berlin1.level3.net": bundle naming, no peer tag.
+  const ParsedHostname parsed =
+      parse_hostname("ae-41-41.ebr1.berlin1.level3.net");
+  EXPECT_EQ(parsed.kind, TagKind::kInternal);
+  EXPECT_EQ(parsed.owner_label, "level3");
+}
+
+TEST(ParseHostname, SynthesizedExternal) {
+  const ParsedHostname parsed =
+      parse_hostname("as10044-ic-227.chic.as1000.net");
+  EXPECT_EQ(parsed.kind, TagKind::kExternal);
+  ASSERT_TRUE(parsed.peer_asn.has_value());
+  EXPECT_EQ(*parsed.peer_asn, 10044u);
+  EXPECT_EQ(parsed.owner_label, "as1000");
+}
+
+TEST(ParseHostname, AmbiguousAndGarbage) {
+  EXPECT_EQ(parse_hostname("gw17.newy.as1000.net").kind, TagKind::kAmbiguous);
+  EXPECT_EQ(parse_hostname("dialup-pool-5.example.net").kind,
+            TagKind::kAmbiguous);
+  EXPECT_EQ(parse_hostname("").kind, TagKind::kAmbiguous);
+  EXPECT_EQ(parse_hostname("localhost").kind, TagKind::kAmbiguous);
+  EXPECT_EQ(parse_hostname("-ic-5.x.y.net").kind, TagKind::kAmbiguous);
+}
+
+class HostnameOracleTest : public ::testing::Test {
+ protected:
+  static topo::GeneratorConfig config() {
+    topo::GeneratorConfig c;
+    c.seed = 61;
+    c.tier1_count = 3;
+    c.transit_count = 15;
+    c.stub_count = 60;
+    c.rne_customer_count = 8;
+    return c;
+  }
+  HostnameOracleTest() : net_(topo::Generator(config()).generate()) {}
+  topo::Internet net_;
+};
+
+TEST_F(HostnameOracleTest, CoversTargetInterfaces) {
+  HostnameConfig config;
+  config.coverage = 1.0;
+  config.ambiguous_prob = 0.0;
+  config.stale_prob = 0.0;
+  const HostnameOracle oracle(net_, topo::Generator::rne_asn(), config);
+  // Every inter-AS link of the target has both endpoints named, and the
+  // near-side hostname correctly tags the true peer.
+  for (const topo::TrueLink& link : net_.true_links()) {
+    if (link.as_a != topo::Generator::rne_asn()) continue;
+    const std::string* near = oracle.lookup(link.addr_a);
+    ASSERT_NE(near, nullptr);
+    const ParsedHostname parsed = parse_hostname(*near);
+    EXPECT_EQ(parsed.kind, TagKind::kExternal);
+    ASSERT_TRUE(parsed.peer_asn.has_value());
+    EXPECT_EQ(*parsed.peer_asn, link.as_b);
+    EXPECT_EQ(parsed.owner_label, as_label(link.as_a));
+  }
+}
+
+TEST_F(HostnameOracleTest, CoverageControlsResolvability) {
+  HostnameConfig half;
+  half.coverage = 0.5;
+  const HostnameOracle partial(net_, topo::Generator::tier1_a(), half);
+  HostnameConfig full;
+  full.coverage = 1.0;
+  const HostnameOracle complete(net_, topo::Generator::tier1_a(), full);
+  EXPECT_LT(partial.hostnames().size(), complete.hostnames().size());
+  EXPECT_GT(partial.hostnames().size(), 0u);
+}
+
+TEST_F(HostnameOracleTest, DeterministicPerSeed) {
+  const HostnameOracle a(net_, topo::Generator::tier1_a(), HostnameConfig{});
+  const HostnameOracle b(net_, topo::Generator::tier1_a(), HostnameConfig{});
+  EXPECT_EQ(a.hostnames(), b.hostnames());
+}
+
+TEST_F(HostnameOracleTest, GroundTruthFromCleanHostnamesMatchesExact) {
+  HostnameConfig clean;
+  clean.coverage = 1.0;
+  clean.ambiguous_prob = 0.0;
+  clean.stale_prob = 0.0;
+  const HostnameOracle oracle(net_, topo::Generator::rne_asn(), clean);
+  const eval::AsGroundTruth parsed = ground_truth_from_hostnames(net_, oracle);
+  const eval::AsGroundTruth exact =
+      eval::AsGroundTruth::exact(net_, topo::Generator::rne_asn());
+
+  EXPECT_FALSE(parsed.is_exact());
+  ASSERT_EQ(parsed.links().size(), exact.links().size());
+  for (const eval::LinkTruth& link : parsed.links()) {
+    EXPECT_EQ(link.recorded_remote, link.remote);
+    ASSERT_NE(exact.link_of(link.addr_a), nullptr);
+  }
+  // Every hostname-internal interface is truly internal.
+  for (const net::Ipv4Address address : parsed.internal()) {
+    EXPECT_TRUE(exact.internal().contains(address));
+  }
+  EXPECT_GT(parsed.internal().size(), 0u);
+}
+
+TEST_F(HostnameOracleTest, NoiseShrinksAndPollutesTheDataset) {
+  HostnameConfig noisy;
+  noisy.coverage = 0.7;
+  noisy.ambiguous_prob = 0.1;
+  noisy.stale_prob = 0.3;
+  const HostnameOracle oracle(net_, topo::Generator::tier1_a(), noisy);
+  const eval::AsGroundTruth parsed = ground_truth_from_hostnames(net_, oracle);
+  const eval::AsGroundTruth exact =
+      eval::AsGroundTruth::exact(net_, topo::Generator::tier1_a());
+  EXPECT_LT(parsed.links().size(), exact.links().size());
+  std::size_t stale = 0;
+  for (const eval::LinkTruth& link : parsed.links()) {
+    if (link.recorded_remote != link.remote) ++stale;
+  }
+  EXPECT_GT(stale, 0u);
+}
+
+}  // namespace
+}  // namespace mapit::dns

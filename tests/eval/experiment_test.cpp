@@ -1,0 +1,71 @@
+// Experiment harness tests: configuration presets, stage wiring, and
+// ground-truth dispatch.
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace mapit::eval {
+namespace {
+
+TEST(ExperimentConfig, PresetsScaleSensibly) {
+  const ExperimentConfig small = ExperimentConfig::small();
+  const ExperimentConfig standard = ExperimentConfig::standard();
+  EXPECT_LT(small.topology.stub_count, standard.topology.stub_count);
+  EXPECT_LT(small.simulation.monitor_count,
+            standard.simulation.monitor_count);
+  EXPECT_LE(small.topology.rne_customer_count, small.topology.stub_count);
+}
+
+TEST(Experiment, StagesAreWired) {
+  const auto experiment = Experiment::build(ExperimentConfig::small());
+  // Topology matches the preset.
+  const ExperimentConfig& config = experiment->config();
+  EXPECT_EQ(experiment->internet().ases().size(),
+            static_cast<std::size_t>(config.topology.tier1_count +
+                                     config.topology.transit_count +
+                                     config.topology.stub_count));
+  // Campaign produced traces and the sanitizer accounted for all of them.
+  EXPECT_GT(experiment->raw_corpus().size(), 0u);
+  EXPECT_EQ(experiment->corpus().size() +
+                experiment->sanitize_stats().discarded_traces,
+            experiment->raw_corpus().size());
+  // The graph is non-trivial and the IP2AS resolves its interfaces.
+  EXPECT_GT(experiment->graph().size(), 100u);
+  const auto adjacent = experiment->corpus().adjacent_addresses();
+  EXPECT_GT(experiment->ip2as().coverage(adjacent), 0.9);
+}
+
+TEST(Experiment, GroundTruthDispatch) {
+  const auto experiment = Experiment::build(ExperimentConfig::small());
+  EXPECT_TRUE(experiment->ground_truth(topo::Generator::rne_asn()).is_exact());
+  EXPECT_FALSE(
+      experiment->ground_truth(topo::Generator::tier1_a()).is_exact());
+  EXPECT_FALSE(
+      experiment->ground_truth(topo::Generator::tier1_b()).is_exact());
+}
+
+TEST(Experiment, EvaluationTargets) {
+  const auto targets = Experiment::evaluation_targets();
+  EXPECT_EQ(targets[0], topo::Generator::rne_asn());
+  EXPECT_EQ(targets[1], topo::Generator::tier1_a());
+  EXPECT_EQ(targets[2], topo::Generator::tier1_b());
+}
+
+TEST(Experiment, ApproximateGroundTruthIsStablePerExperiment) {
+  const auto experiment = Experiment::build(ExperimentConfig::small());
+  const AsGroundTruth a = experiment->ground_truth(topo::Generator::tier1_a());
+  const AsGroundTruth b = experiment->ground_truth(topo::Generator::tier1_a());
+  EXPECT_EQ(a.links().size(), b.links().size());
+  EXPECT_EQ(a.internal().size(), b.internal().size());
+}
+
+TEST(Experiment, RawCorpusRetainsDiscardedAddresses) {
+  // §4.2 requires the other-side heuristic to see addresses from discarded
+  // traces; the experiment must keep the raw corpus accessible.
+  const auto experiment = Experiment::build(ExperimentConfig::small());
+  EXPECT_GE(experiment->raw_corpus().distinct_addresses().size(),
+            experiment->corpus().distinct_addresses().size());
+}
+
+}  // namespace
+}  // namespace mapit::eval

@@ -1,0 +1,117 @@
+// Ground-truth construction tests: exact inventories, hostname coverage,
+// and staleness noise.
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "net/error.h"
+#include "topo/generator.h"
+
+namespace mapit::eval {
+namespace {
+
+topo::Internet make_net() {
+  topo::GeneratorConfig config;
+  config.seed = 31;
+  config.tier1_count = 3;
+  config.transit_count = 15;
+  config.stub_count = 60;
+  config.rne_customer_count = 8;
+  return topo::Generator(config).generate();
+}
+
+TEST(GroundTruth, ExactCoversEveryLinkOfTheTarget) {
+  const topo::Internet net = make_net();
+  const asdata::Asn target = topo::Generator::rne_asn();
+  const AsGroundTruth gt = AsGroundTruth::exact(net, target);
+  EXPECT_TRUE(gt.is_exact());
+  EXPECT_EQ(gt.target(), target);
+
+  std::size_t expected = 0;
+  for (const topo::TrueLink& link : net.true_links()) {
+    if (link.as_a == target || link.as_b == target) ++expected;
+  }
+  EXPECT_EQ(gt.links().size(), expected);
+  EXPECT_GT(expected, 0u);
+
+  for (const LinkTruth& link : gt.links()) {
+    EXPECT_EQ(link.recorded_remote, link.remote);  // exact truth: no noise
+    EXPECT_NE(link.remote, target);
+    // addr_a is always the target-side interface.
+    const topo::RouterId router = net.router_of_address(link.addr_a);
+    EXPECT_EQ(net.router(router).owner, target);
+    // Both addresses resolve back to this link.
+    ASSERT_NE(gt.link_of(link.addr_a), nullptr);
+    ASSERT_NE(gt.link_of(link.addr_b), nullptr);
+    EXPECT_EQ(*gt.link_of(link.addr_a), *gt.link_of(link.addr_b));
+  }
+}
+
+TEST(GroundTruth, ExactInternalInterfacesBelongToTarget) {
+  const topo::Internet net = make_net();
+  const asdata::Asn target = topo::Generator::rne_asn();
+  const AsGroundTruth gt = AsGroundTruth::exact(net, target);
+  EXPECT_FALSE(gt.internal().empty());
+  for (const net::Ipv4Address address : gt.internal()) {
+    const topo::RouterId router = net.router_of_address(address);
+    ASSERT_NE(router, topo::kNoRouter);
+    EXPECT_EQ(net.router(router).owner, target);
+    EXPECT_FALSE(net.link(net.link_of_address(address)).inter_as);
+  }
+}
+
+TEST(GroundTruth, ApproximateDropsUncoveredInterfaces) {
+  const topo::Internet net = make_net();
+  const asdata::Asn target = topo::Generator::tier1_a();
+  const AsGroundTruth full = AsGroundTruth::exact(net, target);
+  const AsGroundTruth partial =
+      AsGroundTruth::approximate(net, target, 0.5, 0.0, 7);
+  EXPECT_FALSE(partial.is_exact());
+  EXPECT_LT(partial.links().size(), full.links().size());
+  EXPECT_GT(partial.links().size(), 0u);
+  EXPECT_LT(partial.internal().size(), full.internal().size());
+}
+
+TEST(GroundTruth, ApproximateStaleTagsRecordWrongRemote) {
+  const topo::Internet net = make_net();
+  const asdata::Asn target = topo::Generator::tier1_a();
+  const AsGroundTruth gt =
+      AsGroundTruth::approximate(net, target, 1.0, 0.5, 7);
+  std::size_t stale = 0;
+  for (const LinkTruth& link : gt.links()) {
+    if (link.recorded_remote != link.remote) {
+      ++stale;
+      EXPECT_NE(link.recorded_remote, target);
+      EXPECT_NE(link.recorded_remote, asdata::kUnknownAsn);
+    }
+  }
+  EXPECT_GT(stale, 0u);
+  EXPECT_LT(stale, gt.links().size());
+}
+
+TEST(GroundTruth, ApproximateIsDeterministicPerSeed) {
+  const topo::Internet net = make_net();
+  const asdata::Asn target = topo::Generator::tier1_b();
+  const AsGroundTruth a = AsGroundTruth::approximate(net, target, 0.8, 0.1, 7);
+  const AsGroundTruth b = AsGroundTruth::approximate(net, target, 0.8, 0.1, 7);
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].addr_a, b.links()[i].addr_a);
+    EXPECT_EQ(a.links()[i].recorded_remote, b.links()[i].recorded_remote);
+  }
+  const AsGroundTruth c = AsGroundTruth::approximate(net, target, 0.8, 0.1, 8);
+  EXPECT_NE(c.links().size(), 0u);
+}
+
+TEST(GroundTruth, ValidatesParameters) {
+  const topo::Internet net = make_net();
+  EXPECT_THROW(
+      AsGroundTruth::approximate(net, topo::Generator::tier1_a(), 1.5, 0.0, 7),
+      mapit::InvariantError);
+  EXPECT_THROW(AsGroundTruth::approximate(net, topo::Generator::tier1_a(), 1.0,
+                                          -0.1, 7),
+               mapit::InvariantError);
+}
+
+}  // namespace
+}  // namespace mapit::eval

@@ -1,0 +1,153 @@
+#include "graph/interface_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/sanitize.h"
+
+namespace mapit::graph {
+namespace {
+
+using testutil::addr;
+using testutil::corpus_from;
+
+InterfaceGraph graph_of(std::initializer_list<std::string_view> lines) {
+  // InterfaceGraph copies what it needs; the corpus can be a temporary.
+  const trace::TraceCorpus corpus = corpus_from(lines);
+  return InterfaceGraph(corpus, corpus.distinct_addresses());
+}
+
+TEST(InterfaceGraph, BuildsPaperFigure3NeighborSets) {
+  // Fig 3's four path fragments around 198.71.46.180.
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|109.105.98.10 198.71.46.180 205.233.255.36",
+      "1|9.9.9.9|109.105.98.10 198.71.46.180 216.249.136.197",
+      "2|9.9.9.9|198.71.45.236 198.71.46.180 *",
+      "3|9.9.9.9|109.105.98.10 198.71.46.180 199.109.5.1",
+  });
+  const InterfaceRecord* record = graph.find(addr("198.71.46.180"));
+  ASSERT_NE(record, nullptr);
+  // N_F: three unique successors; N_B: two unique predecessors — exactly
+  // the sets shown in the paper's Fig 3.
+  ASSERT_EQ(record->forward.size(), 3u);
+  EXPECT_EQ(record->forward[0], addr("199.109.5.1"));
+  EXPECT_EQ(record->forward[1], addr("205.233.255.36"));
+  EXPECT_EQ(record->forward[2], addr("216.249.136.197"));
+  ASSERT_EQ(record->backward.size(), 2u);
+  EXPECT_EQ(record->backward[0], addr("109.105.98.10"));
+  EXPECT_EQ(record->backward[1], addr("198.71.45.236"));
+}
+
+TEST(InterfaceGraph, DuplicatesCollapseToUniqueNeighbors) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.1 2.0.0.1",
+      "2|9.9.9.9|1.0.0.1 2.0.0.1",
+  });
+  const InterfaceRecord* record = graph.find(addr("2.0.0.1"));
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->backward.size(), 1u);
+}
+
+TEST(InterfaceGraph, NullHopsBreakAdjacency) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 * 2.0.0.1",
+  });
+  EXPECT_EQ(graph.find(addr("1.0.0.1")), nullptr);
+  EXPECT_EQ(graph.find(addr("2.0.0.1")), nullptr);
+  EXPECT_EQ(graph.size(), 0u);
+}
+
+TEST(InterfaceGraph, TtlGapsBreakAdjacency) {
+  // Sanitizer-stripped hops leave TTL gaps; the builder must honour them.
+  trace::TraceCorpus corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1@0 3.0.0.1",
+  });
+  const auto sanitized = trace::sanitize(corpus);
+  const InterfaceGraph graph(sanitized.clean, corpus.distinct_addresses());
+  EXPECT_EQ(graph.find(addr("1.0.0.1")), nullptr);
+  EXPECT_EQ(graph.find(addr("3.0.0.1")), nullptr);
+}
+
+TEST(InterfaceGraph, SpecialAddressesExcluded) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 192.168.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.1 3.0.0.1",
+  });
+  // The private hop forms no pairs in either direction.
+  EXPECT_EQ(graph.find(addr("192.168.0.1")), nullptr);
+  const InterfaceRecord* record = graph.find(addr("1.0.0.1"));
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->forward.size(), 1u);
+  EXPECT_EQ(record->forward[0], addr("3.0.0.1"));
+}
+
+TEST(InterfaceGraph, SelfAdjacencyIgnored) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 1.0.0.1 2.0.0.1",
+  });
+  const InterfaceRecord* record = graph.find(addr("1.0.0.1"));
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->forward.size(), 1u);
+  EXPECT_EQ(record->forward[0], addr("2.0.0.1"));
+  EXPECT_TRUE(record->backward.empty());
+}
+
+TEST(InterfaceGraph, NeighborsByHalf) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1 3.0.0.1",
+  });
+  EXPECT_EQ(graph.neighbors(forward_half(addr("2.0.0.1"))).size(), 1u);
+  EXPECT_EQ(graph.neighbors(backward_half(addr("2.0.0.1"))).size(), 1u);
+  EXPECT_TRUE(graph.neighbors(backward_half(addr("1.0.0.1"))).empty());
+  EXPECT_TRUE(graph.neighbors(forward_half(addr("99.0.0.1"))).empty());
+}
+
+TEST(InterfaceGraph, OtherSideHalfFlipsDirectionAndAddress) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+  });
+  // 2.0.0.1 is a /30 host with no witness: other side 2.0.0.2.
+  const InterfaceHalf other =
+      graph.other_side_half(backward_half(addr("2.0.0.1")));
+  EXPECT_EQ(other.address, addr("2.0.0.2"));
+  EXPECT_EQ(other.direction, Direction::kForward);
+}
+
+TEST(InterfaceGraph, StatsCountMultiNeighborAndOverlap) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 5.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.2 5.0.0.1 2.0.0.2",
+      "2|9.9.9.9|2.0.0.1 5.0.0.1",  // 2.0.0.1 both before and after 5.0.0.1
+  });
+  const GraphStats stats = graph.stats();
+  const InterfaceRecord* record = graph.find(addr("5.0.0.1"));
+  ASSERT_NE(record, nullptr);
+  EXPECT_GT(record->forward.size(), 1u);
+  EXPECT_GT(record->backward.size(), 1u);
+  EXPECT_EQ(stats.both_directions_overlap, 2u);  // 5.0.0.1 and 2.0.0.1
+  EXPECT_GE(stats.forward_multi, 1u);
+  EXPECT_GE(stats.backward_multi, 1u);
+}
+
+TEST(InterfaceGraph, RecordsSortedByAddress) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|9.0.0.1 1.0.0.1 5.0.0.1",
+  });
+  ASSERT_EQ(graph.size(), 3u);
+  EXPECT_LT(graph.interfaces()[0].address, graph.interfaces()[1].address);
+  EXPECT_LT(graph.interfaces()[1].address, graph.interfaces()[2].address);
+}
+
+TEST(InterfaceHalfType, NotationAndOpposite) {
+  const InterfaceHalf half = forward_half(addr("198.71.46.180"));
+  EXPECT_EQ(half.to_string(), "198.71.46.180_f");
+  EXPECT_EQ(backward_half(addr("1.2.3.4")).to_string(), "1.2.3.4_b");
+  EXPECT_EQ(opposite(Direction::kForward), Direction::kBackward);
+  EXPECT_EQ(opposite(Direction::kBackward), Direction::kForward);
+  EXPECT_NE(std::hash<InterfaceHalf>{}(forward_half(addr("1.2.3.4"))),
+            std::hash<InterfaceHalf>{}(backward_half(addr("1.2.3.4"))));
+}
+
+}  // namespace
+}  // namespace mapit::graph

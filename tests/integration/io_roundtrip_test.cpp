@@ -1,0 +1,75 @@
+// File-format integration: every dataset the pipeline consumes can be
+// written to disk, read back, and produce identical MAP-IT results — the
+// property a downstream user of the CLI relies on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/claims.h"
+#include "eval/experiment.h"
+#include "trace/trace_io.h"
+
+namespace mapit {
+namespace {
+
+TEST(IoRoundTrip, FullPipelineThroughTextFormats) {
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::small());
+
+  // Serialize every input dataset.
+  std::stringstream corpus_text;
+  trace::write_corpus(corpus_text, experiment->raw_corpus());
+  std::stringstream rib_text;
+  experiment->internet()
+      .export_rib(experiment->config().noise, experiment->config().dataset_seed)
+      .write(rib_text);
+  std::stringstream rels_text;
+  experiment->relationships().write(rels_text);
+  std::stringstream orgs_text;
+  experiment->orgs().write(orgs_text);
+  std::stringstream ixps_text;
+  experiment->ixps().write(ixps_text);
+
+  // Reload and rebuild the pipeline by hand.
+  const trace::TraceCorpus corpus = trace::read_corpus(corpus_text);
+  const bgp::Rib rib = bgp::Rib::read(rib_text);
+  const asdata::AsRelationships rels =
+      asdata::AsRelationships::read(rels_text);
+  const asdata::As2Org orgs = asdata::As2Org::read(orgs_text);
+  const asdata::IxpRegistry ixps = asdata::IxpRegistry::read(ixps_text);
+
+  const auto all_addresses = corpus.distinct_addresses();
+  const auto sanitized = trace::sanitize(corpus);
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const bgp::Ip2As ip2as(
+      rib,
+      experiment->internet().export_fallback(experiment->config().noise,
+                                             experiment->config().dataset_seed),
+      &ixps);
+
+  core::Options options;
+  options.f = 0.5;
+  const core::Result reloaded =
+      core::run_mapit(graph, ip2as, orgs, rels, options);
+  const core::Result original = experiment->run_mapit(options);
+
+  EXPECT_EQ(baselines::claims_from_result(reloaded),
+            baselines::claims_from_result(original));
+  EXPECT_EQ(reloaded.inferences.size(), original.inferences.size());
+}
+
+TEST(IoRoundTrip, CorpusSurvivesTwoRoundTrips) {
+  const auto experiment =
+      eval::Experiment::build(eval::ExperimentConfig::small());
+  std::stringstream first;
+  trace::write_corpus(first, experiment->raw_corpus());
+  const std::string first_text = first.str();
+  std::stringstream reread_in(first_text);
+  const trace::TraceCorpus reread = trace::read_corpus(reread_in);
+  std::stringstream second;
+  trace::write_corpus(second, reread);
+  EXPECT_EQ(first_text, second.str());
+}
+
+}  // namespace
+}  // namespace mapit

@@ -1,0 +1,101 @@
+// Parser robustness sweep: every text reader in the library must either
+// parse or throw mapit::ParseError on arbitrary byte salad — never crash,
+// never accept garbage silently into an inconsistent state.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "asdata/as2org.h"
+#include "asdata/ixp.h"
+#include "asdata/relationships.h"
+#include "bgp/rib.h"
+#include "core/result_io.h"
+#include "net/error.h"
+#include "topo/truth_io.h"
+#include "trace/trace_io.h"
+
+namespace mapit {
+namespace {
+
+std::string random_line(std::mt19937_64& rng) {
+  // A mix of plausible separators/digits and raw noise.
+  static const std::string alphabet =
+      "0123456789.|/@*abcxyz -#\t";
+  std::uniform_int_distribution<std::size_t> length(0, 40);
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::string line;
+  const std::size_t n = length(rng);
+  for (std::size_t i = 0; i < n; ++i) line.push_back(alphabet[pick(rng)]);
+  return line;
+}
+
+class ParserRobustnessTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string garbage() {
+    std::mt19937_64 rng(GetParam());
+    std::string blob;
+    for (int i = 0; i < 60; ++i) {
+      blob += random_line(rng);
+      blob.push_back('\n');
+    }
+    return blob;
+  }
+};
+
+template <typename Fn>
+void expect_parse_or_throw(Fn&& parse, const std::string& input) {
+  std::istringstream stream(input);
+  try {
+    parse(stream);
+  } catch (const Error&) {
+    // fine: rejected with a diagnostic (ParseError, or InvariantError when
+    // a syntactically valid record violates a semantic precondition such
+    // as ASN 0)
+  }
+  // anything else (segfault, std::bad_alloc, silent UB) fails the test
+}
+
+TEST_P(ParserRobustnessTest, TraceCorpusReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)trace::read_corpus(in); }, garbage());
+}
+
+TEST_P(ParserRobustnessTest, RibReader) {
+  expect_parse_or_throw([](std::istream& in) { (void)bgp::Rib::read(in); },
+                        garbage());
+}
+
+TEST_P(ParserRobustnessTest, RelationshipsReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)asdata::AsRelationships::read(in); },
+      garbage());
+}
+
+TEST_P(ParserRobustnessTest, As2OrgReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)asdata::As2Org::read(in); }, garbage());
+}
+
+TEST_P(ParserRobustnessTest, IxpReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)asdata::IxpRegistry::read(in); },
+      garbage());
+}
+
+TEST_P(ParserRobustnessTest, InferenceReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)core::read_inferences(in); }, garbage());
+}
+
+TEST_P(ParserRobustnessTest, TruthReader) {
+  expect_parse_or_throw(
+      [](std::istream& in) { (void)topo::read_true_links(in); }, garbage());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace mapit

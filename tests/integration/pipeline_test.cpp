@@ -1,0 +1,182 @@
+// End-to-end integration tests: the full pipeline reproduces the paper's
+// qualitative results on a laptop-fast corpus.
+#include <gtest/gtest.h>
+
+#include "baselines/itdk.h"
+#include "baselines/simple.h"
+#include "eval/experiment.h"
+
+namespace mapit {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static const eval::Experiment& experiment() {
+    static const auto instance =
+        eval::Experiment::build(eval::ExperimentConfig::small());
+    return *instance;
+  }
+
+  static eval::Metrics verify(asdata::Asn target,
+                              const baselines::Claims& claims) {
+    const eval::AsGroundTruth gt = experiment().ground_truth(target);
+    return experiment().evaluator().verify(gt, claims).total;
+  }
+};
+
+TEST_F(PipelineTest, SanitizerStatisticsAreInPaperBallpark) {
+  const trace::SanitizeStats& stats = experiment().sanitize_stats();
+  EXPECT_GT(stats.input_traces, 1000u);
+  // Paper: 2.7% discarded, 89.1% of addresses retained. Shape check only.
+  EXPECT_LT(stats.discard_fraction(), 0.2);
+  EXPECT_GT(stats.address_retention(), 0.8);
+}
+
+TEST_F(PipelineTest, Slash31FractionNearConfiguredRate) {
+  // Generator numbers ~40% of links from /31s (paper: 40.4% inferred).
+  const graph::GraphStats stats = experiment().graph().stats();
+  EXPECT_GT(stats.slash31_fraction, 0.25);
+  EXPECT_LT(stats.slash31_fraction, 0.55);
+}
+
+TEST_F(PipelineTest, MapItIsHighPrecisionOnAllTargets) {
+  const core::Result result = experiment().run_mapit({});
+  const baselines::Claims claims = baselines::claims_from_result(result);
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    const eval::Metrics metrics = verify(target, claims);
+    EXPECT_GE(metrics.precision(), 0.9) << "AS" << target;
+    EXPECT_GE(metrics.recall(), 0.6) << "AS" << target;
+    EXPECT_GT(metrics.tp, 0u) << "AS" << target;
+  }
+}
+
+TEST_F(PipelineTest, ExactTruthTargetReachesPaperPrecision) {
+  // The paper's headline: 100% precision on Internet2 at f = 0.5. Allow a
+  // single residual artifact error on the synthetic corpus.
+  core::Options options;
+  options.f = 0.5;
+  const core::Result result = experiment().run_mapit(options);
+  const eval::Metrics metrics = verify(topo::Generator::rne_asn(),
+                                       baselines::claims_from_result(result));
+  EXPECT_GE(metrics.precision(), 0.97);
+}
+
+TEST_F(PipelineTest, MapItDominatesEveryBaselineOnPrecision) {
+  const core::Result result = experiment().run_mapit({});
+  const baselines::Claims mapit_claims =
+      baselines::claims_from_result(result);
+  const baselines::Claims simple =
+      baselines::simple_heuristic(experiment().corpus(), experiment().ip2as());
+  const baselines::Claims convention = baselines::convention_heuristic(
+      experiment().corpus(), experiment().ip2as(),
+      experiment().relationships());
+  const baselines::Claims midar = baselines::itdk_router_graph(
+      experiment().corpus(), experiment().internet(), experiment().ip2as(),
+      baselines::AliasConfig::midar());
+  const baselines::Claims kapar = baselines::itdk_router_graph(
+      experiment().corpus(), experiment().internet(), experiment().ip2as(),
+      baselines::AliasConfig::kapar());
+
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    const double ours = verify(target, mapit_claims).precision();
+    for (const auto* baseline : {&simple, &convention, &midar, &kapar}) {
+      EXPECT_GT(ours, verify(target, *baseline).precision())
+          << "AS" << target;
+    }
+  }
+}
+
+TEST_F(PipelineTest, ConventionHeuristicCollapsesOnCustomerNamedNetwork) {
+  // Fig 8's signature asymmetry: Convention does far worse than MAP-IT on
+  // the R&E network because its transit links are customer-named.
+  const baselines::Claims convention = baselines::convention_heuristic(
+      experiment().corpus(), experiment().ip2as(),
+      experiment().relationships());
+  const eval::Metrics metrics =
+      verify(topo::Generator::rne_asn(), convention);
+  EXPECT_LT(metrics.precision(), 0.5);
+}
+
+TEST_F(PipelineTest, RecallDropsAtHighF) {
+  core::Options low;
+  low.f = 0.3;
+  core::Options high;
+  high.f = 1.0;
+  const baselines::Claims low_claims =
+      baselines::claims_from_result(experiment().run_mapit(low));
+  const baselines::Claims high_claims =
+      baselines::claims_from_result(experiment().run_mapit(high));
+  // Summed over all three targets, recall must not improve with f = 1.
+  std::size_t low_tp = 0, low_fn = 0, high_tp = 0, high_fn = 0;
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    const eval::Metrics l = verify(target, low_claims);
+    const eval::Metrics h = verify(target, high_claims);
+    low_tp += l.tp;
+    low_fn += l.fn;
+    high_tp += h.tp;
+    high_fn += h.fn;
+  }
+  const double low_recall =
+      static_cast<double>(low_tp) / static_cast<double>(low_tp + low_fn);
+  const double high_recall =
+      static_cast<double>(high_tp) / static_cast<double>(high_tp + high_fn);
+  EXPECT_LT(high_recall, low_recall);
+}
+
+TEST_F(PipelineTest, StubHeuristicLiftsRecall) {
+  core::Options with;
+  core::Options without;
+  without.stub_heuristic = false;
+  std::size_t with_tp = 0, without_tp = 0;
+  const baselines::Claims with_claims =
+      baselines::claims_from_result(experiment().run_mapit(with));
+  const baselines::Claims without_claims =
+      baselines::claims_from_result(experiment().run_mapit(without));
+  for (asdata::Asn target : eval::Experiment::evaluation_targets()) {
+    with_tp += verify(target, with_claims).tp;
+    without_tp += verify(target, without_claims).tp;
+  }
+  EXPECT_GT(with_tp, without_tp);
+}
+
+TEST_F(PipelineTest, MultipassSnapshotsImproveMonotonically) {
+  core::Options options;
+  options.f = 0.5;
+  options.capture_snapshots = true;
+  const core::Result result = experiment().run_mapit(options);
+  ASSERT_GE(result.snapshots.size(), 4u);
+  // Inverse-resolution must not lose precision relative to the raw Direct
+  // pass on the exact-truth network.
+  auto precision_at = [&](const core::Snapshot& snapshot) {
+    baselines::Claims claims;
+    for (const core::Inference& inference : snapshot.inferences) {
+      if (!inference.complete() ||
+          inference.kind == core::InferenceKind::kIndirect) {
+        continue;
+      }
+      claims.push_back(baselines::make_claim(
+          inference.half.address, inference.router_as, inference.other_as));
+    }
+    baselines::normalize(claims);
+    return verify(topo::Generator::rne_asn(), claims).precision();
+  };
+  const double direct = precision_at(result.snapshots[0]);
+  const double inverse = precision_at(result.snapshots[2]);
+  const double final_precision = precision_at(result.snapshots.back());
+  EXPECT_GE(inverse, direct);
+  EXPECT_GE(final_precision, 0.95);
+}
+
+TEST_F(PipelineTest, Ip2AsCoverageIsHigh) {
+  const auto adjacent = experiment().corpus().adjacent_addresses();
+  EXPECT_GT(experiment().ip2as().coverage(adjacent), 0.95);
+}
+
+TEST_F(PipelineTest, EngineConvergesInFewIterations) {
+  const core::Result result = experiment().run_mapit({});
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_LE(result.stats.iterations, 6);
+}
+
+}  // namespace
+}  // namespace mapit

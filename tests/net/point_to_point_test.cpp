@@ -1,0 +1,63 @@
+#include "net/point_to_point.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+
+namespace mapit::net {
+namespace {
+
+Ipv4Address A(const char* text) { return Ipv4Address::parse_or_throw(text); }
+
+TEST(PointToPoint, Slash31OtherSideFlipsLowBit) {
+  EXPECT_EQ(slash31_other_side(A("109.105.98.10")), A("109.105.98.11"));
+  EXPECT_EQ(slash31_other_side(A("109.105.98.11")), A("109.105.98.10"));
+  EXPECT_EQ(slash31_other_side(A("198.71.46.180")), A("198.71.46.181"));
+  EXPECT_EQ(slash31_other_side(A("0.0.0.0")), A("0.0.0.1"));
+}
+
+TEST(PointToPoint, Slash31IsInvolution) {
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 0xC6472EB4u, 0xFFFFFFFFu}) {
+    const Ipv4Address a(v);
+    EXPECT_EQ(slash31_other_side(slash31_other_side(a)), a);
+  }
+}
+
+TEST(PointToPoint, Slash30HostDetection) {
+  // In each /30, low bits 01 and 10 are the two host addresses.
+  EXPECT_FALSE(is_slash30_host(A("10.0.0.0")));
+  EXPECT_TRUE(is_slash30_host(A("10.0.0.1")));
+  EXPECT_TRUE(is_slash30_host(A("10.0.0.2")));
+  EXPECT_FALSE(is_slash30_host(A("10.0.0.3")));
+  EXPECT_FALSE(is_slash30_host(A("10.0.0.4")));
+  EXPECT_TRUE(is_slash30_host(A("10.0.0.5")));
+}
+
+TEST(PointToPoint, Slash30OtherSidePairsHosts) {
+  ASSERT_TRUE(slash30_other_side(A("10.0.0.1")).has_value());
+  EXPECT_EQ(*slash30_other_side(A("10.0.0.1")), A("10.0.0.2"));
+  EXPECT_EQ(*slash30_other_side(A("10.0.0.2")), A("10.0.0.1"));
+  EXPECT_EQ(*slash30_other_side(A("10.0.0.5")), A("10.0.0.6"));
+  EXPECT_FALSE(slash30_other_side(A("10.0.0.0")).has_value());
+  EXPECT_FALSE(slash30_other_side(A("10.0.0.3")).has_value());
+}
+
+TEST(PointToPoint, Slash30IsInvolutionOnHosts) {
+  for (std::uint32_t base = 0; base < 64; base += 4) {
+    for (std::uint32_t off : {1u, 2u}) {
+      const Ipv4Address a(0x0B000000u + base + off);
+      const auto other = slash30_other_side(a);
+      ASSERT_TRUE(other.has_value());
+      ASSERT_TRUE(slash30_other_side(*other).has_value());
+      EXPECT_EQ(*slash30_other_side(*other), a);
+    }
+  }
+}
+
+TEST(PointToPoint, Blocks) {
+  EXPECT_EQ(slash30_block(A("10.0.0.6")).to_string(), "10.0.0.4/30");
+  EXPECT_EQ(slash31_block(A("10.0.0.7")).to_string(), "10.0.0.6/31");
+}
+
+}  // namespace
+}  // namespace mapit::net

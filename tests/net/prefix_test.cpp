@@ -1,0 +1,94 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "net/error.h"
+#include "net/ipv4.h"
+
+namespace mapit::net {
+namespace {
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(Ipv4Address(192, 168, 1, 200), 24);
+  EXPECT_EQ(p.network(), Ipv4Address(192, 168, 1, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix, MaskAndRange) {
+  const Prefix p = Prefix::parse_or_throw("10.20.0.0/16");
+  EXPECT_EQ(p.mask(), 0xFFFF0000u);
+  EXPECT_EQ(p.first(), Ipv4Address(10, 20, 0, 0));
+  EXPECT_EQ(p.last(), Ipv4Address(10, 20, 255, 255));
+  EXPECT_EQ(p.size(), 65536u);
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix all = Prefix::parse_or_throw("0.0.0.0/0");
+  EXPECT_EQ(all.mask(), 0u);
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0u)));
+}
+
+TEST(Prefix, Slash32IsASingleAddress) {
+  const Prefix host = Prefix::parse_or_throw("4.69.201.118/32");
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4Address(4, 69, 201, 118)));
+  EXPECT_FALSE(host.contains(Ipv4Address(4, 69, 201, 119)));
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse_or_throw("198.71.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Address(198, 71, 46, 180)));
+  EXPECT_FALSE(p.contains(Ipv4Address(198, 72, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address(197, 71, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix outer = Prefix::parse_or_throw("10.0.0.0/8");
+  const Prefix inner = Prefix::parse_or_throw("10.5.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));        // no length
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));     // out of range
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/"));       // empty length
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/1x"));     // non-digit
+  EXPECT_FALSE(Prefix::parse("10.0.0/8"));        // bad address
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/024"));    // too many digits
+  EXPECT_FALSE(Prefix::parse(""));
+}
+
+TEST(Prefix, ParseToleratesHostBits) {
+  const auto p = Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, ConstructorRejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Address(1u), 33), InvariantError);
+  EXPECT_THROW(Prefix(Ipv4Address(1u), -1), InvariantError);
+}
+
+TEST(Prefix, RoundTripAllLengths) {
+  for (int length = 0; length <= 32; ++length) {
+    const Prefix p(Ipv4Address(0xAC100000u), length);
+    const auto reparsed = Prefix::parse(p.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << p.to_string();
+    EXPECT_EQ(*reparsed, p);
+  }
+}
+
+TEST(Prefix, OrderingIsDeterministic) {
+  const Prefix a = Prefix::parse_or_throw("10.0.0.0/8");
+  const Prefix b = Prefix::parse_or_throw("10.0.0.0/16");
+  const Prefix c = Prefix::parse_or_throw("11.0.0.0/8");
+  EXPECT_LT(a, b);  // same network, shorter first
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace mapit::net

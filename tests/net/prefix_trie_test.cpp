@@ -1,0 +1,149 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace mapit::net {
+namespace {
+
+Prefix P(const char* text) { return Prefix::parse_or_throw(text); }
+Ipv4Address A(const char* text) { return Ipv4Address::parse_or_throw(text); }
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longest_match(A("1.2.3.4")), nullptr);
+  EXPECT_EQ(trie.find(P("0.0.0.0/0")), nullptr);
+}
+
+TEST(PrefixTrie, ExactInsertAndFind) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.0.0.0/16"), 2);
+  ASSERT_NE(trie.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/16")), 2);
+  EXPECT_EQ(trie.find(P("10.0.0.0/12")), nullptr);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.20.0.0/16"), 16);
+  trie.insert(P("10.20.30.0/24"), 24);
+  EXPECT_EQ(*trie.longest_match(A("10.20.30.40")), 24);
+  EXPECT_EQ(*trie.longest_match(A("10.20.99.1")), 16);
+  EXPECT_EQ(*trie.longest_match(A("10.99.0.1")), 8);
+  EXPECT_EQ(*trie.longest_match(A("11.0.0.1")), 0);
+}
+
+TEST(PrefixTrie, LongestMatchEntryReportsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.20.0.0/16"), 16);
+  const auto hit = trie.longest_match_entry(A("10.20.30.40"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, P("10.20.0.0/16"));
+  EXPECT_EQ(*hit->second, 16);
+  EXPECT_FALSE(trie.longest_match_entry(A("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 2);
+}
+
+TEST(PrefixTrie, InsertIfAbsentKeepsFirst) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert_if_absent(P("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert_if_absent(P("10.0.0.0/8"), 2));
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 1);
+}
+
+TEST(PrefixTrie, Slash32Entries) {
+  PrefixTrie<int> trie;
+  trie.insert(P("1.2.3.4/32"), 7);
+  EXPECT_EQ(*trie.longest_match(A("1.2.3.4")), 7);
+  EXPECT_EQ(trie.longest_match(A("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrie, ForEachVisitsLexicographically) {
+  PrefixTrie<int> trie;
+  trie.insert(P("128.0.0.0/8"), 1);
+  trie.insert(P("1.0.0.0/8"), 2);
+  trie.insert(P("1.0.0.0/16"), 3);
+  trie.insert(P("0.0.0.0/0"), 4);
+  const std::vector<Prefix> prefixes = trie.prefixes();
+  ASSERT_EQ(prefixes.size(), 4u);
+  EXPECT_EQ(prefixes[0], P("0.0.0.0/0"));
+  EXPECT_EQ(prefixes[1], P("1.0.0.0/8"));
+  EXPECT_EQ(prefixes[2], P("1.0.0.0/16"));
+  EXPECT_EQ(prefixes[3], P("128.0.0.0/8"));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the trie must agree with a linear-scan oracle on random
+// prefix sets and random probes.
+// ---------------------------------------------------------------------------
+
+class PrefixTrieOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieOracleTest, AgreesWithLinearScan) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> addr_dist;
+  std::uniform_int_distribution<int> len_dist(0, 32);
+
+  PrefixTrie<std::uint32_t> trie;
+  std::map<Prefix, std::uint32_t> oracle;
+  for (int i = 0; i < 300; ++i) {
+    const Prefix prefix(Ipv4Address(addr_dist(rng)), len_dist(rng));
+    const std::uint32_t value = static_cast<std::uint32_t>(i);
+    trie.insert(prefix, value);
+    oracle[prefix] = value;
+  }
+  ASSERT_EQ(trie.size(), oracle.size());
+
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address probe(addr_dist(rng));
+    // Oracle: most specific containing prefix, last writer wins per prefix.
+    std::optional<std::pair<int, std::uint32_t>> best;
+    for (const auto& [prefix, value] : oracle) {
+      if (prefix.contains(probe) &&
+          (!best || prefix.length() > best->first)) {
+        best = {prefix.length(), value};
+      }
+    }
+    const std::uint32_t* got = trie.longest_match(probe);
+    if (!best) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+
+  // Exact finds agree everywhere.
+  for (const auto& [prefix, value] : oracle) {
+    const std::uint32_t* got = trie.find(prefix);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mapit::net

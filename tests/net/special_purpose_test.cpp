@@ -1,0 +1,74 @@
+#include "net/special_purpose.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace mapit::net {
+namespace {
+
+Ipv4Address A(const char* text) { return Ipv4Address::parse_or_throw(text); }
+
+TEST(SpecialPurpose, PrivateBlocks) {
+  EXPECT_TRUE(is_special_purpose(A("10.0.0.1")));
+  EXPECT_TRUE(is_special_purpose(A("10.255.255.255")));
+  EXPECT_TRUE(is_special_purpose(A("172.16.0.1")));
+  EXPECT_TRUE(is_special_purpose(A("172.31.255.255")));
+  EXPECT_TRUE(is_special_purpose(A("192.168.0.1")));
+}
+
+TEST(SpecialPurpose, SharedAddressSpace) {
+  // RFC 6598 CGN space, explicitly excluded by the paper's footnote 2.
+  EXPECT_TRUE(is_special_purpose(A("100.64.0.0")));
+  EXPECT_TRUE(is_special_purpose(A("100.127.255.255")));
+  EXPECT_FALSE(is_special_purpose(A("100.63.255.255")));
+  EXPECT_FALSE(is_special_purpose(A("100.128.0.0")));
+}
+
+TEST(SpecialPurpose, LoopbackLinkLocalDocs) {
+  EXPECT_TRUE(is_special_purpose(A("127.0.0.1")));
+  EXPECT_TRUE(is_special_purpose(A("169.254.1.1")));
+  EXPECT_TRUE(is_special_purpose(A("192.0.2.1")));
+  EXPECT_TRUE(is_special_purpose(A("198.51.100.7")));
+  EXPECT_TRUE(is_special_purpose(A("203.0.113.200")));
+  EXPECT_TRUE(is_special_purpose(A("198.18.5.1")));
+  EXPECT_TRUE(is_special_purpose(A("198.19.255.255")));
+}
+
+TEST(SpecialPurpose, MulticastAndReserved) {
+  EXPECT_TRUE(is_special_purpose(A("224.0.0.1")));
+  EXPECT_TRUE(is_special_purpose(A("239.255.255.255")));
+  EXPECT_TRUE(is_special_purpose(A("240.0.0.1")));
+  EXPECT_TRUE(is_special_purpose(A("255.255.255.255")));
+  EXPECT_TRUE(is_special_purpose(A("0.1.2.3")));
+}
+
+TEST(SpecialPurpose, PublicAddressesAreNotSpecial) {
+  EXPECT_FALSE(is_special_purpose(A("8.8.8.8")));
+  EXPECT_FALSE(is_special_purpose(A("198.71.46.180")));
+  EXPECT_FALSE(is_special_purpose(A("109.105.98.10")));
+  EXPECT_FALSE(is_special_purpose(A("4.68.110.186")));
+  EXPECT_FALSE(is_special_purpose(A("9.255.255.255")));   // below 10/8
+  EXPECT_FALSE(is_special_purpose(A("11.0.0.0")));        // above 10/8
+  EXPECT_FALSE(is_special_purpose(A("172.32.0.0")));      // above 172.16/12
+  EXPECT_FALSE(is_special_purpose(A("192.169.0.0")));     // above 192.168/16
+  EXPECT_FALSE(is_special_purpose(A("223.255.255.255"))); // below multicast
+}
+
+TEST(SpecialPurpose, LookupReportsBlock) {
+  const auto& registry = SpecialPurposeRegistry::instance();
+  const auto* entry = registry.lookup(A("192.168.5.5"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->prefix.to_string(), "192.168.0.0/16");
+  EXPECT_EQ(std::string(entry->name), "private-use");
+  EXPECT_EQ(registry.lookup(A("8.8.8.8")), nullptr);
+}
+
+TEST(SpecialPurpose, RegistryHasAllEntries) {
+  EXPECT_EQ(SpecialPurposeRegistry::instance().entries().size(), 16u);
+}
+
+}  // namespace
+}  // namespace mapit::net

@@ -1,0 +1,177 @@
+// Gao-Rexford routing tests: preference order, export rules, determinism,
+// and a valley-free property sweep over generated topologies.
+#include "route/as_routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generator.h"
+
+namespace mapit::route {
+namespace {
+
+using asdata::AsRelationships;
+using asdata::Asn;
+
+TEST(AsRouting, SelfRoute) {
+  AsRelationships rels;
+  rels.add_transit(1, 2);
+  const AsRouting routing(rels);
+  const auto entry = routing.route(2, 2);
+  EXPECT_EQ(entry.type, RouteType::kSelf);
+  EXPECT_EQ(entry.length, 0);
+  EXPECT_EQ(routing.as_path(2, 2), (std::vector<Asn>{2}));
+}
+
+TEST(AsRouting, CustomerRoutePreferredOverPeerAndProvider) {
+  // 10 can reach 99 via its customer 20, via its peer 30, or via its
+  // provider 40 — all of which sit one hop from 99.
+  AsRelationships rels;
+  rels.add_transit(10, 20);   // 20 is 10's customer
+  rels.add_peering(10, 30);
+  rels.add_transit(40, 10);   // 40 is 10's provider
+  rels.add_transit(20, 99);
+  rels.add_transit(30, 99);
+  rels.add_transit(40, 99);
+  const AsRouting routing(rels);
+  const auto entry = routing.route(10, 99);
+  EXPECT_EQ(entry.type, RouteType::kCustomer);
+  EXPECT_EQ(entry.next, 20u);
+  EXPECT_EQ(routing.as_path(10, 99), (std::vector<Asn>{10, 20, 99}));
+}
+
+TEST(AsRouting, PeerRouteWhenNoCustomerRoute) {
+  AsRelationships rels;
+  rels.add_peering(10, 30);
+  rels.add_transit(30, 99);
+  rels.add_transit(40, 10);
+  rels.add_transit(40, 99);
+  const AsRouting routing(rels);
+  const auto entry = routing.route(10, 99);
+  EXPECT_EQ(entry.type, RouteType::kPeer);
+  EXPECT_EQ(entry.next, 30u);
+}
+
+TEST(AsRouting, ProviderRouteAsLastResort) {
+  AsRelationships rels;
+  rels.add_transit(40, 10);
+  rels.add_transit(40, 99);
+  const AsRouting routing(rels);
+  const auto entry = routing.route(10, 99);
+  EXPECT_EQ(entry.type, RouteType::kProvider);
+  EXPECT_EQ(routing.as_path(10, 99), (std::vector<Asn>{10, 40, 99}));
+}
+
+TEST(AsRouting, PeerRoutesAreNotTransitive) {
+  // 10 -- 20 -- 30 peerings only: 10 cannot reach 30 (no valley-free path).
+  AsRelationships rels;
+  rels.add_peering(10, 20);
+  rels.add_peering(20, 30);
+  const AsRouting routing(rels);
+  EXPECT_EQ(routing.route(10, 30).type, RouteType::kNone);
+  EXPECT_TRUE(routing.as_path(10, 30).empty());
+}
+
+TEST(AsRouting, PeerThenDownIsAllowed) {
+  // 10 -- 20 (peer), 20 -> 30 (customer): 10 reaches 30 through the peer.
+  AsRelationships rels;
+  rels.add_peering(10, 20);
+  rels.add_transit(20, 30);
+  const AsRouting routing(rels);
+  EXPECT_EQ(routing.as_path(10, 30), (std::vector<Asn>{10, 20, 30}));
+}
+
+TEST(AsRouting, UpThenPeerThenDown) {
+  // Classic valley-free shape: 1 -> up to 2, across to 3, down to 4.
+  AsRelationships rels;
+  rels.add_transit(2, 1);
+  rels.add_peering(2, 3);
+  rels.add_transit(3, 4);
+  const AsRouting routing(rels);
+  EXPECT_EQ(routing.as_path(1, 4), (std::vector<Asn>{1, 2, 3, 4}));
+}
+
+TEST(AsRouting, ShorterCustomerRouteWins) {
+  AsRelationships rels;
+  rels.add_transit(10, 20);
+  rels.add_transit(20, 99);  // length 2 via 20
+  rels.add_transit(10, 99);  // length 1 direct
+  const AsRouting routing(rels);
+  const auto entry = routing.route(10, 99);
+  EXPECT_EQ(entry.length, 1);
+  EXPECT_EQ(entry.next, 99u);
+}
+
+TEST(AsRouting, TieBreaksTowardLowestNextHop) {
+  AsRelationships rels;
+  rels.add_transit(10, 21);
+  rels.add_transit(10, 22);
+  rels.add_transit(21, 99);
+  rels.add_transit(22, 99);
+  const AsRouting routing(rels);
+  EXPECT_EQ(routing.route(10, 99).next, 21u);
+}
+
+TEST(AsRouting, UnknownDestinationUnreachable) {
+  AsRelationships rels;
+  rels.add_transit(1, 2);
+  const AsRouting routing(rels);
+  EXPECT_EQ(routing.route(1, 777).type, RouteType::kNone);
+  EXPECT_TRUE(routing.as_path(1, 777).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Valley-free property over generated topologies: every computed path must
+// match up* peer? down* with at most one peering edge.
+// ---------------------------------------------------------------------------
+
+class ValleyFreeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValleyFreeTest, AllSampledPathsAreValleyFree) {
+  topo::GeneratorConfig config;
+  config.seed = GetParam();
+  config.tier1_count = 3;
+  config.transit_count = 15;
+  config.stub_count = 60;
+  config.rne_customer_count = 8;
+  const topo::Internet net = topo::Generator(config).generate();
+  const AsRouting routing(net.true_relationships());
+
+  const auto all = net.true_relationships().all_ases();
+  int checked = 0;
+  for (std::size_t i = 0; i < all.size(); i += 3) {
+    for (std::size_t j = 1; j < all.size(); j += 7) {
+      const auto path = routing.as_path(all[i], all[j]);
+      if (path.empty()) continue;
+      ++checked;
+      // Phases: 0 = climbing (customer->provider), 1 = after the single
+      // peering edge or the first descent (provider->customer only).
+      int phase = 0;
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        const auto rel =
+            net.true_relationships().relationship(path[k], path[k + 1]);
+        ASSERT_NE(rel, asdata::Relationship::kNone)
+            << "non-edge in path " << path[k] << "->" << path[k + 1];
+        if (rel == asdata::Relationship::kCustomer) {
+          // climbing to a provider
+          EXPECT_EQ(phase, 0) << "up after across/down";
+        } else if (rel == asdata::Relationship::kPeer) {
+          EXPECT_EQ(phase, 0) << "second peering or peer after down";
+          phase = 1;
+        } else {
+          phase = 1;  // descending
+        }
+      }
+      // No repeated ASes.
+      std::set<Asn> unique(path.begin(), path.end());
+      EXPECT_EQ(unique.size(), path.size());
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValleyFreeTest, ::testing::Values(3, 9, 27));
+
+}  // namespace
+}  // namespace mapit::route

@@ -1,0 +1,154 @@
+// Router-level forwarding tests: path validity, hot-potato egress,
+// determinism, and variant behaviour.
+#include "route/forwarder.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace mapit::route {
+namespace {
+
+class ForwarderTest : public ::testing::Test {
+ protected:
+  static topo::GeneratorConfig config() {
+    topo::GeneratorConfig c;
+    c.seed = 5;
+    c.tier1_count = 3;
+    c.transit_count = 15;
+    c.stub_count = 60;
+    c.rne_customer_count = 8;
+    return c;
+  }
+
+  ForwarderTest()
+      : net_(topo::Generator(config()).generate()),
+        routing_(net_.true_relationships()),
+        forwarder_(net_, routing_) {}
+
+  /// Validates physical continuity: each hop's in_link connects it to the
+  /// previous hop's router.
+  void expect_continuous(const std::vector<RouterHop>& path) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front().in_link, topo::kNoLink);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      ASSERT_NE(path[i].in_link, topo::kNoLink) << "hop " << i;
+      const topo::Link& link = net_.link(path[i].in_link);
+      EXPECT_TRUE((link.a == path[i - 1].router && link.b == path[i].router) ||
+                  (link.b == path[i - 1].router && link.a == path[i].router))
+          << "hop " << i;
+    }
+  }
+
+  topo::Internet net_;
+  AsRouting routing_;
+  Forwarder forwarder_;
+};
+
+TEST_F(ForwarderTest, PathsArePhysicallyContinuous) {
+  const auto destinations = net_.probe_destinations(1, 3);
+  const topo::RouterId source = net_.ases().front().routers.front();
+  int checked = 0;
+  for (std::size_t i = 0; i < destinations.size(); i += 5) {
+    const auto path = forwarder_.path(source, destinations[i]);
+    if (path.empty()) continue;
+    expect_continuous(path);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(ForwarderTest, PathEndsInDestinationAs) {
+  const auto destinations = net_.probe_destinations(1, 3);
+  const topo::RouterId source = net_.ases().front().routers.front();
+  for (std::size_t i = 0; i < destinations.size(); i += 11) {
+    const auto path = forwarder_.path(source, destinations[i]);
+    if (path.empty()) continue;
+    const asdata::Asn dest_as = forwarder_.true_origin(destinations[i]);
+    EXPECT_EQ(net_.router(path.back().router).owner, dest_as);
+    EXPECT_EQ(path.back().router,
+              forwarder_.attachment_router(dest_as, destinations[i]));
+  }
+}
+
+TEST_F(ForwarderTest, RouterSequenceFollowsAsPath) {
+  const auto destinations = net_.probe_destinations(1, 3);
+  const topo::RouterId source = net_.ases().front().routers.front();
+  for (std::size_t i = 0; i < destinations.size(); i += 13) {
+    const auto path = forwarder_.path(source, destinations[i]);
+    if (path.empty()) continue;
+    // Collapse the router path to an AS sequence.
+    std::vector<asdata::Asn> as_sequence;
+    for (const RouterHop& hop : path) {
+      const asdata::Asn owner = net_.router(hop.router).owner;
+      if (as_sequence.empty() || as_sequence.back() != owner) {
+        as_sequence.push_back(owner);
+      }
+    }
+    const auto expected = routing_.as_path(
+        net_.router(source).owner, forwarder_.true_origin(destinations[i]));
+    EXPECT_EQ(as_sequence, expected);
+  }
+}
+
+TEST_F(ForwarderTest, DeterministicForSameVariant) {
+  const auto destinations = net_.probe_destinations(1, 3);
+  const topo::RouterId source = net_.ases().front().routers.front();
+  for (std::size_t i = 0; i < destinations.size(); i += 17) {
+    EXPECT_EQ(forwarder_.path(source, destinations[i], 0),
+              forwarder_.path(source, destinations[i], 0));
+  }
+}
+
+TEST_F(ForwarderTest, SomeVariantsDiverge) {
+  // Variant 2 flips to second-best egress where parallel links exist; over
+  // many destinations at least one path must change.
+  const auto destinations = net_.probe_destinations(1, 3);
+  const topo::RouterId source = net_.ases().front().routers.front();
+  bool any_divergence = false;
+  for (net::Ipv4Address destination : destinations) {
+    const auto base = forwarder_.path(source, destination, 0);
+    const auto flipped = forwarder_.path(source, destination, 2);
+    if (!base.empty() && !flipped.empty() && base != flipped) {
+      any_divergence = true;
+      expect_continuous(flipped);
+      break;
+    }
+  }
+  EXPECT_TRUE(any_divergence);
+}
+
+TEST_F(ForwarderTest, IntraAsPathBasics) {
+  // Any two routers of a tier-1 AS are connected by internal links.
+  const topo::AsInfo& tier1 = net_.as_info(topo::Generator::tier1_a());
+  ASSERT_GE(tier1.routers.size(), 2u);
+  const auto path = forwarder_.intra_as_path(tier1.routers.front(),
+                                             tier1.routers.back(), 0);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front().router, tier1.routers.front());
+  EXPECT_EQ(path.back().router, tier1.routers.back());
+  for (const RouterHop& hop : path) {
+    EXPECT_EQ(net_.router(hop.router).owner, tier1.asn);
+  }
+  // Trivial path.
+  const auto self = forwarder_.intra_as_path(tier1.routers.front(),
+                                             tier1.routers.front(), 0);
+  ASSERT_EQ(self.size(), 1u);
+}
+
+TEST_F(ForwarderTest, TrueOriginMatchesAnnouncedSpace) {
+  for (const topo::AsInfo& info : net_.ases()) {
+    const net::Ipv4Address probe(info.announced.front().network().value() + 1);
+    EXPECT_EQ(forwarder_.true_origin(probe), info.asn);
+  }
+  EXPECT_EQ(forwarder_.true_origin(net::Ipv4Address(203, 1, 1, 1)),
+            asdata::kUnknownAsn);
+}
+
+TEST_F(ForwarderTest, UnknownDestinationYieldsEmptyPath) {
+  const topo::RouterId source = net_.ases().front().routers.front();
+  EXPECT_TRUE(forwarder_.path(source, net::Ipv4Address(203, 1, 1, 1)).empty());
+}
+
+}  // namespace
+}  // namespace mapit::route

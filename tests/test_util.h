@@ -1,0 +1,111 @@
+// Shared helpers for mapit tests: compact builders for corpora, RIBs and
+// fully wired mini-worlds so scenario tests read like the paper's figures.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asdata/as2org.h"
+#include "asdata/ixp.h"
+#include "asdata/relationships.h"
+#include "baselines/claims.h"
+#include "bgp/ip2as.h"
+#include "bgp/rib.h"
+#include "core/engine.h"
+#include "graph/interface_graph.h"
+#include "net/ipv4.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace mapit::testutil {
+
+inline net::Ipv4Address addr(std::string_view text) {
+  return net::Ipv4Address::parse_or_throw(text);
+}
+
+inline net::Prefix pfx(std::string_view text) {
+  return net::Prefix::parse_or_throw(text);
+}
+
+/// Builds a corpus from trace lines in the trace_io text format
+/// ("monitor|destination|hop hop ...").
+inline trace::TraceCorpus corpus_from(
+    std::initializer_list<std::string_view> lines) {
+  trace::TraceCorpus corpus;
+  for (std::string_view line : lines) {
+    corpus.add(trace::parse_trace(line, "test trace"));
+  }
+  return corpus;
+}
+
+/// Builds a single-collector RIB from (prefix, origin) pairs.
+inline bgp::Rib rib_from(
+    std::initializer_list<std::pair<std::string_view, asdata::Asn>> entries) {
+  bgp::Rib rib;
+  const bgp::CollectorId collector = rib.add_collector("test");
+  for (const auto& [prefix, origin] : entries) {
+    rib.add_announcement(collector, pfx(prefix), origin);
+  }
+  return rib;
+}
+
+/// A hand-built world: corpus + IP2AS + graph, ready to run MAP-IT on.
+/// Scenario tests construct these to mirror the paper's figures.
+class MiniWorld {
+ public:
+  MiniWorld(std::initializer_list<std::pair<std::string_view, asdata::Asn>>
+                announcements,
+            std::initializer_list<std::string_view> trace_lines)
+      : rib_(rib_from(announcements)), corpus_(corpus_from(trace_lines)) {}
+
+  asdata::As2Org& orgs() { return orgs_; }
+  asdata::AsRelationships& relationships() { return rels_; }
+  asdata::IxpRegistry& ixps() { return ixps_; }
+  trace::TraceCorpus& corpus() { return corpus_; }
+
+  /// Wires IP2AS and the interface graph (call after mutating inputs).
+  void freeze() {
+    ip2as_ = std::make_unique<bgp::Ip2As>(rib_, net::PrefixTrie<asdata::Asn>{},
+                                          &ixps_);
+    const auto addresses = corpus_.distinct_addresses();
+    graph_ =
+        std::make_unique<graph::InterfaceGraph>(corpus_, addresses);
+  }
+
+  const graph::InterfaceGraph& graph() {
+    if (!graph_) freeze();
+    return *graph_;
+  }
+
+  const bgp::Ip2As& ip2as() {
+    if (!ip2as_) freeze();
+    return *ip2as_;
+  }
+
+  core::Result run(const core::Options& options = {}) {
+    if (!graph_) freeze();
+    return core::run_mapit(*graph_, *ip2as_, orgs_, rels_, options);
+  }
+
+ private:
+  bgp::Rib rib_;
+  asdata::As2Org orgs_;
+  asdata::AsRelationships rels_;
+  asdata::IxpRegistry ixps_;
+  trace::TraceCorpus corpus_;
+  std::unique_ptr<bgp::Ip2As> ip2as_;
+  std::unique_ptr<graph::InterfaceGraph> graph_;
+};
+
+/// The confident inference on `address`/`direction`, or nullptr.
+inline const core::Inference* find_inference(const core::Result& result,
+                                             std::string_view address,
+                                             graph::Direction direction) {
+  return result.find({addr(address), direction});
+}
+
+}  // namespace mapit::testutil

@@ -1,0 +1,299 @@
+// Tests for the synthetic Internet generator: determinism, structural
+// soundness, addressing invariants, and dataset exporters.
+#include "topo/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "net/error.h"
+#include "net/point_to_point.h"
+#include "net/special_purpose.h"
+
+namespace mapit::topo {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 42) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.tier1_count = 4;
+  config.transit_count = 20;
+  config.stub_count = 80;
+  config.rne_customer_count = 10;
+  return config;
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : net_(Generator(small_config()).generate()) {}
+  Internet net_;
+};
+
+TEST_F(GeneratorTest, PopulationMatchesConfig) {
+  EXPECT_EQ(net_.ases().size(), 4u + 20u + 80u);
+  int tier1 = 0, transit = 0, stub = 0;
+  for (const AsInfo& info : net_.ases()) {
+    switch (info.tier) {
+      case AsTier::kTier1: ++tier1; break;
+      case AsTier::kTransit: ++transit; break;
+      case AsTier::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(tier1, 4);
+  EXPECT_EQ(transit, 20);
+  EXPECT_EQ(stub, 80);
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  const Internet again = Generator(small_config()).generate();
+  ASSERT_EQ(again.links().size(), net_.links().size());
+  for (std::size_t i = 0; i < net_.links().size(); ++i) {
+    EXPECT_EQ(again.links()[i].addr_a, net_.links()[i].addr_a);
+    EXPECT_EQ(again.links()[i].addr_b, net_.links()[i].addr_b);
+  }
+  ASSERT_EQ(again.true_links().size(), net_.true_links().size());
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  const Internet other = Generator(small_config(43)).generate();
+  bool any_difference = other.links().size() != net_.links().size();
+  for (std::size_t i = 0;
+       !any_difference && i < std::min(other.links().size(),
+                                       net_.links().size());
+       ++i) {
+    any_difference = other.links()[i].addr_a != net_.links()[i].addr_a;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(GeneratorTest, InterfaceAddressesAreUniqueAndPublic) {
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const Link& link : net_.links()) {
+    EXPECT_TRUE(seen.insert(link.addr_a).second)
+        << link.addr_a.to_string() << " reused";
+    EXPECT_TRUE(seen.insert(link.addr_b).second)
+        << link.addr_b.to_string() << " reused";
+    EXPECT_FALSE(net::is_special_purpose(link.addr_a));
+    EXPECT_FALSE(net::is_special_purpose(link.addr_b));
+  }
+}
+
+TEST_F(GeneratorTest, AnnouncedPrefixesAreDisjointAcrossAses) {
+  for (std::size_t i = 0; i < net_.ases().size(); ++i) {
+    for (std::size_t j = i + 1; j < net_.ases().size(); ++j) {
+      for (const net::Prefix& a : net_.ases()[i].announced) {
+        for (const net::Prefix& b : net_.ases()[j].announced) {
+          EXPECT_FALSE(a.contains(b) || b.contains(a))
+              << a.to_string() << " vs " << b.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, LinkAddressingMatchesOwnerSpace) {
+  // For non-IXP inter-AS links, both interface addresses come from the
+  // space of the endpoint indicated by `addressing`.
+  for (const Link& link : net_.links()) {
+    if (!link.inter_as || link.addressing == LinkAddressing::kIxp) continue;
+    const asdata::Asn owner =
+        link.addressing == LinkAddressing::kFromA
+            ? net_.router(link.a).owner
+            : net_.router(link.b).owner;
+    const AsInfo& info = net_.as_info(owner);
+    auto in_space = [&](net::Ipv4Address address) {
+      for (const net::Prefix& prefix : info.announced) {
+        if (prefix.contains(address)) return true;
+      }
+      return info.unannounced && info.unannounced->contains(address);
+    };
+    EXPECT_TRUE(in_space(link.addr_a)) << link.addr_a.to_string();
+    EXPECT_TRUE(in_space(link.addr_b)) << link.addr_b.to_string();
+  }
+}
+
+TEST_F(GeneratorTest, PointToPointPairsShareTheirPrefix) {
+  for (const Link& link : net_.links()) {
+    if (link.addressing == LinkAddressing::kIxp) continue;
+    ASSERT_TRUE(link.prefix_length == 30 || link.prefix_length == 31);
+    const net::Prefix block(link.addr_a, link.prefix_length);
+    EXPECT_TRUE(block.contains(link.addr_b));
+    if (link.prefix_length == 30) {
+      EXPECT_TRUE(net::is_slash30_host(link.addr_a));
+      EXPECT_TRUE(net::is_slash30_host(link.addr_b));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, IxpLinksDrawFromRegisteredLans) {
+  bool any_ixp = false;
+  for (const Link& link : net_.links()) {
+    if (link.addressing != LinkAddressing::kIxp) continue;
+    any_ixp = true;
+    EXPECT_TRUE(link.inter_as);
+    bool inside = false;
+    for (const auto& [prefix, id] : net_.ixp_lans()) {
+      if (prefix.contains(link.addr_a) && prefix.contains(link.addr_b)) {
+        inside = true;
+        EXPECT_EQ(id, link.ixp);
+      }
+    }
+    EXPECT_TRUE(inside);
+  }
+  EXPECT_TRUE(any_ixp);  // the config should produce some IXP peerings
+}
+
+TEST_F(GeneratorTest, TrueLinksMirrorInterAsLinks) {
+  std::size_t inter_as = 0;
+  for (const Link& link : net_.links()) {
+    if (link.inter_as) ++inter_as;
+  }
+  EXPECT_EQ(net_.true_links().size(), inter_as);
+  for (const TrueLink& truth : net_.true_links()) {
+    const Link& link = net_.link(truth.link);
+    EXPECT_TRUE(link.inter_as);
+    EXPECT_NE(truth.as_a, truth.as_b);
+    // addr_a sits on the as_a router.
+    const RouterId ra = net_.router_of_address(truth.addr_a);
+    const RouterId rb = net_.router_of_address(truth.addr_b);
+    EXPECT_EQ(net_.router(ra).owner, truth.as_a);
+    EXPECT_EQ(net_.router(rb).owner, truth.as_b);
+  }
+}
+
+TEST_F(GeneratorTest, ProviderGraphIsAcyclic) {
+  // Transit relationships must form a DAG (the generator builds them
+  // hierarchically); walk provider chains and ensure they terminate.
+  const auto& rels = net_.true_relationships();
+  for (const AsInfo& info : net_.ases()) {
+    std::unordered_set<asdata::Asn> visited;
+    std::vector<asdata::Asn> stack{info.asn};
+    std::size_t steps = 0;
+    while (!stack.empty()) {
+      const asdata::Asn current = stack.back();
+      stack.pop_back();
+      ASSERT_LT(++steps, 100000u) << "provider chain explosion";
+      for (asdata::Asn provider : rels.providers_of(current)) {
+        ASSERT_NE(provider, info.asn) << "provider cycle through AS"
+                                      << info.asn;
+        if (visited.insert(provider).second) stack.push_back(provider);
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, RneCustomersAreNeverNatStubs) {
+  const auto& rels = net_.true_relationships();
+  for (asdata::Asn customer : rels.customers_of(Generator::rne_asn())) {
+    const AsInfo& info = net_.as_info(customer);
+    if (info.tier == AsTier::kStub) {
+      EXPECT_FALSE(info.nat_stub) << "AS" << customer;
+    }
+  }
+}
+
+TEST_F(GeneratorTest, RoutersBelongToTheirAs) {
+  for (const AsInfo& info : net_.ases()) {
+    EXPECT_FALSE(info.routers.empty());
+    for (RouterId id : info.routers) {
+      EXPECT_EQ(net_.router(id).owner, info.asn);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, AddressLookups) {
+  const Link& link = net_.links().front();
+  EXPECT_EQ(net_.router_of_address(link.addr_a), link.a);
+  EXPECT_EQ(net_.link_of_address(link.addr_b), link.id);
+  EXPECT_EQ(net_.router_of_address(net::Ipv4Address(1, 1, 1, 1)), kNoRouter);
+  EXPECT_EQ(net_.link_of_address(net::Ipv4Address(1, 1, 1, 1)), kNoLink);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset exporters.
+// ---------------------------------------------------------------------------
+
+TEST_F(GeneratorTest, RibAndFallbackPartitionAnnouncedSpace) {
+  DatasetNoise noise;
+  noise.fallback_only = 0.2;  // exaggerate to exercise both sides
+  const bgp::Rib rib = net_.export_rib(noise, 7);
+  const auto fallback = net_.export_fallback(noise, 7);
+  const auto bgp_table = rib.consolidate();
+  std::size_t via_fallback = 0;
+  for (const AsInfo& info : net_.ases()) {
+    for (const net::Prefix& prefix : info.announced) {
+      const bool in_bgp = bgp_table.find(prefix) != nullptr;
+      const bool in_fallback = fallback.find(prefix) != nullptr;
+      EXPECT_TRUE(in_bgp != in_fallback) << prefix.to_string();
+      if (in_fallback) {
+        ++via_fallback;
+        EXPECT_EQ(*fallback.find(prefix), info.asn);
+      } else {
+        EXPECT_EQ(*bgp_table.find(prefix), info.asn);
+      }
+    }
+  }
+  EXPECT_GT(via_fallback, 0u);
+}
+
+TEST_F(GeneratorTest, RelationshipExportDropsSomeEdges) {
+  DatasetNoise noise;
+  noise.missing_relationship = 0.3;
+  const auto exported = net_.export_relationships(noise, 7);
+  EXPECT_LT(exported.transit_count(),
+            net_.true_relationships().transit_count());
+  // Exported edges are always true edges.
+  for (asdata::Asn asn : exported.all_ases()) {
+    for (asdata::Asn customer : exported.customers_of(asn)) {
+      EXPECT_EQ(net_.true_relationships().relationship(asn, customer),
+                asdata::Relationship::kProvider);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, As2OrgExportIsSubsetOfTruth) {
+  DatasetNoise noise;
+  noise.missing_sibling = 0.5;
+  const auto exported = net_.export_as2org(noise, 7);
+  for (const AsInfo& info : net_.ases()) {
+    const auto org = exported.org_of(info.asn);
+    if (org != asdata::kNoOrg) {
+      EXPECT_EQ(org, info.org);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, IxpExportSubset) {
+  DatasetNoise noise;
+  noise.missing_ixp_prefix = 0.0;
+  const auto full = net_.export_ixps(noise, 7);
+  EXPECT_EQ(full.prefix_count(), net_.ixp_lans().size());
+}
+
+TEST_F(GeneratorTest, ProbeDestinationsInsideAnnouncedSpace) {
+  const auto destinations = net_.probe_destinations(2, 7);
+  EXPECT_FALSE(destinations.empty());
+  EXPECT_TRUE(std::is_sorted(destinations.begin(), destinations.end()));
+  for (net::Ipv4Address destination : destinations) {
+    bool covered = false;
+    for (const AsInfo& info : net_.ases()) {
+      for (const net::Prefix& prefix : info.announced) {
+        covered |= prefix.contains(destination);
+      }
+    }
+    EXPECT_TRUE(covered) << destination.to_string();
+  }
+}
+
+TEST(GeneratorConfigValidation, RejectsDegenerateConfigs) {
+  GeneratorConfig config = small_config();
+  config.tier1_count = 1;
+  EXPECT_THROW(Generator(config).generate(), mapit::InvariantError);
+  config = small_config();
+  config.rne_customer_count = config.stub_count + 1;
+  EXPECT_THROW(Generator(config).generate(), mapit::InvariantError);
+}
+
+}  // namespace
+}  // namespace mapit::topo

@@ -1,0 +1,97 @@
+#include "trace/sanitize.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/trace_io.h"
+
+namespace mapit::trace {
+namespace {
+
+using testutil::corpus_from;
+
+TEST(Sanitize, RemovesQuotedTtl0Hops) {
+  // The buggy-router artifact (§4.1): the hop quoting TTL 0 goes away, the
+  // rest of the trace stays.
+  const auto result = sanitize(corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1@0 2.0.0.1 3.0.0.1",
+  }));
+  ASSERT_EQ(result.clean.size(), 1u);
+  const Trace& t = result.clean.traces()[0];
+  ASSERT_EQ(t.hops.size(), 3u);
+  EXPECT_EQ(*t.hops[0].address, testutil::addr("1.0.0.1"));
+  EXPECT_EQ(*t.hops[1].address, testutil::addr("2.0.0.1"));
+  EXPECT_EQ(t.hops[1].probe_ttl, 3);  // original TTL is preserved
+  EXPECT_EQ(result.stats.removed_ttl0_hops, 1u);
+}
+
+TEST(Sanitize, TtlRemovalBreaksFalseAdjacency) {
+  const auto result = sanitize(corpus_from({
+      "0|9.9.9.9|1.0.0.1 3.0.0.1@0 3.0.0.1",
+  }));
+  const Trace& t = result.clean.traces()[0];
+  ASSERT_EQ(t.hops.size(), 2u);
+  // 1.0.0.1 at TTL 1 and 3.0.0.1 at TTL 3: no longer consecutive, so the
+  // neighbour-set builder will not pair them.
+  EXPECT_EQ(t.hops[0].probe_ttl, 1);
+  EXPECT_EQ(t.hops[1].probe_ttl, 3);
+}
+
+TEST(Sanitize, DiscardsTracesWithInterfaceCycles) {
+  const auto result = sanitize(corpus_from({
+      "0|9.9.9.9|1.0.0.1 1.0.0.2 1.0.0.1",  // cycle: dropped
+      "1|9.9.9.9|1.0.0.1 1.0.0.2",          // clean: kept
+  }));
+  EXPECT_EQ(result.clean.size(), 1u);
+  EXPECT_EQ(result.stats.discarded_traces, 1u);
+  EXPECT_EQ(result.stats.input_traces, 2u);
+  EXPECT_NEAR(result.stats.discard_fraction(), 0.5, 1e-9);
+}
+
+TEST(Sanitize, Ttl0RemovalHappensBeforeCycleCheck) {
+  // The repeated address only exists through the buggy hop; stripping it
+  // first means the trace survives (the paper sanitizes then checks).
+  const auto result = sanitize(corpus_from({
+      "0|9.9.9.9|1.0.0.1 1.0.0.2 1.0.0.1@0 1.0.0.3",
+  }));
+  EXPECT_EQ(result.clean.size(), 1u);
+  EXPECT_EQ(result.stats.discarded_traces, 0u);
+}
+
+TEST(Sanitize, AddressRetentionAccounting) {
+  const auto result = sanitize(corpus_from({
+      "0|9.9.9.9|1.0.0.1 1.0.0.2 1.0.0.1",  // cycle: loses 1.0.0.2
+      "1|9.9.9.9|1.0.0.1 1.0.0.3",
+  }));
+  EXPECT_EQ(result.stats.input_addresses, 3u);
+  EXPECT_EQ(result.stats.retained_addresses, 2u);
+  EXPECT_NEAR(result.stats.address_retention(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Sanitize, EmptyCorpus) {
+  const auto result = sanitize(TraceCorpus{});
+  EXPECT_TRUE(result.clean.empty());
+  EXPECT_EQ(result.stats.discard_fraction(), 0.0);
+  EXPECT_EQ(result.stats.address_retention(), 1.0);
+}
+
+TEST(Sanitize, OutputInvariantsOnMessyCorpus) {
+  // Property: after sanitization no trace has a cycle or a quoted-TTL-0 hop.
+  TraceCorpus corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1@0 1.0.0.2 1.0.0.1",
+      "1|9.9.9.9|1.0.0.1@0 1.0.0.2@0 1.0.0.3@0",
+      "2|9.9.9.9|* * *",
+      "3|9.9.9.9|5.0.0.1 5.0.0.2 5.0.0.3 5.0.0.2",
+      "4|9.9.9.9|6.0.0.1 6.0.0.1 6.0.0.2",
+  });
+  const auto result = sanitize(corpus);
+  for (const Trace& t : result.clean.traces()) {
+    EXPECT_FALSE(t.has_interface_cycle());
+    for (const TraceHop& hop : t.hops) {
+      EXPECT_FALSE(hop.address && hop.quoted_ttl && *hop.quoted_ttl == 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mapit::trace

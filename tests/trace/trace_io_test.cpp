@@ -1,0 +1,112 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "net/error.h"
+#include "test_util.h"
+
+namespace mapit::trace {
+namespace {
+
+TEST(TraceIo, ParsesFullSyntax) {
+  const Trace t =
+      parse_trace("3|9.9.9.9|1.0.0.1 * 1.0.0.2@0 1.0.0.3@255");
+  EXPECT_EQ(t.monitor, 3u);
+  EXPECT_EQ(t.destination, testutil::addr("9.9.9.9"));
+  ASSERT_EQ(t.hops.size(), 4u);
+  EXPECT_EQ(t.hops[0].probe_ttl, 1);
+  EXPECT_EQ(*t.hops[0].address, testutil::addr("1.0.0.1"));
+  EXPECT_FALSE(t.hops[0].quoted_ttl.has_value());
+  EXPECT_FALSE(t.hops[1].address.has_value());
+  EXPECT_EQ(t.hops[1].probe_ttl, 2);
+  EXPECT_EQ(*t.hops[2].quoted_ttl, 0);
+  EXPECT_EQ(*t.hops[3].quoted_ttl, 255);
+}
+
+TEST(TraceIo, EmptyHopList) {
+  const Trace t = parse_trace("0|9.9.9.9|");
+  EXPECT_TRUE(t.hops.empty());
+}
+
+TEST(TraceIo, FormatRoundTrip) {
+  const char* line = "7|9.9.9.9|1.0.0.1 * 1.0.0.2@0 1.0.0.3@17";
+  EXPECT_EQ(format_trace(parse_trace(line)), line);
+}
+
+class TraceIoBadInputTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceIoBadInputTest, Rejected) {
+  EXPECT_THROW((void)parse_trace(GetParam()), mapit::ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, TraceIoBadInputTest,
+    ::testing::Values("",                       // empty line
+                      "3|9.9.9.9",              // missing hops field
+                      "3|9.9.9.9|a|b",          // too many fields
+                      "x|9.9.9.9|1.0.0.1",      // bad monitor
+                      "3|nine|1.0.0.1",         // bad destination
+                      "3|9.9.9.9|1.0.0",        // bad hop address
+                      "3|9.9.9.9|1.0.0.1@",     // empty quoted TTL
+                      "3|9.9.9.9|1.0.0.1@999",  // quoted TTL too big
+                      "3|9.9.9.9|1.0.0.1@1x",   // junk quoted TTL
+                      "3|9.9.9.9|1.0.0.1@1234"  // too many digits
+                      ));
+
+TEST(TraceIo, CorpusRoundTrip) {
+  const TraceCorpus corpus = testutil::corpus_from({
+      "0|9.9.9.9|1.0.0.1 1.0.0.2",
+      "1|8.8.8.8|* * 2.0.0.1@0",
+      "2|7.7.7.7|",
+  });
+  std::stringstream stream;
+  write_corpus(stream, corpus);
+  const TraceCorpus reread = read_corpus(stream);
+  ASSERT_EQ(reread.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(reread.traces()[i], corpus.traces()[i]) << "trace " << i;
+  }
+}
+
+TEST(TraceIo, ReadNamesOffendingLine) {
+  std::stringstream stream("# ok\n0|9.9.9.9|1.0.0.1\ngarbage\n");
+  try {
+    (void)read_corpus(stream);
+    FAIL() << "expected ParseError";
+  } catch (const mapit::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RandomTraceRoundTrip) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint32_t> addr_dist(0x01000000,
+                                                         0xDFFFFFFF);
+  std::uniform_int_distribution<int> len_dist(0, 20);
+  std::uniform_int_distribution<int> kind(0, 5);
+  for (int i = 0; i < 50; ++i) {
+    Trace t;
+    t.monitor = static_cast<MonitorId>(i);
+    t.destination = net::Ipv4Address(addr_dist(rng));
+    const int hops = len_dist(rng);
+    for (int h = 0; h < hops; ++h) {
+      TraceHop hop;
+      hop.probe_ttl = static_cast<std::uint8_t>(h + 1);
+      const int k = kind(rng);
+      if (k > 0) {
+        hop.address = net::Ipv4Address(addr_dist(rng));
+        if (k == 1) hop.quoted_ttl = 0;
+        if (k == 2) hop.quoted_ttl = 1;
+      }
+      t.hops.push_back(hop);
+    }
+    EXPECT_EQ(parse_trace(format_trace(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace mapit::trace

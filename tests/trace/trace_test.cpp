@@ -1,0 +1,94 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mapit::trace {
+namespace {
+
+using testutil::addr;
+using testutil::corpus_from;
+
+Trace trace_of(std::initializer_list<const char*> hops) {
+  Trace t;
+  t.destination = addr("9.9.9.9");
+  std::uint8_t ttl = 0;
+  for (const char* hop : hops) {
+    TraceHop h;
+    h.probe_ttl = ++ttl;
+    if (std::string_view(hop) != "*") h.address = addr(hop);
+    t.hops.push_back(h);
+  }
+  return t;
+}
+
+TEST(Trace, ResponsiveHops) {
+  EXPECT_EQ(trace_of({"1.0.0.1", "*", "1.0.0.2"}).responsive_hops(), 2u);
+  EXPECT_EQ(trace_of({"*", "*"}).responsive_hops(), 0u);
+  EXPECT_EQ(Trace{}.responsive_hops(), 0u);
+}
+
+TEST(Trace, NoCycleInSimplePath) {
+  EXPECT_FALSE(trace_of({"1.0.0.1", "1.0.0.2", "1.0.0.3"}).has_interface_cycle());
+}
+
+TEST(Trace, CycleWhenAddressRepeatsWithGap) {
+  // Viger et al. cycle: same address twice, separated by a different one.
+  EXPECT_TRUE(
+      trace_of({"1.0.0.1", "1.0.0.2", "1.0.0.1"}).has_interface_cycle());
+}
+
+TEST(Trace, ImmediateRepeatIsNotACycle) {
+  // A router answering two consecutive TTLs is not a cycle (footnote 5).
+  EXPECT_FALSE(
+      trace_of({"1.0.0.1", "1.0.0.1", "1.0.0.2"}).has_interface_cycle());
+}
+
+TEST(Trace, NullHopsDoNotSeparateForCycleDetection) {
+  // A '*' between two occurrences is not a *different address*.
+  EXPECT_FALSE(trace_of({"1.0.0.1", "*", "1.0.0.1"}).has_interface_cycle());
+  // But a real address after the '*' still makes it a cycle.
+  EXPECT_TRUE(trace_of({"1.0.0.1", "*", "1.0.0.2", "1.0.0.1"})
+                  .has_interface_cycle());
+}
+
+TEST(Trace, LongRangeCycleDetected) {
+  EXPECT_TRUE(trace_of({"1.0.0.1", "1.0.0.2", "1.0.0.3", "1.0.0.4",
+                        "1.0.0.2"})
+                  .has_interface_cycle());
+}
+
+TEST(TraceCorpus, DistinctAddressesSortedUnique) {
+  const TraceCorpus corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.2 1.0.0.1",
+      "1|9.9.9.9|1.0.0.1 1.0.0.3",
+  });
+  const auto addresses = corpus.distinct_addresses();
+  ASSERT_EQ(addresses.size(), 3u);
+  EXPECT_EQ(addresses[0], addr("1.0.0.1"));
+  EXPECT_EQ(addresses[1], addr("1.0.0.2"));
+  EXPECT_EQ(addresses[2], addr("1.0.0.3"));
+}
+
+TEST(TraceCorpus, AdjacentAddressesRequireConsecutiveTtls) {
+  const TraceCorpus corpus = corpus_from({
+      "0|9.9.9.9|1.0.0.1 * 1.0.0.2",   // gap: not adjacent
+      "1|9.9.9.9|1.0.0.3 1.0.0.4",     // adjacent
+      "2|9.9.9.9|1.0.0.5",             // alone: not adjacent
+  });
+  const auto adjacent = corpus.adjacent_addresses();
+  ASSERT_EQ(adjacent.size(), 2u);
+  EXPECT_EQ(adjacent[0], addr("1.0.0.3"));
+  EXPECT_EQ(adjacent[1], addr("1.0.0.4"));
+}
+
+TEST(TraceCorpus, EmptyCorpus) {
+  const TraceCorpus corpus;
+  EXPECT_TRUE(corpus.empty());
+  EXPECT_TRUE(corpus.distinct_addresses().empty());
+  EXPECT_TRUE(corpus.adjacent_addresses().empty());
+}
+
+}  // namespace
+}  // namespace mapit::trace

@@ -1,0 +1,425 @@
+// mapit — command-line front end for the MAP-IT library.
+//
+//   mapit run       run MAP-IT over a traceroute corpus + datasets
+//   mapit stats     sanitization / interface-graph statistics for a corpus
+//   mapit simulate  generate a synthetic Internet's datasets to files
+//   mapit help      usage
+//
+// All file formats are the library's line-oriented text formats (see the
+// respective *_io headers); `mapit simulate` writes examples of each.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/claims.h"
+#include "core/engine.h"
+#include "core/as_path.h"
+#include "core/explain.h"
+#include "core/result_io.h"
+#include "eval/experiment.h"
+#include "net/error.h"
+#include "topo/truth_io.h"
+#include "trace/sanitize.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace mapit;
+
+[[noreturn]] void usage(int exit_code) {
+  std::cout <<
+      "usage:\n"
+      "  mapit run --traces FILE --rib FILE [options]\n"
+      "      --relationships FILE   CAIDA serial-1 AS relationships\n"
+      "      --as2org FILE          asn|org sibling data\n"
+      "      --ixps FILE            IXP prefix list\n"
+      "      --f VALUE              majority threshold (default 0.5)\n"
+      "      --remove-rule RULE     majority (default) or add\n"
+      "      --no-stub              disable the stub-AS heuristic\n"
+      "      --no-siblings          disable sibling grouping\n"
+      "      --output FILE          confident inferences (default stdout)\n"
+      "      --uncertain FILE       uncertain inferences\n"
+      "      --explain ADDRESS      print the evidence trail for one address\n"
+      "  mapit eval --inferences FILE --truth FILE [--target ASN]\n"
+      "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
+      "  mapit stats --traces FILE\n"
+      "  mapit simulate --out DIR [--seed N] [--scale small|standard]\n"
+      "  mapit help\n";
+  std::exit(exit_code);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> value(const std::string& flag) {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == flag) {
+        used_[i] = used_[i + 1] = true;
+        return tokens_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == name) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void reject_unknown() const {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!used_.contains(i)) {
+        std::cerr << "unknown argument: " << tokens_[i] << "\n";
+        usage(2);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::size_t, bool> used_;
+};
+
+std::ifstream open_or_die(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  return stream;
+}
+
+int cmd_run(Args& args) {
+  const auto traces_path = args.value("--traces");
+  const auto rib_path = args.value("--rib");
+  if (!traces_path || !rib_path) {
+    std::cerr << "run: --traces and --rib are required\n";
+    usage(2);
+  }
+
+  core::Options options;
+  if (const auto f = args.value("--f")) options.f = std::stod(*f);
+  if (const auto rule = args.value("--remove-rule")) {
+    if (*rule == "majority") {
+      options.remove_rule = core::RemoveRule::kMajority;
+    } else if (*rule == "add") {
+      options.remove_rule = core::RemoveRule::kAddRule;
+    } else {
+      std::cerr << "unknown remove rule '" << *rule << "'\n";
+      return 2;
+    }
+  }
+  options.stub_heuristic = !args.flag("--no-stub");
+  options.sibling_grouping = !args.flag("--no-siblings");
+  const auto relationships_path = args.value("--relationships");
+  const auto as2org_path = args.value("--as2org");
+  const auto ixps_path = args.value("--ixps");
+  const auto output_path = args.value("--output");
+  const auto uncertain_path = args.value("--uncertain");
+  const auto explain_address = args.value("--explain");
+  args.reject_unknown();
+
+  auto traces_stream = open_or_die(*traces_path);
+  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream);
+  auto rib_stream = open_or_die(*rib_path);
+  const bgp::Rib rib = bgp::Rib::read(rib_stream);
+
+  asdata::AsRelationships rels;
+  if (relationships_path) {
+    auto stream = open_or_die(*relationships_path);
+    rels = asdata::AsRelationships::read(stream);
+  }
+  asdata::As2Org orgs;
+  if (as2org_path) {
+    auto stream = open_or_die(*as2org_path);
+    orgs = asdata::As2Org::read(stream);
+  }
+  asdata::IxpRegistry ixps;
+  if (ixps_path) {
+    auto stream = open_or_die(*ixps_path);
+    ixps = asdata::IxpRegistry::read(stream);
+  }
+
+  const auto sanitized = trace::sanitize(corpus);
+  std::cerr << "sanitized " << corpus.size() << " traces ("
+            << sanitized.stats.discarded_traces << " discarded, "
+            << sanitized.stats.removed_ttl0_hops << " TTL=0 hops removed)\n";
+
+  const auto all_addresses = corpus.distinct_addresses();
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const bgp::Ip2As ip2as(rib, net::PrefixTrie<asdata::Asn>{}, &ixps);
+  std::cerr << "interface graph: " << graph.size() << " interfaces\n";
+
+  const core::Result result = core::run_mapit(graph, ip2as, orgs, rels,
+                                              options);
+  std::cerr << "MAP-IT: " << result.inferences.size()
+            << " confident inferences, " << result.uncertain.size()
+            << " uncertain, " << result.stats.iterations << " iterations"
+            << (result.stats.converged ? "" : " (iteration cap hit!)") << "\n";
+
+  if (output_path) {
+    std::ofstream out(*output_path);
+    core::write_inferences(out, result.inferences);
+  } else {
+    core::write_inferences(std::cout, result.inferences);
+  }
+  if (uncertain_path) {
+    std::ofstream out(*uncertain_path);
+    core::write_inferences(out, result.uncertain);
+  }
+  if (explain_address) {
+    std::cerr << core::explain(
+        result, graph, ip2as,
+        net::Ipv4Address::parse_or_throw(*explain_address));
+  }
+  return 0;
+}
+
+int cmd_paths(Args& args) {
+  const auto traces_path = args.value("--traces");
+  const auto rib_path = args.value("--rib");
+  if (!traces_path || !rib_path) {
+    std::cerr << "paths: --traces and --rib are required\n";
+    usage(2);
+  }
+  std::size_t limit = 20;
+  if (const auto l = args.value("--limit")) limit = std::stoul(*l);
+  const auto relationships_path = args.value("--relationships");
+  const auto as2org_path = args.value("--as2org");
+  const auto ixps_path = args.value("--ixps");
+  args.reject_unknown();
+
+  auto traces_stream = open_or_die(*traces_path);
+  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream);
+  auto rib_stream = open_or_die(*rib_path);
+  const bgp::Rib rib = bgp::Rib::read(rib_stream);
+  asdata::AsRelationships rels;
+  if (relationships_path) {
+    auto stream = open_or_die(*relationships_path);
+    rels = asdata::AsRelationships::read(stream);
+  }
+  asdata::As2Org orgs;
+  if (as2org_path) {
+    auto stream = open_or_die(*as2org_path);
+    orgs = asdata::As2Org::read(stream);
+  }
+  asdata::IxpRegistry ixps;
+  if (ixps_path) {
+    auto stream = open_or_die(*ixps_path);
+    ixps = asdata::IxpRegistry::read(stream);
+  }
+
+  const auto sanitized = trace::sanitize(corpus);
+  const auto all_addresses = corpus.distinct_addresses();
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const bgp::Ip2As ip2as(rib, net::PrefixTrie<asdata::Asn>{}, &ixps);
+  const core::Result result =
+      core::run_mapit(graph, ip2as, orgs, rels, core::Options{});
+  const core::PathAnnotator annotator(result, ip2as);
+
+  auto print_path = [](const char* label,
+                       const std::vector<asdata::Asn>& path) {
+    std::cout << "  " << label << ":";
+    for (asdata::Asn asn : path) std::cout << " AS" << asn;
+    std::cout << "\n";
+  };
+  std::size_t shown = 0;
+  for (const trace::Trace& t : sanitized.clean.traces()) {
+    if (shown >= limit) break;
+    const core::AnnotatedPath annotated = annotator.annotate(t);
+    if (annotated.as_path == annotated.naive_as_path) continue;  // boring
+    ++shown;
+    std::cout << "trace to " << t.destination.to_string() << " (monitor "
+              << t.monitor << ")\n";
+    print_path("naive ", annotated.naive_as_path);
+    print_path("mapit ", annotated.as_path);
+  }
+  if (shown == 0) {
+    std::cout << "no traces with corrected AS paths in the first "
+              << sanitized.clean.size() << "\n";
+  }
+  return 0;
+}
+
+int cmd_eval(Args& args) {
+  const auto inferences_path = args.value("--inferences");
+  const auto truth_path = args.value("--truth");
+  if (!inferences_path || !truth_path) {
+    std::cerr << "eval: --inferences and --truth are required\n";
+    usage(2);
+  }
+  std::optional<asdata::Asn> target;
+  if (const auto t = args.value("--target")) {
+    target = static_cast<asdata::Asn>(std::stoul(*t));
+  }
+  args.reject_unknown();
+
+  auto inf_stream = open_or_die(*inferences_path);
+  const std::vector<core::Inference> inferences =
+      core::read_inferences(inf_stream);
+  auto truth_stream = open_or_die(*truth_path);
+  const std::vector<topo::TrueLink> truth =
+      topo::read_true_links(truth_stream);
+
+  // Lightweight link-coverage check (the full §5.2 verification rules need
+  // the complete internal-interface inventory; use the library's Evaluator
+  // for that). A truth link is matched when any inference on either of its
+  // addresses names its AS pair; an inference on a truth address naming a
+  // different pair is a mismatch.
+  std::size_t in_scope = 0, matched = 0, mismatched = 0;
+  for (const topo::TrueLink& link : truth) {
+    if (target && link.as_a != *target && link.as_b != *target) continue;
+    ++in_scope;
+    bool ok = false, bad = false;
+    for (const core::Inference& inference : inferences) {
+      if (inference.half.address != link.addr_a &&
+          inference.half.address != link.addr_b) {
+        continue;
+      }
+      const auto pair = inference.as_pair();
+      const auto want = link.as_a <= link.as_b
+                            ? std::make_pair(link.as_a, link.as_b)
+                            : std::make_pair(link.as_b, link.as_a);
+      (pair == want ? ok : bad) = true;
+    }
+    matched += ok ? 1 : 0;
+    mismatched += (!ok && bad) ? 1 : 0;
+  }
+  std::cout << "truth links in scope : " << in_scope << "\n"
+            << "matched by inferences: " << matched << " ("
+            << (in_scope == 0 ? 100.0 : 100.0 * static_cast<double>(matched) /
+                                            static_cast<double>(in_scope))
+            << "%)\n"
+            << "wrong-pair inferences: " << mismatched << "\n";
+  return 0;
+}
+
+int cmd_stats(Args& args) {
+  const auto traces_path = args.value("--traces");
+  if (!traces_path) {
+    std::cerr << "stats: --traces is required\n";
+    usage(2);
+  }
+  args.reject_unknown();
+  auto stream = open_or_die(*traces_path);
+  const trace::TraceCorpus corpus = trace::read_corpus(stream);
+  const auto sanitized = trace::sanitize(corpus);
+  const auto all_addresses = corpus.distinct_addresses();
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const graph::GraphStats gs = graph.stats();
+
+  std::cout << "traces                : " << corpus.size() << "\n"
+            << "discarded (cycles)    : " << sanitized.stats.discarded_traces
+            << " (" << 100.0 * sanitized.stats.discard_fraction() << "%)\n"
+            << "TTL=0 hops removed    : " << sanitized.stats.removed_ttl0_hops
+            << "\n"
+            << "distinct addresses    : " << sanitized.stats.input_addresses
+            << " -> " << sanitized.stats.retained_addresses << " ("
+            << 100.0 * sanitized.stats.address_retention() << "% retained)\n"
+            << "graph interfaces      : " << gs.interfaces << "\n"
+            << "|N_F| > 1             : " << gs.forward_multi << "\n"
+            << "|N_B| > 1             : " << gs.backward_multi << "\n"
+            << "both-direction overlap: " << gs.both_directions_overlap
+            << " (" << 100.0 * gs.overlap_fraction() << "%)\n"
+            << "/31-numbered          : " << 100.0 * gs.slash31_fraction
+            << "%\n";
+  return 0;
+}
+
+int cmd_simulate(Args& args) {
+  const auto out_dir = args.value("--out");
+  if (!out_dir) {
+    std::cerr << "simulate: --out is required\n";
+    usage(2);
+  }
+  eval::ExperimentConfig config = eval::ExperimentConfig::small();
+  if (const auto scale = args.value("--scale")) {
+    if (*scale == "standard") {
+      config = eval::ExperimentConfig::standard();
+    } else if (*scale != "small") {
+      std::cerr << "unknown scale '" << *scale << "'\n";
+      return 2;
+    }
+  }
+  if (const auto seed = args.value("--seed")) {
+    const auto value = static_cast<std::uint64_t>(std::stoull(*seed));
+    config.topology.seed = value;
+    config.simulation.seed = value ^ 0xFEEDu;
+    config.dataset_seed = value ^ 0xBEEFu;
+  }
+  args.reject_unknown();
+
+  const auto experiment = eval::Experiment::build(config);
+  const std::filesystem::path dir(*out_dir);
+  std::filesystem::create_directories(dir);
+
+  {
+    std::ofstream out(dir / "traces.txt");
+    trace::write_corpus(out, experiment->raw_corpus());
+  }
+  {
+    std::ofstream out(dir / "rib.txt");
+    experiment->internet()
+        .export_rib(config.noise, config.dataset_seed)
+        .write(out);
+  }
+  {
+    std::ofstream out(dir / "relationships.txt");
+    experiment->relationships().write(out);
+  }
+  {
+    std::ofstream out(dir / "as2org.txt");
+    experiment->orgs().write(out);
+  }
+  {
+    std::ofstream out(dir / "ixps.txt");
+    experiment->ixps().write(out);
+  }
+  {
+    std::ofstream out(dir / "truth.txt");
+    topo::write_true_links(out, experiment->internet().true_links());
+  }
+  std::cout << "wrote traces.txt rib.txt relationships.txt as2org.txt "
+               "ixps.txt truth.txt to "
+            << dir.string() << "\n"
+            << "(" << experiment->raw_corpus().size() << " traces over "
+            << experiment->internet().ases().size() << " ASes)\n"
+            << "try: mapit run --traces " << (dir / "traces.txt").string()
+            << " --rib " << (dir / "rib.txt").string()
+            << " --relationships " << (dir / "relationships.txt").string()
+            << " --as2org " << (dir / "as2org.txt").string() << " --ixps "
+            << (dir / "ixps.txt").string() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "paths") return cmd_paths(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "help" || command == "--help" || command == "-h") usage(0);
+    std::cerr << "unknown command '" << command << "'\n";
+    usage(2);
+  } catch (const mapit::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
