@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/dataset_stats.cpp" "bench/CMakeFiles/dataset_stats.dir/dataset_stats.cpp.o" "gcc" "bench/CMakeFiles/dataset_stats.dir/dataset_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/mapit_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mapit_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracesim/CMakeFiles/mapit_tracesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/mapit_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mapit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mapit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mapit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mapit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mapit_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mapit_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/mapit_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_as_path_accuracy.dir/ext_as_path_accuracy.cpp.o"
+  "CMakeFiles/ext_as_path_accuracy.dir/ext_as_path_accuracy.cpp.o.d"
+  "ext_as_path_accuracy"
+  "ext_as_path_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_as_path_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_as_path_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bdrmap_comparison.dir/ext_bdrmap_comparison.cpp.o"
+  "CMakeFiles/ext_bdrmap_comparison.dir/ext_bdrmap_comparison.cpp.o.d"
+  "ext_bdrmap_comparison"
+  "ext_bdrmap_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bdrmap_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hostname_truth.dir/ext_hostname_truth.cpp.o"
+  "CMakeFiles/ext_hostname_truth.dir/ext_hostname_truth.cpp.o.d"
+  "ext_hostname_truth"
+  "ext_hostname_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hostname_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_visibility_sweep.dir/ext_visibility_sweep.cpp.o"
+  "CMakeFiles/ext_visibility_sweep.dir/ext_visibility_sweep.cpp.o.d"
+  "ext_visibility_sweep"
+  "ext_visibility_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_visibility_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

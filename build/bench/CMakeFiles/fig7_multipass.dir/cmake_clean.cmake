@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multipass.dir/fig7_multipass.cpp.o"
+  "CMakeFiles/fig7_multipass.dir/fig7_multipass.cpp.o.d"
+  "fig7_multipass"
+  "fig7_multipass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multipass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_relationships.dir/table1_relationships.cpp.o"
+  "CMakeFiles/table1_relationships.dir/table1_relationships.cpp.o.d"
+  "table1_relationships"
+  "table1_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipass_refinement.dir/multipass_refinement.cpp.o"
+  "CMakeFiles/multipass_refinement.dir/multipass_refinement.cpp.o.d"
+  "multipass_refinement"
+  "multipass_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipass_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_internet.dir/synthetic_internet.cpp.o"
+  "CMakeFiles/synthetic_internet.dir/synthetic_internet.cpp.o.d"
+  "synthetic_internet"
+  "synthetic_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/third_party_address.dir/third_party_address.cpp.o"
+  "CMakeFiles/third_party_address.dir/third_party_address.cpp.o.d"
+  "third_party_address"
+  "third_party_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/third_party_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("bgp")
+subdirs("asdata")
+subdirs("trace")
+subdirs("graph")
+subdirs("core")
+subdirs("topo")
+subdirs("route")
+subdirs("tracesim")
+subdirs("baselines")
+subdirs("eval")
+subdirs("dns")

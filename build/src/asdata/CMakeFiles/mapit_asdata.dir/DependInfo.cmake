@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asdata/as2org.cpp" "src/asdata/CMakeFiles/mapit_asdata.dir/as2org.cpp.o" "gcc" "src/asdata/CMakeFiles/mapit_asdata.dir/as2org.cpp.o.d"
+  "/root/repo/src/asdata/ixp.cpp" "src/asdata/CMakeFiles/mapit_asdata.dir/ixp.cpp.o" "gcc" "src/asdata/CMakeFiles/mapit_asdata.dir/ixp.cpp.o.d"
+  "/root/repo/src/asdata/relationships.cpp" "src/asdata/CMakeFiles/mapit_asdata.dir/relationships.cpp.o" "gcc" "src/asdata/CMakeFiles/mapit_asdata.dir/relationships.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

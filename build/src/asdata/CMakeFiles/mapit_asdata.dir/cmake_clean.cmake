@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_asdata.dir/as2org.cpp.o"
+  "CMakeFiles/mapit_asdata.dir/as2org.cpp.o.d"
+  "CMakeFiles/mapit_asdata.dir/ixp.cpp.o"
+  "CMakeFiles/mapit_asdata.dir/ixp.cpp.o.d"
+  "CMakeFiles/mapit_asdata.dir/relationships.cpp.o"
+  "CMakeFiles/mapit_asdata.dir/relationships.cpp.o.d"
+  "libmapit_asdata.a"
+  "libmapit_asdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_asdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_baselines.dir/bdrmap_lite.cpp.o"
+  "CMakeFiles/mapit_baselines.dir/bdrmap_lite.cpp.o.d"
+  "CMakeFiles/mapit_baselines.dir/claims.cpp.o"
+  "CMakeFiles/mapit_baselines.dir/claims.cpp.o.d"
+  "CMakeFiles/mapit_baselines.dir/itdk.cpp.o"
+  "CMakeFiles/mapit_baselines.dir/itdk.cpp.o.d"
+  "CMakeFiles/mapit_baselines.dir/simple.cpp.o"
+  "CMakeFiles/mapit_baselines.dir/simple.cpp.o.d"
+  "libmapit_baselines.a"
+  "libmapit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_bgp.dir/ip2as.cpp.o"
+  "CMakeFiles/mapit_bgp.dir/ip2as.cpp.o.d"
+  "CMakeFiles/mapit_bgp.dir/rib.cpp.o"
+  "CMakeFiles/mapit_bgp.dir/rib.cpp.o.d"
+  "libmapit_bgp.a"
+  "libmapit_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

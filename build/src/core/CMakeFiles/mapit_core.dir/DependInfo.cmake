@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/as_path.cpp" "src/core/CMakeFiles/mapit_core.dir/as_path.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/as_path.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/mapit_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/mapit_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/core/CMakeFiles/mapit_core.dir/inference.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/inference.cpp.o.d"
+  "/root/repo/src/core/links.cpp" "src/core/CMakeFiles/mapit_core.dir/links.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/links.cpp.o.d"
+  "/root/repo/src/core/result_io.cpp" "src/core/CMakeFiles/mapit_core.dir/result_io.cpp.o" "gcc" "src/core/CMakeFiles/mapit_core.dir/result_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mapit_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/mapit_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mapit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mapit_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_core.dir/as_path.cpp.o"
+  "CMakeFiles/mapit_core.dir/as_path.cpp.o.d"
+  "CMakeFiles/mapit_core.dir/engine.cpp.o"
+  "CMakeFiles/mapit_core.dir/engine.cpp.o.d"
+  "CMakeFiles/mapit_core.dir/explain.cpp.o"
+  "CMakeFiles/mapit_core.dir/explain.cpp.o.d"
+  "CMakeFiles/mapit_core.dir/inference.cpp.o"
+  "CMakeFiles/mapit_core.dir/inference.cpp.o.d"
+  "CMakeFiles/mapit_core.dir/links.cpp.o"
+  "CMakeFiles/mapit_core.dir/links.cpp.o.d"
+  "CMakeFiles/mapit_core.dir/result_io.cpp.o"
+  "CMakeFiles/mapit_core.dir/result_io.cpp.o.d"
+  "libmapit_core.a"
+  "libmapit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

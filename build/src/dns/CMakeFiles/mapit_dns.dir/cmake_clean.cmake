@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_dns.dir/hostnames.cpp.o"
+  "CMakeFiles/mapit_dns.dir/hostnames.cpp.o.d"
+  "libmapit_dns.a"
+  "libmapit_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

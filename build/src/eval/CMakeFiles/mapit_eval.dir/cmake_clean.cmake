@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/mapit_eval.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mapit_eval.dir/experiment.cpp.o"
+  "CMakeFiles/mapit_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/mapit_eval.dir/ground_truth.cpp.o"
+  "CMakeFiles/mapit_eval.dir/ground_truth.cpp.o.d"
+  "libmapit_eval.a"
+  "libmapit_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/interface_graph.cpp" "src/graph/CMakeFiles/mapit_graph.dir/interface_graph.cpp.o" "gcc" "src/graph/CMakeFiles/mapit_graph.dir/interface_graph.cpp.o.d"
+  "/root/repo/src/graph/other_side.cpp" "src/graph/CMakeFiles/mapit_graph.dir/other_side.cpp.o" "gcc" "src/graph/CMakeFiles/mapit_graph.dir/other_side.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mapit_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

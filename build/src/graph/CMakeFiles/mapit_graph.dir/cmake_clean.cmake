@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_graph.dir/interface_graph.cpp.o"
+  "CMakeFiles/mapit_graph.dir/interface_graph.cpp.o.d"
+  "CMakeFiles/mapit_graph.dir/other_side.cpp.o"
+  "CMakeFiles/mapit_graph.dir/other_side.cpp.o.d"
+  "libmapit_graph.a"
+  "libmapit_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

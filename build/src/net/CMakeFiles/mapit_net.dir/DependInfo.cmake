@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/mapit_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/mapit_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/point_to_point.cpp" "src/net/CMakeFiles/mapit_net.dir/point_to_point.cpp.o" "gcc" "src/net/CMakeFiles/mapit_net.dir/point_to_point.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/mapit_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/mapit_net.dir/prefix.cpp.o.d"
+  "/root/repo/src/net/special_purpose.cpp" "src/net/CMakeFiles/mapit_net.dir/special_purpose.cpp.o" "gcc" "src/net/CMakeFiles/mapit_net.dir/special_purpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_net.dir/ipv4.cpp.o"
+  "CMakeFiles/mapit_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/mapit_net.dir/point_to_point.cpp.o"
+  "CMakeFiles/mapit_net.dir/point_to_point.cpp.o.d"
+  "CMakeFiles/mapit_net.dir/prefix.cpp.o"
+  "CMakeFiles/mapit_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/mapit_net.dir/special_purpose.cpp.o"
+  "CMakeFiles/mapit_net.dir/special_purpose.cpp.o.d"
+  "libmapit_net.a"
+  "libmapit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/as_routing.cpp" "src/route/CMakeFiles/mapit_route.dir/as_routing.cpp.o" "gcc" "src/route/CMakeFiles/mapit_route.dir/as_routing.cpp.o.d"
+  "/root/repo/src/route/forwarder.cpp" "src/route/CMakeFiles/mapit_route.dir/forwarder.cpp.o" "gcc" "src/route/CMakeFiles/mapit_route.dir/forwarder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/mapit_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mapit_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mapit_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

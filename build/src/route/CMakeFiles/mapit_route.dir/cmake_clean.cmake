@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_route.dir/as_routing.cpp.o"
+  "CMakeFiles/mapit_route.dir/as_routing.cpp.o.d"
+  "CMakeFiles/mapit_route.dir/forwarder.cpp.o"
+  "CMakeFiles/mapit_route.dir/forwarder.cpp.o.d"
+  "libmapit_route.a"
+  "libmapit_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmapit_route.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/generator.cpp" "src/topo/CMakeFiles/mapit_topo.dir/generator.cpp.o" "gcc" "src/topo/CMakeFiles/mapit_topo.dir/generator.cpp.o.d"
+  "/root/repo/src/topo/internet.cpp" "src/topo/CMakeFiles/mapit_topo.dir/internet.cpp.o" "gcc" "src/topo/CMakeFiles/mapit_topo.dir/internet.cpp.o.d"
+  "/root/repo/src/topo/truth_io.cpp" "src/topo/CMakeFiles/mapit_topo.dir/truth_io.cpp.o" "gcc" "src/topo/CMakeFiles/mapit_topo.dir/truth_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mapit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/mapit_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/mapit_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_topo.dir/generator.cpp.o"
+  "CMakeFiles/mapit_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/mapit_topo.dir/internet.cpp.o"
+  "CMakeFiles/mapit_topo.dir/internet.cpp.o.d"
+  "CMakeFiles/mapit_topo.dir/truth_io.cpp.o"
+  "CMakeFiles/mapit_topo.dir/truth_io.cpp.o.d"
+  "libmapit_topo.a"
+  "libmapit_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_trace.dir/sanitize.cpp.o"
+  "CMakeFiles/mapit_trace.dir/sanitize.cpp.o.d"
+  "CMakeFiles/mapit_trace.dir/trace.cpp.o"
+  "CMakeFiles/mapit_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/mapit_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mapit_trace.dir/trace_io.cpp.o.d"
+  "libmapit_trace.a"
+  "libmapit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

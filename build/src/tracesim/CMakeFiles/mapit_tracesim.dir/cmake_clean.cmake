@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_tracesim.dir/simulator.cpp.o"
+  "CMakeFiles/mapit_tracesim.dir/simulator.cpp.o.d"
+  "libmapit_tracesim.a"
+  "libmapit_tracesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_tracesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

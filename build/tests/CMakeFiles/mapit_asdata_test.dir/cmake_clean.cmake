@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_asdata_test.dir/asdata/as2org_test.cpp.o"
+  "CMakeFiles/mapit_asdata_test.dir/asdata/as2org_test.cpp.o.d"
+  "CMakeFiles/mapit_asdata_test.dir/asdata/ixp_test.cpp.o"
+  "CMakeFiles/mapit_asdata_test.dir/asdata/ixp_test.cpp.o.d"
+  "CMakeFiles/mapit_asdata_test.dir/asdata/relationships_test.cpp.o"
+  "CMakeFiles/mapit_asdata_test.dir/asdata/relationships_test.cpp.o.d"
+  "mapit_asdata_test"
+  "mapit_asdata_test.pdb"
+  "mapit_asdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_asdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_baselines_test.dir/baselines/bdrmap_test.cpp.o"
+  "CMakeFiles/mapit_baselines_test.dir/baselines/bdrmap_test.cpp.o.d"
+  "CMakeFiles/mapit_baselines_test.dir/baselines/itdk_test.cpp.o"
+  "CMakeFiles/mapit_baselines_test.dir/baselines/itdk_test.cpp.o.d"
+  "CMakeFiles/mapit_baselines_test.dir/baselines/simple_test.cpp.o"
+  "CMakeFiles/mapit_baselines_test.dir/baselines/simple_test.cpp.o.d"
+  "mapit_baselines_test"
+  "mapit_baselines_test.pdb"
+  "mapit_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_bgp_test.dir/bgp/ip2as_test.cpp.o"
+  "CMakeFiles/mapit_bgp_test.dir/bgp/ip2as_test.cpp.o.d"
+  "CMakeFiles/mapit_bgp_test.dir/bgp/rib_test.cpp.o"
+  "CMakeFiles/mapit_bgp_test.dir/bgp/rib_test.cpp.o.d"
+  "mapit_bgp_test"
+  "mapit_bgp_test.pdb"
+  "mapit_bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

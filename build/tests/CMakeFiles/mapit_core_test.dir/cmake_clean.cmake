@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_core_test.dir/core/as_path_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/as_path_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/engine_edge_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/engine_edge_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/engine_mechanism_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/engine_mechanism_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/engine_property_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/engine_property_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/engine_scenario_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/engine_scenario_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/explain_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/explain_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/links_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/links_test.cpp.o.d"
+  "CMakeFiles/mapit_core_test.dir/core/result_io_test.cpp.o"
+  "CMakeFiles/mapit_core_test.dir/core/result_io_test.cpp.o.d"
+  "mapit_core_test"
+  "mapit_core_test.pdb"
+  "mapit_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_dns_test.dir/dns/hostnames_test.cpp.o"
+  "CMakeFiles/mapit_dns_test.dir/dns/hostnames_test.cpp.o.d"
+  "mapit_dns_test"
+  "mapit_dns_test.pdb"
+  "mapit_dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_eval_test.dir/eval/evaluator_test.cpp.o"
+  "CMakeFiles/mapit_eval_test.dir/eval/evaluator_test.cpp.o.d"
+  "CMakeFiles/mapit_eval_test.dir/eval/experiment_test.cpp.o"
+  "CMakeFiles/mapit_eval_test.dir/eval/experiment_test.cpp.o.d"
+  "CMakeFiles/mapit_eval_test.dir/eval/ground_truth_test.cpp.o"
+  "CMakeFiles/mapit_eval_test.dir/eval/ground_truth_test.cpp.o.d"
+  "mapit_eval_test"
+  "mapit_eval_test.pdb"
+  "mapit_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

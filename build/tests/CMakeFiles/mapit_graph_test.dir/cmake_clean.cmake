@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_graph_test.dir/graph/interface_graph_test.cpp.o"
+  "CMakeFiles/mapit_graph_test.dir/graph/interface_graph_test.cpp.o.d"
+  "CMakeFiles/mapit_graph_test.dir/graph/other_side_test.cpp.o"
+  "CMakeFiles/mapit_graph_test.dir/graph/other_side_test.cpp.o.d"
+  "mapit_graph_test"
+  "mapit_graph_test.pdb"
+  "mapit_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_integration_test.dir/integration/config_sweep_test.cpp.o"
+  "CMakeFiles/mapit_integration_test.dir/integration/config_sweep_test.cpp.o.d"
+  "CMakeFiles/mapit_integration_test.dir/integration/io_roundtrip_test.cpp.o"
+  "CMakeFiles/mapit_integration_test.dir/integration/io_roundtrip_test.cpp.o.d"
+  "CMakeFiles/mapit_integration_test.dir/integration/parser_robustness_test.cpp.o"
+  "CMakeFiles/mapit_integration_test.dir/integration/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/mapit_integration_test.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/mapit_integration_test.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/mapit_integration_test.dir/integration/standard_scale_test.cpp.o"
+  "CMakeFiles/mapit_integration_test.dir/integration/standard_scale_test.cpp.o.d"
+  "mapit_integration_test"
+  "mapit_integration_test.pdb"
+  "mapit_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

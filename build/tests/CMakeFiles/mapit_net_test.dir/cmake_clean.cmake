@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_net_test.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/mapit_net_test.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/mapit_net_test.dir/net/point_to_point_test.cpp.o"
+  "CMakeFiles/mapit_net_test.dir/net/point_to_point_test.cpp.o.d"
+  "CMakeFiles/mapit_net_test.dir/net/prefix_test.cpp.o"
+  "CMakeFiles/mapit_net_test.dir/net/prefix_test.cpp.o.d"
+  "CMakeFiles/mapit_net_test.dir/net/prefix_trie_test.cpp.o"
+  "CMakeFiles/mapit_net_test.dir/net/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/mapit_net_test.dir/net/special_purpose_test.cpp.o"
+  "CMakeFiles/mapit_net_test.dir/net/special_purpose_test.cpp.o.d"
+  "mapit_net_test"
+  "mapit_net_test.pdb"
+  "mapit_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

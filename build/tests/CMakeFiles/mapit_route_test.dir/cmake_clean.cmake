@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_route_test.dir/route/as_routing_test.cpp.o"
+  "CMakeFiles/mapit_route_test.dir/route/as_routing_test.cpp.o.d"
+  "CMakeFiles/mapit_route_test.dir/route/forwarder_test.cpp.o"
+  "CMakeFiles/mapit_route_test.dir/route/forwarder_test.cpp.o.d"
+  "mapit_route_test"
+  "mapit_route_test.pdb"
+  "mapit_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

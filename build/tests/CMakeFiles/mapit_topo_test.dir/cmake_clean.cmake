@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_topo_test.dir/topo/generator_test.cpp.o"
+  "CMakeFiles/mapit_topo_test.dir/topo/generator_test.cpp.o.d"
+  "CMakeFiles/mapit_topo_test.dir/topo/truth_io_test.cpp.o"
+  "CMakeFiles/mapit_topo_test.dir/topo/truth_io_test.cpp.o.d"
+  "mapit_topo_test"
+  "mapit_topo_test.pdb"
+  "mapit_topo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_trace_test.dir/trace/sanitize_test.cpp.o"
+  "CMakeFiles/mapit_trace_test.dir/trace/sanitize_test.cpp.o.d"
+  "CMakeFiles/mapit_trace_test.dir/trace/trace_io_test.cpp.o"
+  "CMakeFiles/mapit_trace_test.dir/trace/trace_io_test.cpp.o.d"
+  "CMakeFiles/mapit_trace_test.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/mapit_trace_test.dir/trace/trace_test.cpp.o.d"
+  "mapit_trace_test"
+  "mapit_trace_test.pdb"
+  "mapit_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_tracesim_test.dir/tracesim/artifact_toggle_test.cpp.o"
+  "CMakeFiles/mapit_tracesim_test.dir/tracesim/artifact_toggle_test.cpp.o.d"
+  "CMakeFiles/mapit_tracesim_test.dir/tracesim/simulator_test.cpp.o"
+  "CMakeFiles/mapit_tracesim_test.dir/tracesim/simulator_test.cpp.o.d"
+  "mapit_tracesim_test"
+  "mapit_tracesim_test.pdb"
+  "mapit_tracesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_tracesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mapit_net_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_asdata_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_core_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_topo_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_route_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_tracesim_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_dns_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/mapit_integration_test[1]_include.cmake")
+add_test([=[cli_end_to_end]=] "/usr/bin/cmake" "-DMAPIT_BIN=/root/repo/build/tools/mapit" "-DWORK_DIR=/root/repo/build/cli_test_work" "-P" "/root/repo/tests/cli/cli_test.cmake")
+set_tests_properties([=[cli_end_to_end]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapit_cli.dir/mapit_cli.cpp.o"
+  "CMakeFiles/mapit_cli.dir/mapit_cli.cpp.o.d"
+  "mapit"
+  "mapit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
