@@ -1,0 +1,127 @@
+// Engine wall-time report: runs the MAP-IT engine on the standard (and
+// small) experiment configurations, times each run, and emits a JSON
+// summary suitable for checking into the repo as a bench trajectory point
+// (BENCH_engine.json).
+//
+//   perf_engine_report [--out FILE] [--dump FILE] [--reps N]
+//                      [--baseline-ms X] [--baseline-small-ms X]
+//
+// --dump writes the standard run's inference list in the result_io text
+// format, for byte-identical equivalence checks across engine rewrites.
+// --baseline-ms embeds a previously measured seed timing so the JSON
+// carries before/after numbers side by side.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/result_io.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace mapit;
+
+struct Timing {
+  double best_ms = 0.0;
+  double mean_ms = 0.0;
+  core::Result result;
+};
+
+Timing time_engine(const eval::Experiment& experiment, int reps) {
+  Timing timing;
+  core::Options options;
+  options.f = 0.5;
+  double total = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    core::Result result = experiment.run_mapit(options);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    total += ms;
+    if (i == 0 || ms < timing.best_ms) timing.best_ms = ms;
+    if (i == 0) timing.result = std::move(result);
+  }
+  timing.mean_ms = total / reps;
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::string dump_path;
+  int reps = 5;
+  double baseline_ms = -1.0;
+  double baseline_small_ms = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--dump") {
+      dump_path = next();
+    } else if (arg == "--reps") {
+      reps = std::stoi(next());
+    } else if (arg == "--baseline-ms") {
+      baseline_ms = std::stod(next());
+    } else if (arg == "--baseline-small-ms") {
+      baseline_small_ms = std::stod(next());
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::cerr << "building standard experiment...\n";
+  const auto standard =
+      eval::Experiment::build(eval::ExperimentConfig::standard());
+  std::cerr << "building small experiment...\n";
+  const auto small = eval::Experiment::build(eval::ExperimentConfig::small());
+
+  std::cerr << "timing engine (" << reps << " reps)...\n";
+  const Timing std_timing = time_engine(*standard, reps);
+  const Timing small_timing = time_engine(*small, reps);
+
+  if (!dump_path.empty()) {
+    std::ofstream dump(dump_path);
+    core::write_inferences(dump, std_timing.result.inferences);
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"benchmark\": \"BM_MapItEngineStandard\",\n"
+      << "  \"reps\": " << reps << ",\n";
+  if (baseline_ms > 0.0) {
+    out << "  \"seed_standard_ms\": " << baseline_ms << ",\n";
+  }
+  if (baseline_small_ms > 0.0) {
+    out << "  \"seed_small_ms\": " << baseline_small_ms << ",\n";
+  }
+  out << "  \"standard_best_ms\": " << std_timing.best_ms << ",\n"
+      << "  \"standard_mean_ms\": " << std_timing.mean_ms << ",\n"
+      << "  \"small_best_ms\": " << small_timing.best_ms << ",\n"
+      << "  \"small_mean_ms\": " << small_timing.mean_ms << ",\n";
+  if (baseline_ms > 0.0) {
+    out << "  \"standard_speedup\": " << baseline_ms / std_timing.best_ms
+        << ",\n";
+  }
+  out << "  \"standard_inferences\": " << std_timing.result.inferences.size()
+      << ",\n"
+      << "  \"standard_iterations\": " << std_timing.result.stats.iterations
+      << "\n"
+      << "}\n";
+  std::cout << "standard: best " << std_timing.best_ms << " ms, mean "
+            << std_timing.mean_ms << " ms over " << reps << " reps\n"
+            << "small:    best " << small_timing.best_ms << " ms, mean "
+            << small_timing.mean_ms << " ms\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mapit::core {
+
+bool ConvergenceTracker::seen_before(std::uint64_t hash, std::string state) {
+  std::vector<std::string>& bucket = buckets_[hash];
+  if (std::find(bucket.begin(), bucket.end(), state) != bucket.end()) {
+    return true;
+  }
+  bucket.push_back(std::move(state));
+  ++count_;
+  return false;
+}
+
+}  // namespace mapit::core

@@ -1,0 +1,34 @@
+// Convergence detection for the multipass engine (paper §4.6).
+//
+// The engine stops when an end-of-remove-step state repeats. Comparing
+// 64-bit state hashes alone is unsound: a collision — in particular the
+// XOR-combined scheme's cancellation of paired equal entries — silently
+// fakes convergence and truncates the run. The tracker therefore keeps the
+// canonical serialized states, bucketed by hash, and declares a repeat only
+// when a previously recorded state compares byte-equal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mapit::core {
+
+class ConvergenceTracker {
+ public:
+  /// Records (hash, state). Returns true iff a state with the same hash was
+  /// recorded before AND compares equal byte-for-byte; a mere hash
+  /// collision between distinct states returns false and records the new
+  /// state alongside the colliding one.
+  bool seen_before(std::uint64_t hash, std::string state);
+
+  /// Distinct states recorded so far.
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::string>> buckets_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mapit::core

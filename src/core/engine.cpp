@@ -1,9 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <functional>
+#include <utility>
 
+#include "core/convergence.h"
 #include "net/error.h"
+#include "net/special_purpose.h"
 
 namespace mapit::core {
 
@@ -14,12 +17,6 @@ namespace {
                                   double f) {
   return static_cast<double>(count) + 1e-9 >=
          f * static_cast<double>(total);
-}
-
-[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -35,46 +32,63 @@ Engine::Engine(const graph::InterfaceGraph& graph, const bgp::Ip2As& ip2as,
   MAPIT_ENSURE(options_.f >= 0.0 && options_.f <= 1.0,
                "f must be within [0, 1]");
   MAPIT_ENSURE(options_.max_iterations > 0, "max_iterations must be positive");
+  const std::size_t halves = graph_.half_count();
+  halves_.resize(halves);
+  base_.resize(halves);
+  base_group_.resize(halves);
+  view_.resize(halves);
+  view_group_.resize(halves);
+  touched_.assign(halves, 0);
+  dirty_flag_.assign(halves, 0);
 }
 
 // ---------------------------------------------------------------------------
 // Mapping views
 // ---------------------------------------------------------------------------
 
-asdata::Asn Engine::base_as(net::Ipv4Address address) const {
-  if (auto it = base_cache_.find(address); it != base_cache_.end()) {
-    return it->second;
+void Engine::reset_state() {
+  std::fill(halves_.begin(), halves_.end(), HalfState{});
+  // Base mappings come straight off the prefix trie, once per address (the
+  // two halves of an address always share a base mapping).
+  const std::size_t halves = halves_.size();
+  for (std::size_t id = 0; id < halves; id += 2) {
+    const asdata::Asn asn =
+        ip2as_.origin(graph_.address_at(static_cast<HalfId>(id)));
+    base_[id] = base_[id + 1] = asn;
+    const std::uint64_t key =
+        asn == asdata::kUnknownAsn ? 0 : group_key(asn);
+    base_group_[id] = base_group_[id + 1] = key;
   }
-  const asdata::Asn asn = ip2as_.origin(address);
-  base_cache_.emplace(address, asn);
-  return asn;
+  dirty_.clear();
+  work_.clear();
+  std::fill(touched_.begin(), touched_.end(), 0);
+  std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
+  stats_ = EngineStats{};
+  snapshots_.clear();
 }
 
-asdata::Asn Engine::current_as(const graph::InterfaceHalf& half) const {
-  if (const HalfState* st = state_if_any(half)) {
-    if (st->direct_override) return *st->direct_override;
-    if (st->indirect_override) return *st->indirect_override;
-  }
-  return base_as(half.address);
+asdata::Asn Engine::effective_as(HalfId id) const {
+  const HalfState& st = halves_[id];
+  if (st.direct_override) return *st.direct_override;
+  if (st.indirect_override) return *st.indirect_override;
+  return base_[id];
 }
 
-Engine::MappingView Engine::freeze_mappings() const {
-  MappingView view;
-  view.reserve(halves_.size());
-  for (const auto& [half, st] : halves_) {
+void Engine::freeze_view() {
+  const std::size_t halves = halves_.size();
+  for (std::size_t id = 0; id < halves; ++id) {
+    const HalfState& st = halves_[id];
     if (st.direct_override) {
-      view.emplace(half, *st.direct_override);
+      view_[id] = *st.direct_override;
+      view_group_[id] = group_key(*st.direct_override);
     } else if (st.indirect_override) {
-      view.emplace(half, *st.indirect_override);
+      view_[id] = *st.indirect_override;
+      view_group_[id] = group_key(*st.indirect_override);
+    } else {
+      view_[id] = base_[id];
+      view_group_[id] = base_group_[id];
     }
   }
-  return view;
-}
-
-asdata::Asn Engine::view_as(const MappingView& view,
-                            const graph::InterfaceHalf& half) const {
-  if (auto it = view.find(half); it != view.end()) return it->second;
-  return base_as(half.address);
 }
 
 // ---------------------------------------------------------------------------
@@ -86,27 +100,47 @@ std::uint64_t Engine::group_key(asdata::Asn asn) const {
                                    : (std::uint64_t{1} << 62) | asn;
 }
 
-Engine::MajorityResult Engine::count_majority(const graph::InterfaceHalf& half,
-                                              const MappingView& view) const {
+Engine::MajorityResult Engine::count_majority(HalfId id) const {
   // Group neighbour votes by sibling organization; remember per-ASN counts
   // so the representative is the most frequent sibling (paper §4.4.1).
-  struct Group {
-    std::size_t count = 0;
-    std::unordered_map<asdata::Asn, std::size_t> members;
-  };
-  std::unordered_map<std::uint64_t, Group> groups;
-  const graph::Direction nd = opposite(half.direction);
-  for (net::Ipv4Address neighbor : graph_.neighbors(half)) {
-    const asdata::Asn asn = view_as(view, {neighbor, nd});
+  // Votes are flat slab reads: the neighbour span already names the
+  // opposite-direction half ids, and the frozen view carries both the
+  // mapping and its group key.
+  std::size_t live = 0;
+  for (HalfId nid : graph_.neighbor_ids(id)) {
+    const asdata::Asn asn = view_[nid];
     if (asn == asdata::kUnknownAsn) continue;  // denominator only
-    Group& group = groups[group_key(asn)];
-    ++group.count;
-    ++group.members[asn];
+    const std::uint64_t key = view_group_[nid];
+    VoteGroup* group = nullptr;
+    for (std::size_t g = 0; g < live; ++g) {
+      if (vote_groups_[g].key == key) {
+        group = &vote_groups_[g];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      if (live == vote_groups_.size()) vote_groups_.emplace_back();
+      group = &vote_groups_[live++];
+      group->key = key;
+      group->count = 0;
+      group->members.clear();
+    }
+    ++group->count;
+    bool known = false;
+    for (auto& [member, count] : group->members) {
+      if (member == asn) {
+        ++count;
+        known = true;
+        break;
+      }
+    }
+    if (!known) group->members.emplace_back(asn, 1);
   }
 
   MajorityResult best;
   std::size_t runner_up = 0;
-  for (const auto& [key, group] : groups) {
+  for (std::size_t g = 0; g < live; ++g) {
+    const VoteGroup& group = vote_groups_[g];
     // Representative: most frequent member ASN, ties to the lowest ASN.
     asdata::Asn representative = asdata::kUnknownAsn;
     std::size_t rep_count = 0;
@@ -129,108 +163,142 @@ Engine::MajorityResult Engine::count_majority(const graph::InterfaceHalf& half,
   return best;
 }
 
-std::size_t Engine::group_count(const graph::InterfaceHalf& half,
-                                asdata::Asn target,
-                                const MappingView& view) const {
+std::size_t Engine::group_count(HalfId id, asdata::Asn target) const {
   const std::uint64_t key = group_key(target);
   std::size_t count = 0;
-  const graph::Direction nd = opposite(half.direction);
-  for (net::Ipv4Address neighbor : graph_.neighbors(half)) {
-    const asdata::Asn asn = view_as(view, {neighbor, nd});
-    if (asn != asdata::kUnknownAsn && group_key(asn) == key) ++count;
+  for (HalfId nid : graph_.neighbor_ids(id)) {
+    if (view_[nid] != asdata::kUnknownAsn && view_group_[nid] == key) ++count;
   }
   return count;
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-set propagation
+// ---------------------------------------------------------------------------
+
+void Engine::mark_dependents_dirty(HalfId id) {
+  for (HalfId dependent : graph_.reverse_neighbor_ids(id)) {
+    if (!dirty_flag_[dependent]) {
+      dirty_flag_[dependent] = 1;
+      dirty_.push_back(dependent);
+    }
+  }
+}
+
+template <typename Fn>
+void Engine::mutate_mapping(HalfId id, Fn&& fn) {
+  const asdata::Asn before = effective_as(id);
+  fn(halves_[id]);
+  if (effective_as(id) != before) mark_dependents_dirty(id);
+}
+
+void Engine::take_work() {
+  work_.clear();
+  std::swap(work_, dirty_);
+  for (HalfId id : work_) dirty_flag_[id] = 0;
+  // Ascending id order equals (address, direction) order, so an
+  // incremental pass visits its candidates in the same order a full sweep
+  // would — last-writer effects (e.g. two sources propagating an indirect
+  // inference onto the same other side) stay identical.
+  std::sort(work_.begin(), work_.end());
 }
 
 // ---------------------------------------------------------------------------
 // Bookkeeping
 // ---------------------------------------------------------------------------
 
-Engine::HalfState& Engine::state(const graph::InterfaceHalf& half) {
-  return halves_[half];
-}
-
-const Engine::HalfState* Engine::state_if_any(
-    const graph::InterfaceHalf& half) const {
-  auto it = halves_.find(half);
-  return it == halves_.end() ? nullptr : &it->second;
-}
-
 void Engine::clear_suppressions() {
-  for (auto& [_, st] : halves_) st.suppressed = false;
+  for (HalfState& st : halves_) st.suppressed = false;
 }
 
-void Engine::discard_direct(const graph::InterfaceHalf& half, bool suppress) {
-  auto it = halves_.find(half);
-  if (it == halves_.end() || !it->second.direct) return;
-  it->second.direct.reset();
-  it->second.direct_override.reset();
-  it->second.uncertain = false;
-  if (suppress) it->second.suppressed = true;
+void Engine::discard_direct(HalfId id, bool suppress) {
+  HalfState& st = halves_[id];
+  if (!st.direct) return;
+  mutate_mapping(id, [&](HalfState& s) {
+    s.direct.reset();
+    s.direct_override.reset();
+    s.uncertain = false;
+    if (suppress) s.suppressed = true;
+  });
   // The indirect inference propagated to the other side dies with its
   // source (§4.4.2).
-  const graph::InterfaceHalf other = graph_.other_side_half(half);
-  auto ot = halves_.find(other);
-  if (ot != halves_.end() && ot->second.indirect_source == half) {
+  const HalfId other = graph_.other_side_id(id);
+  if (other != graph::kInvalidHalfId && halves_[other].indirect_source == id) {
     discard_indirect(other);
   }
 }
 
-void Engine::discard_indirect(const graph::InterfaceHalf& half) {
-  auto it = halves_.find(half);
-  if (it == halves_.end()) return;
-  it->second.indirect_source.reset();
-  it->second.indirect_override.reset();
+void Engine::discard_indirect(HalfId id) {
+  mutate_mapping(id, [](HalfState& st) {
+    st.indirect_source = graph::kInvalidHalfId;
+    st.indirect_override.reset();
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Add step (§4.4)
 // ---------------------------------------------------------------------------
 
-void Engine::apply_indirect(const graph::InterfaceHalf& source) {
+void Engine::apply_indirect(HalfId source) {
   if (!options_.update_other_sides) return;
   // IXP LANs are multipoint: the /30-/31 other-side relation does not hold
   // there (footnote 7).
-  if (options_.ixp_aware && ip2as_.is_ixp(source.address)) return;
-  const auto& st = halves_.at(source);
+  if (options_.ixp_aware && ip2as_.is_ixp(graph_.address_at(source))) return;
+  const HalfState& st = halves_[source];
   if (!st.direct) return;
-  const graph::InterfaceHalf other = graph_.other_side_half(source);
-  if (net::is_special_purpose(other.address)) return;
-  HalfState& ot = state(other);
-  ot.indirect_source = source;
-  ot.indirect_override = st.direct->router_as;
+  const HalfId other = graph_.other_side_id(source);
+  if (other == graph::kInvalidHalfId) return;
+  if (net::is_special_purpose(graph_.address_at(other))) return;
+  const asdata::Asn router = st.direct->router_as;
+  touched_[other] = 1;
+  mutate_mapping(other, [&](HalfState& ot) {
+    ot.indirect_source = source;
+    ot.indirect_override = router;
+  });
 }
 
-bool Engine::direct_pass(const MappingView& view) {
+bool Engine::try_direct_inference(HalfId id) {
+  const auto neighbors = graph_.neighbor_ids(id);
+  if (neighbors.size() < 2) return false;  // §4.3's two-address floor
+  touched_[id] = 1;
+  HalfState& st = halves_[id];
+  if (st.direct || st.suppressed) return false;
+
+  const MajorityResult majority = count_majority(id);
+  if (!majority.strict) return false;
+  if (!meets_fraction(majority.count, neighbors.size(), options_.f)) {
+    return false;
+  }
+  // "previous IP2AS(h) != AS_N": the half's own mapping, ignoring any
+  // indirect override it carries — an indirect inference must not
+  // preclude the direct one (§4.4.2, DESIGN.md §5).
+  const asdata::Asn own = base_[id];
+  if (group_key(majority.asn) == group_key(own)) return false;
+
+  mutate_mapping(id, [&](HalfState& s) {
+    s.direct = DirectInference{majority.asn, own, false,
+                               static_cast<std::uint32_t>(majority.count),
+                               static_cast<std::uint32_t>(neighbors.size())};
+    s.direct_override = majority.asn;
+  });
+  ++stats_.direct_made;
+  apply_indirect(id);
+  return true;
+}
+
+bool Engine::direct_pass(bool full_sweep) {
   bool changed = false;
-  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-    for (graph::Direction direction :
-         {graph::Direction::kForward, graph::Direction::kBackward}) {
-      const auto& neighbors = record.neighbors(direction);
-      if (neighbors.size() < 2) continue;  // §4.3's two-address floor
-      const graph::InterfaceHalf half{record.address, direction};
-      HalfState& st = state(half);
-      if (st.direct || st.suppressed) continue;
-
-      const MajorityResult majority = count_majority(half, view);
-      if (!majority.strict) continue;
-      if (!meets_fraction(majority.count, neighbors.size(), options_.f)) {
-        continue;
-      }
-      // "previous IP2AS(h) != AS_N": the half's own mapping, ignoring any
-      // indirect override it carries — an indirect inference must not
-      // preclude the direct one (§4.4.2, DESIGN.md §5).
-      const asdata::Asn own = base_as(half.address);
-      if (group_key(majority.asn) == group_key(own)) continue;
-
-      st.direct = DirectInference{majority.asn, own, false,
-                                  static_cast<std::uint32_t>(majority.count),
-                                  static_cast<std::uint32_t>(neighbors.size())};
-      st.direct_override = majority.asn;
-      ++stats_.direct_made;
-      changed = true;
-      apply_indirect(half);
+  if (full_sweep) {
+    const HalfId limit = static_cast<HalfId>(graph_.record_half_count());
+    for (HalfId id = 0; id < limit; ++id) {
+      changed |= try_direct_inference(id);
     }
+  } else {
+    // Only halves whose neighbour mappings changed since their last
+    // evaluation can newly clear the majority test; everyone else would
+    // reproduce last pass's verdict (the count depends only on the frozen
+    // neighbour view).
+    for (HalfId id : work_) changed |= try_direct_inference(id);
   }
   return changed;
 }
@@ -240,14 +308,15 @@ bool Engine::resolve_dual_inferences() {
   // different ASes: a third-party artifact; the forward inference wins
   // (§4.4.3). Interfaces without a base IP2AS mapping are left alone.
   bool changed = false;
-  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-    const graph::InterfaceHalf fwd{record.address, graph::Direction::kForward};
-    const graph::InterfaceHalf bwd{record.address, graph::Direction::kBackward};
-    const HalfState* fs = state_if_any(fwd);
-    const HalfState* bs = state_if_any(bwd);
-    if (fs == nullptr || bs == nullptr || !fs->direct || !bs->direct) continue;
-    if (base_as(record.address) == asdata::kUnknownAsn) continue;
-    if (group_key(fs->direct->router_as) == group_key(bs->direct->router_as)) {
+  const std::size_t n = graph_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const HalfId fwd = static_cast<HalfId>(2 * i);
+    const HalfId bwd = fwd + 1;
+    const HalfState& fs = halves_[fwd];
+    const HalfState& bs = halves_[bwd];
+    if (!fs.direct || !bs.direct) continue;
+    if (base_[fwd] == asdata::kUnknownAsn) continue;
+    if (group_key(fs.direct->router_as) == group_key(bs.direct->router_as)) {
       continue;  // same AS both ways: load balancing/siblings; keep both
     }
     discard_direct(bwd, /*suppress=*/true);
@@ -265,32 +334,35 @@ bool Engine::resolve_inverse_inferences() {
   // inference, in which case both are flagged uncertain.
   // Uncertainty is recomputed from scratch each resolution pass, so the
   // stats counter reflects the latest pass, not a running total.
-  for (auto& [_, st] : halves_) st.uncertain = false;
+  for (HalfState& st : halves_) st.uncertain = false;
   stats_.uncertain_pairs = 0;
 
   bool changed = false;
-  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-    const graph::InterfaceHalf fwd{record.address, graph::Direction::kForward};
-    const HalfState* fs = state_if_any(fwd);
-    if (fs == nullptr || !fs->direct) continue;
-    const auto fwd_router = fs->direct->router_as;
-    const auto fwd_other = fs->direct->other_as;
-    for (net::Ipv4Address neighbor : record.forward) {
-      const graph::InterfaceHalf nb{neighbor, graph::Direction::kBackward};
-      auto it = halves_.find(nb);
-      if (it == halves_.end() || !it->second.direct) continue;
-      const auto& bd = *it->second.direct;
+  const std::size_t n = graph_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const HalfId fwd = static_cast<HalfId>(2 * i);
+    HalfState& fs = halves_[fwd];
+    if (!fs.direct) continue;
+    const auto fwd_router = fs.direct->router_as;
+    const auto fwd_other = fs.direct->other_as;
+    // A forward half's neighbour span is exactly the backward halves of
+    // its N_F members.
+    for (HalfId nb : graph_.neighbor_ids(fwd)) {
+      HalfState& bs = halves_[nb];
+      if (!bs.direct) continue;
+      const auto& bd = *bs.direct;
       const bool mirrored =
           group_key(bd.router_as) == group_key(fwd_other) &&
           group_key(bd.other_as) == group_key(fwd_router);
       if (!mirrored) continue;
 
-      const graph::InterfaceHalf nb_other = graph_.other_side_half(nb);
-      const HalfState* os = state_if_any(nb_other);
-      if (os != nullptr && os->direct) {
+      const HalfId nb_other = graph_.other_side_id(nb);
+      const bool other_has_direct = nb_other != graph::kInvalidHalfId &&
+                                    halves_[nb_other].direct.has_value();
+      if (other_has_direct) {
         // Neither IH is nearer: emit both as uncertain (§4.4.4).
-        state(fwd).uncertain = true;
-        it->second.uncertain = true;
+        fs.uncertain = true;
+        bs.uncertain = true;
         ++stats_.uncertain_pairs;
       } else {
         discard_direct(nb, /*suppress=*/true);
@@ -309,8 +381,11 @@ void Engine::add_step() {
   bool changed = true;
   while (changed) {
     ++stats_.add_passes;
-    const MappingView view = freeze_mappings();
-    changed = direct_pass(view);
+    freeze_view();
+    take_work();
+    // The first pass of every add step is a full sweep (suppressions were
+    // just lifted); later passes only revisit dirtied halves.
+    changed = direct_pass(first_pass || !options_.incremental_recount);
     if (first_step && first_pass) snapshot("Direct");
     if (options_.resolve_duals) changed |= resolve_dual_inferences();
     if (first_step && first_pass) snapshot("P2P");
@@ -325,61 +400,76 @@ void Engine::add_step() {
 // Remove step (§4.5)
 // ---------------------------------------------------------------------------
 
+void Engine::demote_direct(HalfId id) {
+  mutate_mapping(id, [&](HalfState& st) {
+    st.direct.reset();
+    st.uncertain = false;
+    // Retain the mapping as an indirect inference associated with the
+    // other side's direct inference (§4.5) — unless the half already
+    // carries a live indirect association, which must not be clobbered
+    // (it is a genuine propagation from the other side's own inference).
+    const bool live_indirect =
+        st.indirect_source != graph::kInvalidHalfId &&
+        halves_[st.indirect_source].direct.has_value();
+    if (!live_indirect) {
+      st.indirect_override = st.direct_override;
+      st.indirect_source = graph_.other_side_id(id);
+    }
+    st.direct_override.reset();
+  });
+  ++stats_.demoted_in_remove_step;
+}
+
 void Engine::remove_step() {
   bool discarded = true;
+  bool first_pass = true;
   while (discarded) {
     discarded = false;
-    const MappingView view = freeze_mappings();
+    freeze_view();
+    take_work();
 
     // Pass 1: demote unsupported direct inferences to indirect, retaining
-    // their mapping update.
-    for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-      for (graph::Direction direction :
-           {graph::Direction::kForward, graph::Direction::kBackward}) {
-        const graph::InterfaceHalf half{record.address, direction};
-        auto it = halves_.find(half);
-        if (it == halves_.end() || !it->second.direct) continue;
-        const DirectInference inference = *it->second.direct;
-        const auto& neighbors = graph_.neighbors(half);
+    // their mapping update. After the first (full) sweep, only halves
+    // whose neighbour mappings changed can lose support.
+    auto evaluate = [&](HalfId id) {
+      HalfState& st = halves_[id];
+      if (!st.direct) return;
+      const DirectInference inference = *st.direct;
+      const auto neighbors = graph_.neighbor_ids(id);
 
-        bool supported = false;
-        if (inference.from_stub_heuristic) {
-          // Stub inferences are produced after the main loop; if one is ever
-          // present during a remove step, judge it by its single neighbour.
-          supported = !neighbors.empty();
-        } else if (options_.remove_rule == RemoveRule::kMajority) {
-          supported = 2 * group_count(half, inference.router_as, view) >
-                      neighbors.size();
-        } else {
-          const MajorityResult majority = count_majority(half, view);
-          supported =
-              majority.strict &&
-              group_key(majority.asn) == group_key(inference.router_as) &&
-              meets_fraction(majority.count, neighbors.size(), options_.f);
-        }
-        if (supported) continue;
-
-        HalfState& st = it->second;
-        st.direct.reset();
-        st.uncertain = false;
-        // Retain the mapping as an indirect inference associated with the
-        // other side's direct inference (§4.5).
-        st.indirect_override = st.direct_override;
-        st.direct_override.reset();
-        st.indirect_source = graph_.other_side_half(half);
+      bool supported = false;
+      if (inference.from_stub_heuristic) {
+        // Stub inferences are produced after the main loop; if one is ever
+        // present during a remove step, judge it by its single neighbour.
+        supported = !neighbors.empty();
+      } else if (options_.remove_rule == RemoveRule::kMajority) {
+        supported =
+            2 * group_count(id, inference.router_as) > neighbors.size();
+      } else {
+        const MajorityResult majority = count_majority(id);
+        supported =
+            majority.strict &&
+            group_key(majority.asn) == group_key(inference.router_as) &&
+            meets_fraction(majority.count, neighbors.size(), options_.f);
       }
+      if (!supported) demote_direct(id);
+    };
+    if (first_pass || !options_.incremental_recount) {
+      const HalfId limit = static_cast<HalfId>(graph_.record_half_count());
+      for (HalfId id = 0; id < limit; ++id) evaluate(id);
+    } else {
+      for (HalfId id : work_) evaluate(id);
     }
+    first_pass = false;
 
     // Pass 2: discard indirect inferences whose associated direct
     // inference is gone, along with their IP2AS updates.
-    std::vector<graph::InterfaceHalf> to_discard;
-    for (const auto& [half, st] : halves_) {
-      if (!st.indirect_source) continue;
-      const HalfState* source = state_if_any(*st.indirect_source);
-      if (source == nullptr || !source->direct) to_discard.push_back(half);
-    }
-    for (const graph::InterfaceHalf& half : to_discard) {
-      discard_indirect(half);
+    const std::size_t halves = halves_.size();
+    for (std::size_t id = 0; id < halves; ++id) {
+      const HalfState& st = halves_[id];
+      if (st.indirect_source == graph::kInvalidHalfId) continue;
+      if (halves_[st.indirect_source].direct) continue;
+      discard_indirect(static_cast<HalfId>(id));
       ++stats_.removed_in_remove_step;
       discarded = true;
     }
@@ -392,38 +482,37 @@ void Engine::remove_step() {
 
 void Engine::stub_step() {
   if (!options_.stub_heuristic) return;
-  const MappingView view = freeze_mappings();
-  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-    if (record.forward.size() != 1) continue;
-    const graph::InterfaceHalf h_f{record.address, graph::Direction::kForward};
-    const graph::InterfaceHalf h_b{record.address, graph::Direction::kBackward};
-    const net::Ipv4Address neighbor = record.forward.front();
-    const graph::InterfaceHalf n_b{neighbor, graph::Direction::kBackward};
+  freeze_view();
+  const std::size_t n = graph_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const HalfId h_f = static_cast<HalfId>(2 * i);
+    const HalfId h_b = h_f + 1;
+    const auto forward = graph_.neighbor_ids(h_f);
+    if (forward.size() != 1) continue;
+    const HalfId n_b = forward[0];  // {neighbour, kBackward}
 
-    auto has_inference = [&](const graph::InterfaceHalf& half) {
-      const HalfState* st = state_if_any(half);
-      return st != nullptr &&
-             (st->direct ||
-              (st->indirect_source &&
-               [&] {
-                 const HalfState* src = state_if_any(*st->indirect_source);
-                 return src != nullptr && src->direct.has_value();
-               }()));
+    auto has_inference = [&](HalfId id) {
+      const HalfState& st = halves_[id];
+      if (st.direct) return true;
+      return st.indirect_source != graph::kInvalidHalfId &&
+             halves_[st.indirect_source].direct.has_value();
     };
     if (has_inference(h_b) || has_inference(n_b) || has_inference(h_f)) {
       continue;
     }
 
-    const asdata::Asn as_h = view_as(view, h_f);
-    const asdata::Asn as_n = view_as(view, n_b);
+    const asdata::Asn as_h = view_[h_f];
+    const asdata::Asn as_n = view_[n_b];
     if (as_h == asdata::kUnknownAsn || as_n == asdata::kUnknownAsn) continue;
     if (group_key(as_h) == group_key(as_n)) continue;
     if (!rels_.is_stub(as_n)) continue;  // providers are never stubs, which
                                          // also defuses third-party replies
-    HalfState& st = state(h_f);
-    st.direct = DirectInference{as_n, as_h, /*from_stub_heuristic=*/true,
-                                /*votes=*/1, /*neighbor_count=*/1};
-    st.direct_override = as_n;
+    touched_[h_f] = 1;
+    mutate_mapping(h_f, [&](HalfState& st) {
+      st.direct = DirectInference{as_n, as_h, /*from_stub_heuristic=*/true,
+                                  /*votes=*/1, /*neighbor_count=*/1};
+      st.direct_override = as_n;
+    });
     ++stats_.stub_inferences;
     apply_indirect(h_f);  // "Mark an indirect inference for h'_b"
   }
@@ -435,28 +524,34 @@ void Engine::stub_step() {
 
 std::vector<Inference> Engine::collect(bool confident) const {
   std::vector<Inference> out;
-  for (const auto& [half, st] : halves_) {
+  const std::size_t halves = halves_.size();
+  for (std::size_t id = 0; id < halves; ++id) {
+    const HalfState& st = halves_[id];
     if (st.direct) {
       if (st.uncertain == confident) continue;
       out.push_back(Inference{
-          half, st.direct->router_as, st.direct->other_as,
+          graph_.half_at(static_cast<HalfId>(id)), st.direct->router_as,
+          st.direct->other_as,
           st.direct->from_stub_heuristic ? InferenceKind::kStub
                                          : InferenceKind::kDirect,
           st.uncertain, st.direct->votes, st.direct->neighbor_count});
       continue;
     }
-    if (st.indirect_source && confident) {
-      const HalfState* source = state_if_any(*st.indirect_source);
-      if (source == nullptr || !source->direct || source->uncertain) continue;
+    if (st.indirect_source != graph::kInvalidHalfId && confident) {
+      const HalfState& source = halves_[st.indirect_source];
+      if (!source.direct || source.uncertain) continue;
       // The other side of a link shares its AS pair with the direct
       // inference, with the roles mirrored (§4.4.2).
-      out.push_back(Inference{half, source->direct->other_as,
-                              source->direct->router_as,
+      out.push_back(Inference{graph_.half_at(static_cast<HalfId>(id)),
+                              source.direct->other_as,
+                              source.direct->router_as,
                               InferenceKind::kIndirect, false,
-                              source->direct->votes,
-                              source->direct->neighbor_count});
+                              source.direct->votes,
+                              source.direct->neighbor_count});
     }
   }
+  // Record-half ids are already in (address, direction) order, but phantom
+  // ids are not interleaved by address — sort the combined list.
   std::sort(out.begin(), out.end(),
             [](const Inference& a, const Inference& b) {
               if (a.half.address != b.half.address) {
@@ -467,26 +562,42 @@ std::vector<Inference> Engine::collect(bool confident) const {
   return out;
 }
 
-std::uint64_t Engine::state_hash() const {
-  std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
-  for (const auto& [half, st] : halves_) {
-    std::uint64_t entry = std::hash<graph::InterfaceHalf>{}(half);
+std::string Engine::state_signature() const {
+  // Canonical serialization of everything that determines future evolution
+  // (votes/neighbour counts are output-only and deliberately excluded, as
+  // is the suppressed flag, which every add step clears before reading).
+  // Dense id order makes the encoding canonical. Every touched half is
+  // covered, even when its state is currently empty — a half that gained
+  // and then lost an inference distinguishes this iteration from one where
+  // it was never considered.
+  std::string sig;
+  auto push32 = [&sig](std::uint32_t value) {
+    sig.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  const std::size_t halves = halves_.size();
+  for (std::size_t id = 0; id < halves; ++id) {
+    if (!touched_[id]) continue;
+    const HalfState& st = halves_[id];
+    std::uint8_t mask = 0;
+    if (st.direct) mask |= 0x01;
+    if (st.direct && st.direct->from_stub_heuristic) mask |= 0x02;
+    if (st.indirect_source != graph::kInvalidHalfId) mask |= 0x04;
+    if (st.direct_override) mask |= 0x08;
+    if (st.indirect_override) mask |= 0x10;
+    if (st.uncertain) mask |= 0x20;
+    push32(static_cast<std::uint32_t>(id));
+    sig.push_back(static_cast<char>(mask));
     if (st.direct) {
-      entry = mix(entry ^ (0x11ULL + st.direct->router_as));
-      entry = mix(entry ^ (0x23ULL + st.direct->other_as));
-      if (st.direct->from_stub_heuristic) entry = mix(entry ^ 0x31ULL);
+      push32(st.direct->router_as);
+      push32(st.direct->other_as);
     }
-    if (st.indirect_source) {
-      entry = mix(entry ^ std::hash<graph::InterfaceHalf>{}(*st.indirect_source));
+    if (st.indirect_source != graph::kInvalidHalfId) {
+      push32(st.indirect_source);
     }
-    if (st.direct_override) entry = mix(entry ^ (0x47ULL + *st.direct_override));
-    if (st.indirect_override) {
-      entry = mix(entry ^ (0x53ULL + *st.indirect_override));
-    }
-    if (st.uncertain) entry = mix(entry ^ 0x61ULL);
-    hash ^= entry;  // order-independent combine
+    if (st.direct_override) push32(*st.direct_override);
+    if (st.indirect_override) push32(*st.indirect_override);
   }
-  return hash;
+  return sig;
 }
 
 void Engine::snapshot(const std::string& label) {
@@ -498,44 +609,48 @@ void Engine::count_divergent_other_sides() {
   // Direct inferences on both endpoints of a link naming different AS
   // pairs (§4.4.3). Counted once per link, keyed by the lower address.
   stats_.divergent_other_sides = 0;
-  for (const graph::InterfaceRecord& record : graph_.interfaces()) {
-    const net::Ipv4Address other = record.other_side.address;
-    if (!(record.address < other)) continue;
-    if (base_as(record.address) == asdata::kUnknownAsn) continue;
+  const auto& records = graph_.interfaces();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const HalfId fwd = static_cast<HalfId>(2 * i);
+    const net::Ipv4Address other = records[i].other_side.address;
+    if (!(records[i].address < other)) continue;
+    if (base_[fwd] == asdata::kUnknownAsn) continue;
 
-    auto pair_of = [&](net::Ipv4Address address)
+    auto pair_of = [&](HalfId first)
         -> std::optional<std::pair<std::uint64_t, std::uint64_t>> {
-      for (graph::Direction d :
-           {graph::Direction::kForward, graph::Direction::kBackward}) {
-        const HalfState* st = state_if_any({address, d});
-        if (st != nullptr && st->direct) {
-          std::uint64_t a = group_key(st->direct->router_as);
-          std::uint64_t b = group_key(st->direct->other_as);
+      for (HalfId id : {first, static_cast<HalfId>(first + 1)}) {
+        const HalfState& st = halves_[id];
+        if (st.direct) {
+          std::uint64_t a = group_key(st.direct->router_as);
+          std::uint64_t b = group_key(st.direct->other_as);
           if (b < a) std::swap(a, b);
           return std::make_pair(a, b);
         }
       }
       return std::nullopt;
     };
-    const auto mine = pair_of(record.address);
-    const auto theirs = pair_of(other);
+    const HalfId other_fwd = graph_.other_side_id(fwd) & ~1u;
+    const auto mine = pair_of(fwd);
+    const auto theirs = pair_of(other_fwd);
     if (mine && theirs && *mine != *theirs) ++stats_.divergent_other_sides;
   }
 }
 
 Result Engine::run() {
-  halves_.clear();
-  base_cache_.clear();
-  stats_ = EngineStats{};
-  snapshots_.clear();
+  reset_state();
 
-  std::unordered_set<std::uint64_t> seen_states;
+  ConvergenceTracker tracker;
   for (int i = 0; i < options_.max_iterations; ++i) {
     add_step();
     remove_step();
     ++stats_.iterations;
     snapshot("Iter " + std::to_string(stats_.iterations));
-    if (!seen_states.insert(state_hash()).second) {
+    // Convergence = an end-of-remove state repeats (§4.6). The tracker
+    // verifies byte equality on every hash hit, so a 64-bit collision
+    // cannot fake convergence.
+    std::string signature = state_signature();
+    const std::uint64_t hash = std::hash<std::string>{}(signature);
+    if (tracker.seen_before(hash, std::move(signature))) {
       stats_.converged = true;
       break;
     }
@@ -547,7 +662,17 @@ Result Engine::run() {
   Result result;
   result.inferences = collect(/*confident=*/true);
   result.uncertain = collect(/*confident=*/false);
-  result.final_mappings = freeze_mappings();
+  const std::size_t halves = halves_.size();
+  for (std::size_t id = 0; id < halves; ++id) {
+    const HalfState& st = halves_[id];
+    if (st.direct_override) {
+      result.final_mappings.emplace(graph_.half_at(static_cast<HalfId>(id)),
+                                    *st.direct_override);
+    } else if (st.indirect_override) {
+      result.final_mappings.emplace(graph_.half_at(static_cast<HalfId>(id)),
+                                    *st.indirect_override);
+    }
+  }
   result.stats = stats_;
   result.snapshots = std::move(snapshots_);
   return result;

@@ -16,6 +16,15 @@
 //
 // All counting during a pass uses the mappings frozen at the end of the
 // previous pass, making results independent of visit order (§4.4.5).
+//
+// State layout: every interface half carries a dense graph::HalfId
+// (interface index * 2 + direction); all engine state lives in flat slabs
+// indexed by that id, so the hot loops are plain vector reads with no
+// hashing. Passes after the first of each add/remove step recount only the
+// halves whose neighbour mappings changed (dirty-set propagation through
+// the graph's reverse adjacency); the first pass of every step is a full
+// sweep, which keeps inference output identical to a full-recount engine.
+// See DESIGN.md "Dense engine state" for the invariants.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +63,13 @@ struct Options {
   bool resolve_inverses = true;       ///< §4.4.4 inverse-inference fixing
   bool stub_heuristic = true;         ///< §4.8
 
+  /// Dirty-set incremental recounting: passes after the first of each
+  /// add/remove step only revisit halves whose neighbour mappings changed.
+  /// Disabling forces a full sweep every pass; the results are identical
+  /// (asserted by tests/integration/engine_equivalence_test.cpp) — this
+  /// knob exists for that test and for perf ablation.
+  bool incremental_recount = true;
+
   /// Capture per-stage inference snapshots (Fig 7 instrumentation).
   bool capture_snapshots = false;
 
@@ -76,9 +92,12 @@ struct EngineStats {
   std::size_t inverses_resolved = 0;
   std::size_t uncertain_pairs = 0;
   std::size_t divergent_other_sides = 0;
-  std::size_t removed_in_remove_step = 0;
+  std::size_t demoted_in_remove_step = 0;  ///< direct -> indirect demotions
+  std::size_t removed_in_remove_step = 0;  ///< indirect inferences discarded
   std::size_t stub_inferences = 0;
   bool converged = false;         ///< repeated state found within bounds
+
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };
 
 struct Result {
@@ -113,6 +132,8 @@ class Engine {
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  using HalfId = graph::HalfId;
+
   struct DirectInference {
     asdata::Asn router_as = asdata::kUnknownAsn;  // AS_N
     asdata::Asn other_as = asdata::kUnknownAsn;   // previous IP2AS(h)
@@ -121,11 +142,13 @@ class Engine {
     std::uint32_t neighbor_count = 0;  // |N| at inference time
   };
 
+  /// Per-half state, one slab entry per graph::HalfId.
   struct HalfState {
     std::optional<DirectInference> direct;
     /// Indirect inference propagated from the direct inference on the other
-    /// side (stores that source half for lifetime coupling).
-    std::optional<graph::InterfaceHalf> indirect_source;
+    /// side (the source half's id, for lifetime coupling); kInvalidHalfId
+    /// when absent.
+    HalfId indirect_source = graph::kInvalidHalfId;
     std::optional<asdata::Asn> direct_override;
     std::optional<asdata::Asn> indirect_override;
     bool uncertain = false;
@@ -135,12 +158,11 @@ class Engine {
   };
 
   // --- mapping views -------------------------------------------------
-  [[nodiscard]] asdata::Asn base_as(net::Ipv4Address address) const;
-  [[nodiscard]] asdata::Asn current_as(const graph::InterfaceHalf& half) const;
-  using MappingView = std::unordered_map<graph::InterfaceHalf, asdata::Asn>;
-  [[nodiscard]] MappingView freeze_mappings() const;
-  [[nodiscard]] asdata::Asn view_as(const MappingView& view,
-                                    const graph::InterfaceHalf& half) const;
+  /// The effective mapping of a half right now (overrides, then base).
+  [[nodiscard]] asdata::Asn effective_as(HalfId id) const;
+  /// Rebuilds view_ / view_group_ from the current state (the per-pass
+  /// mapping freeze of §4.4.5).
+  void freeze_view();
 
   // --- counting ------------------------------------------------------
   struct MajorityResult {
@@ -148,33 +170,45 @@ class Engine {
     std::size_t count = 0;                  // group's vote count
     bool strict = false;                    // strictly more than every other
   };
-  [[nodiscard]] MajorityResult count_majority(
-      const graph::InterfaceHalf& half, const MappingView& view) const;
-  [[nodiscard]] std::size_t group_count(const graph::InterfaceHalf& half,
-                                        asdata::Asn target,
-                                        const MappingView& view) const;
+  [[nodiscard]] MajorityResult count_majority(HalfId id) const;
+  [[nodiscard]] std::size_t group_count(HalfId id, asdata::Asn target) const;
   [[nodiscard]] std::uint64_t group_key(asdata::Asn asn) const;
 
+  // --- dirty-set propagation ------------------------------------------
+  /// Enqueues every half whose majority depends on `id` for recount on the
+  /// next pass (reverse adjacency walk). Called whenever a half's effective
+  /// mapping changes.
+  void mark_dependents_dirty(HalfId id);
+  /// Wraps a state mutation: records the effective mapping before, runs the
+  /// mutation, and marks dependents dirty if the mapping changed.
+  template <typename Fn>
+  void mutate_mapping(HalfId id, Fn&& fn);
+  /// Drains the pending dirty set into work_ (sorted ascending so the
+  /// visit order matches a full sweep's) and clears the flags.
+  void take_work();
+
   // --- algorithm steps -------------------------------------------------
-  bool direct_pass(const MappingView& view);
-  void apply_indirect(const graph::InterfaceHalf& source);
+  bool direct_pass(bool full_sweep);
+  bool try_direct_inference(HalfId id);
+  void apply_indirect(HalfId source);
   bool resolve_dual_inferences();
   void count_divergent_other_sides();
   bool resolve_inverse_inferences();
   void add_step();
   void remove_step();
+  void demote_direct(HalfId id);
   void stub_step();
-  void discard_direct(const graph::InterfaceHalf& half, bool suppress);
-  void discard_indirect(const graph::InterfaceHalf& half);
+  void discard_direct(HalfId id, bool suppress);
+  void discard_indirect(HalfId id);
 
   // --- bookkeeping -----------------------------------------------------
-  [[nodiscard]] HalfState& state(const graph::InterfaceHalf& half);
-  [[nodiscard]] const HalfState* state_if_any(
-      const graph::InterfaceHalf& half) const;
-  [[nodiscard]] std::uint64_t state_hash() const;
+  /// Canonical serialized engine state (the §4.6 repetition check compares
+  /// these byte-for-byte; see core/convergence.h).
+  [[nodiscard]] std::string state_signature() const;
   [[nodiscard]] std::vector<Inference> collect(bool confident) const;
   void snapshot(const std::string& label);
   void clear_suppressions();
+  void reset_state();
 
   const graph::InterfaceGraph& graph_;
   const bgp::Ip2As& ip2as_;
@@ -182,8 +216,31 @@ class Engine {
   const asdata::AsRelationships& rels_;
   Options options_;
 
-  std::unordered_map<graph::InterfaceHalf, HalfState> halves_;
-  mutable std::unordered_map<net::Ipv4Address, asdata::Asn> base_cache_;
+  // Flat slabs indexed by graph::HalfId.
+  std::vector<HalfState> halves_;
+  std::vector<asdata::Asn> base_;          ///< base IP2AS, filled once up front
+  std::vector<std::uint64_t> base_group_;  ///< sibling group key of base_
+  std::vector<asdata::Asn> view_;          ///< frozen effective mapping
+  std::vector<std::uint64_t> view_group_;  ///< sibling group key of view_
+  /// Halves that ever held engine state this run. The convergence
+  /// signature covers exactly these (even when currently empty), so the
+  /// repetition check is sensitive to the same states a lazily-populated
+  /// map would be.
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::uint8_t> dirty_flag_;   ///< membership bit for dirty_
+  std::vector<HalfId> dirty_;              ///< pending recount candidates
+  std::vector<HalfId> work_;               ///< current pass's work list
+
+  /// Scratch for count_majority/group_count: vote groups in first-seen
+  /// order. Entries are reused across calls to avoid reallocating the
+  /// member lists (vote_group_count_ is the live prefix).
+  struct VoteGroup {
+    std::uint64_t key = 0;
+    std::size_t count = 0;
+    std::vector<std::pair<asdata::Asn, std::size_t>> members;
+  };
+  mutable std::vector<VoteGroup> vote_groups_;
+
   EngineStats stats_;
   std::vector<Snapshot> snapshots_;
 };

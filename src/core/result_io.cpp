@@ -1,8 +1,11 @@
 #include "core/result_io.h"
 
+#include <charconv>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "net/error.h"
@@ -10,6 +13,22 @@
 namespace mapit::core {
 
 namespace {
+
+/// Strict decimal parse of the whole string: rejects empty input, leading
+/// whitespace, signs, trailing garbage, and out-of-range values — all of
+/// which std::stoul silently accepts or mangles (e.g. "-1" wraps, "12abc"
+/// stops at the 'a').
+template <typename UInt>
+[[nodiscard]] UInt parse_uint(const std::string& text, const char* what) {
+  UInt value{};
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    throw ParseError(std::string("bad ") + what + " '" + text + "'");
+  }
+  return value;
+}
 
 [[nodiscard]] InferenceKind kind_from(const std::string& text,
                                       std::size_t line_no) {
@@ -71,17 +90,23 @@ std::vector<Inference> read_inferences(std::istream& in) {
       } else {
         throw ParseError("bad direction '" + fields[1] + "'");
       }
-      inference.router_as = static_cast<asdata::Asn>(std::stoul(fields[2]));
-      inference.other_as = static_cast<asdata::Asn>(std::stoul(fields[3]));
+      inference.router_as =
+          parse_uint<asdata::Asn>(fields[2], "router ASN");
+      inference.other_as = parse_uint<asdata::Asn>(fields[3], "other ASN");
       inference.kind = kind_from(fields[4], line_no);
       const std::size_t slash = fields[5].find('/');
       if (slash == std::string::npos) {
         throw ParseError("bad evidence '" + fields[5] + "'");
       }
       inference.votes =
-          static_cast<std::uint32_t>(std::stoul(fields[5].substr(0, slash)));
-      inference.neighbor_count =
-          static_cast<std::uint32_t>(std::stoul(fields[5].substr(slash + 1)));
+          parse_uint<std::uint32_t>(fields[5].substr(0, slash), "votes");
+      inference.neighbor_count = parse_uint<std::uint32_t>(
+          fields[5].substr(slash + 1), "neighbor count");
+      if (inference.votes > inference.neighbor_count) {
+        throw ParseError("votes " + std::to_string(inference.votes) +
+                         " exceed neighbor count " +
+                         std::to_string(inference.neighbor_count));
+      }
       out.push_back(inference);
     } catch (const ParseError& e) {
       throw ParseError("inferences line " + std::to_string(line_no) + ": " +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "net/error.h"
 #include "net/special_purpose.h"
 
 namespace mapit::graph {
@@ -65,6 +66,113 @@ InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
   for (std::size_t i = 0; i < records_.size(); ++i) {
     index_.emplace(records_[i].address, i);
   }
+
+  build_dense_layout();
+}
+
+void InterfaceGraph::build_dense_layout() {
+  const std::size_t n = records_.size();
+
+  // Phantom addresses: other sides of records that are not records
+  // themselves. Discovered in record (address) order, so ids are stable.
+  for (const InterfaceRecord& record : records_) {
+    const net::Ipv4Address os = record.other_side.address;
+    if (index_.contains(os) || phantom_index_.contains(os)) continue;
+    phantom_index_.emplace(os, n + phantoms_.size());
+    phantoms_.push_back(os);
+  }
+
+  const std::size_t halves = half_count();
+
+  // Neighbour half-ID spans. Only record halves have neighbours; a
+  // neighbour address always has a record of its own (both endpoints of
+  // every adjacency were materialized during construction).
+  neighbor_offsets_.assign(halves + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbor_offsets_[2 * i] = static_cast<std::uint32_t>(total);
+    total += records_[i].forward.size();
+    neighbor_offsets_[2 * i + 1] = static_cast<std::uint32_t>(total);
+    total += records_[i].backward.size();
+  }
+  for (std::size_t id = 2 * n; id <= halves; ++id) {
+    neighbor_offsets_[id] = static_cast<std::uint32_t>(total);
+  }
+  neighbor_ids_.resize(total);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Direction d : {Direction::kForward, Direction::kBackward}) {
+      const std::uint32_t bit = direction_bit(opposite(d));
+      for (net::Ipv4Address neighbor : records_[i].neighbors(d)) {
+        const auto it = index_.find(neighbor);
+        MAPIT_ENSURE(it != index_.end(),
+                     "interface graph neighbour without a record");
+        neighbor_ids_[cursor++] =
+            static_cast<HalfId>(2 * it->second + bit);
+      }
+    }
+  }
+
+  // Reverse adjacency via counting sort: reverse_ids_ holds, for each half
+  // g, the halves h whose neighbour span contains g (sorted: sources are
+  // visited in ascending id order).
+  reverse_offsets_.assign(halves + 1, 0);
+  for (HalfId target : neighbor_ids_) ++reverse_offsets_[target + 1];
+  for (std::size_t id = 1; id <= halves; ++id) {
+    reverse_offsets_[id] += reverse_offsets_[id - 1];
+  }
+  reverse_ids_.resize(neighbor_ids_.size());
+  std::vector<std::uint32_t> fill(reverse_offsets_.begin(),
+                                  reverse_offsets_.end() - 1);
+  for (std::size_t h = 0; h < halves; ++h) {
+    for (std::size_t k = neighbor_offsets_[h]; k < neighbor_offsets_[h + 1];
+         ++k) {
+      reverse_ids_[fill[neighbor_ids_[k]]++] = static_cast<HalfId>(h);
+    }
+  }
+
+  // Other-side ids. Record halves always resolve (their other-side address
+  // is a record or a phantom by construction); a phantom's own other side
+  // may fall outside the universe.
+  other_ids_.assign(halves, kInvalidHalfId);
+  for (std::size_t id = 0; id < halves; ++id) {
+    const InterfaceHalf half = half_at(static_cast<HalfId>(id));
+    other_ids_[id] = half_id(other_side_half(half));
+  }
+}
+
+HalfId InterfaceGraph::half_id(const InterfaceHalf& half) const {
+  std::size_t index;
+  if (auto it = index_.find(half.address); it != index_.end()) {
+    index = it->second;
+  } else if (auto pt = phantom_index_.find(half.address);
+             pt != phantom_index_.end()) {
+    index = pt->second;
+  } else {
+    return kInvalidHalfId;
+  }
+  return static_cast<HalfId>(2 * index + direction_bit(half.direction));
+}
+
+InterfaceHalf InterfaceGraph::half_at(HalfId id) const {
+  return {address_at(id),
+          (id & 1u) == 0 ? Direction::kForward : Direction::kBackward};
+}
+
+net::Ipv4Address InterfaceGraph::address_at(HalfId id) const {
+  const std::size_t index = id / 2;
+  return index < records_.size() ? records_[index].address
+                                 : phantoms_[index - records_.size()];
+}
+
+std::span<const HalfId> InterfaceGraph::neighbor_ids(HalfId id) const {
+  return {neighbor_ids_.data() + neighbor_offsets_[id],
+          neighbor_ids_.data() + neighbor_offsets_[id + 1]};
+}
+
+std::span<const HalfId> InterfaceGraph::reverse_neighbor_ids(HalfId id) const {
+  return {reverse_ids_.data() + reverse_offsets_[id],
+          reverse_ids_.data() + reverse_offsets_[id + 1]};
 }
 
 const InterfaceRecord* InterfaceGraph::find(net::Ipv4Address address) const {

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/halves.h"
@@ -18,6 +20,22 @@
 #include "trace/trace.h"
 
 namespace mapit::graph {
+
+/// Dense contiguous identifier for an interface half.
+///
+/// Layout: `interface index * 2 + direction` with kForward = 0 and
+/// kBackward = 1, so the id order equals (address, direction) order for
+/// record halves. Interface indices [0, size()) are the graph's records in
+/// address order; indices [size(), size() + phantom_count()) are "phantom"
+/// addresses — other-side addresses of records that never appeared as an
+/// interface themselves. Phantoms have empty neighbour sets but still need
+/// state slots in the engine (indirect inferences land on them).
+using HalfId = std::uint32_t;
+inline constexpr HalfId kInvalidHalfId = 0xffffffffu;
+
+[[nodiscard]] constexpr std::uint32_t direction_bit(Direction d) {
+  return d == Direction::kForward ? 0u : 1u;
+}
 
 /// Per-interface record.
 struct InterfaceRecord {
@@ -79,10 +97,62 @@ class InterfaceGraph {
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
+  // --- dense half-ID layout --------------------------------------------
+  // Engine hot loops index flat slabs with these ids instead of hashing
+  // InterfaceHalf keys (see DESIGN.md "Dense engine state").
+
+  /// Number of phantom (other-side-only) addresses.
+  [[nodiscard]] std::size_t phantom_count() const { return phantoms_.size(); }
+
+  /// Total half ids: 2 * (records + phantoms). Valid ids are [0, half_count()).
+  [[nodiscard]] std::size_t half_count() const {
+    return (records_.size() + phantoms_.size()) * 2;
+  }
+
+  /// Half ids below this belong to records (addresses with neighbours).
+  [[nodiscard]] std::size_t record_half_count() const {
+    return records_.size() * 2;
+  }
+
+  /// The id of `half`, or kInvalidHalfId when its address is neither a
+  /// record nor a phantom.
+  [[nodiscard]] HalfId half_id(const InterfaceHalf& half) const;
+
+  /// Inverse of half_id. `id` must be valid.
+  [[nodiscard]] InterfaceHalf half_at(HalfId id) const;
+
+  [[nodiscard]] net::Ipv4Address address_at(HalfId id) const;
+
+  /// Ids of the opposite-direction halves whose votes decide this half's
+  /// majority: for half {a, d}, the halves {n, opposite(d)} for every
+  /// n in neighbors({a, d}). Parallel to neighbors(half) order. Empty for
+  /// phantom halves.
+  [[nodiscard]] std::span<const HalfId> neighbor_ids(HalfId id) const;
+
+  /// Reverse adjacency: every half h with `id` in neighbor_ids(h) — i.e.
+  /// the halves whose majority counts must be recomputed when this half's
+  /// effective mapping changes. Sorted ascending.
+  [[nodiscard]] std::span<const HalfId> reverse_neighbor_ids(HalfId id) const;
+
+  /// Id of other_side_half(half_at(id)); kInvalidHalfId when the other-side
+  /// address is outside the id universe (possible only for phantom halves).
+  [[nodiscard]] HalfId other_side_id(HalfId id) const { return other_ids_[id]; }
+
  private:
+  void build_dense_layout();
+
   std::vector<InterfaceRecord> records_;                       // sorted by address
   std::unordered_map<net::Ipv4Address, std::size_t> index_;
   OtherSideMap other_sides_;
+
+  // Dense layout (built once at construction).
+  std::vector<net::Ipv4Address> phantoms_;  // discovery order
+  std::unordered_map<net::Ipv4Address, std::size_t> phantom_index_;
+  std::vector<HalfId> neighbor_ids_;             // flattened spans
+  std::vector<std::uint32_t> neighbor_offsets_;  // size half_count() + 1
+  std::vector<HalfId> reverse_ids_;              // flattened spans
+  std::vector<std::uint32_t> reverse_offsets_;   // size half_count() + 1
+  std::vector<HalfId> other_ids_;                // per half id
 };
 
 }  // namespace mapit::graph

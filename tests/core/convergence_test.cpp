@@ -1,0 +1,78 @@
+// Regression tests for convergence detection (paper §4.6).
+//
+// The engine used to compare bare 64-bit state hashes built by XOR-combining
+// per-entry hashes. XOR cancels paired equal entries, so two very different
+// states could share a hash and fake convergence, truncating the run. The
+// ConvergenceTracker must distinguish states that collide under any hash.
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mapit::core {
+namespace {
+
+// The old per-entry mixer and XOR combine, reproduced verbatim to build a
+// genuine collision pair.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t xor_combine(const std::vector<std::uint64_t>& entries) {
+  std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t entry : entries) hash ^= mix(entry);
+  return hash;
+}
+
+TEST(ConvergenceTracker, FirstStateIsNeverARepeat) {
+  ConvergenceTracker tracker;
+  EXPECT_FALSE(tracker.seen_before(42, "state-a"));
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(ConvergenceTracker, RepeatedStateIsDetected) {
+  ConvergenceTracker tracker;
+  EXPECT_FALSE(tracker.seen_before(42, "state-a"));
+  EXPECT_TRUE(tracker.seen_before(42, "state-a"));
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(ConvergenceTracker, DistinctStatesWithSameHashAreNotARepeat) {
+  // Two distinct engine states whose XOR-combined hashes are equal under
+  // the old scheme: {a} versus {a, b, b} — the paired b entries cancel.
+  const std::uint64_t a = 0x1111;
+  const std::uint64_t b = 0x2222;
+  const std::uint64_t collided = xor_combine({a});
+  ASSERT_EQ(collided, xor_combine({a, b, b}))
+      << "XOR-cancellation premise broken";
+
+  // The tracker keys by that shared hash but must still tell the two
+  // serialized states apart.
+  ConvergenceTracker tracker;
+  EXPECT_FALSE(tracker.seen_before(collided, "state:{a}"));
+  EXPECT_FALSE(tracker.seen_before(collided, "state:{a,b,b}"));
+  EXPECT_EQ(tracker.size(), 2u);
+
+  // Genuine repeats of either colliding state are still found.
+  EXPECT_TRUE(tracker.seen_before(collided, "state:{a}"));
+  EXPECT_TRUE(tracker.seen_before(collided, "state:{a,b,b}"));
+  EXPECT_EQ(tracker.size(), 2u);
+}
+
+TEST(ConvergenceTracker, EmbeddedNulBytesCompareCorrectly) {
+  // Signatures are raw byte strings; equality must be length-aware.
+  ConvergenceTracker tracker;
+  const std::string with_nul("ab\0cd", 5);
+  const std::string prefix("ab", 2);
+  EXPECT_FALSE(tracker.seen_before(7, with_nul));
+  EXPECT_FALSE(tracker.seen_before(7, prefix));
+  EXPECT_TRUE(tracker.seen_before(7, with_nul));
+}
+
+}  // namespace
+}  // namespace mapit::core

@@ -11,6 +11,7 @@ namespace mapit::core {
 namespace {
 
 using graph::Direction;
+using testutil::addr;
 using testutil::MiniWorld;
 using testutil::find_inference;
 
@@ -297,6 +298,66 @@ TEST(EngineMechanism, StubHeuristicCanBeDisabled) {
   options.stub_heuristic = false;
   const Result result = world.run(options);
   EXPECT_TRUE(result.inferences.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Remove-step demotion (§4.5).
+// ---------------------------------------------------------------------------
+
+// A half whose direct inference is demoted may already carry a live
+// indirect inference propagated from the other side's direct inference.
+// Demotion must not clobber it: the demoted half keeps the other side's
+// mapping, not a stale copy of its own withdrawn one.
+//
+// The world: X = {11.0.0.1, forward} first wins a direct inference for
+// AS200 (both forward neighbours are 20.0.0.x). Its /30 other side
+// O = {11.0.0.2, backward} wins a direct inference for AS400 (both
+// backward neighbours are 40.0.0.x) and propagates 400 onto X as an
+// indirect inference. The remove step then withdraws X's direct inference
+// (its neighbours' refined mappings split 300/350, so AS200 gets no
+// votes) while O's survives — so X's mapping must revert to O's 400.
+MiniWorld demotion_world() {
+  return MiniWorld({{"11.0.0.0/16", 100},
+                    {"20.0.0.0/16", 200},
+                    {"30.0.0.0/16", 300},
+                    {"35.0.0.0/16", 350},
+                    {"40.0.0.0/16", 400}},
+                   {
+                       "0|9.9.9.9|11.0.0.1 20.0.0.2",
+                       "1|9.9.9.9|11.0.0.1 20.0.0.6",
+                       "2|9.9.9.9|30.0.0.2 20.0.0.2",
+                       "3|9.9.9.9|30.0.0.6 20.0.0.2",
+                       "4|9.9.9.9|35.0.0.2 20.0.0.6",
+                       "5|9.9.9.9|35.0.0.6 20.0.0.6",
+                       "6|9.9.9.9|40.0.0.2 11.0.0.2",
+                       "7|9.9.9.9|40.0.0.6 11.0.0.2",
+                   });
+}
+
+TEST(EngineMechanism, DemotionPreservesLiveIndirectInference) {
+  MiniWorld world = demotion_world();
+  const Result result = world.run();
+
+  // The other side's direct inference survives the remove step…
+  const Inference* other = find_inference(result, "11.0.0.2",
+                                          Direction::kBackward);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->router_as, 400u);
+
+  // …so the demoted half must end up mapped to its AS400, not keep a
+  // stale copy of its own withdrawn AS200 inference.
+  const graph::InterfaceHalf x{addr("11.0.0.1"), Direction::kForward};
+  ASSERT_TRUE(result.final_mappings.contains(x));
+  EXPECT_EQ(result.final_mappings.at(x), 400u);
+}
+
+TEST(EngineMechanism, DemotionsAndRemovalsAreCounted) {
+  MiniWorld world = demotion_world();
+  const Result result = world.run();
+  // X's direct inference is demoted; the indirect inference X had earlier
+  // propagated onto O dies with it in the same remove step.
+  EXPECT_EQ(result.stats.demoted_in_remove_step, 1u);
+  EXPECT_EQ(result.stats.removed_in_remove_step, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -71,7 +71,15 @@ INSTANTIATE_TEST_SUITE_P(
                       "1.2.3.4|f|1|2|maybe|3/3",         // bad kind
                       "1.2.3.4|f|1|2|direct|33",         // bad evidence
                       "1.2.3.4|f|one|2|direct|3/3",      // bad asn
-                      "nonsense|f|1|2|direct|3/3"));     // bad address
+                      "nonsense|f|1|2|direct|3/3",       // bad address
+                      "1.2.3.4|f|123abc|2|direct|3/3",   // trailing garbage
+                      "1.2.3.4|f| 123|2|direct|3/3",     // leading whitespace
+                      "1.2.3.4|f|-1|2|direct|3/3",       // negative asn
+                      "1.2.3.4|f|1|2|direct|-1/3",       // negative votes
+                      "1.2.3.4|f|1|2|direct|3/3 ",       // trailing whitespace
+                      "1.2.3.4|f|1|2|direct|3/",         // empty count
+                      "1.2.3.4|f|99999999999999999999|2|direct|3/3",  // overflow
+                      "1.2.3.4|f|1|2|direct|4/3"));      // votes > neighbors
 
 TEST(ResultIo, SkipsComments) {
   std::stringstream stream("# comment\n\n1.2.3.4|b|5|6|stub|1/1\n");

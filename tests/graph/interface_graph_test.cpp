@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "test_util.h"
 #include "trace/sanitize.h"
 
@@ -137,6 +139,103 @@ TEST(InterfaceGraph, RecordsSortedByAddress) {
   ASSERT_EQ(graph.size(), 3u);
   EXPECT_LT(graph.interfaces()[0].address, graph.interfaces()[1].address);
   EXPECT_LT(graph.interfaces()[1].address, graph.interfaces()[2].address);
+}
+
+// ---------------------------------------------------------------------------
+// Dense half-ID layout (consumed by the engine's flat state slabs).
+// ---------------------------------------------------------------------------
+
+TEST(InterfaceGraphDense, HalfIdRoundTripsAndFollowsAddressOrder) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|9.0.0.1 1.0.0.1 5.0.0.1",
+  });
+  ASSERT_EQ(graph.size(), 3u);
+  EXPECT_EQ(graph.record_half_count(), 6u);
+  // id = interface index * 2 + direction; records are in address order, so
+  // ids enumerate (address, direction) lexicographically.
+  for (HalfId id = 0; id < graph.record_half_count(); ++id) {
+    const InterfaceHalf half = graph.half_at(id);
+    EXPECT_EQ(graph.half_id(half), id);
+    EXPECT_EQ(half.direction, (id & 1u) == 0 ? Direction::kForward
+                                             : Direction::kBackward);
+    EXPECT_EQ(half.address, graph.interfaces()[id / 2].address);
+  }
+  EXPECT_EQ(graph.half_id(forward_half(addr("99.0.0.1"))), kInvalidHalfId);
+}
+
+TEST(InterfaceGraphDense, PhantomOtherSidesGetIdsAfterRecords) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+  });
+  // 2.0.0.2 (other side of 2.0.0.1) appears in no trace: a phantom. It
+  // gets ids above every record half, with no neighbours of its own.
+  EXPECT_GT(graph.phantom_count(), 0u);
+  EXPECT_EQ(graph.half_count(),
+            graph.record_half_count() + 2 * graph.phantom_count());
+  const HalfId phantom = graph.half_id(forward_half(addr("2.0.0.2")));
+  ASSERT_NE(phantom, kInvalidHalfId);
+  EXPECT_GE(phantom, graph.record_half_count());
+  EXPECT_EQ(graph.address_at(phantom), addr("2.0.0.2"));
+  EXPECT_TRUE(graph.neighbor_ids(phantom).empty());
+  EXPECT_TRUE(graph.reverse_neighbor_ids(phantom).empty());
+}
+
+TEST(InterfaceGraphDense, NeighborIdSpansMirrorNeighborLists) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 5.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.2 5.0.0.1 2.0.0.2",
+  });
+  for (HalfId id = 0; id < graph.record_half_count(); ++id) {
+    const InterfaceHalf half = graph.half_at(id);
+    const auto& addresses = graph.neighbors(half);
+    const auto ids = graph.neighbor_ids(id);
+    ASSERT_EQ(ids.size(), addresses.size()) << half.to_string();
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      // Span entries are the opposite-direction halves of the neighbour
+      // addresses, in the same (sorted) order as the address list.
+      EXPECT_EQ(graph.half_at(ids[k]),
+                (InterfaceHalf{addresses[k], opposite(half.direction)}))
+          << half.to_string();
+    }
+  }
+}
+
+TEST(InterfaceGraphDense, ReverseAdjacencyInvertsNeighborSpans) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 5.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.2 5.0.0.1 2.0.0.2",
+      "2|9.9.9.9|2.0.0.1 5.0.0.1",
+  });
+  // h appears in reverse_neighbor_ids(g) exactly when g appears in
+  // neighbor_ids(h), and the reverse lists are sorted ascending (the
+  // engine's dirty-set sweeps rely on that for deterministic order).
+  for (HalfId g = 0; g < graph.half_count(); ++g) {
+    const auto reverse = graph.reverse_neighbor_ids(g);
+    EXPECT_TRUE(std::is_sorted(reverse.begin(), reverse.end()));
+    for (HalfId h : reverse) {
+      const auto forward = graph.neighbor_ids(h);
+      EXPECT_NE(std::find(forward.begin(), forward.end(), g), forward.end());
+    }
+  }
+  std::size_t forward_total = 0;
+  std::size_t reverse_total = 0;
+  for (HalfId id = 0; id < graph.half_count(); ++id) {
+    forward_total += graph.neighbor_ids(id).size();
+    reverse_total += graph.reverse_neighbor_ids(id).size();
+  }
+  EXPECT_EQ(forward_total, reverse_total);
+}
+
+TEST(InterfaceGraphDense, OtherSideIdsMatchOtherSideHalves) {
+  const InterfaceGraph graph = graph_of({
+      "0|9.9.9.9|1.0.0.1 2.0.0.1",
+      "1|9.9.9.9|1.0.0.2 2.0.0.2",
+  });
+  for (HalfId id = 0; id < graph.record_half_count(); ++id) {
+    const InterfaceHalf other = graph.other_side_half(graph.half_at(id));
+    ASSERT_NE(graph.other_side_id(id), kInvalidHalfId);
+    EXPECT_EQ(graph.half_at(graph.other_side_id(id)), other);
+  }
 }
 
 TEST(InterfaceHalfType, NotationAndOpposite) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure, build, run the full test suite, then smoke the
+# micro-benchmarks (minimal measurement time — this checks the bench binaries
+# run, not their numbers). Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== test =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== bench smoke =="
+"${BUILD_DIR}/bench/perf_micro" --benchmark_min_time=0.01
+
+echo "CI OK"
