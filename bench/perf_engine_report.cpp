@@ -5,15 +5,22 @@
 //
 //   perf_engine_report [--out FILE] [--dump FILE] [--reps N]
 //                      [--baseline-ms X] [--baseline-small-ms X]
+//                      [--threads LIST]
 //
 // --dump writes the standard run's inference list in the result_io text
 // format, for byte-identical equivalence checks across engine rewrites.
 // --baseline-ms embeds a previously measured seed timing so the JSON
 // carries before/after numbers side by side.
+// --threads takes a comma-separated worker-count list (default "1,2,4,8")
+// and emits a thread_scaling table of standard-run timings; the report
+// also records hardware_threads so scaling numbers can be judged against
+// the cores actually available.
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/result_io.h"
@@ -29,10 +36,12 @@ struct Timing {
   core::Result result;
 };
 
-Timing time_engine(const eval::Experiment& experiment, int reps) {
+Timing time_engine(const eval::Experiment& experiment, int reps,
+                   unsigned threads = 1) {
   Timing timing;
   core::Options options;
   options.f = 0.5;
+  options.threads = threads;
   double total = 0.0;
   for (int i = 0; i < reps; ++i) {
     const auto start = std::chrono::steady_clock::now();
@@ -56,6 +65,7 @@ int main(int argc, char** argv) {
   int reps = 5;
   double baseline_ms = -1.0;
   double baseline_small_ms = -1.0;
+  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -75,6 +85,16 @@ int main(int argc, char** argv) {
       baseline_ms = std::stod(next());
     } else if (arg == "--baseline-small-ms") {
       baseline_small_ms = std::stod(next());
+    } else if (arg == "--threads") {
+      thread_counts.clear();
+      std::istringstream list(next());
+      for (std::string item; std::getline(list, item, ',');) {
+        thread_counts.push_back(static_cast<unsigned>(std::stoul(item)));
+      }
+      if (thread_counts.empty()) {
+        std::cerr << "--threads needs a non-empty list\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
@@ -90,6 +110,21 @@ int main(int argc, char** argv) {
   std::cerr << "timing engine (" << reps << " reps)...\n";
   const Timing std_timing = time_engine(*standard, reps);
   const Timing small_timing = time_engine(*small, reps);
+
+  struct ScalingPoint {
+    unsigned threads;
+    Timing timing;
+  };
+  std::vector<ScalingPoint> scaling;
+  for (unsigned threads : thread_counts) {
+    std::cerr << "timing engine with " << threads << " thread(s)...\n";
+    scaling.push_back({threads, time_engine(*standard, reps, threads)});
+    if (scaling.back().timing.result.inferences.size() !=
+        std_timing.result.inferences.size()) {
+      std::cerr << "inference count diverged at threads=" << threads << "\n";
+      return 1;
+    }
+  }
 
   if (!dump_path.empty()) {
     std::ofstream dump(dump_path);
@@ -114,6 +149,18 @@ int main(int argc, char** argv) {
     out << "  \"standard_speedup\": " << baseline_ms / std_timing.best_ms
         << ",\n";
   }
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"thread_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingPoint& point = scaling[i];
+    out << "    {\"threads\": " << point.threads << ", \"best_ms\": "
+        << point.timing.best_ms << ", \"mean_ms\": " << point.timing.mean_ms
+        << ", \"speedup_vs_1\": "
+        << std_timing.best_ms / point.timing.best_ms << "}"
+        << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"standard_inferences\": " << std_timing.result.inferences.size()
       << ",\n"
       << "  \"standard_iterations\": " << std_timing.result.stats.iterations

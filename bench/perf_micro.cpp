@@ -79,6 +79,23 @@ void BM_MapItEngineStandard(benchmark::State& state) {
 }
 BENCHMARK(BM_MapItEngineStandard)->Unit(benchmark::kMillisecond);
 
+// Thread-parallel full sweeps (Arg = worker count). Output is byte-identical
+// to BM_MapItEngineStandard for every arg; only wall time should move.
+void BM_MapItEngineParallel(benchmark::State& state) {
+  const auto& experiment = shared_experiment();
+  core::Options options;
+  options.f = 0.5;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment.run_mapit(options));
+  }
+}
+BENCHMARK(BM_MapItEngineParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ClaimsExtraction(benchmark::State& state) {
   const auto& experiment = shared_experiment();
   core::Options options;

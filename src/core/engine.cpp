@@ -40,6 +40,13 @@ Engine::Engine(const graph::InterfaceGraph& graph, const bgp::Ip2As& ip2as,
   view_group_.resize(halves);
   touched_.assign(halves, 0);
   dirty_flag_.assign(halves, 0);
+
+  const unsigned threads = parallel::resolve_threads(options_.threads);
+  if (threads > 1) pool_ = std::make_unique<parallel::ThreadPool>(threads);
+  const std::size_t workers = pool_ ? pool_->size() : 1;
+  vote_scratch_.resize(workers);
+  direct_buffers_.resize(workers);
+  demote_buffers_.resize(workers);
 }
 
 // ---------------------------------------------------------------------------
@@ -75,20 +82,26 @@ asdata::Asn Engine::effective_as(HalfId id) const {
 }
 
 void Engine::freeze_view() {
-  const std::size_t halves = halves_.size();
-  for (std::size_t id = 0; id < halves; ++id) {
-    const HalfState& st = halves_[id];
-    if (st.direct_override) {
-      view_[id] = *st.direct_override;
-      view_group_[id] = group_key(*st.direct_override);
-    } else if (st.indirect_override) {
-      view_[id] = *st.indirect_override;
-      view_group_[id] = group_key(*st.indirect_override);
-    } else {
-      view_[id] = base_[id];
-      view_group_[id] = base_group_[id];
-    }
-  }
+  // Pure per-id transcription of current state into the frozen slabs;
+  // workers own disjoint ranges, so the parallel fill is race-free and
+  // produces the same bytes as the sequential loop.
+  parallel::for_ranges(
+      pool_.get(), halves_.size(),
+      [this](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t id = begin; id < end; ++id) {
+          const HalfState& st = halves_[id];
+          if (st.direct_override) {
+            view_[id] = *st.direct_override;
+            view_group_[id] = group_key(*st.direct_override);
+          } else if (st.indirect_override) {
+            view_[id] = *st.indirect_override;
+            view_group_[id] = group_key(*st.indirect_override);
+          } else {
+            view_[id] = base_[id];
+            view_group_[id] = base_group_[id];
+          }
+        }
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -100,12 +113,15 @@ std::uint64_t Engine::group_key(asdata::Asn asn) const {
                                    : (std::uint64_t{1} << 62) | asn;
 }
 
-Engine::MajorityResult Engine::count_majority(HalfId id) const {
+Engine::MajorityResult Engine::count_majority(
+    HalfId id, std::vector<VoteGroup>& scratch) const {
   // Group neighbour votes by sibling organization; remember per-ASN counts
   // so the representative is the most frequent sibling (paper §4.4.1).
   // Votes are flat slab reads: the neighbour span already names the
   // opposite-direction half ids, and the frozen view carries both the
-  // mapping and its group key.
+  // mapping and its group key. All shared state read here is frozen for
+  // the pass; the caller supplies its own scratch, so concurrent counts
+  // over disjoint ids never touch the same memory.
   std::size_t live = 0;
   for (HalfId nid : graph_.neighbor_ids(id)) {
     const asdata::Asn asn = view_[nid];
@@ -113,14 +129,14 @@ Engine::MajorityResult Engine::count_majority(HalfId id) const {
     const std::uint64_t key = view_group_[nid];
     VoteGroup* group = nullptr;
     for (std::size_t g = 0; g < live; ++g) {
-      if (vote_groups_[g].key == key) {
-        group = &vote_groups_[g];
+      if (scratch[g].key == key) {
+        group = &scratch[g];
         break;
       }
     }
     if (group == nullptr) {
-      if (live == vote_groups_.size()) vote_groups_.emplace_back();
-      group = &vote_groups_[live++];
+      if (live == scratch.size()) scratch.emplace_back();
+      group = &scratch[live++];
       group->key = key;
       group->count = 0;
       group->members.clear();
@@ -140,7 +156,7 @@ Engine::MajorityResult Engine::count_majority(HalfId id) const {
   MajorityResult best;
   std::size_t runner_up = 0;
   for (std::size_t g = 0; g < live; ++g) {
-    const VoteGroup& group = vote_groups_[g];
+    const VoteGroup& group = scratch[g];
     // Representative: most frequent member ASN, ties to the lowest ASN.
     asdata::Asn representative = asdata::kUnknownAsn;
     std::size_t rep_count = 0;
@@ -257,41 +273,79 @@ void Engine::apply_indirect(HalfId source) {
   });
 }
 
-bool Engine::try_direct_inference(HalfId id) {
+std::optional<Engine::DirectProposal> Engine::evaluate_direct(
+    HalfId id, std::vector<VoteGroup>& scratch) {
   const auto neighbors = graph_.neighbor_ids(id);
-  if (neighbors.size() < 2) return false;  // §4.3's two-address floor
+  if (neighbors.size() < 2) return std::nullopt;  // §4.3's two-address floor
   touched_[id] = 1;
-  HalfState& st = halves_[id];
-  if (st.direct || st.suppressed) return false;
+  const HalfState& st = halves_[id];
+  if (st.direct || st.suppressed) return std::nullopt;
 
-  const MajorityResult majority = count_majority(id);
-  if (!majority.strict) return false;
+  const MajorityResult majority = count_majority(id, scratch);
+  if (!majority.strict) return std::nullopt;
   if (!meets_fraction(majority.count, neighbors.size(), options_.f)) {
-    return false;
+    return std::nullopt;
   }
   // "previous IP2AS(h) != AS_N": the half's own mapping, ignoring any
   // indirect override it carries — an indirect inference must not
   // preclude the direct one (§4.4.2, DESIGN.md §5).
-  const asdata::Asn own = base_[id];
-  if (group_key(majority.asn) == group_key(own)) return false;
+  if (group_key(majority.asn) == group_key(base_[id])) return std::nullopt;
 
-  mutate_mapping(id, [&](HalfState& s) {
-    s.direct = DirectInference{majority.asn, own, false,
-                               static_cast<std::uint32_t>(majority.count),
-                               static_cast<std::uint32_t>(neighbors.size())};
-    s.direct_override = majority.asn;
+  return DirectProposal{id, majority.asn,
+                        static_cast<std::uint32_t>(majority.count),
+                        static_cast<std::uint32_t>(neighbors.size())};
+}
+
+void Engine::commit_direct(const DirectProposal& proposal) {
+  mutate_mapping(proposal.id, [&](HalfState& s) {
+    s.direct = DirectInference{proposal.asn, base_[proposal.id], false,
+                               proposal.votes, proposal.neighbor_count};
+    s.direct_override = proposal.asn;
   });
   ++stats_.direct_made;
-  apply_indirect(id);
+  apply_indirect(proposal.id);
+}
+
+bool Engine::try_direct_inference(HalfId id) {
+  const auto proposal = evaluate_direct(id, vote_scratch_[0]);
+  if (!proposal) return false;
+  commit_direct(*proposal);
   return true;
 }
 
 bool Engine::direct_pass(bool full_sweep) {
   bool changed = false;
   if (full_sweep) {
-    const HalfId limit = static_cast<HalfId>(graph_.record_half_count());
-    for (HalfId id = 0; id < limit; ++id) {
-      changed |= try_direct_inference(id);
+    const std::size_t limit = graph_.record_half_count();
+    if (pool_) {
+      // Evaluation is a pure function of the frozen view and each half's
+      // own pre-pass state, so workers decide disjoint ascending id ranges
+      // concurrently. Mutations happen only in the commit loop below, in
+      // ascending id order (worker ranges are ascending and each buffer is
+      // filled ascending) — the sequential sweep's exact mutation sequence,
+      // so last-writer effects, dirty marks, and stats are all identical.
+      for (auto& buffer : direct_buffers_) buffer.clear();
+      pool_->for_ranges(limit, [this](unsigned worker, std::size_t begin,
+                                      std::size_t end) {
+        auto& scratch = vote_scratch_[worker];
+        auto& buffer = direct_buffers_[worker];
+        for (std::size_t id = begin; id < end; ++id) {
+          if (const auto proposal =
+                  evaluate_direct(static_cast<HalfId>(id), scratch)) {
+            buffer.push_back(*proposal);
+          }
+        }
+      });
+      for (const auto& buffer : direct_buffers_) {
+        for (const DirectProposal& proposal : buffer) {
+          commit_direct(proposal);
+          changed = true;
+        }
+      }
+    } else {
+      for (HalfId id = 0; id < static_cast<HalfId>(limit); ++id) {
+        changed |= try_direct_inference(id);
+      }
     }
   } else {
     // Only halves whose neighbour mappings changed since their last
@@ -420,6 +474,28 @@ void Engine::demote_direct(HalfId id) {
   ++stats_.demoted_in_remove_step;
 }
 
+bool Engine::lost_support(HalfId id, std::vector<VoteGroup>& scratch) const {
+  const HalfState& st = halves_[id];
+  if (!st.direct) return false;
+  const DirectInference& inference = *st.direct;
+  const auto neighbors = graph_.neighbor_ids(id);
+
+  bool supported = false;
+  if (inference.from_stub_heuristic) {
+    // Stub inferences are produced after the main loop; if one is ever
+    // present during a remove step, judge it by its single neighbour.
+    supported = !neighbors.empty();
+  } else if (options_.remove_rule == RemoveRule::kMajority) {
+    supported = 2 * group_count(id, inference.router_as) > neighbors.size();
+  } else {
+    const MajorityResult majority = count_majority(id, scratch);
+    supported = majority.strict &&
+                group_key(majority.asn) == group_key(inference.router_as) &&
+                meets_fraction(majority.count, neighbors.size(), options_.f);
+  }
+  return !supported;
+}
+
 void Engine::remove_step() {
   bool discarded = true;
   bool first_pass = true;
@@ -430,35 +506,37 @@ void Engine::remove_step() {
 
     // Pass 1: demote unsupported direct inferences to indirect, retaining
     // their mapping update. After the first (full) sweep, only halves
-    // whose neighbour mappings changed can lose support.
-    auto evaluate = [&](HalfId id) {
-      HalfState& st = halves_[id];
-      if (!st.direct) return;
-      const DirectInference inference = *st.direct;
-      const auto neighbors = graph_.neighbor_ids(id);
-
-      bool supported = false;
-      if (inference.from_stub_heuristic) {
-        // Stub inferences are produced after the main loop; if one is ever
-        // present during a remove step, judge it by its single neighbour.
-        supported = !neighbors.empty();
-      } else if (options_.remove_rule == RemoveRule::kMajority) {
-        supported =
-            2 * group_count(id, inference.router_as) > neighbors.size();
-      } else {
-        const MajorityResult majority = count_majority(id);
-        supported =
-            majority.strict &&
-            group_key(majority.asn) == group_key(inference.router_as) &&
-            meets_fraction(majority.count, neighbors.size(), options_.f);
-      }
-      if (!supported) demote_direct(id);
-    };
+    // whose neighbour mappings changed can lose support. The support test
+    // reads only the frozen view and the half's own state, so the full
+    // sweep evaluates on all workers and demotes sequentially in ascending
+    // id order — demotion order matters because demote_direct's liveness
+    // check reads the indirect source's (possibly just-demoted) state.
     if (first_pass || !options_.incremental_recount) {
-      const HalfId limit = static_cast<HalfId>(graph_.record_half_count());
-      for (HalfId id = 0; id < limit; ++id) evaluate(id);
+      const std::size_t limit = graph_.record_half_count();
+      if (pool_) {
+        for (auto& buffer : demote_buffers_) buffer.clear();
+        pool_->for_ranges(limit, [this](unsigned worker, std::size_t begin,
+                                        std::size_t end) {
+          auto& scratch = vote_scratch_[worker];
+          auto& buffer = demote_buffers_[worker];
+          for (std::size_t id = begin; id < end; ++id) {
+            if (lost_support(static_cast<HalfId>(id), scratch)) {
+              buffer.push_back(static_cast<HalfId>(id));
+            }
+          }
+        });
+        for (const auto& buffer : demote_buffers_) {
+          for (HalfId id : buffer) demote_direct(id);
+        }
+      } else {
+        for (HalfId id = 0; id < static_cast<HalfId>(limit); ++id) {
+          if (lost_support(id, vote_scratch_[0])) demote_direct(id);
+        }
+      }
     } else {
-      for (HalfId id : work_) evaluate(id);
+      for (HalfId id : work_) {
+        if (lost_support(id, vote_scratch_[0])) demote_direct(id);
+      }
     }
     first_pass = false;
 

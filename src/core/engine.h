@@ -25,9 +25,17 @@
 // the graph's reverse adjacency); the first pass of every step is a full
 // sweep, which keeps inference output identical to a full-recount engine.
 // See DESIGN.md "Dense engine state" for the invariants.
+//
+// Threading: the full-sweep first pass of each add/remove step evaluates
+// candidates over disjoint HalfId ranges on Options::threads workers —
+// counting reads only the frozen view (§4.4.5), so evaluation is pure —
+// and commits the collected proposals sequentially in ascending id order.
+// Output is byte-identical for every thread count; see DESIGN.md
+// "Parallel sweeps".
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -39,6 +47,7 @@
 #include "bgp/ip2as.h"
 #include "core/inference.h"
 #include "graph/interface_graph.h"
+#include "parallel/thread_pool.h"
 
 namespace mapit::core {
 
@@ -76,6 +85,14 @@ struct Options {
   /// Safety bound on outer add/remove iterations (the paper's runs
   /// converge in 3).
   int max_iterations = 64;
+
+  /// Worker threads for the full-sweep passes. 0 = one per hardware
+  /// thread (the default); 1 = the exact single-threaded code path.
+  /// Inference output is byte-identical for every value — the frozen-view
+  /// counting of §4.4.5 has no cross-half data dependencies within a pass,
+  /// and proposals are committed in ascending id order regardless of which
+  /// worker produced them.
+  unsigned threads = 0;
 };
 
 /// A labelled copy of the confident inference list at one pipeline stage.
@@ -170,7 +187,17 @@ class Engine {
     std::size_t count = 0;                  // group's vote count
     bool strict = false;                    // strictly more than every other
   };
-  [[nodiscard]] MajorityResult count_majority(HalfId id) const;
+  /// Vote-group scratch for count_majority: groups in first-seen order,
+  /// entries reused across calls to avoid reallocating the member lists.
+  /// Each worker owns one instance (vote_scratch_), so counting can run
+  /// concurrently over disjoint id ranges.
+  struct VoteGroup {
+    std::uint64_t key = 0;
+    std::size_t count = 0;
+    std::vector<std::pair<asdata::Asn, std::size_t>> members;
+  };
+  [[nodiscard]] MajorityResult count_majority(
+      HalfId id, std::vector<VoteGroup>& scratch) const;
   [[nodiscard]] std::size_t group_count(HalfId id, asdata::Asn target) const;
   [[nodiscard]] std::uint64_t group_key(asdata::Asn asn) const;
 
@@ -188,6 +215,30 @@ class Engine {
   void take_work();
 
   // --- algorithm steps -------------------------------------------------
+  /// A direct inference the add-step evaluation decided to make. Evaluation
+  /// (pure: frozen view + the half's own pre-pass state) is separated from
+  /// the commit (mutating) so full sweeps can evaluate on many workers and
+  /// commit in ascending id order — the sequential sweep's exact mutation
+  /// sequence.
+  struct DirectProposal {
+    HalfId id = graph::kInvalidHalfId;
+    asdata::Asn asn = asdata::kUnknownAsn;  // the dominating AS_N
+    std::uint32_t votes = 0;
+    std::uint32_t neighbor_count = 0;
+  };
+  /// Decides whether `id` earns a direct inference against the frozen view.
+  /// Reads only shared immutable state plus halves_[id]; writes only
+  /// touched_[id] — safe to call concurrently over disjoint id ranges.
+  [[nodiscard]] std::optional<DirectProposal> evaluate_direct(
+      HalfId id, std::vector<VoteGroup>& scratch);
+  /// Applies a proposal: records the inference, updates the mapping
+  /// overrides, propagates the indirect inference (§4.4.2), marks
+  /// dependents dirty, and bumps the stats.
+  void commit_direct(const DirectProposal& proposal);
+  /// True when the remove step must demote `id`'s direct inference (§4.5).
+  /// Pure: frozen view + halves_[id] only.
+  [[nodiscard]] bool lost_support(HalfId id,
+                                  std::vector<VoteGroup>& scratch) const;
   bool direct_pass(bool full_sweep);
   bool try_direct_inference(HalfId id);
   void apply_indirect(HalfId source);
@@ -231,15 +282,14 @@ class Engine {
   std::vector<HalfId> dirty_;              ///< pending recount candidates
   std::vector<HalfId> work_;               ///< current pass's work list
 
-  /// Scratch for count_majority/group_count: vote groups in first-seen
-  /// order. Entries are reused across calls to avoid reallocating the
-  /// member lists (vote_group_count_ is the live prefix).
-  struct VoteGroup {
-    std::uint64_t key = 0;
-    std::size_t count = 0;
-    std::vector<std::pair<asdata::Asn, std::size_t>> members;
-  };
-  mutable std::vector<VoteGroup> vote_groups_;
+  /// Worker pool for the full-sweep passes; null when the resolved thread
+  /// count is 1 (everything then runs inline on the caller).
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  /// Per-worker scratch and result buffers, one slot per pool worker
+  /// (exactly one when sequential). Sequential code paths use slot 0.
+  std::vector<std::vector<VoteGroup>> vote_scratch_;
+  std::vector<std::vector<DirectProposal>> direct_buffers_;
+  std::vector<std::vector<HalfId>> demote_buffers_;
 
   EngineStats stats_;
   std::vector<Snapshot> snapshots_;

@@ -1,10 +1,12 @@
 #include "graph/interface_graph.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "net/error.h"
 #include "net/special_purpose.h"
+#include "parallel/thread_pool.h"
 
 namespace mapit::graph {
 
@@ -24,7 +26,8 @@ void sort_unique(std::vector<net::Ipv4Address>& addresses) {
 }  // namespace
 
 InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
-                               std::span<const net::Ipv4Address> all_addresses)
+                               std::span<const net::Ipv4Address> all_addresses,
+                               unsigned threads)
     : other_sides_(all_addresses) {
   // Gather raw adjacency lists keyed by address.
   std::unordered_map<net::Ipv4Address, std::size_t> index;
@@ -67,14 +70,20 @@ InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
     index_.emplace(records_[i].address, i);
   }
 
-  build_dense_layout();
+  build_dense_layout(threads);
 }
 
-void InterfaceGraph::build_dense_layout() {
+void InterfaceGraph::build_dense_layout(unsigned threads) {
   const std::size_t n = records_.size();
 
+  const unsigned resolved = parallel::resolve_threads(threads);
+  std::optional<parallel::ThreadPool> pool_storage;
+  if (resolved > 1 && n > 1) pool_storage.emplace(resolved);
+  parallel::ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+
   // Phantom addresses: other sides of records that are not records
-  // themselves. Discovered in record (address) order, so ids are stable.
+  // themselves. Discovered in record (address) order, so ids are stable
+  // (sequential: insertion order defines the ids).
   for (const InterfaceRecord& record : records_) {
     const net::Ipv4Address os = record.other_side.address;
     if (index_.contains(os) || phantom_index_.contains(os)) continue;
@@ -86,7 +95,10 @@ void InterfaceGraph::build_dense_layout() {
 
   // Neighbour half-ID spans. Only record halves have neighbours; a
   // neighbour address always has a record of its own (both endpoints of
-  // every adjacency were materialized during construction).
+  // every adjacency were materialized during construction). The offset
+  // table is a sequential prefix sum; the span fill is per-record
+  // independent (every record's write positions come straight off the
+  // offsets), so workers fill disjoint ascending chunks.
   neighbor_offsets_.assign(halves + 1, 0);
   std::size_t total = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -99,46 +111,98 @@ void InterfaceGraph::build_dense_layout() {
     neighbor_offsets_[id] = static_cast<std::uint32_t>(total);
   }
   neighbor_ids_.resize(total);
-  std::size_t cursor = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (Direction d : {Direction::kForward, Direction::kBackward}) {
-      const std::uint32_t bit = direction_bit(opposite(d));
-      for (net::Ipv4Address neighbor : records_[i].neighbors(d)) {
-        const auto it = index_.find(neighbor);
-        MAPIT_ENSURE(it != index_.end(),
-                     "interface graph neighbour without a record");
-        neighbor_ids_[cursor++] =
-            static_cast<HalfId>(2 * it->second + bit);
+  parallel::for_ranges(pool, n, [&](unsigned, std::size_t begin,
+                                    std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::size_t cursor = neighbor_offsets_[2 * i];
+      for (Direction d : {Direction::kForward, Direction::kBackward}) {
+        const std::uint32_t bit = direction_bit(opposite(d));
+        for (net::Ipv4Address neighbor : records_[i].neighbors(d)) {
+          const auto it = index_.find(neighbor);
+          MAPIT_ENSURE(it != index_.end(),
+                       "interface graph neighbour without a record");
+          neighbor_ids_[cursor++] =
+              static_cast<HalfId>(2 * it->second + bit);
+        }
       }
     }
-  }
+  });
 
   // Reverse adjacency via counting sort: reverse_ids_ holds, for each half
   // g, the halves h whose neighbour span contains g (sorted: sources are
   // visited in ascending id order).
-  reverse_offsets_.assign(halves + 1, 0);
-  for (HalfId target : neighbor_ids_) ++reverse_offsets_[target + 1];
-  for (std::size_t id = 1; id <= halves; ++id) {
-    reverse_offsets_[id] += reverse_offsets_[id - 1];
-  }
   reverse_ids_.resize(neighbor_ids_.size());
-  std::vector<std::uint32_t> fill(reverse_offsets_.begin(),
-                                  reverse_offsets_.end() - 1);
-  for (std::size_t h = 0; h < halves; ++h) {
-    for (std::size_t k = neighbor_offsets_[h]; k < neighbor_offsets_[h + 1];
-         ++k) {
-      reverse_ids_[fill[neighbor_ids_[k]]++] = static_cast<HalfId>(h);
+  reverse_offsets_.assign(halves + 1, 0);
+  if (pool != nullptr) {
+    // Parallel counting sort in two passes over disjoint ascending source
+    // ranges. Workers first histogram their own range; the sequential
+    // combine then gives worker w its start cursor per target —
+    // reverse_offsets_[t] plus everything lower-ranked workers scatter
+    // there — so the scatter pass is race-free and keeps each target span
+    // in ascending source order, byte-identical to the sequential sort.
+    const unsigned workers = pool->size();
+    std::vector<std::vector<std::uint32_t>> cursors(
+        workers, std::vector<std::uint32_t>(halves, 0));
+    pool->for_ranges(halves, [&](unsigned worker, std::size_t begin,
+                                 std::size_t end) {
+      auto& counts = cursors[worker];
+      for (std::size_t k = neighbor_offsets_[begin];
+           k < neighbor_offsets_[end]; ++k) {
+        ++counts[neighbor_ids_[k]];
+      }
+    });
+    for (std::size_t t = 0; t < halves; ++t) {
+      std::uint32_t sum = 0;
+      for (unsigned w = 0; w < workers; ++w) sum += cursors[w][t];
+      reverse_offsets_[t + 1] = sum;
+    }
+    for (std::size_t id = 1; id <= halves; ++id) {
+      reverse_offsets_[id] += reverse_offsets_[id - 1];
+    }
+    for (std::size_t t = 0; t < halves; ++t) {
+      std::uint32_t cursor = reverse_offsets_[t];
+      for (unsigned w = 0; w < workers; ++w) {
+        const std::uint32_t count = cursors[w][t];
+        cursors[w][t] = cursor;
+        cursor += count;
+      }
+    }
+    pool->for_ranges(halves, [&](unsigned worker, std::size_t begin,
+                                 std::size_t end) {
+      auto& fill = cursors[worker];
+      for (std::size_t h = begin; h < end; ++h) {
+        for (std::size_t k = neighbor_offsets_[h];
+             k < neighbor_offsets_[h + 1]; ++k) {
+          reverse_ids_[fill[neighbor_ids_[k]]++] = static_cast<HalfId>(h);
+        }
+      }
+    });
+  } else {
+    for (HalfId target : neighbor_ids_) ++reverse_offsets_[target + 1];
+    for (std::size_t id = 1; id <= halves; ++id) {
+      reverse_offsets_[id] += reverse_offsets_[id - 1];
+    }
+    std::vector<std::uint32_t> fill(reverse_offsets_.begin(),
+                                    reverse_offsets_.end() - 1);
+    for (std::size_t h = 0; h < halves; ++h) {
+      for (std::size_t k = neighbor_offsets_[h]; k < neighbor_offsets_[h + 1];
+           ++k) {
+        reverse_ids_[fill[neighbor_ids_[k]]++] = static_cast<HalfId>(h);
+      }
     }
   }
 
   // Other-side ids. Record halves always resolve (their other-side address
   // is a record or a phantom by construction); a phantom's own other side
-  // may fall outside the universe.
+  // may fall outside the universe. Per-id independent lookups.
   other_ids_.assign(halves, kInvalidHalfId);
-  for (std::size_t id = 0; id < halves; ++id) {
-    const InterfaceHalf half = half_at(static_cast<HalfId>(id));
-    other_ids_[id] = half_id(other_side_half(half));
-  }
+  parallel::for_ranges(pool, halves, [&](unsigned, std::size_t begin,
+                                         std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      const InterfaceHalf half = half_at(static_cast<HalfId>(id));
+      other_ids_[id] = half_id(other_side_half(half));
+    }
+  });
 }
 
 HalfId InterfaceGraph::half_id(const InterfaceHalf& half) const {

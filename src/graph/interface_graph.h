@@ -71,8 +71,16 @@ class InterfaceGraph {
   /// address population of the *unsanitized* corpus (the §4.2 heuristic
   /// deliberately uses discarded traces too); pass the sanitized corpus's
   /// own addresses when the original corpus is unavailable.
+  ///
+  /// `threads` workers build the dense layout (neighbour-id spans, reverse
+  /// adjacency, other-side ids) over disjoint index ranges (0 = one per
+  /// hardware thread, 1 = fully sequential). The layout is byte-identical
+  /// for every thread count: span contents are position-addressed from the
+  /// offset table, and the reverse adjacency keeps its ascending-source
+  /// order via per-worker histogram offsets.
   InterfaceGraph(const trace::TraceCorpus& sanitized,
-                 std::span<const net::Ipv4Address> all_addresses);
+                 std::span<const net::Ipv4Address> all_addresses,
+                 unsigned threads = 1);
 
   /// The record for `address`, or nullptr when the address never appeared
   /// adjacent to another address.
@@ -139,7 +147,7 @@ class InterfaceGraph {
   [[nodiscard]] HalfId other_side_id(HalfId id) const { return other_ids_[id]; }
 
  private:
-  void build_dense_layout();
+  void build_dense_layout(unsigned threads);
 
   std::vector<InterfaceRecord> records_;                       // sorted by address
   std::unordered_map<net::Ipv4Address, std::size_t> index_;

@@ -46,7 +46,13 @@ struct SanitizeResult {
 /// TTL-0 hop removal happens *before* the cycle check, mirroring the paper's
 /// step order ("After sanitizing a trace, we attempt to identify if load
 /// balancing or a transient routing change occurred").
-[[nodiscard]] SanitizeResult sanitize(const TraceCorpus& corpus);
+///
+/// Each trace is sanitized independently, so `threads` workers process
+/// trace chunks concurrently (0 = one per hardware thread, 1 = the
+/// sequential path). Retained traces keep corpus order and per-worker hop
+/// counters are summed, so the result is identical for every thread count.
+[[nodiscard]] SanitizeResult sanitize(const TraceCorpus& corpus,
+                                      unsigned threads = 1);
 
 /// Removes quoted-TTL-0 hops from one trace, preserving the other hops.
 [[nodiscard]] Trace strip_ttl0_hops(const Trace& trace,

@@ -33,6 +33,12 @@ void write_corpus(std::ostream& out, const TraceCorpus& corpus);
 
 /// Reads a corpus written by write_corpus (or hand-authored in the same
 /// format). Throws mapit::ParseError naming the offending line.
-[[nodiscard]] TraceCorpus read_corpus(std::istream& in);
+///
+/// `threads` workers parse line chunks concurrently (0 = one per hardware
+/// thread, 1 = the sequential reader). The result is byte-identical for
+/// every thread count: traces keep file order, and the error reported for
+/// a malformed corpus is the one the sequential reader would hit first
+/// (workers own ascending line ranges and stop at their first failure).
+[[nodiscard]] TraceCorpus read_corpus(std::istream& in, unsigned threads = 1);
 
 }  // namespace mapit::trace

@@ -1,0 +1,185 @@
+// ThreadPool contract tests: static partitioning (ascending, disjoint,
+// exhaustive, including empty and single-element ranges), the inline
+// single-worker path, exception propagation (lowest worker wins), and
+// nested-use rejection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace mapit::parallel {
+namespace {
+
+TEST(ThreadPoolPartition, CoversRangeAscendingDisjoint) {
+  for (std::size_t count : {0u, 1u, 2u, 7u, 8u, 9u, 1000u}) {
+    for (unsigned parts : {1u, 2u, 3u, 8u, 16u}) {
+      std::size_t expected_begin = 0;
+      for (unsigned part = 0; part < parts; ++part) {
+        const auto [begin, end] = ThreadPool::partition(count, parts, part);
+        EXPECT_EQ(begin, expected_begin)
+            << "count=" << count << " parts=" << parts << " part=" << part;
+        EXPECT_LE(begin, end);
+        // Near-equal split: no partition is more than one element larger
+        // than another.
+        EXPECT_LE(end - begin, count / parts + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(ThreadPoolPartition, MorePartsThanElementsYieldsEmptyTails) {
+  // 3 elements over 8 parts: parts 0-2 get one element each, 3-7 nothing.
+  for (unsigned part = 0; part < 8; ++part) {
+    const auto [begin, end] = ThreadPool::partition(3, 8, part);
+    EXPECT_EQ(end - begin, part < 3 ? 1u : 0u);
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadsNeverZero) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> seen(10, 0);
+  pool.for_ranges(seen.size(), [&](unsigned worker, std::size_t begin,
+                                   std::size_t end) {
+    EXPECT_EQ(worker, 0u);
+    for (std::size_t i = begin; i < end; ++i) ++seen[i];
+  });
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexProcessedExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 1237;  // not a multiple of the pool size
+  std::vector<std::atomic<int>> seen(kCount);
+  pool.for_ranges(kCount, [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++seen[i];
+  });
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesCallback) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_ranges(0, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleElementUsesOneWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_ranges(1, [&](unsigned worker, std::size_t begin,
+                         std::size_t end) {
+    EXPECT_EQ(worker, 0u);  // element 0 belongs to the leading partition
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.for_ranges(100, [&](unsigned, std::size_t begin, std::size_t end) {
+      total += end - begin;
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 100u);
+}
+
+TEST(ThreadPoolTest, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_ranges(100,
+                      [](unsigned, std::size_t begin, std::size_t) {
+                        if (begin >= 25) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // The pool stays usable after a throwing dispatch.
+  std::atomic<int> calls{0};
+  pool.for_ranges(4, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, LowestWorkerExceptionWins) {
+  // Every worker throws; ascending ranges mean worker 0's exception is the
+  // one a sequential loop would have hit first.
+  ThreadPool pool(4);
+  try {
+    pool.for_ranges(4, [](unsigned worker, std::size_t, std::size_t) {
+      throw std::runtime_error("worker " + std::to_string(worker));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "worker 0");
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.for_ranges(
+                   5, [](unsigned, std::size_t, std::size_t) {
+                     throw std::invalid_argument("inline");
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, RejectsNestedUse) {
+  ThreadPool pool(2);
+  bool inner_threw = false;
+  EXPECT_THROW(
+      pool.for_ranges(2,
+                      [&](unsigned worker, std::size_t, std::size_t) {
+                        if (worker != 0) return;
+                        try {
+                          pool.for_ranges(
+                              2, [](unsigned, std::size_t, std::size_t) {});
+                        } catch (const std::logic_error&) {
+                          inner_threw = true;
+                          throw;
+                        }
+                      }),
+      std::logic_error);
+  EXPECT_TRUE(inner_threw);
+  // Still usable afterwards.
+  std::atomic<int> calls{0};
+  pool.for_ranges(2, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, FreeFunctionFallsBackToInline) {
+  // Null pool: runs inline on the caller with the full range.
+  std::vector<std::size_t> ranges;
+  for_ranges(nullptr, 7, [&](unsigned worker, std::size_t begin,
+                             std::size_t end) {
+    EXPECT_EQ(worker, 0u);
+    ranges.push_back(begin);
+    ranges.push_back(end);
+  });
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], 0u);
+  EXPECT_EQ(ranges[1], 7u);
+
+  // Zero count: never invoked, pool or not.
+  bool called = false;
+  for_ranges(nullptr, 0,
+             [&](unsigned, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace mapit::parallel

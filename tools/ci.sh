@@ -1,23 +1,83 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, run the full test suite, then smoke the
-# micro-benchmarks (minimal measurement time — this checks the bench binaries
-# run, not their numbers). Run from anywhere; operates on the repo root.
+# Single CI entry point: configure, build, test, bench smoke. Run from
+# anywhere; operates on the repo root. Behaviour is driven by env vars so
+# every job in .github/workflows/ci.yml calls this same script:
+#
+#   BUILD_TYPE    CMake build type (default RelWithDebInfo)
+#   SANITIZE      MAPIT_SANITIZE value, e.g. "address;undefined" or "thread"
+#                 (default: none)
+#   WERROR        MAPIT_WERROR, ON or OFF (default OFF)
+#   CTEST_LABELS  regex for ctest -L, e.g. "unit|integration" to skip the
+#                 slow standard-scale tests in sanitizer jobs (default: all)
+#   BENCH_SMOKE   1 = run the bench smoke + inference-count tripwire,
+#                 0 = skip, e.g. under sanitizers (default 1)
+#   BUILD_DIR     override the derived build directory
+#   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+SANITIZE="${SANITIZE:-}"
+WERROR="${WERROR:-OFF}"
+CTEST_LABELS="${CTEST_LABELS:-}"
+BENCH_SMOKE="${BENCH_SMOKE:-1}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== configure =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+# One build dir per (type, sanitizer) combination so matrix jobs and local
+# runs never poison each other's caches.
+if [[ -z "${BUILD_DIR:-}" ]]; then
+  suffix="$(echo "${BUILD_TYPE}" | tr '[:upper:]' '[:lower:]')"
+  if [[ -n "${SANITIZE}" ]]; then
+    suffix+="-$(echo "${SANITIZE}" | tr ';' '-')"
+  fi
+  BUILD_DIR="${REPO_ROOT}/build-${suffix}"
+fi
+
+CMAKE_ARGS=(
+  -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+  -DMAPIT_WERROR="${WERROR}"
+  -DMAPIT_SANITIZE="${SANITIZE}"
+)
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+echo "== configure (${BUILD_TYPE}${SANITIZE:+, sanitize=${SANITIZE}}) =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${CMAKE_ARGS[@]}"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "== test =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+echo "== test${CTEST_LABELS:+ (-L '${CTEST_LABELS}')} =="
+CTEST_ARGS=(--test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}")
+if [[ -n "${CTEST_LABELS}" ]]; then
+  CTEST_ARGS+=(-L "${CTEST_LABELS}")
+fi
+ctest "${CTEST_ARGS[@]}"
 
-echo "== bench smoke =="
-"${BUILD_DIR}/bench/perf_micro" --benchmark_min_time=0.01
+if [[ "${BENCH_SMOKE}" == "1" ]]; then
+  echo "== bench smoke =="
+  # Minimal measurement time: checks the bench binaries run, not their
+  # numbers.
+  "${BUILD_DIR}/bench/perf_micro" --benchmark_min_time=0.01
+
+  echo "== inference-count tripwire =="
+  # perf_engine_report re-runs the standard experiment; its inference count
+  # must match the committed BENCH_engine.json. A drift means the engine's
+  # output changed — that must be a deliberate, reviewed update of the
+  # committed report, never a side effect.
+  report="${BUILD_DIR}/bench_smoke_report.json"
+  "${BUILD_DIR}/bench/perf_engine_report" --reps 1 --threads 1,2 \
+    --out "${report}"
+  python3 - "${report}" "${REPO_ROOT}/BENCH_engine.json" <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+got, want = fresh["standard_inferences"], committed["standard_inferences"]
+if got != want:
+    sys.exit(f"standard_inferences drifted: got {got}, committed {want}")
+print(f"standard_inferences == {want}: ok")
+EOF
+fi
 
 echo "CI OK"

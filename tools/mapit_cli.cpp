@@ -43,9 +43,12 @@ using namespace mapit;
       "      --output FILE          confident inferences (default stdout)\n"
       "      --uncertain FILE       uncertain inferences\n"
       "      --explain ADDRESS      print the evidence trail for one address\n"
+      "      --threads N            worker threads (0 = one per core, default;\n"
+      "                             1 = single-threaded; output is identical\n"
+      "                             for every value)\n"
       "  mapit eval --inferences FILE --truth FILE [--target ASN]\n"
       "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
-      "  mapit stats --traces FILE\n"
+      "  mapit stats --traces FILE [--threads N]\n"
       "  mapit simulate --out DIR [--seed N] [--scale small|standard]\n"
       "  mapit help\n";
   std::exit(exit_code);
@@ -91,6 +94,26 @@ class Args {
   std::unordered_map<std::size_t, bool> used_;
 };
 
+unsigned parse_threads(Args& args) {
+  unsigned threads = 0;  // 0 = one worker per hardware thread
+  if (const auto value = args.value("--threads")) {
+    std::size_t pos = 0;
+    unsigned long parsed = 0;
+    try {
+      parsed = std::stoul(*value, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != value->size() || parsed > 1024) {
+      std::cerr << "--threads expects an integer in [0, 1024], got '" << *value
+                << "'\n";
+      std::exit(2);
+    }
+    threads = static_cast<unsigned>(parsed);
+  }
+  return threads;
+}
+
 std::ifstream open_or_die(const std::string& path) {
   std::ifstream stream(path);
   if (!stream) {
@@ -122,6 +145,7 @@ int cmd_run(Args& args) {
   }
   options.stub_heuristic = !args.flag("--no-stub");
   options.sibling_grouping = !args.flag("--no-siblings");
+  options.threads = parse_threads(args);
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
@@ -131,7 +155,8 @@ int cmd_run(Args& args) {
   args.reject_unknown();
 
   auto traces_stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream);
+  const trace::TraceCorpus corpus =
+      trace::read_corpus(traces_stream, options.threads);
   auto rib_stream = open_or_die(*rib_path);
   const bgp::Rib rib = bgp::Rib::read(rib_stream);
 
@@ -151,13 +176,14 @@ int cmd_run(Args& args) {
     ixps = asdata::IxpRegistry::read(stream);
   }
 
-  const auto sanitized = trace::sanitize(corpus);
+  const auto sanitized = trace::sanitize(corpus, options.threads);
   std::cerr << "sanitized " << corpus.size() << " traces ("
             << sanitized.stats.discarded_traces << " discarded, "
             << sanitized.stats.removed_ttl0_hops << " TTL=0 hops removed)\n";
 
   const auto all_addresses = corpus.distinct_addresses();
-  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses,
+                                    options.threads);
   const bgp::Ip2As ip2as(rib, net::PrefixTrie<asdata::Asn>{}, &ixps);
   std::cerr << "interface graph: " << graph.size() << " interfaces\n";
 
@@ -195,13 +221,14 @@ int cmd_paths(Args& args) {
   }
   std::size_t limit = 20;
   if (const auto l = args.value("--limit")) limit = std::stoul(*l);
+  const unsigned threads = parse_threads(args);
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
   args.reject_unknown();
 
   auto traces_stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream);
+  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream, threads);
   auto rib_stream = open_or_die(*rib_path);
   const bgp::Rib rib = bgp::Rib::read(rib_stream);
   asdata::AsRelationships rels;
@@ -220,12 +247,14 @@ int cmd_paths(Args& args) {
     ixps = asdata::IxpRegistry::read(stream);
   }
 
-  const auto sanitized = trace::sanitize(corpus);
+  const auto sanitized = trace::sanitize(corpus, threads);
   const auto all_addresses = corpus.distinct_addresses();
-  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses, threads);
   const bgp::Ip2As ip2as(rib, net::PrefixTrie<asdata::Asn>{}, &ixps);
+  core::Options paths_options;
+  paths_options.threads = threads;
   const core::Result result =
-      core::run_mapit(graph, ip2as, orgs, rels, core::Options{});
+      core::run_mapit(graph, ip2as, orgs, rels, paths_options);
   const core::PathAnnotator annotator(result, ip2as);
 
   auto print_path = [](const char* label,
@@ -311,12 +340,13 @@ int cmd_stats(Args& args) {
     std::cerr << "stats: --traces is required\n";
     usage(2);
   }
+  const unsigned threads = parse_threads(args);
   args.reject_unknown();
   auto stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus = trace::read_corpus(stream);
-  const auto sanitized = trace::sanitize(corpus);
+  const trace::TraceCorpus corpus = trace::read_corpus(stream, threads);
+  const auto sanitized = trace::sanitize(corpus, threads);
   const auto all_addresses = corpus.distinct_addresses();
-  const graph::InterfaceGraph graph(sanitized.clean, all_addresses);
+  const graph::InterfaceGraph graph(sanitized.clean, all_addresses, threads);
   const graph::GraphStats gs = graph.stats();
 
   std::cout << "traces                : " << corpus.size() << "\n"
