@@ -39,4 +39,27 @@ asdata::Asn Ip2As::origin(net::Ipv4Address address) const {
   return lookup(address).asn;
 }
 
+namespace {
+
+std::vector<std::pair<net::Prefix, asdata::Asn>> flatten(
+    const net::PrefixTrie<asdata::Asn>& trie) {
+  std::vector<std::pair<net::Prefix, asdata::Asn>> out;
+  out.reserve(trie.size());
+  trie.for_each([&](const net::Prefix& prefix, const asdata::Asn& asn) {
+    out.emplace_back(prefix, asn);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<net::Prefix, asdata::Asn>> Ip2As::bgp_entries() const {
+  return flatten(bgp_);
+}
+
+std::vector<std::pair<net::Prefix, asdata::Asn>> Ip2As::fallback_entries()
+    const {
+  return flatten(fallback_);
+}
+
 }  // namespace mapit::bgp

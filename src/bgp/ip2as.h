@@ -10,6 +10,8 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "asdata/asn.h"
 #include "asdata/ixp.h"
@@ -87,6 +89,15 @@ class Ip2As {
   [[nodiscard]] std::size_t fallback_prefix_count() const {
     return fallback_.size();
   }
+
+  /// Flattened (prefix, origin) contents of the consolidated BGP layer in
+  /// lexicographic prefix order — the snapshot writer serializes this into
+  /// the flat binary-search table the query engine LPMs over.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, asdata::Asn>> bgp_entries()
+      const;
+  /// Same for the Team-Cymru-style fallback layer.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, asdata::Asn>>
+  fallback_entries() const;
 
  private:
   net::PrefixTrie<asdata::Asn> bgp_;

@@ -73,6 +73,9 @@ std::vector<Inference> read_inferences(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Accept files that passed through Windows tooling (CRLF endings) or
+    // that gained trailing blank lines in transit.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> fields = split(line, '|');
     if (fields.size() != 6) {

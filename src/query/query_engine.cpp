@@ -1,0 +1,299 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "core/inference.h"
+
+namespace mapit::query {
+
+namespace {
+
+using store::InferenceRecord;
+using store::LinkRecord;
+using store::MappingRecord;
+using store::PrefixRecord;
+
+[[nodiscard]] std::uint64_t lengths_mask(
+    std::span<const PrefixRecord> prefixes) {
+  std::uint64_t mask = 0;
+  for (const PrefixRecord& record : prefixes) {
+    mask |= std::uint64_t{1} << record.length;
+  }
+  return mask;
+}
+
+[[nodiscard]] std::uint64_t half_key(std::uint32_t address,
+                                     std::uint8_t direction) {
+  return (std::uint64_t{address} << 1) | direction;
+}
+
+/// Splits a query line into whitespace-separated tokens (at most 4 — more
+/// than any command takes, so garbage tails are detected, not truncated).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size() && tokens.size() < 4) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size()) break;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    tokens.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+[[nodiscard]] std::optional<graph::Direction> parse_direction(
+    std::string_view token) {
+  if (token == "f") return graph::Direction::kForward;
+  if (token == "b") return graph::Direction::kBackward;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<asdata::Asn> parse_asn(std::string_view token) {
+  asdata::Asn value{};
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      token.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+[[nodiscard]] const char* kind_name(std::uint8_t kind) {
+  switch (static_cast<core::InferenceKind>(kind)) {
+    case core::InferenceKind::kDirect: return "direct";
+    case core::InferenceKind::kIndirect: return "indirect";
+    case core::InferenceKind::kStub: return "stub";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_inference(const InferenceRecord& r) {
+  std::string out = net::Ipv4Address(r.address).to_string();
+  out += '|';
+  out += r.direction == 0 ? 'f' : 'b';
+  out += '|';
+  out += std::to_string(r.router_as);
+  out += '|';
+  out += std::to_string(r.other_as);
+  out += '|';
+  out += kind_name(r.kind);
+  out += '|';
+  out += std::to_string(r.votes);
+  out += '/';
+  out += std::to_string(r.neighbor_count);
+  return out;
+}
+
+QueryEngine::QueryEngine(const store::SnapshotReader& reader)
+    : reader_(reader),
+      bgp_lengths_(lengths_mask(reader.bgp_prefixes())),
+      fallback_lengths_(lengths_mask(reader.fallback_prefixes())) {}
+
+const InferenceRecord* QueryEngine::lookup(net::Ipv4Address address,
+                                           graph::Direction direction) const {
+  const auto inferences = reader_.inferences();
+  const std::uint64_t key = half_key(
+      address.value(),
+      direction == graph::Direction::kForward ? std::uint8_t{0} : std::uint8_t{1});
+  const auto it = std::lower_bound(
+      inferences.begin(), inferences.end(), key,
+      [](const InferenceRecord& record, std::uint64_t want) {
+        return half_key(record.address, record.direction) < want;
+      });
+  if (it == inferences.end() ||
+      half_key(it->address, it->direction) != key) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::span<const InferenceRecord> QueryEngine::lookup_address(
+    net::Ipv4Address address) const {
+  const auto inferences = reader_.inferences();
+  const auto first = std::lower_bound(
+      inferences.begin(), inferences.end(), address.value(),
+      [](const InferenceRecord& record, std::uint32_t want) {
+        return record.address < want;
+      });
+  auto last = first;
+  while (last != inferences.end() && last->address == address.value()) ++last;
+  return inferences.subspan(
+      static_cast<std::size_t>(first - inferences.begin()),
+      static_cast<std::size_t>(last - first));
+}
+
+std::optional<std::pair<net::Prefix, asdata::Asn>> QueryEngine::longest_match(
+    std::span<const PrefixRecord> prefixes, std::uint64_t lengths_mask,
+    net::Ipv4Address address) {
+  // Most-specific first: the first length whose masked probe is stored is
+  // the trie's deepest match. Each candidate is one binary search over the
+  // (network, length)-sorted span.
+  for (int length = 32; length >= 0; --length) {
+    if ((lengths_mask & (std::uint64_t{1} << length)) == 0) continue;
+    const net::Prefix probe(address, length);
+    const auto it = std::lower_bound(
+        prefixes.begin(), prefixes.end(),
+        std::make_pair(probe.network().value(), length),
+        [](const PrefixRecord& record, const std::pair<std::uint32_t, int>& want) {
+          return std::make_pair(record.network, int{record.length}) < want;
+        });
+    if (it != prefixes.end() && it->network == probe.network().value() &&
+        int{it->length} == length) {
+      return std::make_pair(probe, it->asn);
+    }
+  }
+  return std::nullopt;
+}
+
+QueryEngine::Ip2AsAnswer QueryEngine::ip2as(net::Ipv4Address address) const {
+  Ip2AsAnswer answer;
+  if (auto hit = longest_match(reader_.bgp_prefixes(), bgp_lengths_,
+                               address)) {
+    answer.asn = hit->second;
+    answer.prefix = hit->first;
+    return answer;
+  }
+  if (auto hit = longest_match(reader_.fallback_prefixes(), fallback_lengths_,
+                               address)) {
+    answer.asn = hit->second;
+    answer.prefix = hit->first;
+    answer.from_fallback = true;
+  }
+  return answer;
+}
+
+std::pair<asdata::Asn, bool> QueryEngine::final_mapping(
+    net::Ipv4Address address, graph::Direction direction) const {
+  const auto mappings = reader_.mappings();
+  const std::uint64_t key = half_key(
+      address.value(),
+      direction == graph::Direction::kForward ? std::uint8_t{0} : std::uint8_t{1});
+  const auto it = std::lower_bound(
+      mappings.begin(), mappings.end(), key,
+      [](const MappingRecord& record, std::uint64_t want) {
+        return half_key(record.address, record.direction) < want;
+      });
+  if (it != mappings.end() && half_key(it->address, it->direction) == key) {
+    return {it->asn, true};
+  }
+  return {ip2as(address).asn, false};
+}
+
+std::span<const LinkRecord> QueryEngine::links_between(asdata::Asn a,
+                                                       asdata::Asn b) const {
+  const auto links = reader_.links();
+  const auto pair = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  const auto pair_of = [](const LinkRecord& record) {
+    return std::make_pair(record.as_a, record.as_b);
+  };
+  const auto first = std::lower_bound(
+      links.begin(), links.end(), pair,
+      [&](const LinkRecord& record, const auto& want) {
+        return pair_of(record) < want;
+      });
+  auto last = first;
+  while (last != links.end() && pair_of(*last) == pair) ++last;
+  return links.subspan(static_cast<std::size_t>(first - links.begin()),
+                       static_cast<std::size_t>(last - first));
+}
+
+std::string QueryEngine::answer(std::string_view query) const {
+  const std::vector<std::string_view> tokens = tokenize(query);
+  if (tokens.empty()) return "ERR empty query";
+  const std::string_view command = tokens[0];
+
+  if (command == "lookup") {
+    if (tokens.size() != 3) return "ERR usage: lookup <addr> <f|b>";
+    const auto address = net::Ipv4Address::parse(tokens[1]);
+    const auto direction = parse_direction(tokens[2]);
+    if (!address) return "ERR bad address";
+    if (!direction) return "ERR bad direction (want f or b)";
+    const InferenceRecord* record = lookup(*address, *direction);
+    if (record == nullptr) return "MISS";
+    if ((record->flags & store::kInferenceUncertain) != 0) {
+      return "uncertain|" + format_inference(*record);
+    }
+    return format_inference(*record);
+  }
+
+  if (command == "addr") {
+    if (tokens.size() != 2) return "ERR usage: addr <addr>";
+    const auto address = net::Ipv4Address::parse(tokens[1]);
+    if (!address) return "ERR bad address";
+    std::string out;
+    for (const InferenceRecord& record : lookup_address(*address)) {
+      if ((record.flags & store::kInferenceUncertain) != 0) continue;
+      if (!out.empty()) out += ';';
+      out += format_inference(record);
+    }
+    return out.empty() ? "MISS" : out;
+  }
+
+  if (command == "ip2as") {
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      return "ERR usage: ip2as <addr> [f|b]";
+    }
+    const auto address = net::Ipv4Address::parse(tokens[1]);
+    if (!address) return "ERR bad address";
+    if (tokens.size() == 3) {
+      const auto direction = parse_direction(tokens[2]);
+      if (!direction) return "ERR bad direction (want f or b)";
+      const auto [asn, overridden] = final_mapping(*address, *direction);
+      return std::to_string(asn) + (overridden ? "|final" : "|base");
+    }
+    const Ip2AsAnswer hit = ip2as(*address);
+    if (!hit.announced()) return "unannounced";
+    return hit.prefix->to_string() + '|' + std::to_string(hit.asn) + '|' +
+           (hit.from_fallback ? "fallback" : "bgp");
+  }
+
+  if (command == "links") {
+    if (tokens.size() != 3) return "ERR usage: links <asn> <asn>";
+    const auto as_a = parse_asn(tokens[1]);
+    const auto as_b = parse_asn(tokens[2]);
+    if (!as_a || !as_b) return "ERR bad ASN";
+    const auto links = links_between(*as_a, *as_b);
+    std::string out = std::to_string(links.size());
+    for (const LinkRecord& link : links) {
+      out += ' ';
+      out += net::Ipv4Address(link.low).to_string();
+      out += '-';
+      out += net::Ipv4Address(link.high).to_string();
+    }
+    return out;
+  }
+
+  if (command == "stats") {
+    if (tokens.size() != 1) return "ERR usage: stats";
+    std::size_t confident = 0;
+    std::size_t uncertain = 0;
+    for (const InferenceRecord& record : reader_.inferences()) {
+      ((record.flags & store::kInferenceUncertain) != 0 ? uncertain
+                                                        : confident)++;
+    }
+    char crc_hex[9];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", reader_.payload_crc32());
+    return "inferences=" + std::to_string(confident) +
+           " uncertain=" + std::to_string(uncertain) +
+           " links=" + std::to_string(reader_.links().size()) +
+           " bgp_prefixes=" + std::to_string(reader_.bgp_prefixes().size()) +
+           " fallback_prefixes=" +
+           std::to_string(reader_.fallback_prefixes().size()) +
+           " mappings=" + std::to_string(reader_.mappings().size()) +
+           " version=" + std::to_string(reader_.version()) +
+           " crc32=" + crc_hex +
+           " bytes=" + std::to_string(reader_.size_bytes());
+  }
+
+  return "ERR unknown command '" + std::string(command) + "'";
+}
+
+}  // namespace mapit::query

@@ -1,0 +1,159 @@
+#include "query/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "net/error.h"
+
+namespace mapit::query {
+
+namespace {
+
+[[nodiscard]] bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
+    : engine_(engine) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("serve: socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("serve: cannot bind 127.0.0.1:" + std::to_string(port) +
+                ": " + std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(std::string("serve: listen: ") + std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+LineServer::~LineServer() { stop(); }
+
+void LineServer::serve_forever() { accept_loop(); }
+
+void LineServer::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void LineServer::accept_loop() {
+  accept_active_.store(true);
+  while (!stopping_.load()) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  accept_active_.store(false);
+}
+
+void LineServer::handle_connection(int fd) {
+  std::string pending;
+  std::string responses;
+  char buffer[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    pending.append(buffer, static_cast<std::size_t>(n));
+
+    // Answer every complete line in this chunk with one send.
+    responses.clear();
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = pending.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string_view line(pending.data() + start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = newline + 1;
+      if (line.empty()) continue;  // blank keep-alive lines get no answer
+      responses += engine_.answer(line);
+      responses += '\n';
+    }
+    pending.erase(0, start);
+    if (!responses.empty() && !send_all(fd, responses)) break;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connection_fds_.erase(std::remove(connection_fds_.begin(),
+                                      connection_fds_.end(), fd),
+                          connection_fds_.end());
+  }
+  ::close(fd);
+}
+
+void LineServer::stop() {
+  // Serialize stop() callers (tests stop explicitly, the destructor stops
+  // again); the second caller finds everything joined and does nothing.
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  // Wake the accept loop with shutdown only: the fd must stay open (and
+  // listen_fd_ unmodified) until the loop has been joined, or the loop's
+  // accept4 could race the close and land on a recycled descriptor.
+  if (!stopping_.exchange(true) && listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Unblock every connection's recv; each handler closes its own fd after
+    // removing itself from the list, so only shutdown (never close) here.
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& thread : connections) thread.join();
+
+  // A serve_forever() caller cannot be joined; leave the listener open for
+  // the destructor's stop() (which runs after serve_forever returned).
+  if (listen_fd_ >= 0 && !accept_active_.load()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace mapit::query

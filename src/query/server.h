@@ -1,0 +1,73 @@
+// Blocking TCP line-protocol server over a QueryEngine.
+//
+// Protocol: clients send QueryEngine protocol lines ('\n'-terminated, CRLF
+// tolerated); the server answers each non-empty line with exactly one
+// answer line, in order, so clients may pipeline arbitrarily deep batches.
+// Answers for all complete lines in one read are written with a single
+// send, which is what sustains 100k+ queries/sec over loopback (see
+// bench/perf_query_report.cpp).
+//
+// Concurrency: one thread per connection. Every connection thread shares
+// the one QueryEngine — the snapshot mapping is immutable and the engine
+// holds no mutable state, so there is no locking anywhere on the query
+// path. Server bookkeeping (the live-connection list) is mutex-protected;
+// it is touched only on connect/disconnect.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "query/query_engine.h"
+
+namespace mapit::query {
+
+class LineServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port, see
+  /// port()). Throws mapit::Error when the socket cannot be set up.
+  /// `engine` must outlive the server.
+  LineServer(const QueryEngine& engine, std::uint16_t port);
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Stops and joins every thread.
+  ~LineServer();
+
+  /// The bound port (the chosen one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Runs the accept loop on the calling thread until stop() (from another
+  /// thread) or a fatal socket error. `mapit serve` sits in this.
+  void serve_forever();
+
+  /// Runs the accept loop on a background thread (tests and benches).
+  void start();
+
+  /// Shuts down the listener and every live connection, then joins all
+  /// server threads. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  const QueryEngine& engine_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  /// True while accept_loop() runs; stop() must not close the listener
+  /// while a serve_forever() caller may still be inside accept4.
+  std::atomic<bool> accept_active_{false};
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::mutex stop_mutex_;  ///< serializes stop() (explicit stop + destructor)
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace mapit::query

@@ -1,0 +1,85 @@
+// Zero-copy snapshot reader.
+//
+// `open` mmaps the artifact read-only, validates the header (magic, byte
+// order, version, size) and the section table (bounds, alignment, record
+// granularity), and checks the payload CRC before exposing anything — a
+// truncated, bit-flipped, or wrong-version artifact is rejected with a
+// SnapshotError diagnostic and never dereferenced as records. After open,
+// every section is available as a typed std::span pointing straight into
+// the mapping: no per-record allocation or copying, and lookups are plain
+// binary searches over the mapped bytes.
+//
+// Lifetime rules: the spans (and any pointers derived from them) are valid
+// exactly as long as the SnapshotReader that produced them — the mapping is
+// unmapped in the destructor. The mapping is immutable (PROT_READ,
+// MAP_PRIVATE), so any number of threads may read through one reader with
+// no synchronization; see DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+
+namespace mapit::store {
+
+class SnapshotReader {
+ public:
+  /// Maps and validates the artifact at `path`. Throws SnapshotError on any
+  /// validation failure and mapit::Error when the file cannot be opened.
+  [[nodiscard]] static SnapshotReader open(const std::string& path);
+
+  /// Validates an in-memory artifact (copied into owned, aligned storage).
+  /// Same checks as open; used by tests to probe corrupt images cheaply.
+  [[nodiscard]] static SnapshotReader from_bytes(std::string_view bytes);
+
+  SnapshotReader(SnapshotReader&& other) noexcept;
+  SnapshotReader& operator=(SnapshotReader&& other) noexcept;
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+  ~SnapshotReader();
+
+  [[nodiscard]] std::span<const InferenceRecord> inferences() const {
+    return inferences_;
+  }
+  [[nodiscard]] std::span<const LinkRecord> links() const { return links_; }
+  [[nodiscard]] std::span<const PrefixRecord> bgp_prefixes() const {
+    return bgp_prefixes_;
+  }
+  [[nodiscard]] std::span<const PrefixRecord> fallback_prefixes() const {
+    return fallback_prefixes_;
+  }
+  [[nodiscard]] std::span<const MappingRecord> mappings() const {
+    return mappings_;
+  }
+
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_; }
+  [[nodiscard]] std::uint32_t payload_crc32() const { return crc_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
+ private:
+  SnapshotReader() = default;
+
+  /// Parses + validates `data_`/`size_`, populating the spans. Throws
+  /// SnapshotError; the caller owns cleanup of the backing storage.
+  void validate();
+
+  const std::byte* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  /// Non-null when the bytes are mmap'd (owned mapping to munmap).
+  void* mapping_ = nullptr;
+  /// Backing storage for from_bytes (8-byte aligned).
+  std::vector<std::uint64_t> owned_;
+
+  std::span<const InferenceRecord> inferences_;
+  std::span<const LinkRecord> links_;
+  std::span<const PrefixRecord> bgp_prefixes_;
+  std::span<const PrefixRecord> fallback_prefixes_;
+  std::span<const MappingRecord> mappings_;
+  std::uint32_t crc_ = 0;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace mapit::store

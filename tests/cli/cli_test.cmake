@@ -68,3 +68,111 @@ execute_process(
 if(NOT rc EQUAL 0 OR NOT out MATCHES "matched by inferences")
   message(FATAL_ERROR "eval failed (${rc}): ${out}${err}")
 endif()
+
+# Unknown subcommands must exit nonzero with usage on stderr, stdout clean.
+execute_process(
+  COMMAND ${MAPIT_BIN} frobnicate
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand was not rejected")
+endif()
+if(NOT err MATCHES "usage:" OR NOT out STREQUAL "")
+  message(FATAL_ERROR "unknown subcommand: usage must go to stderr only "
+          "(stdout='${out}', stderr='${err}')")
+endif()
+
+# Snapshot -> query round trip: build the artifact twice (different thread
+# counts) and require byte-identical files, then check query answers match
+# the run output line for line.
+execute_process(
+  COMMAND ${MAPIT_BIN} snapshot
+    --traces ${WORK_DIR}/traces.txt
+    --rib ${WORK_DIR}/rib.txt
+    --relationships ${WORK_DIR}/relationships.txt
+    --as2org ${WORK_DIR}/as2org.txt
+    --ixps ${WORK_DIR}/ixps.txt
+    --out ${WORK_DIR}/snapshot.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "crc32")
+  message(FATAL_ERROR "snapshot failed (${rc}): ${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${MAPIT_BIN} snapshot
+    --traces ${WORK_DIR}/traces.txt
+    --rib ${WORK_DIR}/rib.txt
+    --relationships ${WORK_DIR}/relationships.txt
+    --as2org ${WORK_DIR}/as2org.txt
+    --ixps ${WORK_DIR}/ixps.txt
+    --out ${WORK_DIR}/snapshot2.bin
+    --threads 1
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second snapshot failed (${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/snapshot.bin ${WORK_DIR}/snapshot2.bin
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "snapshot artifacts differ across thread counts")
+endif()
+
+# Turn every inference line into a lookup query; answers must reproduce the
+# run output exactly.
+set(queries "")
+set(expected "")
+foreach(line IN LISTS inference_lines)
+  if(line MATCHES "^#")
+    continue()
+  endif()
+  string(REPLACE "|" ";" fields "${line}")
+  list(GET fields 0 q_addr)
+  list(GET fields 1 q_dir)
+  string(APPEND queries "lookup ${q_addr} ${q_dir}\n")
+  string(APPEND expected "${line}\n")
+endforeach()
+file(WRITE ${WORK_DIR}/queries.txt "${queries}")
+execute_process(
+  COMMAND ${MAPIT_BIN} query ${WORK_DIR}/snapshot.bin
+  INPUT_FILE ${WORK_DIR}/queries.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query failed (${rc}): ${err}")
+endif()
+if(NOT out STREQUAL expected)
+  message(FATAL_ERROR "query answers diverge from run output")
+endif()
+
+# stats must answer and name the artifact version.
+file(WRITE ${WORK_DIR}/stats_query.txt "stats\n")
+execute_process(
+  COMMAND ${MAPIT_BIN} query ${WORK_DIR}/snapshot.bin
+  INPUT_FILE ${WORK_DIR}/stats_query.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "version=1" OR NOT out MATCHES "crc32=")
+  message(FATAL_ERROR "query stats failed (${rc}): ${out}")
+endif()
+
+# A truncated artifact must be rejected with a diagnostic, not crash.
+file(SIZE ${WORK_DIR}/snapshot.bin snap_size)
+math(EXPR trunc_size "${snap_size} - 7")
+find_program(DD_TOOL dd)
+if(DD_TOOL)
+  execute_process(
+    COMMAND ${DD_TOOL} if=${WORK_DIR}/snapshot.bin
+            of=${WORK_DIR}/truncated.bin bs=1 count=${trunc_size}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  execute_process(
+    COMMAND ${MAPIT_BIN} query ${WORK_DIR}/truncated.bin
+    INPUT_FILE ${WORK_DIR}/stats_query.txt
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "truncated snapshot was accepted")
+  endif()
+  if(NOT err MATCHES "snapshot")
+    message(FATAL_ERROR "truncated snapshot rejection lacks diagnostic: ${err}")
+  endif()
+endif()
+
+message(STATUS "cli snapshot/query OK")

@@ -81,6 +81,38 @@ INSTANTIATE_TEST_SUITE_P(
                       "1.2.3.4|f|99999999999999999999|2|direct|3/3",  // overflow
                       "1.2.3.4|f|1|2|direct|4/3"));      // votes > neighbors
 
+TEST(ResultIo, AcceptsCrlfLineEndings) {
+  // Files that passed through Windows tooling arrive with \r\n endings;
+  // the parser must strip the \r rather than fold it into the last field.
+  std::stringstream stream(
+      "# comment\r\n"
+      "1.2.3.4|f|5|6|direct|2/3\r\n"
+      "5.6.7.8|b|7|8|indirect|1/4\r\n");
+  const auto inferences = read_inferences(stream);
+  ASSERT_EQ(inferences.size(), 2u);
+  EXPECT_EQ(inferences[0].neighbor_count, 3u);
+  EXPECT_EQ(inferences[1].kind, InferenceKind::kIndirect);
+  EXPECT_EQ(inferences[1].neighbor_count, 4u);
+}
+
+TEST(ResultIo, AcceptsTrailingBlankLines) {
+  std::stringstream stream("1.2.3.4|f|5|6|direct|2/3\n\n\n\r\n");
+  const auto inferences = read_inferences(stream);
+  ASSERT_EQ(inferences.size(), 1u);
+  EXPECT_EQ(inferences[0].router_as, 5u);
+}
+
+TEST(ResultIo, WriteReadWriteIsBitIdentical) {
+  const std::vector<Inference> original = sample();
+  std::stringstream first;
+  write_inferences(first, original);
+  std::stringstream reread_stream(first.str());
+  const std::vector<Inference> reread = read_inferences(reread_stream);
+  std::stringstream second;
+  write_inferences(second, reread);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(ResultIo, SkipsComments) {
   std::stringstream stream("# comment\n\n1.2.3.4|b|5|6|stub|1/1\n");
   const auto inferences = read_inferences(stream);

@@ -93,6 +93,59 @@ TEST(PrefixTrie, ForEachVisitsLexicographically) {
   EXPECT_EQ(prefixes[3], P("128.0.0.0/8"));
 }
 
+TEST(PrefixTrie, DefaultRouteCatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 42);
+  EXPECT_EQ(*trie.longest_match(A("0.0.0.0")), 42);
+  EXPECT_EQ(*trie.longest_match(A("255.255.255.255")), 42);
+  EXPECT_EQ(*trie.longest_match(A("128.0.0.1")), 42);
+  const auto entry = trie.longest_match_entry(A("9.9.9.9"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, P("0.0.0.0/0"));
+}
+
+TEST(PrefixTrie, HostRouteBeatsEveryCoveringPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.2.3/32"), 32);
+  EXPECT_EQ(*trie.longest_match(A("10.1.2.3")), 32);
+  EXPECT_EQ(*trie.longest_match(A("10.1.2.2")), 8);
+  EXPECT_EQ(*trie.longest_match(A("10.1.2.4")), 8);
+}
+
+TEST(PrefixTrie, OverlappingNestedPrefixes) {
+  // A full nesting chain: every probe must land on the deepest prefix that
+  // still contains it, not the deepest prefix in the trie.
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/12"), 12);
+  trie.insert(P("10.0.0.0/16"), 16);
+  trie.insert(P("10.0.0.0/24"), 24);
+  trie.insert(P("10.0.0.0/28"), 28);
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.7")), 28);
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.99")), 24);   // outside /28
+  EXPECT_EQ(*trie.longest_match(A("10.0.99.1")), 16);   // outside /24
+  EXPECT_EQ(*trie.longest_match(A("10.8.0.1")), 12);    // outside /16
+  EXPECT_EQ(*trie.longest_match(A("10.99.0.1")), 8);    // outside /12
+  EXPECT_EQ(trie.longest_match(A("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrie, MissAfterDeeperBranchBacktracks) {
+  // The probe's path descends past 10.0.0.0/8 toward the /24 branch but
+  // diverges before any deeper stored prefix: the match must backtrack to
+  // the last stored ancestor rather than report the dead-end branch.
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.1.0/24"), 24);
+  // Shares the /8 and walks toward /24 but flips the last bit of octet 3.
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.200")), 8);
+  // No stored ancestor at all: a sibling of the /8.
+  EXPECT_EQ(trie.longest_match(A("11.0.1.1")), nullptr);
+  // Deep branch exists but probe diverges in octet 2.
+  EXPECT_EQ(*trie.longest_match(A("10.1.1.1")), 8);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: the trie must agree with a linear-scan oracle on random
 // prefix sets and random probes.

@@ -1,0 +1,266 @@
+// QueryEngine semantics: exact lookups, flat LPM vs the PrefixTrie oracle,
+// link enumeration, the final-mapping override chain, and the line
+// protocol's answer strings (including every ERR path).
+#include "query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "test_util.h"
+
+namespace mapit::query {
+namespace {
+
+using store::InferenceRecord;
+using store::LinkRecord;
+using store::MappingRecord;
+using store::PrefixRecord;
+using store::SnapshotData;
+using store::SnapshotReader;
+using testutil::addr;
+
+/// Fixture holding the reader alive for the engine's lifetime.
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void load(const SnapshotData& data) {
+    reader_ = std::make_unique<SnapshotReader>(
+        SnapshotReader::from_bytes(store::serialize_snapshot(data)));
+    engine_ = std::make_unique<QueryEngine>(*reader_);
+  }
+
+  SnapshotData sample() {
+    SnapshotData data;
+    // 10.0.0.1 has both halves; 10.0.0.2 forward only (uncertain).
+    data.inferences.push_back(
+        InferenceRecord{addr("10.0.0.1").value(), 0, 0, 0, 0, 100, 200, 3,
+                        4});
+    data.inferences.push_back(
+        InferenceRecord{addr("10.0.0.1").value(), 1, 1, 0, 0, 100, 300, 2,
+                        4});
+    data.inferences.push_back(
+        InferenceRecord{addr("10.0.0.2").value(), 0, 2,
+                        store::kInferenceUncertain, 0, 300, 100, 1, 2});
+    data.links.push_back(LinkRecord{addr("10.0.0.1").value(),
+                                    addr("10.0.0.9").value(), 100, 200, 2, 5,
+                                    8, 0, {0, 0, 0}});
+    data.links.push_back(LinkRecord{addr("10.0.0.3").value(),
+                                    addr("10.0.0.4").value(), 100, 200, 1, 2,
+                                    4, 0, {0, 0, 0}});
+    data.links.push_back(LinkRecord{addr("10.0.0.5").value(),
+                                    addr("10.0.0.6").value(), 100, 300, 1, 3,
+                                    4, 0, {0, 0, 0}});
+    data.bgp_prefixes.push_back(
+        PrefixRecord{addr("10.0.0.0").value(), 100, 8, {0, 0, 0}});
+    data.bgp_prefixes.push_back(
+        PrefixRecord{addr("10.0.0.0").value(), 200, 24, {0, 0, 0}});
+    data.fallback_prefixes.push_back(
+        PrefixRecord{addr("192.0.0.0").value(), 999, 4, {0, 0, 0}});
+    data.mappings.push_back(
+        MappingRecord{addr("10.0.0.1").value(), 300, 1, {0, 0, 0}});
+    return data;
+  }
+
+  std::unique_ptr<SnapshotReader> reader_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(QueryEngineTest, ExactLookupHitAndMiss) {
+  load(sample());
+  const InferenceRecord* hit =
+      engine_->lookup(addr("10.0.0.1"), graph::Direction::kForward);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->other_as, 200u);
+  const InferenceRecord* back =
+      engine_->lookup(addr("10.0.0.1"), graph::Direction::kBackward);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->other_as, 300u);
+  // 10.0.0.2 backward has no record; neither does an absent address.
+  EXPECT_EQ(engine_->lookup(addr("10.0.0.2"), graph::Direction::kBackward),
+            nullptr);
+  EXPECT_EQ(engine_->lookup(addr("10.0.0.99"), graph::Direction::kForward),
+            nullptr);
+}
+
+TEST_F(QueryEngineTest, LookupAddressReturnsContiguousRun) {
+  load(sample());
+  EXPECT_EQ(engine_->lookup_address(addr("10.0.0.1")).size(), 2u);
+  EXPECT_EQ(engine_->lookup_address(addr("10.0.0.2")).size(), 1u);
+  EXPECT_TRUE(engine_->lookup_address(addr("10.0.0.99")).empty());
+}
+
+TEST_F(QueryEngineTest, LinksBetweenIsUnordered) {
+  load(sample());
+  EXPECT_EQ(engine_->links_between(100, 200).size(), 2u);
+  EXPECT_EQ(engine_->links_between(200, 100).size(), 2u);
+  EXPECT_EQ(engine_->links_between(100, 300).size(), 1u);
+  EXPECT_TRUE(engine_->links_between(100, 999).empty());
+}
+
+TEST_F(QueryEngineTest, Ip2AsLayering) {
+  load(sample());
+  // BGP layer, most specific wins.
+  const auto deep = engine_->ip2as(addr("10.0.0.77"));
+  EXPECT_EQ(deep.asn, 200u);
+  EXPECT_FALSE(deep.from_fallback);
+  const auto shallow = engine_->ip2as(addr("10.9.9.9"));
+  EXPECT_EQ(shallow.asn, 100u);
+  // Fallback only fires when BGP misses.
+  const auto fallback = engine_->ip2as(addr("200.1.2.3"));
+  EXPECT_EQ(fallback.asn, 999u);
+  EXPECT_TRUE(fallback.from_fallback);
+  // Nothing covers 64.0.0.0/2.
+  EXPECT_FALSE(engine_->ip2as(addr("64.0.0.1")).announced());
+}
+
+TEST_F(QueryEngineTest, FinalMappingOverrideChain) {
+  load(sample());
+  // 10.0.0.1 backward has an engine override to AS300.
+  const auto overridden =
+      engine_->final_mapping(addr("10.0.0.1"), graph::Direction::kBackward);
+  EXPECT_EQ(overridden.first, 300u);
+  EXPECT_TRUE(overridden.second);
+  // Forward half has no override: base LPM answer (/24 → AS200).
+  const auto base =
+      engine_->final_mapping(addr("10.0.0.1"), graph::Direction::kForward);
+  EXPECT_EQ(base.first, 200u);
+  EXPECT_FALSE(base.second);
+}
+
+TEST_F(QueryEngineTest, AnswerProtocol) {
+  load(sample());
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1 f"),
+            "10.0.0.1|f|100|200|direct|3/4");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1 b"),
+            "10.0.0.1|b|100|300|indirect|2/4");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.2 f"),
+            "uncertain|10.0.0.2|f|300|100|stub|1/2");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.99 f"), "MISS");
+  EXPECT_EQ(engine_->answer("addr 10.0.0.1"),
+            "10.0.0.1|f|100|200|direct|3/4;10.0.0.1|b|100|300|indirect|2/4");
+  EXPECT_EQ(engine_->answer("addr 10.0.0.2"), "MISS");  // uncertain filtered
+  EXPECT_EQ(engine_->answer("ip2as 10.0.0.77"), "10.0.0.0/24|200|bgp");
+  EXPECT_EQ(engine_->answer("ip2as 200.1.2.3"), "192.0.0.0/4|999|fallback");
+  EXPECT_EQ(engine_->answer("ip2as 64.0.0.1"), "unannounced");
+  EXPECT_EQ(engine_->answer("ip2as 10.0.0.1 b"), "300|final");
+  EXPECT_EQ(engine_->answer("ip2as 10.0.0.1 f"), "200|base");
+  EXPECT_EQ(engine_->answer("links 200 100"),
+            "2 10.0.0.1-10.0.0.9 10.0.0.3-10.0.0.4");
+  EXPECT_EQ(engine_->answer("links 100 999"), "0");
+  // Extra whitespace is tolerated.
+  EXPECT_EQ(engine_->answer("  lookup   10.0.0.1   f  "),
+            "10.0.0.1|f|100|200|direct|3/4");
+}
+
+TEST_F(QueryEngineTest, AnswerStats) {
+  load(sample());
+  const std::string stats = engine_->answer("stats");
+  EXPECT_NE(stats.find("inferences=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("uncertain=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("links=3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("bgp_prefixes=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("version=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("crc32="), std::string::npos) << stats;
+}
+
+TEST_F(QueryEngineTest, AnswerErrors) {
+  load(sample());
+  EXPECT_EQ(engine_->answer(""), "ERR empty query");
+  EXPECT_EQ(engine_->answer("   "), "ERR empty query");
+  EXPECT_EQ(engine_->answer("frobnicate"),
+            "ERR unknown command 'frobnicate'");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1"), "ERR usage: lookup <addr> <f|b>");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1 f extra"),
+            "ERR usage: lookup <addr> <f|b>");
+  EXPECT_EQ(engine_->answer("lookup nonsense f"), "ERR bad address");
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1 x"),
+            "ERR bad direction (want f or b)");
+  EXPECT_EQ(engine_->answer("addr"), "ERR usage: addr <addr>");
+  EXPECT_EQ(engine_->answer("ip2as"), "ERR usage: ip2as <addr> [f|b]");
+  EXPECT_EQ(engine_->answer("ip2as 1.2.3.4 q"),
+            "ERR bad direction (want f or b)");
+  EXPECT_EQ(engine_->answer("links 100"), "ERR usage: links <asn> <asn>");
+  EXPECT_EQ(engine_->answer("links abc 100"), "ERR bad ASN");
+  EXPECT_EQ(engine_->answer("links 100 -2"), "ERR bad ASN");
+  EXPECT_EQ(engine_->answer("stats now"), "ERR usage: stats");
+}
+
+TEST_F(QueryEngineTest, EmptySnapshotAnswersGracefully) {
+  load(SnapshotData{});
+  EXPECT_EQ(engine_->answer("lookup 10.0.0.1 f"), "MISS");
+  EXPECT_EQ(engine_->answer("addr 10.0.0.1"), "MISS");
+  EXPECT_EQ(engine_->answer("ip2as 10.0.0.1"), "unannounced");
+  EXPECT_EQ(engine_->answer("links 1 2"), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Flat LPM vs net::PrefixTrie, answer-for-answer on a randomized corpus.
+// ---------------------------------------------------------------------------
+
+class FlatLpmOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatLpmOracleTest, MatchesPrefixTrie) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> addr_dist;
+  std::uniform_int_distribution<int> len_dist(0, 32);
+  // Cluster half the prefixes under 10.0.0.0/8 so nesting and
+  // miss-after-deeper-branch cases actually occur.
+  std::uniform_int_distribution<std::uint32_t> cluster_dist(0x0A000000u,
+                                                            0x0AFFFFFFu);
+
+  net::PrefixTrie<asdata::Asn> trie;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t raw =
+        (i % 2 == 0) ? addr_dist(rng) : cluster_dist(rng);
+    const net::Prefix prefix(net::Ipv4Address(raw), len_dist(rng));
+    trie.insert(prefix, static_cast<asdata::Asn>(i + 1));
+  }
+
+  // Flatten exactly the way the snapshot writer stores a trie layer.
+  SnapshotData data;
+  trie.for_each([&](const net::Prefix& prefix, const asdata::Asn& asn) {
+    data.bgp_prefixes.push_back(store::to_record(prefix, asn));
+  });
+  std::sort(data.bgp_prefixes.begin(), data.bgp_prefixes.end(),
+            [](const PrefixRecord& a, const PrefixRecord& b) {
+              return std::make_pair(a.network, a.length) <
+                     std::make_pair(b.network, b.length);
+            });
+  const SnapshotReader reader =
+      SnapshotReader::from_bytes(store::serialize_snapshot(data));
+  const QueryEngine engine(reader);
+
+  auto check = [&](net::Ipv4Address probe) {
+    const auto expected = trie.longest_match_entry(probe);
+    const auto got = engine.ip2as(probe);
+    if (!expected) {
+      EXPECT_FALSE(got.announced()) << probe.to_string();
+      return;
+    }
+    ASSERT_TRUE(got.announced()) << probe.to_string();
+    EXPECT_EQ(got.prefix, expected->first) << probe.to_string();
+    EXPECT_EQ(got.asn, *expected->second) << probe.to_string();
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    check(net::Ipv4Address(i % 2 == 0 ? addr_dist(rng) : cluster_dist(rng)));
+  }
+  // Deterministic boundary probes.
+  check(addr("0.0.0.0"));
+  check(addr("255.255.255.255"));
+  for (const net::Prefix& prefix : trie.prefixes()) {
+    check(prefix.network());  // first covered address of every prefix
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatLpmOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mapit::query

@@ -11,6 +11,10 @@
 #                 slow standard-scale tests in sanitizer jobs (default: all)
 #   BENCH_SMOKE   1 = run the bench smoke + inference-count tripwire,
 #                 0 = skip, e.g. under sanitizers (default 1)
+#   SNAPSHOT_SMOKE 1 = build a snapshot through the CLI, run the canned
+#                 query batch against the committed golden answers, and
+#                 check the standard run's artifact CRC against the
+#                 committed BENCH_query.json (default: BENCH_SMOKE)
 #   BUILD_DIR     override the derived build directory
 #   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
@@ -21,6 +25,7 @@ SANITIZE="${SANITIZE:-}"
 WERROR="${WERROR:-OFF}"
 CTEST_LABELS="${CTEST_LABELS:-}"
 BENCH_SMOKE="${BENCH_SMOKE:-1}"
+SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # One build dir per (type, sanitizer) combination so matrix jobs and local
@@ -77,6 +82,47 @@ got, want = fresh["standard_inferences"], committed["standard_inferences"]
 if got != want:
     sys.exit(f"standard_inferences drifted: got {got}, committed {want}")
 print(f"standard_inferences == {want}: ok")
+EOF
+fi
+
+if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then
+  echo "== snapshot smoke =="
+  # Build a snapshot through the CLI from seeded synthetic datasets, answer
+  # the committed canned query batch, and diff against the committed golden
+  # answers. The batch ends with `stats`, whose answer embeds the artifact's
+  # CRC — so byte-determinism drift, format drift, and engine-output drift
+  # all fail this diff, not just protocol regressions.
+  mapit_bin="${BUILD_DIR}/tools/mapit"
+  work="${BUILD_DIR}/snapshot_smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 9
+  "${mapit_bin}" snapshot \
+    --traces "${work}/traces.txt" --rib "${work}/rib.txt" \
+    --relationships "${work}/relationships.txt" \
+    --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt" \
+    --out "${work}/snapshot.bin"
+  "${mapit_bin}" query "${work}/snapshot.bin" \
+    < "${REPO_ROOT}/tests/cli/golden_queries.txt" > "${work}/answers.txt"
+  diff -u "${REPO_ROOT}/tests/cli/golden_answers.txt" "${work}/answers.txt"
+  echo "golden query answers: ok"
+
+  echo "== snapshot checksum tripwire (standard run) =="
+  # perf_query_report rebuilds the standard experiment's snapshot; its CRC
+  # and inference count must match the committed BENCH_query.json. Any
+  # change to the engine's output or the artifact encoding must arrive as a
+  # deliberate update of the committed report.
+  query_report="${BUILD_DIR}/snapshot_smoke_report.json"
+  "${BUILD_DIR}/bench/perf_query_report" --reps 1 --out "${query_report}"
+  python3 - "${query_report}" "${REPO_ROOT}/BENCH_query.json" <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+for key in ("snapshot_crc32", "snapshot_bytes", "standard_inferences"):
+    got, want = fresh[key], committed[key]
+    if got != want:
+        sys.exit(f"{key} drifted: got {got}, committed {want}")
+    print(f"{key} == {want}: ok")
 EOF
 fi
 

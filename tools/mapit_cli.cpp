@@ -3,15 +3,22 @@
 //   mapit run       run MAP-IT over a traceroute corpus + datasets
 //   mapit stats     sanitization / interface-graph statistics for a corpus
 //   mapit simulate  generate a synthetic Internet's datasets to files
+//   mapit snapshot  run MAP-IT and write the binary snapshot artifact
+//   mapit query     batch-answer queries against a snapshot (stdin/stdout)
+//   mapit serve     serve a snapshot over a TCP line protocol
 //   mapit help      usage
 //
 // All file formats are the library's line-oriented text formats (see the
-// respective *_io headers); `mapit simulate` writes examples of each.
+// respective *_io headers); `mapit simulate` writes examples of each. The
+// snapshot artifact is the binary format of src/store/format.h.
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/claims.h"
@@ -21,6 +28,10 @@
 #include "core/result_io.h"
 #include "eval/experiment.h"
 #include "net/error.h"
+#include "query/query_engine.h"
+#include "query/server.h"
+#include "store/reader.h"
+#include "store/writer.h"
 #include "topo/truth_io.h"
 #include "trace/sanitize.h"
 #include "trace/trace_io.h"
@@ -29,8 +40,11 @@ namespace {
 
 using namespace mapit;
 
+/// Prints usage to stdout for `mapit help` (exit 0) and to stderr for
+/// every rejected invocation (exit 2) — errors must never masquerade as
+/// successful output in a pipeline.
 [[noreturn]] void usage(int exit_code) {
-  std::cout <<
+  (exit_code == 0 ? std::cout : std::cerr) <<
       "usage:\n"
       "  mapit run --traces FILE --rib FILE [options]\n"
       "      --relationships FILE   CAIDA serial-1 AS relationships\n"
@@ -50,6 +64,16 @@ using namespace mapit;
       "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
       "  mapit stats --traces FILE [--threads N]\n"
       "  mapit simulate --out DIR [--seed N] [--scale small|standard]\n"
+      "  mapit snapshot --traces FILE --rib FILE --out SNAPSHOT [run options]\n"
+      "      runs MAP-IT and writes the mmap-ready binary snapshot (byte-\n"
+      "      deterministic for identical inputs, any thread count)\n"
+      "  mapit query SNAPSHOT\n"
+      "      one query per stdin line, one answer per stdout line:\n"
+      "        lookup <addr> <f|b> | addr <addr> | ip2as <addr> [f|b]\n"
+      "        | links <asn> <asn> | stats\n"
+      "  mapit serve SNAPSHOT [--port N]\n"
+      "      blocking TCP server for the same line protocol on\n"
+      "      127.0.0.1:N (default: an ephemeral port, printed on stderr)\n"
       "  mapit help\n";
   std::exit(exit_code);
 }
@@ -78,6 +102,19 @@ class Args {
       }
     }
     return false;
+  }
+
+  /// Claims the first still-unclaimed token as a positional argument.
+  /// Call after every value()/flag() lookup so flag values are not
+  /// mistaken for positionals.
+  std::optional<std::string> positional() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!used_.contains(i)) {
+        used_[i] = true;
+        return tokens_[i];
+      }
+    }
+    return std::nullopt;
   }
 
   void reject_unknown() const {
@@ -123,15 +160,39 @@ std::ifstream open_or_die(const std::string& path) {
   return stream;
 }
 
-int cmd_run(Args& args) {
+/// Everything the `run`-shaped subcommands (run, snapshot) share: datasets
+/// loaded, traces sanitized, interface graph and IP2AS composite built.
+/// Later members reference earlier ones (ip2as points at ixps), so the
+/// struct is heap-held and immovable once built.
+struct RunPipeline {
+  core::Options options;
+  trace::TraceCorpus corpus;
+  bgp::Rib rib;
+  asdata::AsRelationships rels;
+  asdata::As2Org orgs;
+  asdata::IxpRegistry ixps;
+  trace::SanitizeResult sanitized;
+  std::unique_ptr<graph::InterfaceGraph> graph;
+  std::unique_ptr<bgp::Ip2As> ip2as;
+
+  [[nodiscard]] core::Result run() const {
+    return core::run_mapit(*graph, *ip2as, orgs, rels, options);
+  }
+};
+
+/// Parses the shared run options out of `args` and builds the pipeline.
+/// The caller must have claimed its subcommand-specific flags already:
+/// this calls reject_unknown() before doing any heavy work.
+std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
   const auto traces_path = args.value("--traces");
   const auto rib_path = args.value("--rib");
   if (!traces_path || !rib_path) {
-    std::cerr << "run: --traces and --rib are required\n";
+    std::cerr << verb << ": --traces and --rib are required\n";
     usage(2);
   }
 
-  core::Options options;
+  auto pipeline = std::make_unique<RunPipeline>();
+  core::Options& options = pipeline->options;
   if (const auto f = args.value("--f")) options.f = std::stod(*f);
   if (const auto rule = args.value("--remove-rule")) {
     if (*rule == "majority") {
@@ -140,7 +201,7 @@ int cmd_run(Args& args) {
       options.remove_rule = core::RemoveRule::kAddRule;
     } else {
       std::cerr << "unknown remove rule '" << *rule << "'\n";
-      return 2;
+      std::exit(2);
     }
   }
   options.stub_heuristic = !args.flag("--no-stub");
@@ -149,46 +210,49 @@ int cmd_run(Args& args) {
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
-  const auto output_path = args.value("--output");
-  const auto uncertain_path = args.value("--uncertain");
-  const auto explain_address = args.value("--explain");
   args.reject_unknown();
 
   auto traces_stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus =
-      trace::read_corpus(traces_stream, options.threads);
+  pipeline->corpus = trace::read_corpus(traces_stream, options.threads);
   auto rib_stream = open_or_die(*rib_path);
-  const bgp::Rib rib = bgp::Rib::read(rib_stream);
+  pipeline->rib = bgp::Rib::read(rib_stream);
 
-  asdata::AsRelationships rels;
   if (relationships_path) {
     auto stream = open_or_die(*relationships_path);
-    rels = asdata::AsRelationships::read(stream);
+    pipeline->rels = asdata::AsRelationships::read(stream);
   }
-  asdata::As2Org orgs;
   if (as2org_path) {
     auto stream = open_or_die(*as2org_path);
-    orgs = asdata::As2Org::read(stream);
+    pipeline->orgs = asdata::As2Org::read(stream);
   }
-  asdata::IxpRegistry ixps;
   if (ixps_path) {
     auto stream = open_or_die(*ixps_path);
-    ixps = asdata::IxpRegistry::read(stream);
+    pipeline->ixps = asdata::IxpRegistry::read(stream);
   }
 
-  const auto sanitized = trace::sanitize(corpus, options.threads);
-  std::cerr << "sanitized " << corpus.size() << " traces ("
-            << sanitized.stats.discarded_traces << " discarded, "
-            << sanitized.stats.removed_ttl0_hops << " TTL=0 hops removed)\n";
+  pipeline->sanitized = trace::sanitize(pipeline->corpus, options.threads);
+  std::cerr << "sanitized " << pipeline->corpus.size() << " traces ("
+            << pipeline->sanitized.stats.discarded_traces << " discarded, "
+            << pipeline->sanitized.stats.removed_ttl0_hops
+            << " TTL=0 hops removed)\n";
 
-  const auto all_addresses = corpus.distinct_addresses();
-  const graph::InterfaceGraph graph(sanitized.clean, all_addresses,
-                                    options.threads);
-  const bgp::Ip2As ip2as(rib, net::PrefixTrie<asdata::Asn>{}, &ixps);
-  std::cerr << "interface graph: " << graph.size() << " interfaces\n";
+  const auto all_addresses = pipeline->corpus.distinct_addresses();
+  pipeline->graph = std::make_unique<graph::InterfaceGraph>(
+      pipeline->sanitized.clean, all_addresses, options.threads);
+  pipeline->ip2as = std::make_unique<bgp::Ip2As>(
+      pipeline->rib, net::PrefixTrie<asdata::Asn>{}, &pipeline->ixps);
+  std::cerr << "interface graph: " << pipeline->graph->size()
+            << " interfaces\n";
+  return pipeline;
+}
 
-  const core::Result result = core::run_mapit(graph, ip2as, orgs, rels,
-                                              options);
+int cmd_run(Args& args) {
+  const auto output_path = args.value("--output");
+  const auto uncertain_path = args.value("--uncertain");
+  const auto explain_address = args.value("--explain");
+  const auto pipeline = build_run_pipeline(args, "run");
+
+  const core::Result result = pipeline->run();
   std::cerr << "MAP-IT: " << result.inferences.size()
             << " confident inferences, " << result.uncertain.size()
             << " uncertain, " << result.stats.iterations << " iterations"
@@ -206,9 +270,98 @@ int cmd_run(Args& args) {
   }
   if (explain_address) {
     std::cerr << core::explain(
-        result, graph, ip2as,
+        result, *pipeline->graph, *pipeline->ip2as,
         net::Ipv4Address::parse_or_throw(*explain_address));
   }
+  return 0;
+}
+
+int cmd_snapshot(Args& args) {
+  const auto out_path = args.value("--out");
+  if (!out_path) {
+    std::cerr << "snapshot: --out is required\n";
+    usage(2);
+  }
+  const auto pipeline = build_run_pipeline(args, "snapshot");
+
+  const core::Result result = pipeline->run();
+  const store::SnapshotData data =
+      store::make_snapshot_data(result, *pipeline->graph, *pipeline->ip2as);
+  const store::WriteInfo info = store::write_snapshot_file(data, *out_path);
+
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", info.payload_crc32);
+  std::cout << "snapshot " << *out_path << ": " << info.bytes
+            << " bytes, crc32 " << crc_hex << ", "
+            << result.inferences.size() << " inferences ("
+            << result.uncertain.size() << " uncertain), " << data.links.size()
+            << " links, " << data.bgp_prefixes.size() << " prefixes, "
+            << data.mappings.size() << " mappings\n";
+  return 0;
+}
+
+int cmd_query(Args& args) {
+  const auto snapshot_path = args.positional();
+  if (!snapshot_path) {
+    std::cerr << "query: snapshot path is required\n";
+    usage(2);
+  }
+  args.reject_unknown();
+
+  const store::SnapshotReader reader = store::SnapshotReader::open(
+      *snapshot_path);
+  const query::QueryEngine engine(reader);
+  std::string line;
+  std::string out;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    out += engine.answer(line);
+    out += '\n';
+    // Flush in chunks so interactive use stays responsive while huge
+    // batches still amortize the write syscalls.
+    if (out.size() >= 64 * 1024) {
+      std::cout << out;
+      out.clear();
+    }
+  }
+  std::cout << out << std::flush;
+  return 0;
+}
+
+int cmd_serve(Args& args) {
+  const auto snapshot_path = args.positional();
+  if (!snapshot_path) {
+    std::cerr << "serve: snapshot path is required\n";
+    usage(2);
+  }
+  std::uint16_t port = 0;
+  if (const auto value = args.value("--port")) {
+    std::size_t pos = 0;
+    unsigned long parsed = 0;
+    try {
+      parsed = std::stoul(*value, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != value->size() || parsed > 65535) {
+      std::cerr << "--port expects an integer in [0, 65535], got '" << *value
+                << "'\n";
+      return 2;
+    }
+    port = static_cast<std::uint16_t>(parsed);
+  }
+  args.reject_unknown();
+
+  const store::SnapshotReader reader = store::SnapshotReader::open(
+      *snapshot_path);
+  const query::QueryEngine engine(reader);
+  query::LineServer server(engine, port);
+  std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
+            << server.port() << " (" << reader.inferences().size()
+            << " inference records, " << reader.size_bytes()
+            << " bytes mmap'd)\n";
+  server.serve_forever();
   return 0;
 }
 
@@ -445,6 +598,9 @@ int main(int argc, char** argv) {
     if (command == "paths") return cmd_paths(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "snapshot") return cmd_snapshot(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::cerr << "unknown command '" << command << "'\n";
     usage(2);
