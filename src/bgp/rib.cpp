@@ -75,13 +75,16 @@ std::vector<Announcement> Rib::announcements() const {
   return out;
 }
 
-Rib Rib::read(std::istream& in) {
+Rib Rib::read(std::istream& in, LoadReport* report) {
   Rib rib;
   std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+  std::size_t loaded = 0;
+  // Parses + applies one payload line; throws ParseError on any damage.
+  // The prefix and origin are parsed BEFORE the collector is registered,
+  // so a rejected line leaves the Rib completely untouched — lenient mode
+  // must not leak collector ids from quarantined lines.
+  const auto load_line = [&rib, &line, &line_no] {
     const auto bar1 = line.find('|');
     const auto bar2 = bar1 == std::string::npos ? std::string::npos
                                                 : line.find('|', bar1 + 1);
@@ -90,19 +93,40 @@ Rib Rib::read(std::istream& in) {
                        ": expected 'collector|prefix|asn', got '" + line + "'");
     }
     try {
-      const CollectorId collector = rib.add_collector(line.substr(0, bar1));
       const net::Prefix prefix =
           net::Prefix::parse_or_throw(line.substr(bar1 + 1, bar2 - bar1 - 1));
       const auto origin =
           static_cast<asdata::Asn>(std::stoul(line.substr(bar2 + 1)));
+      MAPIT_ENSURE(origin != asdata::kUnknownAsn,
+                   "announcement with unknown origin");
+      const CollectorId collector = rib.add_collector(line.substr(0, bar1));
       rib.add_announcement(collector, prefix, origin);
-    } catch (const ParseError&) {
-      throw;
+    } catch (const ParseError& e) {
+      // Prefix parse errors carry no position; add the line number so the
+      // caller (and the LoadReport) can name the offender.
+      throw ParseError("rib line " + std::to_string(line_no) + ": " +
+                       e.what());
     } catch (const std::exception&) {
       throw ParseError("rib line " + std::to_string(line_no) +
                        ": malformed record '" + line + "'");
     }
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (report == nullptr) {
+      load_line();
+      ++loaded;
+      continue;
+    }
+    try {
+      load_line();
+      ++loaded;
+    } catch (const ParseError& e) {
+      report->record(line_no, e.what());
+    }
   }
+  if (report != nullptr) report->add_loaded(loaded);
   return rib;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "asdata/asn.h"
+#include "net/load_report.h"
 #include "net/prefix.h"
 #include "net/prefix_trie.h"
 
@@ -68,7 +69,12 @@ class Rib {
   [[nodiscard]] std::vector<Announcement> announcements() const;
 
   /// Text format: "collector_name|prefix|origin_asn" per line.
-  static Rib read(std::istream& in);
+  ///
+  /// Strict mode (`report == nullptr`, the default) throws
+  /// mapit::ParseError on the first malformed line. Lenient mode skips and
+  /// counts malformed lines into `*report`; a skipped line registers
+  /// nothing (not even its collector name).
+  static Rib read(std::istream& in, LoadReport* report = nullptr);
   void write(std::ostream& out) const;
 
  private:

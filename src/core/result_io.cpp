@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "fault/atomic_file.h"
 #include "net/error.h"
 
 namespace mapit::core {
@@ -65,6 +67,14 @@ void write_inferences(std::ostream& out,
         << to_string(inference.kind) << '|' << inference.votes << '/'
         << inference.neighbor_count << '\n';
   }
+}
+
+void write_inferences_file(const std::string& path,
+                           const std::vector<Inference>& inferences,
+                           fault::Io& io) {
+  std::ostringstream buffer;
+  write_inferences(buffer, inferences);
+  fault::write_file_atomic(path, buffer.view(), io);
 }
 
 std::vector<Inference> read_inferences(std::istream& in) {

@@ -8,15 +8,26 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/inference.h"
+#include "fault/io.h"
 
 namespace mapit::core {
 
 /// Writes inferences one per line with a header comment.
 void write_inferences(std::ostream& out,
                       const std::vector<Inference>& inferences);
+
+/// Writes inferences to `path` crash-safely (tmp file + fsync + atomic
+/// rename, see fault/atomic_file.h): an interrupted run leaves either the
+/// previous complete file or the new complete file, never a torn one.
+/// Throws mapit::Error on I/O failure. `io` is the injectable syscall
+/// boundary.
+void write_inferences_file(const std::string& path,
+                           const std::vector<Inference>& inferences,
+                           fault::Io& io = fault::system_io());
 
 /// Reads inferences written by write_inferences. Throws mapit::ParseError
 /// naming the offending line.

@@ -1,0 +1,74 @@
+#include "fault/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/error.h"
+
+namespace mapit::fault {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, const std::string& path, int err,
+                       Io& io, const std::string* tmp_to_unlink, int fd) {
+  if (fd >= 0) io.close(fd);
+  // Best-effort cleanup straight at the kernel: unlink is not an injection
+  // point (a crashed process cannot clean up either — that case simply
+  // leaves the temp file, which is harmless).
+  if (tmp_to_unlink != nullptr) ::unlink(tmp_to_unlink->c_str());
+  throw Error(std::string("atomic write: ") + what + " " + path + ": " +
+              std::strerror(err));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view bytes,
+                       Io& io) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                         0644);
+  if (fd < 0) fail("cannot create", tmp, errno, io, nullptr, -1);
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        io.write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write to", tmp, errno, io, &tmp, fd);
+    }
+    if (n == 0) fail("write to", tmp, ENOSPC, io, &tmp, fd);
+    written += static_cast<std::size_t>(n);
+  }
+
+  // fsync before rename: once the new name is visible it must also be
+  // durable, or a power cut could surface a zero-length file at `path`.
+  if (io.fsync(fd) != 0) fail("fsync of", tmp, errno, io, &tmp, fd);
+  if (io.close(fd) != 0) fail("close of", tmp, errno, io, &tmp, -1);
+
+  if (io.rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("rename to", path, errno, io, &tmp, -1);
+  }
+
+  // fsync the parent directory so the rename itself survives a crash. From
+  // here on the destination already holds the complete new artifact.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = io.open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC,
+                             0);
+  if (dir_fd < 0) fail("cannot open directory", dir, errno, io, nullptr, -1);
+  if (io.fsync(dir_fd) != 0) {
+    fail("fsync of directory", dir, errno, io, nullptr, dir_fd);
+  }
+  if (io.close(dir_fd) != 0) {
+    fail("close of directory", dir, errno, io, nullptr, -1);
+  }
+}
+
+}  // namespace mapit::fault

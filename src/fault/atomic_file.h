@@ -1,0 +1,32 @@
+// Crash-safe whole-file replacement.
+//
+// write_file_atomic writes to `<path>.tmp.<pid>`, fsyncs the file, renames
+// it over `path`, then fsyncs the parent directory. The destination
+// therefore always holds either the complete old artifact or the complete
+// new one — a crash, full disk, or failed fsync at ANY point can tear only
+// the temp file, never `path`. The snapshot fault-matrix test pins this by
+// crashing at every injected syscall and re-validating the destination.
+//
+// Failure handling: on an errno failure the temp file is unlinked
+// (best-effort) and mapit::Error is thrown naming the syscall and path; an
+// InjectedCrash (or a real kill) leaves the temp file behind, exactly like
+// a crashed process would — stale `.tmp.<pid>` files are harmless and may
+// be deleted at will.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fault/io.h"
+
+namespace mapit::fault {
+
+/// Atomically replaces `path` with `bytes` (see file comment). Throws
+/// mapit::Error on failure; after a throw `path` is untouched unless the
+/// error happened at or after the directory fsync, in which case `path`
+/// already holds the complete new content (rename happened) but its
+/// durability is not yet guaranteed.
+void write_file_atomic(const std::string& path, std::string_view bytes,
+                       Io& io = system_io());
+
+}  // namespace mapit::fault

@@ -1,0 +1,66 @@
+#include "fault/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace mapit::fault {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kFsync: return "fsync";
+    case Op::kFstat: return "fstat";
+    case Op::kRename: return "rename";
+    case Op::kClose: return "close";
+    case Op::kAccept: return "accept4";
+    case Op::kSend: return "send";
+    case Op::kRecv: return "recv";
+    case Op::kCount_: break;
+  }
+  return "?";
+}
+
+int Io::open(const char* path, int flags, ::mode_t mode) {
+  return ::open(path, flags, mode);
+}
+
+ssize_t Io::read(int fd, void* buffer, std::size_t count) {
+  return ::read(fd, buffer, count);
+}
+
+ssize_t Io::write(int fd, const void* buffer, std::size_t count) {
+  return ::write(fd, buffer, count);
+}
+
+int Io::fsync(int fd) { return ::fsync(fd); }
+
+int Io::fstat(int fd, struct ::stat* out) { return ::fstat(fd, out); }
+
+int Io::rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int Io::close(int fd) { return ::close(fd); }
+
+int Io::accept4(int fd, ::sockaddr* address, ::socklen_t* length, int flags) {
+  return ::accept4(fd, address, length, flags);
+}
+
+ssize_t Io::send(int fd, const void* buffer, std::size_t count, int flags) {
+  return ::send(fd, buffer, count, flags);
+}
+
+ssize_t Io::recv(int fd, void* buffer, std::size_t count, int flags) {
+  return ::recv(fd, buffer, count, flags);
+}
+
+Io& system_io() {
+  static Io instance;
+  return instance;
+}
+
+}  // namespace mapit::fault

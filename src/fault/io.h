@@ -1,0 +1,67 @@
+// Injectable syscall boundary for everything that can fail in production.
+//
+// Every file/socket syscall the artifact writers, the snapshot reader, and
+// the query server issue goes through a mapit::fault::Io, so tests can
+// substitute a FaultPlan (plan.h) that deterministically injects short
+// reads/writes, EINTR, ENOSPC, EMFILE, failed rename/fsync, or connection
+// resets at the Nth call — and the failure paths those inject are the exact
+// code paths production executes when the kernel says the same thing.
+//
+// The default implementation (system_io()) is a stateless passthrough to
+// the real syscalls; production callers never pay more than one virtual
+// call per syscall, which is noise next to the syscall itself.
+//
+// Contract: every method has the POSIX return convention of the syscall it
+// wraps (-1 + errno on failure); implementations must set errno exactly
+// like the kernel would so callers can branch on it.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace mapit::fault {
+
+/// The operations a FaultPlan can target. kCount_ is a sentinel.
+enum class Op {
+  kOpen,
+  kRead,
+  kWrite,
+  kFsync,
+  kFstat,
+  kRename,
+  kClose,
+  kAccept,
+  kSend,
+  kRecv,
+  kCount_,
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// Syscall surface. The base class IS the passthrough implementation;
+/// FaultPlan overrides selected methods to misbehave on schedule.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  virtual int open(const char* path, int flags, ::mode_t mode);
+  virtual ssize_t read(int fd, void* buffer, std::size_t count);
+  virtual ssize_t write(int fd, const void* buffer, std::size_t count);
+  virtual int fsync(int fd);
+  virtual int fstat(int fd, struct ::stat* out);
+  virtual int rename(const char* from, const char* to);
+  virtual int close(int fd);
+  virtual int accept4(int fd, ::sockaddr* address, ::socklen_t* length,
+                      int flags);
+  virtual ssize_t send(int fd, const void* buffer, std::size_t count,
+                       int flags);
+  virtual ssize_t recv(int fd, void* buffer, std::size_t count, int flags);
+};
+
+/// The shared passthrough instance production code defaults to.
+[[nodiscard]] Io& system_io();
+
+}  // namespace mapit::fault

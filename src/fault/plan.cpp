@@ -1,0 +1,162 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+
+#include "net/error.h"
+
+namespace mapit::fault {
+
+void FaultPlan::add(const Fault& fault) {
+  MAPIT_ENSURE(fault.nth >= 1, "fault plan: nth is 1-based");
+  MAPIT_ENSURE(fault.repeat >= 1, "fault plan: repeat must be >= 1");
+  MAPIT_ENSURE(!(fault.crash && fault.inject_errno != 0),
+               "fault plan: crash and errno are mutually exclusive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Armed& existing : armed_) {
+    if (existing.fault.op != fault.op) continue;
+    const std::uint64_t a_end = existing.fault.nth + existing.fault.repeat;
+    const std::uint64_t b_end = fault.nth + fault.repeat;
+    MAPIT_ENSURE(fault.nth >= a_end || existing.fault.nth >= b_end,
+                 std::string("fault plan: overlapping faults on ") +
+                     to_string(fault.op));
+  }
+  armed_.push_back(Armed{fault, 0});
+}
+
+std::uint64_t FaultPlan::calls(Op op) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[static_cast<std::size_t>(op)];
+}
+
+std::size_t FaultPlan::triggered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return triggered_;
+}
+
+void FaultPlan::reset_counters() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint64_t& counter : counters_) counter = 0;
+  for (Armed& armed : armed_) armed.hits = 0;
+}
+
+const Fault* FaultPlan::on_call(Op op) {
+  const Fault* matched = nullptr;
+  std::uint64_t call = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    call = ++counters_[static_cast<std::size_t>(op)];
+    for (Armed& armed : armed_) {
+      if (armed.fault.op != op) continue;
+      if (call < armed.fault.nth || call >= armed.fault.nth + armed.fault.repeat) {
+        continue;
+      }
+      if (++armed.hits == armed.fault.repeat) ++triggered_;
+      matched = &armed.fault;
+      break;
+    }
+  }
+  // Throw outside the lock: the test that catches InjectedCrash may query
+  // the plan from the same thread in its handler.
+  if (matched != nullptr && matched->crash) throw InjectedCrash(op, call);
+  return matched;
+}
+
+template <typename Passthrough>
+ssize_t FaultPlan::byte_op(Op op, std::size_t count, Passthrough fallthrough) {
+  const Fault* fault = on_call(op);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  if (fault != nullptr && fault->short_bytes != 0) {
+    count = std::min(count, fault->short_bytes);
+  }
+  return fallthrough(count);
+}
+
+int FaultPlan::open(const char* path, int flags, ::mode_t mode) {
+  const Fault* fault = on_call(Op::kOpen);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().open(path, flags, mode);
+}
+
+ssize_t FaultPlan::read(int fd, void* buffer, std::size_t count) {
+  return byte_op(Op::kRead, count, [&](std::size_t n) {
+    return system_io().read(fd, buffer, n);
+  });
+}
+
+ssize_t FaultPlan::write(int fd, const void* buffer, std::size_t count) {
+  return byte_op(Op::kWrite, count, [&](std::size_t n) {
+    return system_io().write(fd, buffer, n);
+  });
+}
+
+int FaultPlan::fsync(int fd) {
+  const Fault* fault = on_call(Op::kFsync);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().fsync(fd);
+}
+
+int FaultPlan::fstat(int fd, struct ::stat* out) {
+  const Fault* fault = on_call(Op::kFstat);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().fstat(fd, out);
+}
+
+int FaultPlan::rename(const char* from, const char* to) {
+  const Fault* fault = on_call(Op::kRename);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().rename(from, to);
+}
+
+int FaultPlan::close(int fd) {
+  const Fault* fault = on_call(Op::kClose);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    // The descriptor is still closed for real — a leaked fd would poison
+    // every later test in the process — but the caller sees the failure.
+    system_io().close(fd);
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().close(fd);
+}
+
+int FaultPlan::accept4(int fd, ::sockaddr* address, ::socklen_t* length,
+                       int flags) {
+  const Fault* fault = on_call(Op::kAccept);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().accept4(fd, address, length, flags);
+}
+
+ssize_t FaultPlan::send(int fd, const void* buffer, std::size_t count,
+                        int flags) {
+  return byte_op(Op::kSend, count, [&](std::size_t n) {
+    return system_io().send(fd, buffer, n, flags);
+  });
+}
+
+ssize_t FaultPlan::recv(int fd, void* buffer, std::size_t count, int flags) {
+  return byte_op(Op::kRecv, count, [&](std::size_t n) {
+    return system_io().recv(fd, buffer, n, flags);
+  });
+}
+
+}  // namespace mapit::fault

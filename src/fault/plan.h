@@ -1,0 +1,106 @@
+// Deterministic fault injection: a test-only Io that misbehaves on
+// schedule.
+//
+// A FaultPlan counts calls per Op and consults its fault table on every
+// call. A fault names an op, a 1-based call index (`nth`), how many
+// consecutive calls it covers (`repeat`), and what goes wrong:
+//
+//   * `inject_errno != 0` — the call fails with -1 and that errno, without
+//     touching the kernel (an ENOSPC write writes nothing, a reset send
+//     sends nothing — exactly the pessimistic reading callers must assume).
+//   * `short_bytes` (read/write/send/recv) — the call goes through but is
+//     truncated to at most `short_bytes`, exercising retry loops.
+//   * `crash = true` — the call throws InjectedCrash *before* doing
+//     anything. Production code never catches InjectedCrash, so it unwinds
+//     straight out of the writer like a kill would stop it; the fault-matrix
+//     tests then assert on what the filesystem holds.
+//
+// Unmatched calls pass through to system_io(). All counters are guarded by
+// one mutex: plans are shared across the server's accept + connection
+// threads in tests, and a microsecond of contention is irrelevant there.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "fault/io.h"
+
+namespace mapit::fault {
+
+/// Thrown by FaultPlan for `crash` faults. Deliberately NOT a mapit::Error:
+/// nothing in the library catches it, so it models sudden death at the
+/// injection point (everything before the call happened, the call and
+/// everything after did not).
+class InjectedCrash {
+ public:
+  explicit InjectedCrash(Op op, std::uint64_t nth) : op_(op), nth_(nth) {}
+  [[nodiscard]] Op op() const { return op_; }
+  [[nodiscard]] std::uint64_t nth() const { return nth_; }
+
+ private:
+  Op op_;
+  std::uint64_t nth_;
+};
+
+struct Fault {
+  Op op = Op::kWrite;
+  std::uint64_t nth = 1;        ///< 1-based call index of `op` to hit
+  std::uint64_t repeat = 1;     ///< consecutive calls covered (nth..nth+repeat-1)
+  int inject_errno = 0;         ///< fail with -1/errno (0 = succeed)
+  std::size_t short_bytes = 0;  ///< truncate byte ops to this many bytes
+  bool crash = false;           ///< throw InjectedCrash instead of calling
+};
+
+class FaultPlan final : public Io {
+ public:
+  FaultPlan() = default;
+
+  /// Arms a fault. Faults on the same op may not overlap in call range.
+  void add(const Fault& fault);
+
+  /// Calls of `op` seen so far (matched or not).
+  [[nodiscard]] std::uint64_t calls(Op op) const;
+
+  /// Faults whose call range was fully consumed.
+  [[nodiscard]] std::size_t triggered() const;
+
+  /// Resets all call counters (armed faults stay).
+  void reset_counters();
+
+  int open(const char* path, int flags, ::mode_t mode) override;
+  ssize_t read(int fd, void* buffer, std::size_t count) override;
+  ssize_t write(int fd, const void* buffer, std::size_t count) override;
+  int fsync(int fd) override;
+  int fstat(int fd, struct ::stat* out) override;
+  int rename(const char* from, const char* to) override;
+  int close(int fd) override;
+  int accept4(int fd, ::sockaddr* address, ::socklen_t* length,
+              int flags) override;
+  ssize_t send(int fd, const void* buffer, std::size_t count,
+               int flags) override;
+  ssize_t recv(int fd, void* buffer, std::size_t count, int flags) override;
+
+ private:
+  struct Armed {
+    Fault fault;
+    std::uint64_t hits = 0;
+  };
+
+  /// Bumps the op counter and returns the matching armed fault, or nullptr.
+  /// Throws InjectedCrash for crash faults. Caller handles errno faults and
+  /// short-byte truncation (they need the call arguments).
+  const Fault* on_call(Op op);
+
+  /// Shared tail of every byte-moving override: consult the plan, then
+  /// either fail, truncate, or pass through via `fallthrough`.
+  template <typename Passthrough>
+  ssize_t byte_op(Op op, std::size_t count, Passthrough fallthrough);
+
+  mutable std::mutex mutex_;
+  std::uint64_t counters_[static_cast<std::size_t>(Op::kCount_)] = {};
+  std::vector<Armed> armed_;
+  std::size_t triggered_ = 0;
+};
+
+}  // namespace mapit::fault

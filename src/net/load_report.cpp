@@ -1,0 +1,30 @@
+#include "net/load_report.h"
+
+#include <utility>
+
+namespace mapit {
+
+void LoadReport::record(std::size_t line_no, std::string error) {
+  ++skipped_;
+  if (offenders_.size() < kMaxDetailed) {
+    offenders_.push_back(Offender{line_no, std::move(error)});
+  }
+}
+
+std::string LoadReport::summary(const std::string& what) const {
+  if (skipped_ == 0) return {};
+  std::string out = what + ": skipped " + std::to_string(skipped_) + " of " +
+                    std::to_string(loaded_ + skipped_) +
+                    " lines as malformed\n";
+  for (const Offender& offender : offenders_) {
+    out += "  line " + std::to_string(offender.line_no) + ": " +
+           offender.error + "\n";
+  }
+  if (skipped_ > offenders_.size()) {
+    out += "  ... and " + std::to_string(skipped_ - offenders_.size()) +
+           " more\n";
+  }
+  return out;
+}
+
+}  // namespace mapit

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -17,39 +18,64 @@ namespace mapit::query {
 
 namespace {
 
-[[nodiscard]] bool send_all(int fd, const std::string& bytes) {
+[[nodiscard]] bool send_all(fault::Io& io, int fd, const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+    // MSG_NOSIGNAL: a client that disconnected mid-batch must surface as
+    // EPIPE on this call, never as a process-killing SIGPIPE.
+    const ssize_t n = io.send(fd, bytes.data() + sent, bytes.size() - sent,
+                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;
 }
 
+/// accept4 errnos that mean "right now", not "never again": out of fds
+/// (EMFILE/ENFILE), kernel memory pressure (ENOBUFS/ENOMEM), or a
+/// connection that died in the backlog (ECONNABORTED, EPROTO). A serve
+/// loop that exits on any of these turns one load spike into an outage.
+[[nodiscard]] bool transient_accept_error(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == ECONNABORTED || err == EPROTO || err == EAGAIN ||
+         err == EWOULDBLOCK;
+}
+
+constexpr char kCapacityRefusal[] =
+    "ERR server at connection capacity (try again later)\n";
+
 }  // namespace
 
-LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
-    : engine_(engine) {
+LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      io_(options.io != nullptr ? options.io : &fault::system_io()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw Error(std::string("serve: socket: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(std::string("serve: setsockopt(SO_REUSEADDR): ") +
+                std::strerror(err));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(options.port);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw Error("serve: cannot bind 127.0.0.1:" + std::to_string(port) +
-                ": " + std::strerror(err));
+    throw Error("serve: cannot bind 127.0.0.1:" +
+                std::to_string(options.port) + ": " + std::strerror(err));
   }
   socklen_t addr_len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
@@ -63,6 +89,9 @@ LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
   port_ = ntohs(addr.sin_port);
 }
 
+LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
+    : LineServer(engine, ServerOptions{.port = port}) {}
+
 LineServer::~LineServer() { stop(); }
 
 void LineServer::serve_forever() { accept_loop(); }
@@ -71,14 +100,45 @@ void LineServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+void LineServer::close_listener_locked() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
 void LineServer::accept_loop() {
-  accept_active_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(listener_mutex_);
+    accept_active_ = true;
+  }
+  std::chrono::milliseconds backoff{0};
   while (!stopping_.load()) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (stop()) or fatal error
+    int listen_fd;
+    {
+      const std::lock_guard<std::mutex> lock(listener_mutex_);
+      listen_fd = listen_fd_;
     }
+    if (listen_fd < 0) break;  // stop() already closed a never-started loop
+    const int fd = io_->accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      const int err = errno;
+      if (stopping_.load()) break;
+      if (err == EINTR) continue;
+      if (transient_accept_error(err)) {
+        // Capped exponential backoff, interruptible by stop(): an EMFILE
+        // burst slows accepts down, it never ends the serve loop.
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff = backoff.count() == 0
+                      ? std::chrono::milliseconds{1}
+                      : std::min(backoff * 2, options_.max_accept_backoff);
+        std::unique_lock<std::mutex> lock(listener_mutex_);
+        accept_cv_.wait_for(lock, backoff, [&] { return stopping_.load(); });
+        continue;
+      }
+      break;  // listener shut down or unrecoverable (EBADF, EINVAL)
+    }
+    backoff = std::chrono::milliseconds{0};
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -86,20 +146,53 @@ void LineServer::accept_loop() {
       ::close(fd);
       break;
     }
+    if (connection_fds_.size() >= options_.max_connections) {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      (void)send_all(*io_, fd, kCapacityRefusal);
+      ::close(fd);
+      continue;
+    }
     connection_fds_.push_back(fd);
     connections_.emplace_back([this, fd] { handle_connection(fd); });
   }
-  accept_active_.store(false);
+  {
+    const std::lock_guard<std::mutex> lock(listener_mutex_);
+    // When stop() triggered the exit it cannot close the fd itself — this
+    // thread may still have been inside accept4 on it, and a close would
+    // race a recycled descriptor. Closing here, after the last accept4
+    // returned, is safe for every exit path (including a serve_forever()
+    // caller stop() can never join).
+    if (stopping_.load()) close_listener_locked();
+    accept_active_ = false;
+  }
+  accept_cv_.notify_all();
 }
 
 void LineServer::handle_connection(int fd) {
+  if (options_.idle_timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.idle_timeout.count() / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>(options_.idle_timeout.count() % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   std::string pending;
   std::string responses;
+  bool discarding = false;  // inside an oversized line, already answered
   char buffer[64 * 1024];
   while (true) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    pending.append(buffer, static_cast<std::size_t>(n));
+    const ssize_t n = io_->recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;  // idle
+    if (n <= 0) break;  // EOF or connection error
+    std::string_view chunk(buffer, static_cast<std::size_t>(n));
+    if (discarding) {
+      const std::size_t newline = chunk.find('\n');
+      if (newline == std::string_view::npos) continue;  // still mid-line
+      chunk.remove_prefix(newline + 1);
+      discarding = false;
+    }
+    pending.append(chunk);
 
     // Answer every complete line in this chunk with one send.
     responses.clear();
@@ -111,11 +204,26 @@ void LineServer::handle_connection(int fd) {
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       start = newline + 1;
       if (line.empty()) continue;  // blank keep-alive lines get no answer
-      responses += engine_.answer(line);
+      if (line.size() > options_.max_line_bytes) {
+        responses += "ERR request line exceeds " +
+                     std::to_string(options_.max_line_bytes) + " bytes";
+      } else {
+        responses += engine_.answer(line);
+      }
       responses += '\n';
     }
     pending.erase(0, start);
-    if (!responses.empty() && !send_all(fd, responses)) break;
+    // An incomplete line past the bound is answered and discarded NOW —
+    // the buffer must stay bounded no matter how much the client streams
+    // without a newline.
+    if (pending.size() > options_.max_line_bytes) {
+      responses += "ERR request line exceeds " +
+                   std::to_string(options_.max_line_bytes) + " bytes\n";
+      pending.clear();
+      pending.shrink_to_fit();
+      discarding = true;
+    }
+    if (!responses.empty() && !send_all(*io_, fd, responses)) break;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -130,30 +238,37 @@ void LineServer::stop() {
   // Serialize stop() callers (tests stop explicitly, the destructor stops
   // again); the second caller finds everything joined and does nothing.
   const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
-  // Wake the accept loop with shutdown only: the fd must stay open (and
-  // listen_fd_ unmodified) until the loop has been joined, or the loop's
-  // accept4 could race the close and land on a recycled descriptor.
-  if (!stopping_.exchange(true) && listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  if (!stopping_.exchange(true)) {
+    const std::lock_guard<std::mutex> lock(listener_mutex_);
+    // Wake the accept loop with shutdown only: the loop closes the fd
+    // itself once it is certainly outside accept4 (see accept_loop).
+    // Unconditional even when the loop is not (yet) running — shutdown on
+    // an idle listener is harmless, and a start() whose thread has not
+    // reached accept4 yet must still find the listener dead.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   }
+  accept_cv_.notify_all();  // interrupt a backoff sleep immediately
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // A serve_forever() caller runs the loop on a thread stop() cannot
+    // join; wait for the loop to report exit, then close the listener if
+    // the loop never ran (constructed but never served).
+    std::unique_lock<std::mutex> lock(listener_mutex_);
+    accept_cv_.wait(lock, [&] { return !accept_active_; });
+    close_listener_locked();
+  }
 
   std::vector<std::thread> connections;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    // Unblock every connection's recv; each handler closes its own fd after
-    // removing itself from the list, so only shutdown (never close) here.
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    // Graceful drain: half-close the read side only, so every handler sees
+    // EOF after its current batch, flushes the answers it owes, and closes
+    // its own fd. SHUT_RDWR here would tear answers out from under
+    // in-flight batches.
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
     connections.swap(connections_);
   }
   for (std::thread& thread : connections) thread.join();
-
-  // A serve_forever() caller cannot be joined; leave the listener open for
-  // the destructor's stop() (which runs after serve_forever returned).
-  if (listen_fd_ >= 0 && !accept_active_.load()) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
 }
 
 }  // namespace mapit::query

@@ -12,23 +12,59 @@
 // holds no mutable state, so there is no locking anywhere on the query
 // path. Server bookkeeping (the live-connection list) is mutex-protected;
 // it is touched only on connect/disconnect.
+//
+// Overload and failure behavior (DESIGN.md §9):
+//   * accept4 failures are never fatal: transient errors (EMFILE, ENFILE,
+//     ECONNABORTED, ENOBUFS, ENOMEM, EAGAIN) retry with capped exponential
+//     backoff; only listener shutdown ends the loop.
+//   * At `max_connections` live connections a new client gets one refusal
+//     line ("ERR server at connection capacity (try again later)") and an
+//     immediate close — the 503 of this protocol.
+//   * A request line longer than `max_line_bytes` is answered with an ERR
+//     line and discarded through its terminating newline; the connection
+//     and the rest of the batch survive, and the buffer never grows
+//     unboundedly.
+//   * Connections idle longer than `idle_timeout` are closed (SO_RCVTIMEO).
+//   * stop() drains gracefully: the read side of every connection is shut
+//     down, in-flight batches finish and their answers are sent, then the
+//     connection closes.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "fault/io.h"
 #include "query/query_engine.h"
 
 namespace mapit::query {
 
+struct ServerOptions {
+  /// 127.0.0.1 port to bind (0 picks an ephemeral port, see port()).
+  std::uint16_t port = 0;
+  /// Close connections with no traffic for this long. zero = no timeout.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Live-connection cap; the excess client gets a refusal line + close.
+  std::size_t max_connections = 256;
+  /// Longest accepted request line (bytes, excluding the newline).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Upper bound for the accept-failure backoff sleep.
+  std::chrono::milliseconds max_accept_backoff{200};
+  /// Injectable syscall boundary (nullptr = fault::system_io()).
+  fault::Io* io = nullptr;
+};
+
 class LineServer {
  public:
-  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port, see
-  /// port()). Throws mapit::Error when the socket cannot be set up.
-  /// `engine` must outlive the server.
+  /// Binds and listens on 127.0.0.1:`options.port`. Throws mapit::Error
+  /// when the socket cannot be set up. `engine` must outlive the server.
+  LineServer(const QueryEngine& engine, const ServerOptions& options);
+
+  /// Convenience: default options with an explicit port.
   LineServer(const QueryEngine& engine, std::uint16_t port);
 
   LineServer(const LineServer&) = delete;
@@ -41,28 +77,50 @@ class LineServer {
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
   /// Runs the accept loop on the calling thread until stop() (from another
-  /// thread) or a fatal socket error. `mapit serve` sits in this.
+  /// thread) or listener shutdown. `mapit serve` sits in this.
   void serve_forever();
 
   /// Runs the accept loop on a background thread (tests and benches).
   void start();
 
-  /// Shuts down the listener and every live connection, then joins all
-  /// server threads. Idempotent.
+  /// Shuts down the listener, drains every live connection (in-flight
+  /// batches are answered before the close), then joins all server
+  /// threads. Idempotent.
   void stop();
+
+  /// Connections refused with the capacity line so far.
+  [[nodiscard]] std::uint64_t refused_connections() const {
+    return refused_.load(std::memory_order_relaxed);
+  }
+
+  /// accept4 failures absorbed by backoff so far.
+  [[nodiscard]] std::uint64_t accept_retries() const {
+    return accept_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// Closes the listener exactly once (whichever of the accept loop's exit
+  /// and stop() runs last with the fd still open does it).
+  void close_listener_locked();
 
   const QueryEngine& engine_;
+  ServerOptions options_;
+  fault::Io* io_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  /// True while accept_loop() runs; stop() must not close the listener
-  /// while a serve_forever() caller may still be inside accept4.
-  std::atomic<bool> accept_active_{false};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
   std::thread accept_thread_;
+
+  /// Guards listen_fd_ and accept_active_; accept_cv_ signals accept-loop
+  /// exit (so stop() can wait out a serve_forever() caller it cannot join)
+  /// and interrupts backoff sleeps.
+  std::mutex listener_mutex_;
+  std::condition_variable accept_cv_;
+  bool accept_active_ = false;
 
   std::mutex mutex_;
   std::mutex stop_mutex_;  ///< serializes stop() (explicit stop + destructor)

@@ -29,28 +29,28 @@ T read_at(const std::byte* data, std::uint64_t offset) {
 
 }  // namespace
 
-SnapshotReader SnapshotReader::open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+SnapshotReader SnapshotReader::open(const std::string& path, fault::Io& io) {
+  const int fd = io.open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
   if (fd < 0) {
     throw Error("snapshot: cannot open " + path + ": " +
                 std::strerror(errno));
   }
   struct stat st {};
-  if (::fstat(fd, &st) != 0) {
+  if (io.fstat(fd, &st) != 0) {
     const int err = errno;
-    ::close(fd);
+    io.close(fd);
     throw Error("snapshot: cannot stat " + path + ": " + std::strerror(err));
   }
   const auto size = static_cast<std::uint64_t>(st.st_size);
   if (size < sizeof(SnapshotHeader)) {
-    ::close(fd);
+    io.close(fd);
     reject(path + ": file smaller than header (" + std::to_string(size) +
            " bytes)");
   }
   void* mapping =
       ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   const int map_err = errno;
-  ::close(fd);
+  io.close(fd);
   if (mapping == MAP_FAILED) {
     throw Error("snapshot: mmap of " + path + " failed: " +
                 std::strerror(map_err));

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/io.h"
 #include "store/format.h"
 
 namespace mapit::store {
@@ -29,7 +30,10 @@ class SnapshotReader {
  public:
   /// Maps and validates the artifact at `path`. Throws SnapshotError on any
   /// validation failure and mapit::Error when the file cannot be opened.
-  [[nodiscard]] static SnapshotReader open(const std::string& path);
+  /// `io` is the syscall boundary for open/fstat/close (the mapping itself
+  /// is not injectable); tests drive EMFILE and friends through it.
+  [[nodiscard]] static SnapshotReader open(
+      const std::string& path, fault::Io& io = fault::system_io());
 
   /// Validates an in-memory artifact (copied into owned, aligned storage).
   /// Same checks as open; used by tests to probe corrupt images cheaply.

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 #include <tuple>
 
+#include "fault/atomic_file.h"
 #include "net/error.h"
 
 namespace mapit::store {
@@ -202,13 +202,9 @@ std::string serialize_snapshot(const SnapshotData& data) {
 }
 
 WriteInfo write_snapshot_file(const SnapshotData& data,
-                              const std::string& path) {
+                              const std::string& path, fault::Io& io) {
   const std::string bytes = serialize_snapshot(data);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("snapshot: cannot write " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) throw Error("snapshot: short write to " + path);
+  fault::write_file_atomic(path, bytes, io);
   WriteInfo info;
   info.bytes = bytes.size();
   std::memcpy(&info.payload_crc32,

@@ -21,6 +21,7 @@
 
 #include "asdata/asn.h"
 #include "bgp/ip2as.h"
+#include "fault/io.h"
 #include "core/engine.h"
 #include "core/links.h"
 #include "graph/interface_graph.h"
@@ -62,9 +63,14 @@ struct WriteInfo {
   std::uint32_t payload_crc32 = 0;
 };
 
-/// Serializes and writes the artifact to `path` (binary, truncating).
-/// Throws mapit::Error when the file cannot be written.
+/// Serializes and writes the artifact to `path` crash-safely: the bytes go
+/// to `<path>.tmp.<pid>`, are fsynced, and are renamed into place (see
+/// fault/atomic_file.h) — a crash or I/O failure at any point leaves
+/// `path` holding either the complete old artifact or the complete new
+/// one, never a torn file. Throws mapit::Error when any step fails.
+/// `io` is the syscall boundary; tests inject faults through it.
 WriteInfo write_snapshot_file(const SnapshotData& data,
-                              const std::string& path);
+                              const std::string& path,
+                              fault::Io& io = fault::system_io());
 
 }  // namespace mapit::store

@@ -123,7 +123,8 @@ void write_corpus(std::ostream& out, const TraceCorpus& corpus) {
   }
 }
 
-TraceCorpus read_corpus(std::istream& in, unsigned threads) {
+TraceCorpus read_corpus(std::istream& in, unsigned threads,
+                        LoadReport* report) {
   // Slurp the payload lines first: parsing dominates the I/O, and
   // line-indexed result slots make the parallel parse's trace order
   // identical to the sequential reader's.
@@ -139,21 +140,47 @@ TraceCorpus read_corpus(std::istream& in, unsigned threads) {
   }
 
   std::vector<Trace> traces(lines.size());
+  // Lenient mode: per-slot error strings instead of exceptions. Slots keep
+  // file order, so merging them afterwards yields the sequential reader's
+  // LoadReport for any thread count.
+  std::vector<std::string> errors(report != nullptr ? lines.size() : 0);
   const unsigned resolved = parallel::resolve_threads(threads);
   std::optional<parallel::ThreadPool> pool;
   if (resolved > 1 && lines.size() > 1) pool.emplace(resolved);
-  // On a malformed corpus the lowest-indexed failing worker's exception is
-  // rethrown; worker ranges ascend and each stops at its first bad line,
-  // so that is exactly the error the sequential reader reports.
+  // On a malformed corpus in strict mode the lowest-indexed failing
+  // worker's exception is rethrown; worker ranges ascend and each stops at
+  // its first bad line, so that is exactly the error the sequential reader
+  // reports.
   parallel::for_ranges(
       pool ? &*pool : nullptr, lines.size(),
       [&](unsigned, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          traces[i] = parse_trace(
-              lines[i], "trace line " + std::to_string(line_numbers[i]));
+          const std::string context =
+              "trace line " + std::to_string(line_numbers[i]);
+          if (report == nullptr) {
+            traces[i] = parse_trace(lines[i], context);
+            continue;
+          }
+          try {
+            traces[i] = parse_trace(lines[i], context);
+          } catch (const ParseError& e) {
+            errors[i] = e.what();
+          }
         }
       });
-  return TraceCorpus(std::move(traces));
+  if (report == nullptr) return TraceCorpus(std::move(traces));
+
+  std::vector<Trace> kept;
+  kept.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (errors[i].empty()) {
+      kept.push_back(std::move(traces[i]));
+    } else {
+      report->record(line_numbers[i], std::move(errors[i]));
+    }
+  }
+  report->add_loaded(kept.size());
+  return TraceCorpus(std::move(kept));
 }
 
 }  // namespace mapit::trace

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/load_report.h"
 #include "trace/trace.h"
 
 namespace mapit::trace {
@@ -32,13 +33,20 @@ namespace mapit::trace {
 void write_corpus(std::ostream& out, const TraceCorpus& corpus);
 
 /// Reads a corpus written by write_corpus (or hand-authored in the same
-/// format). Throws mapit::ParseError naming the offending line.
+/// format).
+///
+/// Strict mode (`report == nullptr`, the default) throws mapit::ParseError
+/// naming the first offending line. Lenient mode (`report != nullptr`)
+/// quarantines instead: malformed lines are skipped and counted into
+/// `*report` (line numbers ascending), and every well-formed line loads.
 ///
 /// `threads` workers parse line chunks concurrently (0 = one per hardware
 /// thread, 1 = the sequential reader). The result is byte-identical for
-/// every thread count: traces keep file order, and the error reported for
-/// a malformed corpus is the one the sequential reader would hit first
-/// (workers own ascending line ranges and stop at their first failure).
-[[nodiscard]] TraceCorpus read_corpus(std::istream& in, unsigned threads = 1);
+/// every thread count: traces keep file order, the strict-mode error is
+/// the one the sequential reader would hit first (workers own ascending
+/// line ranges and stop at their first failure), and the lenient-mode
+/// LoadReport is the sequential reader's report exactly.
+[[nodiscard]] TraceCorpus read_corpus(std::istream& in, unsigned threads = 1,
+                                      LoadReport* report = nullptr);
 
 }  // namespace mapit::trace

@@ -110,6 +110,56 @@ TEST(Rib, ReadRejectsMalformedLines) {
   }
 }
 
+// Every malformed variant, once strict (throws, names the line) and once
+// lenient (skipped, counted, neighbors survive).
+class RibLenientTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RibLenientTest, StrictThrowsWithLineNumber) {
+  std::stringstream stream("# header\nrv|10.0.0.0/8|100\n" +
+                           std::string(GetParam()) + "\nris|20.0.0.0/16|200\n");
+  try {
+    (void)Rib::read(stream);
+    FAIL() << "expected ParseError for '" << GetParam() << "'";
+  } catch (const mapit::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(RibLenientTest, LenientSkipsCountsAndKeepsTheRest) {
+  std::stringstream stream("# header\nrv|10.0.0.0/8|100\n" +
+                           std::string(GetParam()) + "\nris|20.0.0.0/16|200\n");
+  mapit::LoadReport report;
+  const Rib rib = Rib::read(stream, &report);
+  EXPECT_EQ(rib.announcement_count(), 2u);
+  EXPECT_EQ(rib.prefix_count(), 2u);
+  EXPECT_EQ(report.skipped(), 1u);
+  EXPECT_EQ(report.loaded(), 2u);
+  ASSERT_EQ(report.offenders().size(), 1u);
+  EXPECT_EQ(report.offenders()[0].line_no, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, RibLenientTest,
+    ::testing::Values("rc|10.0.0.0/8",        // missing origin field
+                      "rc|not-a-prefix|100",  // bad prefix
+                      "rc|10.0.0.0/99|100",   // bad prefix length
+                      "rc|10.0.0.0/8|abc",    // junk origin
+                      "rc|10.0.0.0/8|0"       // reserved unknown-ASN origin
+                      ));
+
+TEST(Rib, LenientDoesNotLeakCollectorsFromSkippedLines) {
+  // The quarantined line names a collector nobody else uses; a rejected
+  // line must leave the Rib completely untouched.
+  std::stringstream stream(
+      "rv|10.0.0.0/8|100\nghost|not-a-prefix|100\nrv|20.0.0.0/16|200\n");
+  mapit::LoadReport report;
+  const Rib rib = Rib::read(stream, &report);
+  EXPECT_EQ(report.skipped(), 1u);
+  ASSERT_EQ(rib.collector_names().size(), 1u);
+  EXPECT_EQ(rib.collector_names()[0], "rv");
+}
+
 TEST(Rib, ReadSkipsCommentsAndBlankLines) {
   std::stringstream stream("# header\n\nrc|10.0.0.0/8|100\n");
   const Rib rib = Rib::read(stream);

@@ -1,0 +1,194 @@
+// Fault matrix for write_file_atomic: whatever fails — and wherever it
+// fails — the destination path must hold either the complete old content
+// or the complete new content. The matrix crashes at every syscall the
+// writer issues and injects every representative errno, then reads back
+// the destination.
+#include "fault/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/plan.h"
+#include "net/error.h"
+
+namespace mapit::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mapit_atomic_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    path_ = (dir_ / "artifact.txt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string read_destination() const {
+    std::ifstream in(path_, std::ios::binary);
+    EXPECT_TRUE(in) << "destination vanished: " << path_;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesAndReplaces) {
+  write_file_atomic(path_, "first");
+  EXPECT_EQ(read_destination(), "first");
+  write_file_atomic(path_, "second, longer than before");
+  EXPECT_EQ(read_destination(), "second, longer than before");
+  // No temp litter on the success path.
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir_),
+                          fs::directory_iterator{}),
+            1);
+}
+
+TEST_F(AtomicFileTest, RetriesEintrAndShortWrites) {
+  FaultPlan plan;
+  // EINTR then a 1-byte short write: the loop must absorb both.
+  plan.add(Fault{.op = Op::kWrite, .nth = 1, .inject_errno = EINTR});
+  plan.add(Fault{.op = Op::kWrite, .nth = 2, .short_bytes = 1});
+  const std::string content = "retry-me: 0123456789";
+  write_file_atomic(path_, content, plan);
+  EXPECT_EQ(read_destination(), content);
+  EXPECT_GE(plan.calls(Op::kWrite), 3u);
+}
+
+// Every syscall the writer issues, crashed at every call index: the
+// destination must afterwards hold the complete old artifact or (for a
+// crash after the rename) the complete new one — never anything else.
+TEST_F(AtomicFileTest, CrashMatrixLeavesOldOrNewOnly) {
+  const std::string old_content = "OLD artifact, complete";
+  const std::string new_content =
+      "NEW artifact, complete, deliberately longer than the old one";
+  const Op kOps[] = {Op::kOpen, Op::kWrite, Op::kFsync, Op::kRename,
+                     Op::kClose};
+
+  // Counting pass: how many calls of each op does one clean write issue?
+  write_file_atomic(path_, old_content);
+  FaultPlan counter;
+  write_file_atomic(path_, new_content, counter);
+  ASSERT_EQ(read_destination(), new_content);
+
+  int crash_points = 0;
+  for (const Op op : kOps) {
+    const std::uint64_t calls = counter.calls(op);
+    ASSERT_GE(calls, 1u) << to_string(op);
+    for (std::uint64_t nth = 1; nth <= calls; ++nth) {
+      // Fresh start: destination holds the old artifact again.
+      write_file_atomic(path_, old_content);
+      FaultPlan plan;
+      plan.add(Fault{.op = op, .nth = nth, .crash = true});
+      bool crashed = false;
+      try {
+        write_file_atomic(path_, new_content, plan);
+      } catch (const InjectedCrash&) {
+        crashed = true;
+      }
+      ASSERT_TRUE(crashed) << to_string(op) << " call " << nth
+                           << " was never reached";
+      ++crash_points;
+      const std::string survivor = read_destination();
+      EXPECT_TRUE(survivor == old_content || survivor == new_content)
+          << "torn artifact after crash at " << to_string(op) << " call "
+          << nth << ": '" << survivor << "'";
+      // Crashes strictly before the rename call leave the OLD bytes; only
+      // the parent-directory stage (call 2 of open/fsync/close) runs after
+      // rename. The crash at the rename call itself fires BEFORE the
+      // rename happens, so it too must leave the old artifact.
+      const bool before_rename = op == Op::kWrite || op == Op::kRename ||
+                                 nth == 1;
+      EXPECT_EQ(survivor, before_rename ? old_content : new_content)
+          << "crash at " << to_string(op) << " call " << nth;
+    }
+  }
+  // open(tmp) + N writes + fsync(file) + close(file) + rename +
+  // open(dir) + fsync(dir) + close(dir) — at least 8 distinct points.
+  EXPECT_GE(crash_points, 8);
+}
+
+// Errno matrix: representative failures at every stage surface as
+// mapit::Error, leave the destination untouched (or complete-new after
+// rename), and clean up the temp file.
+TEST_F(AtomicFileTest, ErrnoMatrixThrowsAndNeverTears) {
+  const std::string old_content = "OLD";
+  const std::string new_content = "NEW NEW NEW";
+
+  struct Case {
+    Op op;
+    std::uint64_t nth;
+    int err;
+    bool destination_must_be_old;
+  };
+  const Case cases[] = {
+      {Op::kOpen, 1, EMFILE, true},    // creating the temp file
+      {Op::kWrite, 1, ENOSPC, true},   // first payload write
+      {Op::kFsync, 1, EIO, true},      // fsync of the temp file
+      {Op::kClose, 1, EIO, true},      // close of the temp file
+      {Op::kRename, 1, EXDEV, true},   // the rename itself
+      {Op::kOpen, 2, EACCES, false},   // opening the parent directory
+      {Op::kFsync, 2, EIO, false},     // fsync of the parent directory
+      {Op::kClose, 2, EIO, false},     // close of the parent directory
+  };
+  for (const Case& c : cases) {
+    write_file_atomic(path_, old_content);
+    FaultPlan plan;
+    plan.add(Fault{.op = c.op, .nth = c.nth, .inject_errno = c.err});
+    EXPECT_THROW(write_file_atomic(path_, new_content, plan), Error)
+        << to_string(c.op) << " call " << c.nth;
+    const std::string survivor = read_destination();
+    if (c.destination_must_be_old) {
+      EXPECT_EQ(survivor, old_content)
+          << to_string(c.op) << " call " << c.nth;
+    } else {
+      EXPECT_EQ(survivor, new_content)
+          << to_string(c.op) << " call " << c.nth;
+    }
+    // Errno failures (unlike crashes) must not litter temp files.
+    EXPECT_EQ(std::distance(fs::directory_iterator(dir_),
+                            fs::directory_iterator{}),
+              1)
+        << "temp file left behind after " << to_string(c.op) << " failure";
+  }
+}
+
+TEST_F(AtomicFileTest, CrashLeavesTempFileLikeAKillWould) {
+  write_file_atomic(path_, "old");
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kFsync, .nth = 1, .crash = true});
+  EXPECT_THROW(write_file_atomic(path_, "new", plan), InjectedCrash);
+  EXPECT_EQ(read_destination(), "old");
+  // The temp file survives, exactly as after a real kill; stale temps are
+  // documented as harmless.
+  int entries = 0;
+  bool saw_tmp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++entries;
+    saw_tmp |= entry.path().string().find(".tmp.") != std::string::npos;
+  }
+  EXPECT_EQ(entries, 2);
+  EXPECT_TRUE(saw_tmp);
+}
+
+TEST_F(AtomicFileTest, EmptyContentIsValid) {
+  write_file_atomic(path_, "not empty");
+  write_file_atomic(path_, "");
+  EXPECT_EQ(read_destination(), "");
+}
+
+}  // namespace
+}  // namespace mapit::fault

@@ -1,0 +1,167 @@
+// FaultPlan semantics: call counting, Nth-call targeting, errno injection,
+// short-byte truncation, crash throws, and passthrough correctness — the
+// harness every fault-matrix test builds on must itself be pinned.
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+#include "net/error.h"
+
+namespace mapit::fault {
+namespace {
+
+class TempFile {
+ public:
+  TempFile() {
+    char name[] = "/tmp/mapit_fault_io_XXXXXX";
+    fd_ = ::mkstemp(name);
+    EXPECT_GE(fd_, 0);
+    path_ = name;
+  }
+  ~TempFile() {
+    if (fd_ >= 0) ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+TEST(FaultPlanTest, PassesThroughAndCounts) {
+  TempFile file;
+  FaultPlan plan;
+  EXPECT_EQ(plan.calls(Op::kWrite), 0u);
+  EXPECT_EQ(plan.write(file.fd(), "abc", 3), 3);
+  EXPECT_EQ(plan.write(file.fd(), "de", 2), 2);
+  EXPECT_EQ(plan.calls(Op::kWrite), 2u);
+  EXPECT_EQ(plan.triggered(), 0u);
+}
+
+TEST(FaultPlanTest, InjectsErrnoAtNthCallOnly) {
+  TempFile file;
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kWrite, .nth = 2, .inject_errno = ENOSPC});
+  EXPECT_EQ(plan.write(file.fd(), "a", 1), 1);
+  errno = 0;
+  EXPECT_EQ(plan.write(file.fd(), "b", 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(plan.write(file.fd(), "c", 1), 1);
+  EXPECT_EQ(plan.triggered(), 1u);
+  // The failed call wrote nothing: the file holds exactly "ac".
+  char buffer[8] = {};
+  EXPECT_EQ(::pread(file.fd(), buffer, sizeof(buffer), 0), 2);
+  EXPECT_STREQ(buffer, "ac");
+}
+
+TEST(FaultPlanTest, RepeatCoversConsecutiveCalls) {
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kAccept, .nth = 1, .repeat = 3,
+                 .inject_errno = EMFILE});
+  for (int i = 0; i < 3; ++i) {
+    errno = 0;
+    EXPECT_EQ(plan.accept4(-1, nullptr, nullptr, 0), -1);
+    EXPECT_EQ(errno, EMFILE);
+  }
+  // Call 4 passes through to the real accept4 on fd -1: EBADF, not EMFILE.
+  errno = 0;
+  EXPECT_EQ(plan.accept4(-1, nullptr, nullptr, 0), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(plan.calls(Op::kAccept), 4u);
+  EXPECT_EQ(plan.triggered(), 1u);
+}
+
+TEST(FaultPlanTest, ShortWriteTruncates) {
+  TempFile file;
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kWrite, .nth = 1, .short_bytes = 2});
+  EXPECT_EQ(plan.write(file.fd(), "abcdef", 6), 2);
+  EXPECT_EQ(plan.write(file.fd(), "cdef", 4), 4);
+  char buffer[8] = {};
+  EXPECT_EQ(::pread(file.fd(), buffer, sizeof(buffer), 0), 6);
+  EXPECT_STREQ(buffer, "abcdef");
+}
+
+TEST(FaultPlanTest, ShortReadTruncates) {
+  TempFile file;
+  ASSERT_EQ(::write(file.fd(), "abcdef", 6), 6);
+  ASSERT_EQ(::lseek(file.fd(), 0, SEEK_SET), 0);
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kRead, .nth = 1, .short_bytes = 3});
+  char buffer[8] = {};
+  EXPECT_EQ(plan.read(file.fd(), buffer, sizeof(buffer)), 3);
+  EXPECT_EQ(std::string(buffer, 3), "abc");
+}
+
+TEST(FaultPlanTest, CrashThrowsBeforeTheCall) {
+  TempFile file;
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kWrite, .nth = 2, .crash = true});
+  EXPECT_EQ(plan.write(file.fd(), "a", 1), 1);
+  EXPECT_THROW(plan.write(file.fd(), "b", 1), InjectedCrash);
+  // The crashed call never reached the kernel.
+  char buffer[4] = {};
+  EXPECT_EQ(::pread(file.fd(), buffer, sizeof(buffer), 0), 1);
+  EXPECT_STREQ(buffer, "a");
+  try {
+    plan.reset_counters();
+    plan.write(file.fd(), "x", 1);  // call 1: passthrough again
+    plan.write(file.fd(), "y", 1);
+    FAIL() << "expected InjectedCrash";
+  } catch (const InjectedCrash& crash) {
+    EXPECT_EQ(crash.op(), Op::kWrite);
+    EXPECT_EQ(crash.nth(), 2u);
+  }
+}
+
+TEST(FaultPlanTest, RenameAndFsyncInjection) {
+  TempFile file;
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kFsync, .nth = 1, .inject_errno = EIO});
+  plan.add(Fault{.op = Op::kRename, .nth = 1, .inject_errno = EXDEV});
+  errno = 0;
+  EXPECT_EQ(plan.fsync(file.fd()), -1);
+  EXPECT_EQ(errno, EIO);
+  errno = 0;
+  EXPECT_EQ(plan.rename("/nonexistent/a", "/nonexistent/b"), -1);
+  EXPECT_EQ(errno, EXDEV);
+  // Past the faults both pass through.
+  EXPECT_EQ(plan.fsync(file.fd()), 0);
+}
+
+TEST(FaultPlanTest, OpenInjection) {
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kOpen, .nth = 1, .inject_errno = EMFILE});
+  errno = 0;
+  EXPECT_EQ(plan.open("/tmp", O_RDONLY, 0), -1);
+  EXPECT_EQ(errno, EMFILE);
+  const int fd = plan.open("/tmp", O_RDONLY, 0);
+  EXPECT_GE(fd, 0);
+  ::close(fd);
+}
+
+TEST(FaultPlanTest, RejectsOverlappingAndDegenerateFaults) {
+  FaultPlan plan;
+  plan.add(Fault{.op = Op::kWrite, .nth = 2, .repeat = 3});
+  EXPECT_THROW(plan.add(Fault{.op = Op::kWrite, .nth = 4}), InvariantError);
+  EXPECT_NO_THROW(plan.add(Fault{.op = Op::kWrite, .nth = 5}));
+  EXPECT_THROW(plan.add(Fault{.op = Op::kRead, .nth = 0}), InvariantError);
+  EXPECT_THROW(plan.add(Fault{.op = Op::kRead, .nth = 1, .repeat = 0}),
+               InvariantError);
+  EXPECT_THROW(
+      plan.add(Fault{.op = Op::kRead, .nth = 1, .inject_errno = EIO,
+                     .crash = true}),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace mapit::fault

@@ -1,0 +1,109 @@
+// Lenient and strict ingestion must be deterministic across thread counts:
+// a parallel load reports the same first strict-mode error and produces the
+// same LoadReport and the same surviving corpus as the sequential reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/error.h"
+#include "net/load_report.h"
+#include "trace/trace_io.h"
+
+namespace mapit::trace {
+namespace {
+
+/// A corpus with malformed lines sprinkled at known positions, big enough
+/// that an 8-thread load splits it across every worker.
+std::string dirty_corpus(std::size_t total_lines,
+                         std::vector<std::size_t>* bad_line_numbers) {
+  std::string text = "# dirty corpus\n";
+  std::size_t line_no = 1;
+  for (std::size_t i = 0; i < total_lines; ++i) {
+    ++line_no;
+    if (i % 37 == 5) {
+      text += "garbage line " + std::to_string(i) + "\n";
+      bad_line_numbers->push_back(line_no);
+    } else if (i % 53 == 11) {
+      text += "3|9.9.9.9|1.0.0.1@999\n";  // quoted TTL out of range
+      bad_line_numbers->push_back(line_no);
+    } else {
+      text += std::to_string(i % 16) + "|9.9.9." + std::to_string(i % 200) +
+              "|1.0.0." + std::to_string(1 + i % 200) + " *\n";
+    }
+  }
+  return text;
+}
+
+TEST(LenientLoad, ParallelReportMatchesSequential) {
+  std::vector<std::size_t> bad_lines;
+  const std::string text = dirty_corpus(1000, &bad_lines);
+  ASSERT_GE(bad_lines.size(), LoadReport::kMaxDetailed + 1);
+
+  std::stringstream sequential_in(text);
+  LoadReport sequential;
+  const TraceCorpus baseline = read_corpus(sequential_in, 1, &sequential);
+  EXPECT_EQ(sequential.skipped(), bad_lines.size());
+  EXPECT_EQ(sequential.loaded() + sequential.skipped(), 1000u);
+  ASSERT_EQ(sequential.offenders().size(), LoadReport::kMaxDetailed);
+  for (std::size_t i = 0; i < sequential.offenders().size(); ++i) {
+    EXPECT_EQ(sequential.offenders()[i].line_no, bad_lines[i]) << i;
+  }
+
+  for (const unsigned threads : {2u, 8u}) {
+    std::stringstream in(text);
+    LoadReport report;
+    const TraceCorpus corpus = read_corpus(in, threads, &report);
+    EXPECT_EQ(report.skipped(), sequential.skipped()) << threads;
+    EXPECT_EQ(report.loaded(), sequential.loaded()) << threads;
+    ASSERT_EQ(report.offenders().size(), sequential.offenders().size())
+        << threads;
+    for (std::size_t i = 0; i < report.offenders().size(); ++i) {
+      EXPECT_EQ(report.offenders()[i].line_no,
+                sequential.offenders()[i].line_no)
+          << threads << " threads, offender " << i;
+      EXPECT_EQ(report.offenders()[i].error, sequential.offenders()[i].error)
+          << threads << " threads, offender " << i;
+    }
+    ASSERT_EQ(corpus.size(), baseline.size()) << threads;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(corpus.traces()[i], baseline.traces()[i])
+          << threads << " threads, trace " << i;
+    }
+  }
+}
+
+TEST(LenientLoad, ParallelStrictFirstErrorMatchesSequential) {
+  std::vector<std::size_t> bad_lines;
+  const std::string text = dirty_corpus(1000, &bad_lines);
+
+  std::string sequential_error;
+  {
+    std::stringstream in(text);
+    try {
+      (void)read_corpus(in, 1);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      sequential_error = e.what();
+    }
+  }
+  EXPECT_NE(
+      sequential_error.find("line " + std::to_string(bad_lines.front())),
+      std::string::npos)
+      << sequential_error;
+
+  for (const unsigned threads : {2u, 8u}) {
+    std::stringstream in(text);
+    try {
+      (void)read_corpus(in, threads);
+      FAIL() << "expected ParseError with " << threads << " threads";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(std::string(e.what()), sequential_error)
+          << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mapit::trace

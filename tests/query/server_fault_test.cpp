@@ -1,0 +1,381 @@
+// LineServer hardening under injected faults and hostile clients: EMFILE
+// bursts on accept, idle connections, oversized request lines, connection
+// caps, clients that vanish mid-batch, and graceful drain on stop. The
+// soak test at the end runs all of it at once and still expects golden
+// answers; the TSan CI job runs this whole binary (FAULT_MATRIX stage).
+#include "query/server.h"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/plan.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "test_util.h"
+
+namespace mapit::query {
+namespace {
+
+using store::InferenceRecord;
+using store::PrefixRecord;
+using store::SnapshotData;
+using store::SnapshotReader;
+using testutil::addr;
+
+SnapshotData sample_data() {
+  SnapshotData data;
+  data.inferences.push_back(
+      InferenceRecord{addr("10.0.0.1").value(), 0, 0, 0, 0, 100, 200, 3, 4});
+  data.inferences.push_back(
+      InferenceRecord{addr("10.0.0.2").value(), 1, 1, 0, 0, 200, 100, 2, 3});
+  data.bgp_prefixes.push_back(
+      PrefixRecord{addr("10.0.0.0").value(), 100, 8, {0, 0, 0}});
+  return data;
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                    sizeof(address)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_exactly(int fd, const std::string& request) {
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string drain(int fd) {
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// Connects, sends `request`, half-closes, drains the response until EOF.
+std::string roundtrip(std::uint16_t port, const std::string& request) {
+  const int fd = connect_to(port);
+  send_exactly(fd, request);
+  shutdown(fd, SHUT_WR);
+  const std::string response = drain(fd);
+  close(fd);
+  return response;
+}
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reader_ = std::make_unique<SnapshotReader>(SnapshotReader::from_bytes(
+        store::serialize_snapshot(sample_data())));
+    engine_ = std::make_unique<QueryEngine>(*reader_);
+  }
+
+  std::unique_ptr<SnapshotReader> reader_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(ServerFaultTest, SurvivesEmfileBurstOnAccept) {
+  fault::FaultPlan plan;
+  // The first four accepts fail with fd exhaustion, the fifth with a
+  // connection that died in the backlog; the accept loop must back off and
+  // keep serving, never exit.
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 1, .repeat = 4,
+                        .inject_errno = EMFILE});
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 5,
+                        .inject_errno = ECONNABORTED});
+  ServerOptions options;
+  options.max_accept_backoff = std::chrono::milliseconds(10);
+  options.io = &plan;
+  LineServer server(*engine_, options);
+  server.start();
+  const std::string response = roundtrip(server.port(), "lookup 10.0.0.1 f\n");
+  EXPECT_EQ(response, engine_->answer("lookup 10.0.0.1 f") + "\n");
+  EXPECT_GE(server.accept_retries(), 5u);
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, EnfileThenStopDoesNotHangInBackoff) {
+  fault::FaultPlan plan;
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 1, .repeat = 1000,
+                        .inject_errno = ENFILE});
+  ServerOptions options;
+  options.max_accept_backoff = std::chrono::milliseconds(5000);
+  options.io = &plan;
+  LineServer server(*engine_, options);
+  server.start();
+  // Let the loop reach a long backoff sleep, then stop: the sleep must be
+  // interrupted, not waited out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto begin = std::chrono::steady_clock::now();
+  server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - begin,
+            std::chrono::seconds(2));
+}
+
+TEST_F(ServerFaultTest, IdleConnectionIsClosedAfterTimeout) {
+  ServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  LineServer server(*engine_, options);
+  server.start();
+  const int fd = connect_to(server.port());
+  // An active roundtrip first: activity must not trip the idle timer.
+  send_exactly(fd, "stats\n");
+  char buffer[512];
+  ASSERT_GT(recv(fd, buffer, sizeof(buffer), 0), 0);
+  // Now idle. The server must close us — recv unblocks with EOF.
+  const auto begin = std::chrono::steady_clock::now();
+  const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+  EXPECT_EQ(n, 0);
+  EXPECT_LT(std::chrono::steady_clock::now() - begin,
+            std::chrono::seconds(5));
+  close(fd);
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, RefusesConnectionsPastTheCap) {
+  ServerOptions options;
+  options.max_connections = 1;
+  LineServer server(*engine_, options);
+  server.start();
+
+  const int occupant = connect_to(server.port());
+  send_exactly(occupant, "stats\n");
+  char buffer[512];
+  ASSERT_GT(recv(occupant, buffer, sizeof(buffer), 0), 0);
+
+  // The cap is hit: the next client gets one refusal line, then EOF.
+  const int refused = connect_to(server.port());
+  const std::string refusal = drain(refused);
+  EXPECT_EQ(refusal, "ERR server at connection capacity (try again later)\n");
+  close(refused);
+  EXPECT_EQ(server.refused_connections(), 1u);
+
+  // Freeing the slot reopens the door.
+  close(occupant);
+  std::string accepted;
+  for (int attempt = 0; attempt < 100 && accepted.empty(); ++attempt) {
+    accepted = roundtrip(server.port(), "stats\n");
+    if (accepted == "ERR server at connection capacity (try again later)\n") {
+      accepted.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(accepted, engine_->answer("stats") + "\n");
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, OversizedCompleteLineGetsErrAndBatchContinues) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  LineServer server(*engine_, options);
+  server.start();
+  const std::string request =
+      std::string(200, 'a') + "\nlookup 10.0.0.1 f\n";
+  const std::string response = roundtrip(server.port(), request);
+  EXPECT_EQ(response, "ERR request line exceeds 64 bytes\n" +
+                          engine_->answer("lookup 10.0.0.1 f") + "\n");
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, UnterminatedGiantLineIsBoundedAndAnswered) {
+  ServerOptions options;
+  options.max_line_bytes = 1024;
+  LineServer server(*engine_, options);
+  server.start();
+  const int fd = connect_to(server.port());
+  // Stream 1 MiB with no newline: the server must answer the ERR line
+  // while the flood is still in progress (bounded buffer) and discard the
+  // rest of the line.
+  const std::string flood(1 << 20, 'x');
+  send_exactly(fd, flood);
+  send_exactly(fd, "\nstats\n");
+  shutdown(fd, SHUT_WR);
+  const std::string response = drain(fd);
+  close(fd);
+  EXPECT_EQ(response, "ERR request line exceeds 1024 bytes\n" +
+                          engine_->answer("stats") + "\n");
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, ClientDisconnectMidBatchDoesNotKillServer) {
+  LineServer server(*engine_, 0);
+  server.start();
+  // A client pipelines a deep batch and vanishes without reading a byte:
+  // the server's sends must fail with EPIPE/ECONNRESET (never SIGPIPE) and
+  // only that connection dies.
+  std::string batch;
+  for (int i = 0; i < 2000; ++i) batch += "lookup 10.0.0.1 f\n";
+  const int fd = connect_to(server.port());
+  send_exactly(fd, batch);
+  struct linger hard_reset {.l_onoff = 1, .l_linger = 0};
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+  close(fd);  // RST: the server's in-flight answers hit a dead peer
+
+  // The server survives and keeps answering fresh clients.
+  const std::string response = roundtrip(server.port(), "stats\n");
+  EXPECT_EQ(response, engine_->answer("stats") + "\n");
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, InjectedSendResetKillsOneConnectionOnly) {
+  fault::FaultPlan plan;
+  plan.add(fault::Fault{.op = fault::Op::kSend, .nth = 1,
+                        .inject_errno = ECONNRESET});
+  ServerOptions options;
+  options.io = &plan;
+  LineServer server(*engine_, options);
+  server.start();
+  // First client: its answer send is reset mid-batch; it observes EOF.
+  const std::string first = roundtrip(server.port(), "stats\n");
+  EXPECT_EQ(first, "");
+  // Second client: the fault is spent, service continues.
+  const std::string second = roundtrip(server.port(), "stats\n");
+  EXPECT_EQ(second, engine_->answer("stats") + "\n");
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, StopDrainsInFlightAnswersWholeLines) {
+  LineServer server(*engine_, 0);
+  server.start();
+  std::string batch;
+  std::string expected;
+  for (int i = 0; i < 500; ++i) {
+    batch += "lookup 10.0.0.1 f\n";
+    expected += engine_->answer("lookup 10.0.0.1 f") + "\n";
+  }
+  const int fd = connect_to(server.port());
+  send_exactly(fd, batch);
+  // Stop while the batch may still be in flight: the drain must finish the
+  // lines the server already read and send their answers before closing.
+  server.stop();
+  const std::string response = drain(fd);
+  close(fd);
+  // Never torn mid-line, never reordered: what arrives is a prefix of the
+  // full expected answer stream ending on a line boundary.
+  EXPECT_LE(response.size(), expected.size());
+  EXPECT_EQ(response, expected.substr(0, response.size()));
+  if (!response.empty()) {
+    EXPECT_EQ(response.back(), '\n');
+  }
+}
+
+TEST_F(ServerFaultTest, ServeForeverStopReleasesTheListenerPort) {
+  auto server = std::make_unique<LineServer>(*engine_, 0);
+  const std::uint16_t port = server->port();
+  std::thread serving([&] { server->serve_forever(); });
+  // One roundtrip proves the loop is up before we stop it.
+  EXPECT_EQ(roundtrip(port, "stats\n"), engine_->answer("stats") + "\n");
+  server->stop();
+  serving.join();
+  server.reset();
+  // The fd must be closed by now (the old bug leaked it on this path):
+  // binding the same port again succeeds only if the listener is gone.
+  EXPECT_NO_THROW({
+    LineServer rebound(*engine_, port);
+    EXPECT_EQ(rebound.port(), port);
+  });
+}
+
+// Everything at once: fd exhaustion, an idle client, a line flood, a
+// vanishing client — and the golden batch must still come back exact, with
+// a clean TSan-checked shutdown.
+TEST_F(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
+  fault::FaultPlan plan;
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 2, .repeat = 3,
+                        .inject_errno = EMFILE});
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 7,
+                        .inject_errno = ECONNABORTED});
+  ServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(150);
+  options.max_connections = 4;
+  options.max_line_bytes = 2048;
+  options.max_accept_backoff = std::chrono::milliseconds(10);
+  options.io = &plan;
+  LineServer server(*engine_, options);
+  server.start();
+
+  // Chaos phase. An idle client that will be timed out...
+  const int idle_fd = connect_to(server.port());
+  // ...a flooder whose giant line is bounded and answered...
+  const std::string flood_response =
+      roundtrip(server.port(), std::string(100 * 1024, 'z') + "\nstats\n");
+  EXPECT_EQ(flood_response, "ERR request line exceeds 2048 bytes\n" +
+                                engine_->answer("stats") + "\n");
+  // ...and a client that vanishes with answers in flight.
+  {
+    const int fd = connect_to(server.port());
+    std::string batch;
+    for (int i = 0; i < 500; ++i) batch += "links 100 200\n";
+    send_exactly(fd, batch);
+    struct linger hard_reset {.l_onoff = 1, .l_linger = 0};
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+    close(fd);
+  }
+
+  // Let the vanished client's handler notice the reset and free its
+  // connection slot before the golden clients compete for the cap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Golden phase: pipelined batches from concurrent clients, answers must
+  // be exact and in order despite the chaos above.
+  const std::vector<std::string> queries = {
+      "lookup 10.0.0.1 f", "lookup 10.0.0.2 b", "ip2as 10.0.0.7",
+      "links 100 200",     "stats",
+  };
+  std::string request;
+  std::string expected;
+  for (int i = 0; i < 40; ++i) {
+    for (const std::string& query : queries) {
+      request += query + "\n";
+      expected += engine_->answer(query) + "\n";
+    }
+  }
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(2);
+  for (std::size_t c = 0; c < responses.size(); ++c) {
+    clients.emplace_back([&, c] {
+      responses[c] = roundtrip(server.port(), request);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (std::size_t c = 0; c < responses.size(); ++c) {
+    EXPECT_EQ(responses[c], expected) << "client " << c;
+  }
+
+  // The idle client was closed by the server, not by our stop().
+  char buffer[64];
+  EXPECT_EQ(recv(idle_fd, buffer, sizeof(buffer), 0), 0);
+  close(idle_fd);
+  server.stop();
+  EXPECT_GE(server.accept_retries(), 4u);
+}
+
+}  // namespace
+}  // namespace mapit::query

@@ -82,6 +82,70 @@ TEST(TraceIo, ReadNamesOffendingLine) {
   }
 }
 
+// Every malformed variant from the Rejected suite above, embedded in a
+// corpus: strict mode throws naming the right line; lenient mode skips it,
+// counts it, and keeps the good neighbors.
+class TraceIoLenientTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceIoLenientTest, StrictThrowsWithLineNumber) {
+  std::stringstream stream("# header\n0|9.9.9.9|1.0.0.1\n" +
+                           std::string(GetParam()) + "\n1|8.8.8.8|*\n");
+  try {
+    (void)read_corpus(stream);
+    FAIL() << "expected ParseError for '" << GetParam() << "'";
+  } catch (const mapit::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(TraceIoLenientTest, LenientSkipsCountsAndKeepsTheRest) {
+  std::stringstream stream("# header\n0|9.9.9.9|1.0.0.1\n" +
+                           std::string(GetParam()) + "\n1|8.8.8.8|*\n");
+  LoadReport report;
+  const TraceCorpus corpus = read_corpus(stream, /*threads=*/1, &report);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.traces()[0].monitor, 0u);
+  EXPECT_EQ(corpus.traces()[1].monitor, 1u);
+  EXPECT_EQ(report.skipped(), 1u);
+  EXPECT_EQ(report.loaded(), 2u);
+  ASSERT_EQ(report.offenders().size(), 1u);
+  EXPECT_EQ(report.offenders()[0].line_no, 3u);
+  EXPECT_NE(report.offenders()[0].error.find("line 3"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, TraceIoLenientTest,
+    ::testing::Values("3|9.9.9.9",              // missing hops field
+                      "3|9.9.9.9|a|b",          // too many fields
+                      "x|9.9.9.9|1.0.0.1",      // bad monitor
+                      "3|nine|1.0.0.1",         // bad destination
+                      "3|9.9.9.9|1.0.0",        // bad hop address
+                      "3|9.9.9.9|1.0.0.1@",     // empty quoted TTL
+                      "3|9.9.9.9|1.0.0.1@999",  // quoted TTL too big
+                      "3|9.9.9.9|1.0.0.1@1x",   // junk quoted TTL
+                      "3|9.9.9.9|1.0.0.1@1234"  // too many digits
+                      ));
+
+TEST(TraceIo, LenientAllBadYieldsEmptyCorpus) {
+  std::stringstream stream("junk\nmore junk\n");
+  LoadReport report;
+  const TraceCorpus corpus = read_corpus(stream, 1, &report);
+  EXPECT_EQ(corpus.size(), 0u);
+  EXPECT_EQ(report.skipped(), 2u);
+  EXPECT_EQ(report.loaded(), 0u);
+}
+
+TEST(TraceIo, LenientCleanCorpusReportsNothing) {
+  std::stringstream stream("0|9.9.9.9|1.0.0.1\n1|8.8.8.8|*\n");
+  LoadReport report;
+  const TraceCorpus corpus = read_corpus(stream, 1, &report);
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(report.skipped(), 0u);
+  EXPECT_EQ(report.loaded(), 2u);
+  EXPECT_EQ(report.summary("traces"), "");
+}
+
 TEST(TraceIo, RandomTraceRoundTrip) {
   std::mt19937_64 rng(99);
   std::uniform_int_distribution<std::uint32_t> addr_dist(0x01000000,

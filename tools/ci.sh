@@ -15,6 +15,10 @@
 #                 query batch against the committed golden answers, and
 #                 check the standard run's artifact CRC against the
 #                 committed BENCH_query.json (default: BENCH_SMOKE)
+#   FAULT_MATRIX  1 = run the fault-injection matrices (ctest -L fault):
+#                 crash-at-every-syscall artifact tests and the server
+#                 chaos/soak tests. Cheap; sanitizer jobs rely on it
+#                 (default 1)
 #   BUILD_DIR     override the derived build directory
 #   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
@@ -26,6 +30,7 @@ WERROR="${WERROR:-OFF}"
 CTEST_LABELS="${CTEST_LABELS:-}"
 BENCH_SMOKE="${BENCH_SMOKE:-1}"
 SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
+FAULT_MATRIX="${FAULT_MATRIX:-1}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # One build dir per (type, sanitizer) combination so matrix jobs and local
@@ -59,6 +64,15 @@ if [[ -n "${CTEST_LABELS}" ]]; then
   CTEST_ARGS+=(-L "${CTEST_LABELS}")
 fi
 ctest "${CTEST_ARGS[@]}"
+
+if [[ "${FAULT_MATRIX}" == "1" ]]; then
+  echo "== fault matrix (-L fault) =="
+  # Fault-injection matrices have their own label (and timeout) so the
+  # sanitizer jobs — whose CTEST_LABELS exclude them above — still run
+  # them: crash/ENOSPC/short-write at every syscall of the atomic artifact
+  # writer, and the query-server chaos/soak suite.
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fault
+fi
 
 if [[ "${BENCH_SMOKE}" == "1" ]]; then
   echo "== bench smoke =="
@@ -106,6 +120,12 @@ if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then
     < "${REPO_ROOT}/tests/cli/golden_queries.txt" > "${work}/answers.txt"
   diff -u "${REPO_ROOT}/tests/cli/golden_answers.txt" "${work}/answers.txt"
   echo "golden query answers: ok"
+
+  echo "== snapshot crash matrix =="
+  # Crash-at-every-injection-point proof for the artifact the smoke above
+  # just consumed: whatever syscall dies mid-replace, the destination path
+  # must still hold a complete, CRC-valid snapshot.
+  "${BUILD_DIR}/tests/mapit_store_fault_test"
 
   echo "== snapshot checksum tripwire (standard run) =="
   # perf_query_report rebuilds the standard experiment's snapshot; its CRC

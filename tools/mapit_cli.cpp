@@ -28,6 +28,7 @@
 #include "core/result_io.h"
 #include "eval/experiment.h"
 #include "net/error.h"
+#include "net/load_report.h"
 #include "query/query_engine.h"
 #include "query/server.h"
 #include "store/reader.h"
@@ -60,6 +61,9 @@ using namespace mapit;
       "      --threads N            worker threads (0 = one per core, default;\n"
       "                             1 = single-threaded; output is identical\n"
       "                             for every value)\n"
+      "      --lenient              quarantine malformed trace/RIB lines\n"
+      "                             (skip + count to stderr) instead of\n"
+      "                             aborting; strict is the default\n"
       "  mapit eval --inferences FILE --truth FILE [--target ASN]\n"
       "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
       "  mapit stats --traces FILE [--threads N]\n"
@@ -71,9 +75,15 @@ using namespace mapit;
       "      one query per stdin line, one answer per stdout line:\n"
       "        lookup <addr> <f|b> | addr <addr> | ip2as <addr> [f|b]\n"
       "        | links <asn> <asn> | stats\n"
-      "  mapit serve SNAPSHOT [--port N]\n"
+      "  mapit serve SNAPSHOT [--port N] [server options]\n"
       "      blocking TCP server for the same line protocol on\n"
       "      127.0.0.1:N (default: an ephemeral port, printed on stderr)\n"
+      "      --idle-timeout SECS    close connections idle this long\n"
+      "                             (default 300, 0 = never)\n"
+      "      --max-connections N    refuse clients past N live connections\n"
+      "                             with an ERR line (default 256)\n"
+      "      --max-line BYTES       answer ERR to longer request lines\n"
+      "                             instead of buffering them (default 1MiB)\n"
       "  mapit help\n";
   std::exit(exit_code);
 }
@@ -131,22 +141,30 @@ class Args {
   std::unordered_map<std::size_t, bool> used_;
 };
 
+/// Generic bounded unsigned flag parse shared by --threads/--port/etc.
+std::optional<unsigned long> parse_bounded(const std::string& value,
+                                           unsigned long max) {
+  std::size_t pos = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || parsed > max) return std::nullopt;
+  return parsed;
+}
+
 unsigned parse_threads(Args& args) {
   unsigned threads = 0;  // 0 = one worker per hardware thread
   if (const auto value = args.value("--threads")) {
-    std::size_t pos = 0;
-    unsigned long parsed = 0;
-    try {
-      parsed = std::stoul(*value, &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (pos != value->size() || parsed > 1024) {
+    const auto parsed = parse_bounded(*value, 1024);
+    if (!parsed) {
       std::cerr << "--threads expects an integer in [0, 1024], got '" << *value
                 << "'\n";
       std::exit(2);
     }
-    threads = static_cast<unsigned>(parsed);
+    threads = static_cast<unsigned>(*parsed);
   }
   return threads;
 }
@@ -158,6 +176,12 @@ std::ifstream open_or_die(const std::string& path) {
     std::exit(2);
   }
   return stream;
+}
+
+/// Prints a lenient-load summary to stderr when lines were quarantined.
+void report_quarantine(const char* what, const mapit::LoadReport& report) {
+  const std::string summary = report.summary(what);
+  if (!summary.empty()) std::cerr << summary;
 }
 
 /// Everything the `run`-shaped subcommands (run, snapshot) share: datasets
@@ -207,15 +231,23 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
   options.stub_heuristic = !args.flag("--no-stub");
   options.sibling_grouping = !args.flag("--no-siblings");
   options.threads = parse_threads(args);
+  const bool lenient = args.flag("--lenient");
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
   args.reject_unknown();
 
+  LoadReport trace_report;
+  LoadReport rib_report;
   auto traces_stream = open_or_die(*traces_path);
-  pipeline->corpus = trace::read_corpus(traces_stream, options.threads);
+  pipeline->corpus = trace::read_corpus(traces_stream, options.threads,
+                                        lenient ? &trace_report : nullptr);
   auto rib_stream = open_or_die(*rib_path);
-  pipeline->rib = bgp::Rib::read(rib_stream);
+  pipeline->rib = bgp::Rib::read(rib_stream, lenient ? &rib_report : nullptr);
+  if (lenient) {
+    report_quarantine("traces", trace_report);
+    report_quarantine("rib", rib_report);
+  }
 
   if (relationships_path) {
     auto stream = open_or_die(*relationships_path);
@@ -258,15 +290,15 @@ int cmd_run(Args& args) {
             << " uncertain, " << result.stats.iterations << " iterations"
             << (result.stats.converged ? "" : " (iteration cap hit!)") << "\n";
 
+  // File outputs are written crash-safely (tmp + fsync + atomic rename): a
+  // kill mid-write leaves the previous complete file, never a torn one.
   if (output_path) {
-    std::ofstream out(*output_path);
-    core::write_inferences(out, result.inferences);
+    core::write_inferences_file(*output_path, result.inferences);
   } else {
     core::write_inferences(std::cout, result.inferences);
   }
   if (uncertain_path) {
-    std::ofstream out(*uncertain_path);
-    core::write_inferences(out, result.uncertain);
+    core::write_inferences_file(*uncertain_path, result.uncertain);
   }
   if (explain_address) {
     std::cerr << core::explain(
@@ -335,28 +367,50 @@ int cmd_serve(Args& args) {
     std::cerr << "serve: snapshot path is required\n";
     usage(2);
   }
-  std::uint16_t port = 0;
+  query::ServerOptions server_options;
+  server_options.idle_timeout = std::chrono::seconds(300);
   if (const auto value = args.value("--port")) {
-    std::size_t pos = 0;
-    unsigned long parsed = 0;
-    try {
-      parsed = std::stoul(*value, &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (pos != value->size() || parsed > 65535) {
+    const auto parsed = parse_bounded(*value, 65535);
+    if (!parsed) {
       std::cerr << "--port expects an integer in [0, 65535], got '" << *value
                 << "'\n";
       return 2;
     }
-    port = static_cast<std::uint16_t>(parsed);
+    server_options.port = static_cast<std::uint16_t>(*parsed);
+  }
+  if (const auto value = args.value("--idle-timeout")) {
+    const auto parsed = parse_bounded(*value, 86400);
+    if (!parsed) {
+      std::cerr << "--idle-timeout expects seconds in [0, 86400], got '"
+                << *value << "'\n";
+      return 2;
+    }
+    server_options.idle_timeout = std::chrono::seconds(*parsed);
+  }
+  if (const auto value = args.value("--max-connections")) {
+    const auto parsed = parse_bounded(*value, 65536);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--max-connections expects an integer in [1, 65536], "
+                   "got '" << *value << "'\n";
+      return 2;
+    }
+    server_options.max_connections = *parsed;
+  }
+  if (const auto value = args.value("--max-line")) {
+    const auto parsed = parse_bounded(*value, 1UL << 30);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--max-line expects bytes in [1, 2^30], got '" << *value
+                << "'\n";
+      return 2;
+    }
+    server_options.max_line_bytes = *parsed;
   }
   args.reject_unknown();
 
   const store::SnapshotReader reader = store::SnapshotReader::open(
       *snapshot_path);
   const query::QueryEngine engine(reader);
-  query::LineServer server(engine, port);
+  query::LineServer server(engine, server_options);
   std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
             << server.port() << " (" << reader.inferences().size()
             << " inference records, " << reader.size_bytes()
@@ -375,15 +429,24 @@ int cmd_paths(Args& args) {
   std::size_t limit = 20;
   if (const auto l = args.value("--limit")) limit = std::stoul(*l);
   const unsigned threads = parse_threads(args);
+  const bool lenient = args.flag("--lenient");
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
   args.reject_unknown();
 
+  LoadReport trace_report;
+  LoadReport rib_report;
   auto traces_stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus = trace::read_corpus(traces_stream, threads);
+  const trace::TraceCorpus corpus = trace::read_corpus(
+      traces_stream, threads, lenient ? &trace_report : nullptr);
   auto rib_stream = open_or_die(*rib_path);
-  const bgp::Rib rib = bgp::Rib::read(rib_stream);
+  const bgp::Rib rib =
+      bgp::Rib::read(rib_stream, lenient ? &rib_report : nullptr);
+  if (lenient) {
+    report_quarantine("traces", trace_report);
+    report_quarantine("rib", rib_report);
+  }
   asdata::AsRelationships rels;
   if (relationships_path) {
     auto stream = open_or_die(*relationships_path);
@@ -494,9 +557,13 @@ int cmd_stats(Args& args) {
     usage(2);
   }
   const unsigned threads = parse_threads(args);
+  const bool lenient = args.flag("--lenient");
   args.reject_unknown();
+  LoadReport trace_report;
   auto stream = open_or_die(*traces_path);
-  const trace::TraceCorpus corpus = trace::read_corpus(stream, threads);
+  const trace::TraceCorpus corpus =
+      trace::read_corpus(stream, threads, lenient ? &trace_report : nullptr);
+  if (lenient) report_quarantine("traces", trace_report);
   const auto sanitized = trace::sanitize(corpus, threads);
   const auto all_addresses = corpus.distinct_addresses();
   const graph::InterfaceGraph graph(sanitized.clean, all_addresses, threads);
