@@ -1,17 +1,16 @@
 #include "core/convergence.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace mapit::core {
 
 bool ConvergenceTracker::seen_before(std::uint64_t hash, std::string state) {
-  std::vector<std::string>& bucket = buckets_[hash];
-  if (std::find(bucket.begin(), bucket.end(), state) != bucket.end()) {
-    return true;
+  std::vector<std::size_t>& bucket = buckets_[hash];
+  for (const std::size_t index : bucket) {
+    if (states_[index] == state) return true;
   }
-  bucket.push_back(std::move(state));
-  ++count_;
+  bucket.push_back(states_.size());
+  states_.push_back(std::move(state));
   return false;
 }
 

@@ -6,8 +6,14 @@
 // fakes convergence and truncates the run. The tracker therefore keeps the
 // canonical serialized states, bucketed by hash, and declares a repeat only
 // when a previously recorded state compares byte-equal.
+//
+// States are stored in insertion order so a checkpoint (core/checkpoint.h)
+// can serialize the tracker canonically and a resumed run rebuilds it to
+// the exact same contents — convergence fires at the same iteration it
+// would have in an uninterrupted run.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -24,11 +30,17 @@ class ConvergenceTracker {
   bool seen_before(std::uint64_t hash, std::string state);
 
   /// Distinct states recorded so far.
-  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  /// Recorded states in insertion order (checkpoint serialization).
+  [[nodiscard]] const std::vector<std::string>& states() const {
+    return states_;
+  }
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<std::string>> buckets_;
-  std::size_t count_ = 0;
+  std::vector<std::string> states_;
+  /// hash -> indices into states_ (one bucket may hold colliding states).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
 };
 
 }  // namespace mapit::core

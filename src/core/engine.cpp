@@ -1,9 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/convergence.h"
 #include "net/error.h"
 #include "net/special_purpose.h"
@@ -72,6 +74,7 @@ void Engine::reset_state() {
   std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
   stats_ = EngineStats{};
   snapshots_.clear();
+  tracker_ = ConvergenceTracker{};
 }
 
 asdata::Asn Engine::effective_as(HalfId id) const {
@@ -715,11 +718,45 @@ void Engine::count_divergent_other_sides() {
 }
 
 Result Engine::run() {
+  // No control callback → the run cannot stop early, so the outcome is
+  // always complete.
+  return std::move(*run_controlled({}).result);
+}
+
+RunOutcome Engine::run_controlled(const RunControl& control) {
   reset_state();
 
-  ConvergenceTracker tracker;
-  for (int i = 0; i < options_.max_iterations; ++i) {
-    add_step();
+  bool skip_first_add = false;
+  if (control.resume_state != nullptr) {
+    MAPIT_ENSURE(!options_.capture_snapshots,
+                 "cannot resume with capture_snapshots: per-stage snapshots "
+                 "from before the checkpoint are not recoverable");
+    restore_state(*control.resume_state);
+    // A kAfterAddStep checkpoint already ran this iteration's add step; the
+    // resumed run re-enters the loop at its remove step. Either way the
+    // next step opens with a full sweep, so the (unsaved) dirty set being
+    // empty cannot change anything.
+    skip_first_add = control.resume_boundary == RunBoundary::kAfterAddStep;
+  }
+
+  RunOutcome outcome;
+  auto stopped = [&](RunBoundary boundary) {
+    outcome.stopped_at = boundary;
+    outcome.iterations_done = stats_.iterations;
+    return outcome;
+  };
+
+  for (int i = stats_.iterations; i < options_.max_iterations; ++i) {
+    if (skip_first_add) {
+      skip_first_add = false;
+    } else {
+      add_step();
+      if (control.on_boundary &&
+          !control.on_boundary(RunBoundary::kAfterAddStep,
+                               stats_.iterations)) {
+        return stopped(RunBoundary::kAfterAddStep);
+      }
+    }
     remove_step();
     ++stats_.iterations;
     snapshot("Iter " + std::to_string(stats_.iterations));
@@ -728,9 +765,14 @@ Result Engine::run() {
     // cannot fake convergence.
     std::string signature = state_signature();
     const std::uint64_t hash = std::hash<std::string>{}(signature);
-    if (tracker.seen_before(hash, std::move(signature))) {
+    if (tracker_.seen_before(hash, std::move(signature))) {
       stats_.converged = true;
       break;
+    }
+    if (control.on_boundary &&
+        !control.on_boundary(RunBoundary::kAfterIteration,
+                             stats_.iterations)) {
+      return stopped(RunBoundary::kAfterIteration);
     }
   }
   stub_step();
@@ -753,7 +795,249 @@ Result Engine::run() {
   }
   result.stats = stats_;
   result.snapshots = std::move(snapshots_);
-  return result;
+  outcome.result = std::move(result);
+  outcome.iterations_done = stats_.iterations;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Resumable state (core/checkpoint.h wraps these blobs in a CRC'd file)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// save_state entry mask bits. Unlike state_signature(), the blob keeps the
+// output-only fields (votes, neighbour counts, uncertain, suppressed) so a
+// resumed run reproduces inference output byte-for-byte, not merely the
+// same future evolution.
+constexpr std::uint8_t kMaskDirect = 0x01;
+constexpr std::uint8_t kMaskStub = 0x02;
+constexpr std::uint8_t kMaskIndirectSource = 0x04;
+constexpr std::uint8_t kMaskDirectOverride = 0x08;
+constexpr std::uint8_t kMaskIndirectOverride = 0x10;
+constexpr std::uint8_t kMaskUncertain = 0x20;
+constexpr std::uint8_t kMaskSuppressed = 0x40;
+constexpr std::uint8_t kMaskTouched = 0x80;
+
+constexpr std::uint32_t kStateBlobVersion = 1;
+
+void push_u32(std::string& out, std::uint32_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void push_u64(std::string& out, std::uint64_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Bounds-checked reader for restore_state; every overrun throws instead of
+/// reading out of range.
+class BlobCursor {
+ public:
+  explicit BlobCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t read_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+
+  [[nodiscard]] std::uint32_t read_u32() {
+    need(4);
+    std::uint32_t value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(value));
+    offset_ += sizeof(value);
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t read_u64() {
+    need(8);
+    std::uint64_t value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(value));
+    offset_ += sizeof(value);
+    return value;
+  }
+
+  [[nodiscard]] std::string read_string(std::uint64_t count) {
+    need(count);
+    std::string out(bytes_.substr(offset_, count));
+    offset_ += count;
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const { return offset_ == bytes_.size(); }
+
+ private:
+  void need(std::uint64_t count) const {
+    if (count > bytes_.size() - offset_) {
+      throw CheckpointError("engine state blob truncated");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::string Engine::save_state() const {
+  std::string blob;
+  push_u32(blob, kStateBlobVersion);
+  push_u64(blob, halves_.size());
+
+  push_u32(blob, static_cast<std::uint32_t>(stats_.iterations));
+  push_u32(blob, static_cast<std::uint32_t>(stats_.add_passes));
+  push_u64(blob, stats_.direct_made);
+  push_u64(blob, stats_.duals_resolved);
+  push_u64(blob, stats_.inverses_resolved);
+  push_u64(blob, stats_.uncertain_pairs);
+  push_u64(blob, stats_.divergent_other_sides);
+  push_u64(blob, stats_.demoted_in_remove_step);
+  push_u64(blob, stats_.removed_in_remove_step);
+  push_u64(blob, stats_.stub_inferences);
+  blob.push_back(stats_.converged ? 1 : 0);
+
+  // Sparse per-half entries in ascending id order (canonical). A half is
+  // recorded when it ever held state this run; empty-but-touched halves
+  // matter because the convergence signature covers exactly the touched
+  // set.
+  const std::size_t halves = halves_.size();
+  std::uint64_t entries = 0;
+  auto entry_mask = [this](std::size_t id) {
+    const HalfState& st = halves_[id];
+    std::uint8_t mask = 0;
+    if (st.direct) mask |= kMaskDirect;
+    if (st.direct && st.direct->from_stub_heuristic) mask |= kMaskStub;
+    if (st.indirect_source != graph::kInvalidHalfId) {
+      mask |= kMaskIndirectSource;
+    }
+    if (st.direct_override) mask |= kMaskDirectOverride;
+    if (st.indirect_override) mask |= kMaskIndirectOverride;
+    if (st.uncertain) mask |= kMaskUncertain;
+    if (st.suppressed) mask |= kMaskSuppressed;
+    if (touched_[id]) mask |= kMaskTouched;
+    return mask;
+  };
+  for (std::size_t id = 0; id < halves; ++id) {
+    if (entry_mask(id) != 0) ++entries;
+  }
+  push_u64(blob, entries);
+  for (std::size_t id = 0; id < halves; ++id) {
+    const std::uint8_t mask = entry_mask(id);
+    if (mask == 0) continue;
+    const HalfState& st = halves_[id];
+    push_u32(blob, static_cast<std::uint32_t>(id));
+    blob.push_back(static_cast<char>(mask));
+    if (st.direct) {
+      push_u32(blob, st.direct->router_as);
+      push_u32(blob, st.direct->other_as);
+      push_u32(blob, st.direct->votes);
+      push_u32(blob, st.direct->neighbor_count);
+    }
+    if (st.indirect_source != graph::kInvalidHalfId) {
+      push_u32(blob, st.indirect_source);
+    }
+    if (st.direct_override) push_u32(blob, *st.direct_override);
+    if (st.indirect_override) push_u32(blob, *st.indirect_override);
+  }
+
+  // Convergence tracker, in insertion order; hashes are recomputed at
+  // restore time, so the blob never depends on std::hash stability.
+  const std::vector<std::string>& states = tracker_.states();
+  push_u32(blob, static_cast<std::uint32_t>(states.size()));
+  for (const std::string& state : states) {
+    push_u64(blob, state.size());
+    blob.append(state);
+  }
+  return blob;
+}
+
+void Engine::restore_state(const std::string& blob) {
+  BlobCursor cursor(blob);
+  const std::uint32_t version = cursor.read_u32();
+  if (version != kStateBlobVersion) {
+    throw CheckpointError("unsupported engine state version " +
+                          std::to_string(version));
+  }
+  const std::uint64_t half_count = cursor.read_u64();
+  if (half_count != halves_.size()) {
+    throw CheckpointError(
+        "engine state half count does not match this graph (checkpoint is "
+        "from different inputs)");
+  }
+
+  EngineStats stats;
+  stats.iterations = static_cast<int>(cursor.read_u32());
+  stats.add_passes = static_cast<int>(cursor.read_u32());
+  stats.direct_made = cursor.read_u64();
+  stats.duals_resolved = cursor.read_u64();
+  stats.inverses_resolved = cursor.read_u64();
+  stats.uncertain_pairs = cursor.read_u64();
+  stats.divergent_other_sides = cursor.read_u64();
+  stats.demoted_in_remove_step = cursor.read_u64();
+  stats.removed_in_remove_step = cursor.read_u64();
+  stats.stub_inferences = cursor.read_u64();
+  stats.converged = cursor.read_u8() != 0;
+  if (stats.iterations < 0 || stats.add_passes < 0) {
+    throw CheckpointError("engine state counters out of range");
+  }
+
+  const std::uint64_t entries = cursor.read_u64();
+  std::int64_t previous_id = -1;
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    const std::uint32_t id = cursor.read_u32();
+    if (id >= half_count || static_cast<std::int64_t>(id) <= previous_id) {
+      throw CheckpointError("engine state entries malformed (id order)");
+    }
+    previous_id = id;
+    const std::uint8_t mask = cursor.read_u8();
+    if ((mask & kMaskStub) && !(mask & kMaskDirect)) {
+      throw CheckpointError("engine state entry flags inconsistent");
+    }
+    HalfState st;
+    if (mask & kMaskDirect) {
+      DirectInference direct;
+      direct.router_as = cursor.read_u32();
+      direct.other_as = cursor.read_u32();
+      direct.from_stub_heuristic = (mask & kMaskStub) != 0;
+      direct.votes = cursor.read_u32();
+      direct.neighbor_count = cursor.read_u32();
+      st.direct = direct;
+    }
+    if (mask & kMaskIndirectSource) {
+      const std::uint32_t source = cursor.read_u32();
+      if (source >= half_count) {
+        throw CheckpointError("engine state indirect source out of range");
+      }
+      st.indirect_source = static_cast<HalfId>(source);
+    }
+    if (mask & kMaskDirectOverride) st.direct_override = cursor.read_u32();
+    if (mask & kMaskIndirectOverride) {
+      st.indirect_override = cursor.read_u32();
+    }
+    st.uncertain = (mask & kMaskUncertain) != 0;
+    st.suppressed = (mask & kMaskSuppressed) != 0;
+    halves_[id] = st;
+    touched_[id] = (mask & kMaskTouched) ? 1 : 0;
+  }
+
+  const std::uint32_t tracked = cursor.read_u32();
+  ConvergenceTracker tracker;
+  for (std::uint32_t t = 0; t < tracked; ++t) {
+    const std::uint64_t size = cursor.read_u64();
+    std::string state = cursor.read_string(size);
+    const std::uint64_t hash = std::hash<std::string>{}(state);
+    if (tracker.seen_before(hash, std::move(state))) {
+      throw CheckpointError("engine state tracker has duplicate states");
+    }
+  }
+  if (!cursor.exhausted()) {
+    throw CheckpointError("engine state blob has trailing bytes");
+  }
+
+  // Commit only after the whole blob parsed cleanly (halves_/touched_ are
+  // already written, but a throw above aborts the resume entirely — the
+  // caller never runs on a half-restored engine).
+  stats_ = stats;
+  tracker_ = std::move(tracker);
 }
 
 const Inference* Result::find(const graph::InterfaceHalf& half) const {

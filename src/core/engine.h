@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +46,7 @@
 #include "asdata/asn.h"
 #include "asdata/relationships.h"
 #include "bgp/ip2as.h"
+#include "core/convergence.h"
 #include "core/inference.h"
 #include "graph/interface_graph.h"
 #include "parallel/thread_pool.h"
@@ -117,6 +119,27 @@ struct EngineStats {
   friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };
 
+/// The places inside Engine::run_controlled where execution may pause: the
+/// engine's state at these points fully determines the remainder of the run
+/// (the next step always opens with a full sweep, so the pending dirty set
+/// is immaterial), which is what makes checkpoint/resume byte-identical.
+enum class RunBoundary : std::uint8_t {
+  kAfterAddStep = 0,    ///< add step finished; the remove step runs next
+  kAfterIteration = 1,  ///< remove step finished, state not yet repeated
+};
+
+/// Optional control surface for run_controlled. `on_boundary` is invoked at
+/// every RunBoundary with the iterations completed so far; returning false
+/// stops the run gracefully (the engine state is still intact, so the
+/// caller can save_state() before or inside the callback). `resume_state`
+/// restores a save_state() blob before running and continues from
+/// `resume_boundary` instead of starting fresh.
+struct RunControl {
+  std::function<bool(RunBoundary boundary, int iterations_done)> on_boundary;
+  const std::string* resume_state = nullptr;
+  RunBoundary resume_boundary = RunBoundary::kAfterIteration;
+};
+
 struct Result {
   /// High-confidence inter-AS link interface inferences (direct + stub +
   /// surviving indirect), ordered by address then direction.
@@ -136,6 +159,16 @@ struct Result {
       net::Ipv4Address address) const;
 };
 
+/// What run_controlled came back with: a finished Result, or the boundary
+/// at which the control callback stopped the run (state saved by the
+/// caller; resume via RunControl::resume_state).
+struct RunOutcome {
+  std::optional<Result> result;  ///< engaged iff the run completed
+  RunBoundary stopped_at = RunBoundary::kAfterIteration;
+  int iterations_done = 0;
+  [[nodiscard]] bool completed() const { return result.has_value(); }
+};
+
 class Engine {
  public:
   /// All referenced objects must outlive the engine.
@@ -145,6 +178,22 @@ class Engine {
 
   /// Runs the full algorithm. Idempotent: each call restarts from scratch.
   [[nodiscard]] Result run();
+
+  /// run() with pause/resume control. Checkpoint/resume invariant, pinned
+  /// by tests: stopping at any boundary and resuming the saved state in a
+  /// fresh engine (any thread count, same everything else) produces
+  /// byte-identical inferences, stats, and final mappings to an
+  /// uninterrupted run. Resume requires capture_snapshots to be off —
+  /// per-stage snapshots from before the checkpoint are not recoverable.
+  [[nodiscard]] RunOutcome run_controlled(const RunControl& control);
+
+  /// Complete resumable engine state: per-half slabs, touch flags, stats,
+  /// and the convergence tracker's recorded states — unlike
+  /// state_signature(), which deliberately drops output-only fields. The
+  /// blob is versioned and host-endian; core/checkpoint.h wraps it in a
+  /// CRC-checked file with endianness pinned in the header. Only
+  /// meaningful at a RunBoundary (inside on_boundary).
+  [[nodiscard]] std::string save_state() const;
 
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -256,6 +305,11 @@ class Engine {
   /// Canonical serialized engine state (the §4.6 repetition check compares
   /// these byte-for-byte; see core/convergence.h).
   [[nodiscard]] std::string state_signature() const;
+  /// Inverse of save_state(). Overwrites halves_/touched_/stats_/tracker_;
+  /// throws CheckpointError on any malformed or mismatched blob (wrong
+  /// version, half count differing from this graph, out-of-range ids,
+  /// truncation, trailing bytes). reset_state() must have run first.
+  void restore_state(const std::string& blob);
   [[nodiscard]] std::vector<Inference> collect(bool confident) const;
   void snapshot(const std::string& label);
   void clear_suppressions();
@@ -293,6 +347,10 @@ class Engine {
 
   EngineStats stats_;
   std::vector<Snapshot> snapshots_;
+  /// End-of-remove-step states for the §4.6 repetition check. A member (not
+  /// a run() local) so save_state()/restore_state() can carry it across a
+  /// checkpoint; run_controlled resets it on entry.
+  ConvergenceTracker tracker_;
 };
 
 /// Convenience wrapper: construct an Engine and run it.

@@ -1,0 +1,215 @@
+#include "core/supervisor.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "net/error.h"
+
+namespace mapit::core {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kSignal:
+      return "signal";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemoryBudget:
+      return "memory-budget";
+    case StopReason::kBoundaryLimit:
+      return "boundary-limit";
+  }
+  return "unknown";
+}
+
+std::size_t current_rss_bytes() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int matched =
+      std::fscanf(file, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(file);
+  if (matched != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page);
+}
+
+// ---------------------------------------------------------------------------
+// SignalGuard
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Handler-visible state. File-scope atomics because a signal handler cannot
+// touch a `this` pointer safely; the single-instance rule keeps them
+// unambiguous.
+std::atomic<int> g_signal_received{0};
+std::atomic<int> g_wake_fd{-1};
+std::atomic<bool> g_guard_exists{false};
+
+extern "C" void mapit_signal_handler(int signal_number) {
+  // Record only the first signal; a second SIGINT while draining should not
+  // overwrite the original reason.
+  int expected = 0;
+  g_signal_received.compare_exchange_strong(expected, signal_number,
+                                            std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // The pipe's write end is non-blocking; a full pipe just means waiters
+    // already have a pending wake-up. write() is async-signal-safe.
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard() {
+  MAPIT_ENSURE(!g_guard_exists.exchange(true),
+               "only one SignalGuard may exist at a time");
+  g_signal_received.store(0, std::memory_order_relaxed);
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    g_guard_exists.store(false);
+    throw Error(std::string("pipe2 failed: ") + std::strerror(errno));
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+  // Only the write end is non-blocking: the handler must never block, but
+  // wait() wants a plain blocking read.
+  (void)::fcntl(write_fd_, F_SETFL, O_NONBLOCK);
+  g_wake_fd.store(write_fd_, std::memory_order_relaxed);
+
+  struct sigaction action {};
+  action.sa_handler = &mapit_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  (void)::sigaction(SIGTERM, &action, &old_term_);
+  (void)::sigaction(SIGINT, &action, &old_int_);
+}
+
+SignalGuard::~SignalGuard() {
+  (void)::sigaction(SIGTERM, &old_term_, nullptr);
+  (void)::sigaction(SIGINT, &old_int_, nullptr);
+  g_wake_fd.store(-1, std::memory_order_relaxed);
+  (void)::close(write_fd_);
+  (void)::close(read_fd_);
+  g_guard_exists.store(false);
+}
+
+int SignalGuard::signal_received() {
+  return g_signal_received.load(std::memory_order_relaxed);
+}
+
+int SignalGuard::wait() {
+  char byte;
+  for (;;) {
+    const ssize_t got = ::read(read_fd_, &byte, 1);
+    if (got == 1) break;
+    if (got < 0 && errno == EINTR) continue;
+    break;  // pipe closed or hard error: stop waiting either way
+  }
+  return signal_received();
+}
+
+void SignalGuard::wake() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t rc = ::write(write_fd_, &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// RunSupervisor
+// ---------------------------------------------------------------------------
+
+RunSupervisor::RunSupervisor(SupervisorOptions options, SignalGuard* signals)
+    : options_(options),
+      signals_(signals),
+      start_(std::chrono::steady_clock::now()) {
+  peak_rss_.store(current_rss_bytes(), std::memory_order_relaxed);
+  if (options_.deadline_seconds > 0 || options_.memory_budget_mb > 0) {
+    watchdog_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!done_) {
+        lock.unlock();
+        observe();
+        lock.lock();
+        cv_.wait_for(lock, std::chrono::milliseconds(100),
+                     [this] { return done_; });
+      }
+    });
+  }
+}
+
+RunSupervisor::~RunSupervisor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+double RunSupervisor::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void RunSupervisor::observe() {
+  const std::size_t rss = current_rss_bytes();
+  std::size_t peak = peak_rss_.load(std::memory_order_relaxed);
+  while (rss > peak && !peak_rss_.compare_exchange_weak(
+                           peak, rss, std::memory_order_relaxed)) {
+  }
+  StopReason breach = StopReason::kNone;
+  if (options_.deadline_seconds > 0 &&
+      elapsed_seconds() >= options_.deadline_seconds) {
+    breach = StopReason::kDeadline;
+  } else if (options_.memory_budget_mb > 0 && rss > 0 &&
+             peak_rss_.load(std::memory_order_relaxed) >
+                 options_.memory_budget_mb * std::size_t{1024} * 1024) {
+    breach = StopReason::kMemoryBudget;
+  }
+  if (breach != StopReason::kNone) {
+    std::uint8_t expected = 0;
+    observed_breach_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(breach),
+        std::memory_order_relaxed);
+  }
+}
+
+void RunSupervisor::note_boundary() { ++boundaries_; }
+
+StopReason RunSupervisor::should_stop() {
+  if (stopped_ != StopReason::kNone) return stopped_;
+
+  StopReason reason = StopReason::kNone;
+  if (signals_ != nullptr && SignalGuard::signal_received() != 0) {
+    reason = StopReason::kSignal;
+  }
+  if (reason == StopReason::kNone &&
+      (options_.deadline_seconds > 0 || options_.memory_budget_mb > 0)) {
+    // Fold in a fresh sample so a boundary poll never misses a breach the
+    // watchdog has not sampled yet.
+    observe();
+    reason = static_cast<StopReason>(
+        observed_breach_.load(std::memory_order_relaxed));
+  }
+  if (reason == StopReason::kNone && options_.boundary_limit > 0 &&
+      boundaries_ >= options_.boundary_limit) {
+    reason = StopReason::kBoundaryLimit;
+  }
+  stopped_ = reason;
+  return reason;
+}
+
+}  // namespace mapit::core

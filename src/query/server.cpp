@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <string>
 
@@ -50,7 +51,8 @@ constexpr char kCapacityRefusal[] =
 LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
     : engine_(engine),
       options_(options),
-      io_(options.io != nullptr ? options.io : &fault::system_io()) {
+      io_(options.io != nullptr ? options.io : &fault::system_io()),
+      started_(std::chrono::steady_clock::now()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw Error(std::string("serve: socket: ") + std::strerror(errno));
@@ -207,6 +209,10 @@ void LineServer::handle_connection(int fd) {
       if (line.size() > options_.max_line_bytes) {
         responses += "ERR request line exceeds " +
                      std::to_string(options_.max_line_bytes) + " bytes";
+      } else if (line == "HEALTH") {
+        // Server-level readiness probe; answered here because the engine
+        // knows nothing about connections or uptime.
+        responses += health_line();
       } else {
         responses += engine_.answer(line);
       }
@@ -232,6 +238,28 @@ void LineServer::handle_connection(int fd) {
                           connection_fds_.end());
   }
   ::close(fd);
+}
+
+std::size_t LineServer::active_connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connection_fds_.size();
+}
+
+std::string LineServer::health_line() const {
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                engine_.reader().payload_crc32());
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+  std::string out = "OK crc32=";
+  out += crc_hex;
+  out += " uptime_s=" + std::to_string(uptime);
+  out += " connections=" + std::to_string(active_connections());
+  out += " inferences=" + std::to_string(engine_.reader().inferences().size());
+  out += " refused=" + std::to_string(refused_connections());
+  out += " accept_retries=" + std::to_string(accept_retries());
+  return out;
 }
 
 void LineServer::stop() {

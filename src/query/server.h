@@ -3,6 +3,10 @@
 // Protocol: clients send QueryEngine protocol lines ('\n'-terminated, CRLF
 // tolerated); the server answers each non-empty line with exactly one
 // answer line, in order, so clients may pipeline arbitrarily deep batches.
+// One line is handled by the server itself rather than the engine: "HEALTH"
+// answers a readiness line ("OK crc32=<hex> uptime_s=<n> connections=<n>
+// inferences=<n> refused=<n> accept_retries=<n>") so load balancers can
+// probe the server and verify which snapshot it is serving.
 // Answers for all complete lines in one read are written with a single
 // send, which is what sustains 100k+ queries/sec over loopback (see
 // bench/perf_query_report.cpp).
@@ -98,9 +102,14 @@ class LineServer {
     return accept_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Live connections right now (the HEALTH line reports this too).
+  [[nodiscard]] std::size_t active_connections() const;
+
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// Answer for the server-level "HEALTH" probe line (no trailing newline).
+  [[nodiscard]] std::string health_line() const;
   /// Closes the listener exactly once (whichever of the accept loop's exit
   /// and stop() runs last with the fd still open does it).
   void close_listener_locked();
@@ -122,7 +131,10 @@ class LineServer {
   std::condition_variable accept_cv_;
   bool accept_active_ = false;
 
-  std::mutex mutex_;
+  /// When the server came up (HEALTH uptime). Set once in the constructor.
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mutex_;
   std::mutex stop_mutex_;  ///< serializes stop() (explicit stop + destructor)
   std::vector<std::thread> connections_;
   std::vector<int> connection_fds_;

@@ -176,3 +176,106 @@ if(DD_TOOL)
 endif()
 
 message(STATUS "cli snapshot/query OK")
+
+# Checkpoint/resume through the real binary: stop at every run boundary
+# (one boundary per invocation via --stop-after 1, exit code 5), chain
+# --resume until the run completes, and require the final inferences to be
+# byte-identical to the uninterrupted run's output above.
+set(ckpt_dir ${WORK_DIR}/ckpt)
+set(run_flags
+  --traces ${WORK_DIR}/traces.txt
+  --rib ${WORK_DIR}/rib.txt
+  --relationships ${WORK_DIR}/relationships.txt
+  --as2org ${WORK_DIR}/as2org.txt
+  --ixps ${WORK_DIR}/ixps.txt
+  --output ${WORK_DIR}/resumed_inferences.txt
+  --uncertain ${WORK_DIR}/resumed_uncertain.txt)
+
+execute_process(
+  COMMAND ${MAPIT_BIN} run ${run_flags}
+          --checkpoint-dir ${ckpt_dir} --stop-after 1
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 5)
+  message(FATAL_ERROR "--stop-after should exit 5, got ${rc}: ${err}")
+endif()
+if(NOT EXISTS ${ckpt_dir}/engine.ckpt)
+  message(FATAL_ERROR "interrupted run left no checkpoint")
+endif()
+if(NOT err MATCHES "--resume")
+  message(FATAL_ERROR "interrupted run did not say how to resume: ${err}")
+endif()
+
+set(resume_rc 5)
+set(legs 0)
+while(resume_rc EQUAL 5)
+  math(EXPR legs "${legs} + 1")
+  if(legs GREATER 50)
+    message(FATAL_ERROR "resume chain did not terminate in 50 legs")
+  endif()
+  execute_process(
+    COMMAND ${MAPIT_BIN} run ${run_flags}
+            --resume ${ckpt_dir} --stop-after 1
+    RESULT_VARIABLE resume_rc OUTPUT_QUIET ERROR_VARIABLE err)
+endwhile()
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "resume leg failed (${resume_rc}): ${err}")
+endif()
+if(legs LESS 2)
+  message(FATAL_ERROR "resume chain too short to prove anything (${legs})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/inferences.txt ${WORK_DIR}/resumed_inferences.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "kill/resume chain diverged from uninterrupted run")
+endif()
+if(EXISTS ${ckpt_dir}/engine.ckpt)
+  message(FATAL_ERROR "completed run did not remove its checkpoint")
+endif()
+
+# A resume whose inputs changed must be rejected with exit code 4.
+execute_process(
+  COMMAND ${MAPIT_BIN} run ${run_flags}
+          --checkpoint-dir ${ckpt_dir} --stop-after 1
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 5)
+  message(FATAL_ERROR "checkpoint seeding for mismatch test failed (${rc})")
+endif()
+file(READ ${WORK_DIR}/traces.txt trace_text)
+file(WRITE ${WORK_DIR}/traces_edited.txt "${trace_text}\n")
+execute_process(
+  COMMAND ${MAPIT_BIN} run
+    --traces ${WORK_DIR}/traces_edited.txt
+    --rib ${WORK_DIR}/rib.txt
+    --relationships ${WORK_DIR}/relationships.txt
+    --as2org ${WORK_DIR}/as2org.txt
+    --ixps ${WORK_DIR}/ixps.txt
+    --output ${WORK_DIR}/mismatch.txt
+    --resume ${ckpt_dir}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "fingerprint mismatch should exit 4, got ${rc}: ${err}")
+endif()
+if(NOT err MATCHES "corpus")
+  message(FATAL_ERROR "mismatch diagnostic does not name the corpus: ${err}")
+endif()
+
+# Contradictory checkpoint flags are a usage error (exit 2).
+execute_process(
+  COMMAND ${MAPIT_BIN} run ${run_flags}
+          --checkpoint-dir ${ckpt_dir} --resume ${ckpt_dir}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "conflicting checkpoint flags should exit 2, got ${rc}")
+endif()
+# ...and budget flags without a checkpoint directory are too.
+execute_process(
+  COMMAND ${MAPIT_BIN} run ${run_flags} --deadline 10
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--deadline without checkpointing should exit 2, "
+          "got ${rc}")
+endif()
+
+message(STATUS "cli checkpoint/resume OK (${legs} resume legs)")

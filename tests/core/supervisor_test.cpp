@@ -1,0 +1,138 @@
+// Run supervision: boundary limits, wall-clock deadlines, RSS budgets, the
+// stickiness of a stop verdict, and the SignalGuard self-pipe (first-signal
+// latching, blocking wait, signal-free wake).
+#include "core/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace mapit::core {
+namespace {
+
+TEST(StopReasonTest, NamesEveryReason) {
+  EXPECT_EQ(std::string(to_string(StopReason::kNone)), "none");
+  EXPECT_EQ(std::string(to_string(StopReason::kSignal)), "signal");
+  EXPECT_EQ(std::string(to_string(StopReason::kDeadline)), "deadline");
+  EXPECT_EQ(std::string(to_string(StopReason::kMemoryBudget)),
+            "memory-budget");
+  EXPECT_EQ(std::string(to_string(StopReason::kBoundaryLimit)),
+            "boundary-limit");
+}
+
+TEST(RunSupervisorTest, NoLimitsNeverStops) {
+  RunSupervisor supervisor(SupervisorOptions{});
+  for (int i = 0; i < 10; ++i) {
+    supervisor.note_boundary();
+    EXPECT_EQ(supervisor.should_stop(), StopReason::kNone);
+  }
+}
+
+TEST(RunSupervisorTest, BoundaryLimitStopsAtTheNthBoundaryAndSticks) {
+  RunSupervisor supervisor(SupervisorOptions{.boundary_limit = 2});
+  supervisor.note_boundary();
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kNone);
+  supervisor.note_boundary();
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kBoundaryLimit);
+  // Sticky: the verdict never un-decides, whatever happens later.
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kBoundaryLimit);
+}
+
+TEST(RunSupervisorTest, GenerousDeadlineDoesNotTrip) {
+  RunSupervisor supervisor(SupervisorOptions{.deadline_seconds = 3600});
+  supervisor.note_boundary();
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kNone);
+  EXPECT_GE(supervisor.elapsed_seconds(), 0.0);
+}
+
+TEST(RunSupervisorTest, ExpiredDeadlineStopsTheRun) {
+  RunSupervisor supervisor(SupervisorOptions{.deadline_seconds = 1e-9});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kDeadline);
+}
+
+TEST(RunSupervisorTest, TinyMemoryBudgetStopsTheRun) {
+  // Any running test process dwarfs a 1 MiB budget; the boundary poll must
+  // observe the breach even without waiting for the watchdog.
+  RunSupervisor supervisor(SupervisorOptions{.memory_budget_mb = 1});
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kMemoryBudget);
+}
+
+TEST(RunSupervisorTest, GenerousMemoryBudgetDoesNotTrip) {
+  RunSupervisor supervisor(
+      SupervisorOptions{.memory_budget_mb = std::size_t{1} << 24});
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kNone);
+}
+
+TEST(RunSupervisorTest, DeadlineOutranksBoundaryLimit) {
+  RunSupervisor supervisor(SupervisorOptions{.deadline_seconds = 1e-9,
+                                             .boundary_limit = 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  supervisor.note_boundary();
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kDeadline);
+}
+
+TEST(RunSupervisorTest, WatchdogSamplesWhileTheRunIsMidPass) {
+  // Simulate a long pass: no boundary polls while the watchdog thread runs
+  // a few of its 100ms samples. The breach it recorded is delivered (and
+  // the peak-RSS fold has happened) at the next boundary poll.
+  RunSupervisor supervisor(SupervisorOptions{.memory_budget_mb = 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kMemoryBudget);
+  EXPECT_GT(supervisor.peak_rss_bytes(), std::size_t{1} << 20);
+}
+
+TEST(RunSupervisorTest, ReportsCurrentAndPeakRss) {
+  const std::size_t rss = current_rss_bytes();
+  ASSERT_GT(rss, 0u) << "/proc/self/statm should be readable on Linux";
+  RunSupervisor supervisor(SupervisorOptions{});
+  EXPECT_GT(supervisor.peak_rss_bytes(), 0u);
+}
+
+TEST(SignalGuardTest, WakeUnblocksAWaiterWithoutASignal) {
+  SignalGuard guard;
+  int waited = -1;
+  std::thread waiter([&] { waited = guard.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  guard.wake();
+  waiter.join();
+  EXPECT_EQ(waited, 0);
+}
+
+TEST(SignalGuardTest, LatchesTheFirstSignalAndWakesWaiters) {
+  SignalGuard guard;
+  EXPECT_EQ(SignalGuard::signal_received(), 0);
+  int waited = -1;
+  std::thread waiter([&] { waited = guard.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(::raise(SIGTERM), 0);  // caught by the guard, not fatal
+  waiter.join();
+  EXPECT_EQ(waited, SIGTERM);
+  EXPECT_EQ(SignalGuard::signal_received(), SIGTERM);
+  // A second signal while draining must not overwrite the first.
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_EQ(SignalGuard::signal_received(), SIGTERM);
+}
+
+TEST(SignalGuardTest, AFreshGuardStartsWithNoPendingSignal) {
+  // The previous test latched SIGTERM; constructing a new guard (only one
+  // may exist at a time) must reset the latch.
+  SignalGuard guard;
+  EXPECT_EQ(SignalGuard::signal_received(), 0);
+}
+
+TEST(SignalGuardTest, SupervisorStopsOnAReceivedSignal) {
+  SignalGuard guard;
+  RunSupervisor supervisor(SupervisorOptions{}, &guard);
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kNone);
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kSignal);
+  EXPECT_EQ(supervisor.should_stop(), StopReason::kSignal);
+}
+
+}  // namespace
+}  // namespace mapit::core

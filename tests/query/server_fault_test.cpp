@@ -13,6 +13,8 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -258,6 +260,60 @@ TEST_F(ServerFaultTest, InjectedSendResetKillsOneConnectionOnly) {
   // Second client: the fault is spent, service continues.
   const std::string second = roundtrip(server.port(), "stats\n");
   EXPECT_EQ(second, engine_->answer("stats") + "\n");
+  server.stop();
+}
+
+/// Value of `key=<integer>` in a HEALTH answer line, or -1 when absent.
+long long health_field(const std::string& line, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+// The server-level HEALTH probe: answered in-order alongside engine lines,
+// reporting the served snapshot's CRC and live server counters — including
+// a refusal that happened moments earlier.
+TEST_F(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
+  ServerOptions options;
+  options.max_connections = 1;
+  LineServer server(*engine_, options);
+  server.start();
+
+  // Occupy the single slot, then get one client refused so the probe has a
+  // nonzero counter to report.
+  const int occupant = connect_to(server.port());
+  send_exactly(occupant, "stats\n");
+  char buffer[512];
+  ASSERT_GT(recv(occupant, buffer, sizeof(buffer), 0), 0);
+  const int refused = connect_to(server.port());
+  EXPECT_EQ(drain(refused),
+            "ERR server at connection capacity (try again later)\n");
+  close(refused);
+
+  // HEALTH pipelines like any other line; the occupant still holds its
+  // connection while the probe is answered, so connections=1.
+  send_exactly(occupant, "HEALTH\nstats\n");
+  shutdown(occupant, SHUT_WR);
+  const std::string response = drain(occupant);
+  close(occupant);
+
+  const std::size_t newline = response.find('\n');
+  ASSERT_NE(newline, std::string::npos) << response;
+  const std::string health = response.substr(0, newline);
+  EXPECT_EQ(response.substr(newline + 1), engine_->answer("stats") + "\n");
+
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", reader_->payload_crc32());
+  EXPECT_EQ(health.rfind("OK crc32=" + std::string(crc_hex) + " uptime_s=",
+                         0),
+            0u)
+      << health;
+  EXPECT_GE(health_field(health, "uptime_s"), 0) << health;
+  EXPECT_EQ(health_field(health, "connections"), 1) << health;
+  EXPECT_EQ(health_field(health, "inferences"), 2) << health;
+  EXPECT_EQ(health_field(health, "refused"), 1) << health;
+  EXPECT_EQ(health_field(health, "accept_retries"), 0) << health;
   server.stop();
 }
 

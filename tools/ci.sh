@@ -19,6 +19,11 @@
 #                 crash-at-every-syscall artifact tests and the server
 #                 chaos/soak tests. Cheap; sanitizer jobs rely on it
 #                 (default 1)
+#   CHECKPOINT_MATRIX 1 = kill the CLI at every run boundary (--stop-after),
+#                 chain --resume until completion for threads 1 and 8, and
+#                 require byte-identical inferences vs an uninterrupted
+#                 run; also checks the deadline checkpoint-and-exit path
+#                 (default: FAULT_MATRIX)
 #   BUILD_DIR     override the derived build directory
 #   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
@@ -31,6 +36,7 @@ CTEST_LABELS="${CTEST_LABELS:-}"
 BENCH_SMOKE="${BENCH_SMOKE:-1}"
 SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 FAULT_MATRIX="${FAULT_MATRIX:-1}"
+CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # One build dir per (type, sanitizer) combination so matrix jobs and local
@@ -72,6 +78,82 @@ if [[ "${FAULT_MATRIX}" == "1" ]]; then
   # them: crash/ENOSPC/short-write at every syscall of the atomic artifact
   # writer, and the query-server chaos/soak suite.
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fault
+fi
+
+if [[ "${CHECKPOINT_MATRIX}" == "1" ]]; then
+  echo "== checkpoint kill/resume matrix =="
+  # Kill-at-every-pass proof through the real binary: every invocation
+  # advances exactly one run boundary, checkpoints, and exits 5; the chain
+  # of --resume legs must converge to byte-identical inferences for every
+  # thread count, and a completed run must clean up its checkpoint.
+  mapit_bin="${BUILD_DIR}/tools/mapit"
+  work="${BUILD_DIR}/checkpoint_matrix"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 9
+  inputs=(--traces "${work}/traces.txt" --rib "${work}/rib.txt"
+          --relationships "${work}/relationships.txt"
+          --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt")
+  "${mapit_bin}" run "${inputs[@]}" --threads 1 \
+    --output "${work}/reference.txt" \
+    --uncertain "${work}/reference_uncertain.txt"
+
+  for threads in 1 8; do
+    ckpt="${work}/ckpt-${threads}"
+    flags=("${inputs[@]}" --threads "${threads}"
+           --output "${work}/resumed-${threads}.txt"
+           --uncertain "${work}/resumed-${threads}-uncertain.txt")
+    set +e
+    "${mapit_bin}" run "${flags[@]}" --checkpoint-dir "${ckpt}" \
+      --stop-after 1
+    rc=$?
+    legs=0
+    while [[ "${rc}" -eq 5 ]]; do
+      legs=$((legs + 1))
+      if [[ "${legs}" -gt 50 ]]; then
+        echo "resume chain did not terminate in 50 legs" >&2
+        exit 1
+      fi
+      "${mapit_bin}" run "${flags[@]}" --resume "${ckpt}" --stop-after 1
+      rc=$?
+    done
+    set -e
+    if [[ "${rc}" -ne 0 ]]; then
+      echo "resume leg exited ${rc} (threads=${threads})" >&2
+      exit 1
+    fi
+    if [[ "${legs}" -lt 2 ]]; then
+      echo "resume chain too short to prove anything (${legs} legs)" >&2
+      exit 1
+    fi
+    cmp "${work}/reference.txt" "${work}/resumed-${threads}.txt"
+    cmp "${work}/reference_uncertain.txt" \
+      "${work}/resumed-${threads}-uncertain.txt"
+    if [[ -e "${ckpt}/engine.ckpt" ]]; then
+      echo "completed run did not remove its checkpoint" >&2
+      exit 1
+    fi
+    echo "threads=${threads}: ${legs} resume legs, byte-identical: ok"
+  done
+
+  # Deadline supervision: an already-expired budget must checkpoint and
+  # exit 5 at the first boundary, leaving a valid checkpoint a plain
+  # --resume completes from — with the same bytes.
+  dflags=("${inputs[@]}" --threads 1
+          --output "${work}/deadline.txt"
+          --uncertain "${work}/deadline_uncertain.txt")
+  set +e
+  "${mapit_bin}" run "${dflags[@]}" \
+    --checkpoint-dir "${work}/ckpt-deadline" --deadline 0.000001
+  rc=$?
+  set -e
+  if [[ "${rc}" -ne 5 ]]; then
+    echo "expired deadline should exit 5, got ${rc}" >&2
+    exit 1
+  fi
+  "${mapit_bin}" run "${dflags[@]}" --resume "${work}/ckpt-deadline"
+  cmp "${work}/reference.txt" "${work}/deadline.txt"
+  echo "deadline checkpoint-and-exit + resume: ok"
 fi
 
 if [[ "${BENCH_SMOKE}" == "1" ]]; then

@@ -11,6 +11,7 @@
 // All file formats are the library's line-oriented text formats (see the
 // respective *_io headers); `mapit simulate` writes examples of each. The
 // snapshot artifact is the binary format of src/store/format.h.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -18,14 +19,17 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "baselines/claims.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/as_path.h"
 #include "core/explain.h"
 #include "core/result_io.h"
+#include "core/supervisor.h"
 #include "eval/experiment.h"
 #include "net/error.h"
 #include "net/load_report.h"
@@ -40,6 +44,15 @@
 namespace {
 
 using namespace mapit;
+
+/// Documented process exit codes, used consistently across subcommands so
+/// schedulers and scripts can branch on them (see README and DESIGN.md §11).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;             ///< bad flags/arguments
+constexpr int kExitLoadError = 3;         ///< input file unreadable/malformed
+constexpr int kExitCheckpointMismatch = 4;  ///< corrupt or foreign checkpoint
+constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
+                                     ///< (signal, deadline, memory budget)
 
 /// Prints usage to stdout for `mapit help` (exit 0) and to stderr for
 /// every rejected invocation (exit 2) — errors must never masquerade as
@@ -64,6 +77,22 @@ using namespace mapit;
       "      --lenient              quarantine malformed trace/RIB lines\n"
       "                             (skip + count to stderr) instead of\n"
       "                             aborting; strict is the default\n"
+      "      --checkpoint-dir DIR   write a resumable checkpoint into DIR at\n"
+      "                             run boundaries (crash-safe; see --resume)\n"
+      "      --resume DIR           restore the checkpoint in DIR and\n"
+      "                             continue; output is byte-identical to an\n"
+      "                             uninterrupted run (any thread count)\n"
+      "      --checkpoint-interval SECS\n"
+      "                             min seconds between boundary checkpoint\n"
+      "                             writes (default 30; 0 = every boundary;\n"
+      "                             stopping always writes)\n"
+      "      --deadline SECS        wall-clock budget; on expiry checkpoint\n"
+      "                             and exit 5 (requires --checkpoint-dir)\n"
+      "      --memory-budget MB     peak-RSS budget; on breach checkpoint\n"
+      "                             and exit 5 (requires --checkpoint-dir)\n"
+      "      --stop-after N         checkpoint and exit 5 after N run\n"
+      "                             boundaries (deterministic interruption\n"
+      "                             for tests/CI resume matrices)\n"
       "  mapit eval --inferences FILE --truth FILE [--target ASN]\n"
       "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
       "  mapit stats --traces FILE [--threads N]\n"
@@ -84,7 +113,13 @@ using namespace mapit;
       "                             with an ERR line (default 256)\n"
       "      --max-line BYTES       answer ERR to longer request lines\n"
       "                             instead of buffering them (default 1MiB)\n"
-      "  mapit help\n";
+      "      answers HEALTH probe lines itself; SIGTERM/SIGINT drain\n"
+      "      gracefully (in-flight batches are answered first)\n"
+      "  mapit help\n"
+      "\n"
+      "exit codes: 0 ok; 2 usage; 3 load/parse error; 4 checkpoint\n"
+      "  mismatch/corruption; 5 interrupted by signal/deadline/memory\n"
+      "  budget (a resumable checkpoint was written first)\n";
   std::exit(exit_code);
 }
 
@@ -131,7 +166,7 @@ class Args {
     for (std::size_t i = 0; i < tokens_.size(); ++i) {
       if (!used_.contains(i)) {
         std::cerr << "unknown argument: " << tokens_[i] << "\n";
-        usage(2);
+        usage(kExitUsage);
       }
     }
   }
@@ -162,18 +197,35 @@ unsigned parse_threads(Args& args) {
     if (!parsed) {
       std::cerr << "--threads expects an integer in [0, 1024], got '" << *value
                 << "'\n";
-      std::exit(2);
+      std::exit(kExitUsage);
     }
     threads = static_cast<unsigned>(*parsed);
   }
   return threads;
 }
 
+/// Non-negative seconds flag (fractions allowed: "--deadline 0.5").
+double parse_seconds_or_die(const char* flag, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = -1;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || !(parsed >= 0)) {
+    std::cerr << flag << " expects non-negative seconds, got '" << value
+              << "'\n";
+    std::exit(kExitUsage);
+  }
+  return parsed;
+}
+
 std::ifstream open_or_die(const std::string& path) {
   std::ifstream stream(path);
   if (!stream) {
     std::cerr << "cannot open " << path << "\n";
-    std::exit(2);
+    std::exit(kExitLoadError);
   }
   return stream;
 }
@@ -184,12 +236,23 @@ void report_quarantine(const char* what, const mapit::LoadReport& report) {
   if (!summary.empty()) std::cerr << summary;
 }
 
+/// Checkpointing configuration shared by run/snapshot (absent = plain,
+/// unsupervised run).
+struct CheckpointSetup {
+  std::string dir;          ///< --checkpoint-dir or --resume target
+  bool resume = false;      ///< restore dir's checkpoint before running
+  double interval_seconds = 30;  ///< min seconds between boundary writes
+  core::CheckpointMeta meta;     ///< this invocation's identity
+};
+
 /// Everything the `run`-shaped subcommands (run, snapshot) share: datasets
 /// loaded, traces sanitized, interface graph and IP2AS composite built.
 /// Later members reference earlier ones (ip2as points at ixps), so the
 /// struct is heap-held and immovable once built.
 struct RunPipeline {
   core::Options options;
+  std::optional<CheckpointSetup> checkpoint;
+  core::SupervisorOptions supervisor;
   trace::TraceCorpus corpus;
   bgp::Rib rib;
   asdata::AsRelationships rels;
@@ -212,7 +275,7 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
   const auto rib_path = args.value("--rib");
   if (!traces_path || !rib_path) {
     std::cerr << verb << ": --traces and --rib are required\n";
-    usage(2);
+    usage(kExitUsage);
   }
 
   auto pipeline = std::make_unique<RunPipeline>();
@@ -225,7 +288,7 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
       options.remove_rule = core::RemoveRule::kAddRule;
     } else {
       std::cerr << "unknown remove rule '" << *rule << "'\n";
-      std::exit(2);
+      std::exit(kExitUsage);
     }
   }
   options.stub_heuristic = !args.flag("--no-stub");
@@ -235,6 +298,60 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
   const auto ixps_path = args.value("--ixps");
+
+  const auto checkpoint_dir = args.value("--checkpoint-dir");
+  const auto resume_dir = args.value("--resume");
+  if (checkpoint_dir && resume_dir) {
+    std::cerr << verb << ": --checkpoint-dir and --resume are mutually "
+                         "exclusive (--resume keeps checkpointing into its "
+                         "own directory)\n";
+    usage(kExitUsage);
+  }
+  if (checkpoint_dir || resume_dir) {
+    CheckpointSetup setup;
+    setup.dir = resume_dir ? *resume_dir : *checkpoint_dir;
+    setup.resume = resume_dir.has_value();
+    if (const auto value = args.value("--checkpoint-interval")) {
+      setup.interval_seconds =
+          parse_seconds_or_die("--checkpoint-interval", *value);
+    }
+    pipeline->checkpoint = std::move(setup);
+  } else if (args.value("--checkpoint-interval")) {
+    std::cerr << verb << ": --checkpoint-interval requires --checkpoint-dir "
+                         "or --resume\n";
+    usage(kExitUsage);
+  }
+  if (const auto value = args.value("--deadline")) {
+    pipeline->supervisor.deadline_seconds =
+        parse_seconds_or_die("--deadline", *value);
+  }
+  if (const auto value = args.value("--memory-budget")) {
+    const auto parsed = parse_bounded(*value, 1UL << 30);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--memory-budget expects MiB in [1, 2^30], got '" << *value
+                << "'\n";
+      std::exit(kExitUsage);
+    }
+    pipeline->supervisor.memory_budget_mb = *parsed;
+  }
+  if (const auto value = args.value("--stop-after")) {
+    const auto parsed = parse_bounded(*value, 1UL << 20);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--stop-after expects a boundary count in [1, 2^20], "
+                   "got '" << *value << "'\n";
+      std::exit(kExitUsage);
+    }
+    pipeline->supervisor.boundary_limit = static_cast<int>(*parsed);
+  }
+  if (!pipeline->checkpoint &&
+      (pipeline->supervisor.deadline_seconds > 0 ||
+       pipeline->supervisor.memory_budget_mb > 0 ||
+       pipeline->supervisor.boundary_limit > 0)) {
+    std::cerr << verb << ": --deadline/--memory-budget/--stop-after perform "
+                         "a graceful checkpoint-and-exit and therefore "
+                         "require --checkpoint-dir (or --resume)\n";
+    usage(kExitUsage);
+  }
   args.reject_unknown();
 
   LoadReport trace_report;
@@ -262,6 +379,27 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
     pipeline->ixps = asdata::IxpRegistry::read(stream);
   }
 
+  if (pipeline->checkpoint) {
+    // Identity of this invocation: any change to the engine options or to
+    // the raw input bytes between checkpoint and resume must be caught, so
+    // fingerprint the files themselves (cheap next to the run).
+    CheckpointSetup& setup = *pipeline->checkpoint;
+    setup.meta.config_hash = core::config_hash(options);
+    setup.meta.corpus_fingerprint = core::fingerprint_file(*traces_path);
+    setup.meta.rib_fingerprint = core::fingerprint_file(*rib_path);
+    std::uint64_t datasets = core::kFingerprintSeed;
+    for (const auto& optional_path :
+         {relationships_path, as2org_path, ixps_path}) {
+      // Presence markers keep "no file" distinct from "empty file" and from
+      // the same bytes arriving under a different dataset slot.
+      datasets = core::fingerprint_bytes(datasets, optional_path ? "+" : "-");
+      if (optional_path) {
+        datasets = core::fingerprint_file(*optional_path, datasets);
+      }
+    }
+    setup.meta.datasets_fingerprint = datasets;
+  }
+
   pipeline->sanitized = trace::sanitize(pipeline->corpus, options.threads);
   std::cerr << "sanitized " << pipeline->corpus.size() << " traces ("
             << pipeline->sanitized.stats.discarded_traces << " discarded, "
@@ -278,13 +416,100 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
   return pipeline;
 }
 
+/// A supervised engine run: either a finished Result, or the StopReason a
+/// graceful checkpoint-and-exit was triggered by (exit code 5).
+struct EngineRunResult {
+  std::optional<core::Result> result;
+  core::StopReason stop = core::StopReason::kNone;
+};
+
+/// Runs the engine for run/snapshot. Without checkpointing this is a plain
+/// run(); with it, a SignalGuard + RunSupervisor watch the run, every
+/// boundary may persist a crash-safe checkpoint (throttled by
+/// --checkpoint-interval; a stop always writes), --resume restores and
+/// continues, and completion deletes the now-stale checkpoint file.
+EngineRunResult run_engine(const RunPipeline& pipeline) {
+  EngineRunResult out;
+  if (!pipeline.checkpoint) {
+    out.result = pipeline.run();
+    return out;
+  }
+  const CheckpointSetup& setup = *pipeline.checkpoint;
+  const std::string path = core::checkpoint_path(setup.dir);
+  std::filesystem::create_directories(setup.dir);
+
+  core::Engine engine(*pipeline.graph, *pipeline.ip2as, pipeline.orgs,
+                      pipeline.rels, pipeline.options);
+  core::SignalGuard signals;
+  core::RunSupervisor supervisor(pipeline.supervisor, &signals);
+
+  core::RunControl control;
+  std::string resume_blob;
+  if (setup.resume) {
+    core::Checkpoint restored = core::read_checkpoint(path);
+    core::verify_checkpoint_meta(setup.meta, restored.meta);
+    resume_blob = std::move(restored.engine_state);
+    control.resume_state = &resume_blob;
+    control.resume_boundary = restored.boundary;
+    std::cerr << "resuming from " << path << " (" << restored.iterations_done
+              << " iterations done, paused "
+              << (restored.boundary == core::RunBoundary::kAfterAddStep
+                      ? "after an add step"
+                      : "after an iteration")
+              << ")\n";
+  }
+
+  auto last_write = std::chrono::steady_clock::now();
+  std::size_t checkpoints_written = 0;
+  control.on_boundary = [&](core::RunBoundary boundary, int iterations) {
+    supervisor.note_boundary();
+    const core::StopReason stop = supervisor.should_stop();
+    const bool stopping = stop != core::StopReason::kNone;
+    const auto now = std::chrono::steady_clock::now();
+    const bool interval_elapsed =
+        setup.interval_seconds <= 0 ||
+        std::chrono::duration<double>(now - last_write).count() >=
+            setup.interval_seconds;
+    if (stopping || interval_elapsed) {
+      core::Checkpoint checkpoint;
+      checkpoint.meta = setup.meta;
+      checkpoint.boundary = boundary;
+      checkpoint.iterations_done = iterations;
+      checkpoint.engine_state = engine.save_state();
+      core::write_checkpoint(path, checkpoint);
+      last_write = now;
+      ++checkpoints_written;
+    }
+    if (stopping) out.stop = stop;
+    return !stopping;
+  };
+
+  core::RunOutcome outcome = engine.run_controlled(control);
+  if (outcome.completed()) {
+    out.result = std::move(*outcome.result);
+    out.stop = core::StopReason::kNone;
+    // The run finished; its outputs supersede the checkpoint. Removal is
+    // best-effort — a stale checkpoint is rejected-at-worst, never wrong.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  } else {
+    std::cerr << "run stopped (" << core::to_string(out.stop) << ") after "
+              << outcome.iterations_done << " iterations; checkpoint "
+              << (checkpoints_written > 0 ? "written to " : "expected at ")
+              << path << " — resume with --resume " << setup.dir << "\n";
+  }
+  return out;
+}
+
 int cmd_run(Args& args) {
   const auto output_path = args.value("--output");
   const auto uncertain_path = args.value("--uncertain");
   const auto explain_address = args.value("--explain");
   const auto pipeline = build_run_pipeline(args, "run");
 
-  const core::Result result = pipeline->run();
+  EngineRunResult run = run_engine(*pipeline);
+  if (!run.result) return kExitInterrupted;
+  const core::Result result = std::move(*run.result);
   std::cerr << "MAP-IT: " << result.inferences.size()
             << " confident inferences, " << result.uncertain.size()
             << " uncertain, " << result.stats.iterations << " iterations"
@@ -305,18 +530,20 @@ int cmd_run(Args& args) {
         result, *pipeline->graph, *pipeline->ip2as,
         net::Ipv4Address::parse_or_throw(*explain_address));
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_snapshot(Args& args) {
   const auto out_path = args.value("--out");
   if (!out_path) {
     std::cerr << "snapshot: --out is required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   const auto pipeline = build_run_pipeline(args, "snapshot");
 
-  const core::Result result = pipeline->run();
+  EngineRunResult run = run_engine(*pipeline);
+  if (!run.result) return kExitInterrupted;
+  const core::Result result = std::move(*run.result);
   const store::SnapshotData data =
       store::make_snapshot_data(result, *pipeline->graph, *pipeline->ip2as);
   const store::WriteInfo info = store::write_snapshot_file(data, *out_path);
@@ -329,14 +556,14 @@ int cmd_snapshot(Args& args) {
             << result.uncertain.size() << " uncertain), " << data.links.size()
             << " links, " << data.bgp_prefixes.size() << " prefixes, "
             << data.mappings.size() << " mappings\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_query(Args& args) {
   const auto snapshot_path = args.positional();
   if (!snapshot_path) {
     std::cerr << "query: snapshot path is required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   args.reject_unknown();
 
@@ -365,7 +592,7 @@ int cmd_serve(Args& args) {
   const auto snapshot_path = args.positional();
   if (!snapshot_path) {
     std::cerr << "serve: snapshot path is required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   query::ServerOptions server_options;
   server_options.idle_timeout = std::chrono::seconds(300);
@@ -374,7 +601,7 @@ int cmd_serve(Args& args) {
     if (!parsed) {
       std::cerr << "--port expects an integer in [0, 65535], got '" << *value
                 << "'\n";
-      return 2;
+      return kExitUsage;
     }
     server_options.port = static_cast<std::uint16_t>(*parsed);
   }
@@ -383,7 +610,7 @@ int cmd_serve(Args& args) {
     if (!parsed) {
       std::cerr << "--idle-timeout expects seconds in [0, 86400], got '"
                 << *value << "'\n";
-      return 2;
+      return kExitUsage;
     }
     server_options.idle_timeout = std::chrono::seconds(*parsed);
   }
@@ -392,7 +619,7 @@ int cmd_serve(Args& args) {
     if (!parsed || *parsed == 0) {
       std::cerr << "--max-connections expects an integer in [1, 65536], "
                    "got '" << *value << "'\n";
-      return 2;
+      return kExitUsage;
     }
     server_options.max_connections = *parsed;
   }
@@ -401,7 +628,7 @@ int cmd_serve(Args& args) {
     if (!parsed || *parsed == 0) {
       std::cerr << "--max-line expects bytes in [1, 2^30], got '" << *value
                 << "'\n";
-      return 2;
+      return kExitUsage;
     }
     server_options.max_line_bytes = *parsed;
   }
@@ -415,8 +642,28 @@ int cmd_serve(Args& args) {
             << server.port() << " (" << reader.inferences().size()
             << " inference records, " << reader.size_bytes()
             << " bytes mmap'd)\n";
+
+  // SIGTERM/SIGINT drain the server gracefully (in-flight batches are
+  // answered, then connections close) instead of killing it mid-send. The
+  // drain thread blocks on the signal guard's self-pipe; when
+  // serve_forever() returns for any other reason, wake() sends it home.
+  core::SignalGuard signals;
+  std::thread drain([&] {
+    const int signal_number = signals.wait();
+    if (signal_number != 0) {
+      std::cerr << "received "
+                << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                << ", draining connections...\n";
+      server.stop();
+    }
+  });
   server.serve_forever();
-  return 0;
+  signals.wake();
+  drain.join();
+  if (core::SignalGuard::signal_received() != 0) {
+    std::cerr << "drained; exiting\n";
+  }
+  return kExitOk;
 }
 
 int cmd_paths(Args& args) {
@@ -424,7 +671,7 @@ int cmd_paths(Args& args) {
   const auto rib_path = args.value("--rib");
   if (!traces_path || !rib_path) {
     std::cerr << "paths: --traces and --rib are required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   std::size_t limit = 20;
   if (const auto l = args.value("--limit")) limit = std::stoul(*l);
@@ -502,7 +749,7 @@ int cmd_eval(Args& args) {
   const auto truth_path = args.value("--truth");
   if (!inferences_path || !truth_path) {
     std::cerr << "eval: --inferences and --truth are required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   std::optional<asdata::Asn> target;
   if (const auto t = args.value("--target")) {
@@ -554,7 +801,7 @@ int cmd_stats(Args& args) {
   const auto traces_path = args.value("--traces");
   if (!traces_path) {
     std::cerr << "stats: --traces is required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   const unsigned threads = parse_threads(args);
   const bool lenient = args.flag("--lenient");
@@ -591,7 +838,7 @@ int cmd_simulate(Args& args) {
   const auto out_dir = args.value("--out");
   if (!out_dir) {
     std::cerr << "simulate: --out is required\n";
-    usage(2);
+    usage(kExitUsage);
   }
   eval::ExperimentConfig config = eval::ExperimentConfig::small();
   if (const auto scale = args.value("--scale")) {
@@ -599,7 +846,7 @@ int cmd_simulate(Args& args) {
       config = eval::ExperimentConfig::standard();
     } else if (*scale != "small") {
       std::cerr << "unknown scale '" << *scale << "'\n";
-      return 2;
+      return kExitUsage;
     }
   }
   if (const auto seed = args.value("--seed")) {
@@ -656,7 +903,7 @@ int cmd_simulate(Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage(2);
+  if (argc < 2) usage(kExitUsage);
   const std::string command = argv[1];
   Args args(argc, argv);
   try {
@@ -670,9 +917,12 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::cerr << "unknown command '" << command << "'\n";
-    usage(2);
+    usage(kExitUsage);
+  } catch (const core::CheckpointError& error) {
+    std::cerr << "checkpoint error: " << error.what() << "\n";
+    return kExitCheckpointMismatch;
   } catch (const mapit::Error& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return kExitLoadError;
   }
 }
