@@ -14,7 +14,11 @@
 // --threads takes a comma-separated worker-count list (default "1,2,4,8")
 // and emits a thread_scaling table of standard-run timings; the report
 // also records hardware_threads so scaling numbers can be judged against
-// the cores actually available.
+// the cores actually available, and an explicit `scaling_valid` caveat
+// that is false whenever the machine has fewer cores than the widest
+// measured thread count (oversubscribed timings measure scheduling, not
+// scaling — do not read speedup_vs_1 from such a report).
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -227,7 +231,15 @@ int main(int argc, char** argv) {
     out << "  \"standard_speedup\": " << baseline_ms / std_timing.best_ms
         << ",\n";
   }
+  unsigned max_threads_measured = 0;
+  for (const ScalingPoint& point : scaling) {
+    max_threads_measured = std::max(max_threads_measured, point.threads);
+  }
+  const bool scaling_valid =
+      std::thread::hardware_concurrency() >= max_threads_measured;
   out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"scaling_valid\": " << (scaling_valid ? "true" : "false")
       << ",\n"
       << "  \"thread_scaling\": [\n";
   for (std::size_t i = 0; i < scaling.size(); ++i) {

@@ -19,6 +19,9 @@ const char* to_string(Op op) {
     case Op::kAccept: return "accept4";
     case Op::kSend: return "send";
     case Op::kRecv: return "recv";
+    case Op::kEpollCreate: return "epoll_create1";
+    case Op::kEpollCtl: return "epoll_ctl";
+    case Op::kEpollWait: return "epoll_wait";
     case Op::kCount_: break;
   }
   return "?";
@@ -56,6 +59,17 @@ ssize_t Io::send(int fd, const void* buffer, std::size_t count, int flags) {
 
 ssize_t Io::recv(int fd, void* buffer, std::size_t count, int flags) {
   return ::recv(fd, buffer, count, flags);
+}
+
+int Io::epoll_create1(int flags) { return ::epoll_create1(flags); }
+
+int Io::epoll_ctl(int epfd, int op, int fd, struct ::epoll_event* event) {
+  return ::epoll_ctl(epfd, op, fd, event);
+}
+
+int Io::epoll_wait(int epfd, struct ::epoll_event* events, int max_events,
+                   int timeout_ms) {
+  return ::epoll_wait(epfd, events, max_events, timeout_ms);
 }
 
 Io& system_io() {

@@ -16,6 +16,7 @@
 // like the kernel would so callers can branch on it.
 #pragma once
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -36,6 +37,9 @@ enum class Op {
   kAccept,
   kSend,
   kRecv,
+  kEpollCreate,
+  kEpollCtl,
+  kEpollWait,
   kCount_,
 };
 
@@ -59,6 +63,10 @@ class Io {
   virtual ssize_t send(int fd, const void* buffer, std::size_t count,
                        int flags);
   virtual ssize_t recv(int fd, void* buffer, std::size_t count, int flags);
+  virtual int epoll_create1(int flags);
+  virtual int epoll_ctl(int epfd, int op, int fd, struct ::epoll_event* event);
+  virtual int epoll_wait(int epfd, struct ::epoll_event* events,
+                         int max_events, int timeout_ms);
 };
 
 /// The shared passthrough instance production code defaults to.

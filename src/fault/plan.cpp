@@ -159,4 +159,33 @@ ssize_t FaultPlan::recv(int fd, void* buffer, std::size_t count, int flags) {
   });
 }
 
+int FaultPlan::epoll_create1(int flags) {
+  const Fault* fault = on_call(Op::kEpollCreate);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().epoll_create1(flags);
+}
+
+int FaultPlan::epoll_ctl(int epfd, int op, int fd,
+                         struct ::epoll_event* event) {
+  const Fault* fault = on_call(Op::kEpollCtl);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().epoll_ctl(epfd, op, fd, event);
+}
+
+int FaultPlan::epoll_wait(int epfd, struct ::epoll_event* events,
+                          int max_events, int timeout_ms) {
+  const Fault* fault = on_call(Op::kEpollWait);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().epoll_wait(epfd, events, max_events, timeout_ms);
+}
+
 }  // namespace mapit::fault

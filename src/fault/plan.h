@@ -80,6 +80,10 @@ class FaultPlan final : public Io {
   ssize_t send(int fd, const void* buffer, std::size_t count,
                int flags) override;
   ssize_t recv(int fd, void* buffer, std::size_t count, int flags) override;
+  int epoll_create1(int flags) override;
+  int epoll_ctl(int epfd, int op, int fd, struct ::epoll_event* event) override;
+  int epoll_wait(int epfd, struct ::epoll_event* events, int max_events,
+                 int timeout_ms) override;
 
  private:
   struct Armed {

@@ -1,0 +1,195 @@
+// Epoll event-loop TCP server over a QueryEngine: the scale-out sibling of
+// the thread-per-connection LineServer (server.h).
+//
+// Why a second server: the blocking design needs one thread per client and
+// — before SO_SNDTIMEO — could be pinned forever by a client that stopped
+// reading mid-batch. This server is readiness-driven: one event loop owns
+// every connection, sockets are non-blocking, and nothing ever blocks in
+// send or recv, so a stalled peer can cost memory bounds it cannot exceed
+// and nothing else. N independent processes can serve the same immutable
+// mmap'd snapshot behind SO_REUSEPORT (`ServerOptions::reuse_port`) for
+// per-core scale-out.
+//
+// Protocols. Both run on the same port:
+//   * Line protocol — byte-identical to LineServer (one '\n'-terminated
+//     query per line, exactly one answer line each, CRLF tolerated, HEALTH
+//     answered by the server). tests/query/async_server_test.cpp proves
+//     the answer streams of the two servers match byte for byte.
+//   * Binary protocol — for bulk clients. A connection whose first four
+//     bytes are the magic "MQB1" switches to length-prefixed framing:
+//     requests and responses are `uint32 little-endian payload length`
+//     followed by the payload; a request payload is exactly one protocol
+//     line (no newline), its response payload exactly the answer line.
+//     A frame longer than `max_line_bytes` is answered with an ERR frame
+//     and its payload is discarded (the connection survives, mirroring the
+//     line protocol's oversized-line rule). The magic contains no '\n' and
+//     no query verb starts with 'M', so sniffing is unambiguous; a client
+//     that sends fewer than 4 bytes that prefix the magic simply waits.
+//
+// Event-loop state machine (DESIGN.md §12): each connection is
+//   reading ──(write buffer > max_write_buffer)──▶ paused
+//   paused ──(write buffer < half)──▶ reading
+//   reading/paused ──(EOF from peer)──▶ flushing ──(drained)──▶ closed
+// Input is parsed as it arrives; every complete request appends its answer
+// to the connection's write buffer, which is flushed opportunistically and
+// re-armed on EPOLLOUT when the socket would block. Write backpressure
+// pauses *reading* (EPOLLIN off), so a slow reader throttles itself
+// instead of growing server state.
+//
+// Overload and failure behavior matches LineServer (same ServerOptions,
+// same refusal line, same ERR-and-discard for oversized lines, same idle
+// timeout semantics, same transient-accept backoff — implemented by
+// disarming the listener until the backoff deadline instead of sleeping).
+// stop() drains gracefully but boundedly: pending answers are flushed
+// until `drain_timeout`, then stragglers are closed — a stalled reader can
+// never block shutdown. All socket/epoll syscalls go through fault::Io, so
+// the PR 4 chaos matrices (tests/query/server_fault_test.cpp) run
+// identically against both servers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fault/io.h"
+#include "query/query_engine.h"
+#include "query/server.h"
+
+namespace mapit::query {
+
+/// First bytes of a binary-protocol connection ("MQB1").
+inline constexpr char kBinaryProtocolMagic[4] = {'M', 'Q', 'B', '1'};
+
+/// Appends one binary-protocol frame (little-endian uint32 length +
+/// payload) to `out`. Shared with clients in tests and benches.
+void append_binary_frame(std::string& out, std::string_view payload);
+
+class AsyncServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`options.port` and sets up the epoll
+  /// instance. Throws mapit::Error when sockets or epoll cannot be set up.
+  /// `engine` must outlive the server.
+  AsyncServer(const QueryEngine& engine, const ServerOptions& options);
+
+  /// Convenience: default options with an explicit port.
+  AsyncServer(const QueryEngine& engine, std::uint16_t port);
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Stops and joins the event loop.
+  ~AsyncServer();
+
+  /// The bound port (the chosen one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until stop() from another
+  /// thread (or a fatally dead listener). `mapit serve --async` sits here.
+  void serve_forever();
+
+  /// Runs the event loop on a background thread (tests and benches).
+  void start();
+
+  /// Closes the listener, flushes pending answers (bounded by
+  /// `drain_timeout`), closes every connection, joins the loop. Idempotent.
+  void stop();
+
+  /// Connections refused with the capacity line so far.
+  [[nodiscard]] std::uint64_t refused_connections() const {
+    return refused_.load(std::memory_order_relaxed);
+  }
+
+  /// accept4 failures absorbed by backoff so far.
+  [[nodiscard]] std::uint64_t accept_retries() const {
+    return accept_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Live connections right now (the HEALTH line reports this too).
+  [[nodiscard]] std::size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    enum class Mode { kUndecided, kLine, kBinary };
+    Mode mode = Mode::kUndecided;
+    std::string in;            ///< unparsed request bytes
+    std::string out;           ///< answer bytes not yet written
+    std::size_t out_off = 0;   ///< bytes of `out` already sent
+    std::uint64_t discard_frame_bytes = 0;  ///< oversized-frame payload left
+    bool discarding_line = false;  ///< inside an oversized line (answered)
+    bool want_close = false;   ///< peer EOF: close once `out` is flushed
+    bool paused = false;       ///< EPOLLIN off (write backpressure)
+    std::uint32_t armed = 0;   ///< epoll events currently registered
+    std::chrono::steady_clock::time_point last_activity;
+
+    [[nodiscard]] std::size_t pending_out() const {
+      return out.size() - out_off;
+    }
+  };
+
+  void event_loop();
+  /// Accepts until the listener would block; transient failures disarm the
+  /// listener and set `accept_rearm_at_` instead of sleeping.
+  void accept_ready(std::chrono::steady_clock::time_point now);
+  void handle_readable(Connection& connection,
+                       std::chrono::steady_clock::time_point now);
+  /// Parses every complete request in `connection.in` into answers.
+  void process_input(Connection& connection);
+  void process_line_input(Connection& connection);
+  void process_binary_input(Connection& connection);
+  /// Sends as much of `out` as the socket takes. False = connection dead.
+  [[nodiscard]] bool flush(Connection& connection);
+  /// Recomputes and applies the epoll event mask for the connection.
+  void rearm(Connection& connection);
+  void close_connection(Connection& connection);
+  /// Closes idle connections; returns the next idle deadline if any.
+  void scan_idle(std::chrono::steady_clock::time_point now);
+  /// Enters drain mode: listener closed, no more reads, bounded flush.
+  void begin_drain(std::chrono::steady_clock::time_point now);
+  /// epoll_wait timeout until the nearest deadline (-1 = block).
+  [[nodiscard]] int wait_timeout_ms(
+      std::chrono::steady_clock::time_point now) const;
+  void close_listener();
+
+  const QueryEngine& engine_;
+  ServerOptions options_;
+  fault::Io* io_ = nullptr;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes epoll_wait
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::size_t> active_{0};
+  std::thread loop_thread_;
+
+  /// When the server came up (HEALTH uptime). Set once in the constructor.
+  std::chrono::steady_clock::time_point started_;
+
+  // ---- event-loop-thread state (no locking: only the loop touches it) ----
+  /// fd -> connection. Ordered map: deterministic idle-scan order.
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  bool listener_registered_ = false;
+  std::chrono::milliseconds accept_backoff_{0};
+  std::chrono::steady_clock::time_point accept_rearm_at_{};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  /// Guards loop_active_; loop_cv_ signals loop exit so stop() can wait
+  /// out a serve_forever() caller it cannot join.
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool loop_active_ = false;
+  std::mutex stop_mutex_;  ///< serializes stop() (explicit stop + destructor)
+};
+
+}  // namespace mapit::query

@@ -33,62 +33,87 @@ namespace {
   return true;
 }
 
-/// accept4 errnos that mean "right now", not "never again": out of fds
-/// (EMFILE/ENFILE), kernel memory pressure (ENOBUFS/ENOMEM), or a
-/// connection that died in the backlog (ECONNABORTED, EPROTO). A serve
+}  // namespace
+
+namespace detail {
+
+/// Out of fds (EMFILE/ENFILE), kernel memory pressure (ENOBUFS/ENOMEM), or
+/// a connection that died in the backlog (ECONNABORTED, EPROTO). A serve
 /// loop that exits on any of these turns one load spike into an outage.
-[[nodiscard]] bool transient_accept_error(int err) {
+bool transient_accept_error(int err) {
   return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
          err == ECONNABORTED || err == EPROTO || err == EAGAIN ||
          err == EWOULDBLOCK;
 }
 
-constexpr char kCapacityRefusal[] =
-    "ERR server at connection capacity (try again later)\n";
-
-}  // namespace
-
-LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
-    : engine_(engine),
-      options_(options),
-      io_(options.io != nullptr ? options.io : &fault::system_io()),
-      started_(std::chrono::steady_clock::now()) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
+int bind_listener(const ServerOptions& options, bool nonblocking,
+                  std::uint16_t* port_out) {
+  const int type =
+      SOCK_STREAM | SOCK_CLOEXEC | (nonblocking ? SOCK_NONBLOCK : 0);
+  const int fd = ::socket(AF_INET, type, 0);
+  if (fd < 0) {
     throw Error(std::string("serve: socket: ") + std::strerror(errno));
   }
-  const int one = 1;
-  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                   sizeof(one)) != 0) {
+  const auto fail = [fd](const std::string& what) -> int {
     const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error(std::string("serve: setsockopt(SO_REUSEADDR): ") +
-                std::strerror(err));
+    ::close(fd);
+    throw Error("serve: " + what + ": " + std::strerror(err));
+  };
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return fail("setsockopt(SO_REUSEADDR)");
+  }
+  if (options.reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    return fail("setsockopt(SO_REUSEPORT)");
   }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(options.port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("serve: cannot bind 127.0.0.1:" +
-                std::to_string(options.port) + ": " + std::strerror(err));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("cannot bind 127.0.0.1:" + std::to_string(options.port));
   }
   socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error(std::string("serve: listen: ") + std::strerror(err));
+  const int backlog = options.backlog > 0 ? options.backlog : SOMAXCONN;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    return fail("listen");
   }
-  port_ = ntohs(addr.sin_port);
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace detail
+
+std::string format_health(const QueryEngine& engine,
+                          std::chrono::steady_clock::time_point started,
+                          std::size_t connections, std::uint64_t refused,
+                          std::uint64_t accept_retries) {
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                engine.reader().payload_crc32());
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  std::string out = "OK crc32=";
+  out += crc_hex;
+  out += " uptime_s=" + std::to_string(uptime);
+  out += " connections=" + std::to_string(connections);
+  out += " inferences=" + std::to_string(engine.reader().inferences().size());
+  out += " refused=" + std::to_string(refused);
+  out += " accept_retries=" + std::to_string(accept_retries);
+  return out;
+}
+
+LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      io_(options.io != nullptr ? options.io : &fault::system_io()),
+      started_(std::chrono::steady_clock::now()) {
+  listen_fd_ = detail::bind_listener(options, /*nonblocking=*/false, &port_);
 }
 
 LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
@@ -127,7 +152,7 @@ void LineServer::accept_loop() {
       const int err = errno;
       if (stopping_.load()) break;
       if (err == EINTR) continue;
-      if (transient_accept_error(err)) {
+      if (detail::transient_accept_error(err)) {
         // Capped exponential backoff, interruptible by stop(): an EMFILE
         // burst slows accepts down, it never ends the serve loop.
         accept_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -150,7 +175,7 @@ void LineServer::accept_loop() {
     }
     if (connection_fds_.size() >= options_.max_connections) {
       refused_.fetch_add(1, std::memory_order_relaxed);
-      (void)send_all(*io_, fd, kCapacityRefusal);
+      (void)send_all(*io_, fd, detail::kCapacityRefusal);
       ::close(fd);
       continue;
     }
@@ -171,12 +196,23 @@ void LineServer::accept_loop() {
 }
 
 void LineServer::handle_connection(int fd) {
-  if (options_.idle_timeout.count() > 0) {
+  const auto socket_timeout = [fd](int option, std::chrono::milliseconds ms) {
     timeval tv{};
-    tv.tv_sec = static_cast<time_t>(options_.idle_timeout.count() / 1000);
-    tv.tv_usec =
-        static_cast<suseconds_t>(options_.idle_timeout.count() % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(ms.count() % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+  };
+  if (options_.idle_timeout.count() > 0) {
+    socket_timeout(SO_RCVTIMEO, options_.idle_timeout);
+  }
+  // A peer that stops *reading* must be bounded too: without SO_SNDTIMEO a
+  // full socket buffer parks this thread in send() forever — stop() cannot
+  // interrupt it and graceful drain stalls behind one hostile client.
+  const std::chrono::milliseconds send_budget =
+      options_.send_timeout.count() > 0 ? options_.send_timeout
+                                        : options_.idle_timeout;
+  if (send_budget.count() > 0) {
+    socket_timeout(SO_SNDTIMEO, send_budget);
   }
   std::string pending;
   std::string responses;
@@ -246,20 +282,8 @@ std::size_t LineServer::active_connections() const {
 }
 
 std::string LineServer::health_line() const {
-  char crc_hex[9];
-  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
-                engine_.reader().payload_crc32());
-  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
-                          std::chrono::steady_clock::now() - started_)
-                          .count();
-  std::string out = "OK crc32=";
-  out += crc_hex;
-  out += " uptime_s=" + std::to_string(uptime);
-  out += " connections=" + std::to_string(active_connections());
-  out += " inferences=" + std::to_string(engine_.reader().inferences().size());
-  out += " refused=" + std::to_string(refused_connections());
-  out += " accept_retries=" + std::to_string(accept_retries());
-  return out;
+  return format_health(engine_, started_, active_connections(),
+                       refused_connections(), accept_retries());
 }
 
 void LineServer::stop() {

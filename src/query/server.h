@@ -47,20 +47,72 @@
 
 namespace mapit::query {
 
+/// Options shared by both servers (the blocking LineServer here and the
+/// epoll AsyncServer in async_server.h); fields that only one of them
+/// consults say so.
 struct ServerOptions {
   /// 127.0.0.1 port to bind (0 picks an ephemeral port, see port()).
   std::uint16_t port = 0;
   /// Close connections with no traffic for this long. zero = no timeout.
   std::chrono::milliseconds idle_timeout{0};
+  /// Give up on a blocked send after this long and drop the connection
+  /// (LineServer: SO_SNDTIMEO). Zero falls back to `idle_timeout` — a
+  /// client that neither reads nor writes for the idle budget is gone
+  /// either way. Both zero = block forever (test-only setups).
+  /// The AsyncServer never blocks in send; backpressure replaces this.
+  std::chrono::milliseconds send_timeout{0};
+  /// listen(2) backlog; 0 = SOMAXCONN. Accept bursts beyond the backlog
+  /// get SYN drops/refusals the server never sees, so default to the
+  /// kernel cap rather than a magic small number.
+  int backlog = 0;
+  /// Set SO_REUSEPORT so N independent server processes can share one
+  /// port and the kernel load-balances connections across them (each
+  /// process mmaps the same immutable snapshot).
+  bool reuse_port = false;
   /// Live-connection cap; the excess client gets a refusal line + close.
   std::size_t max_connections = 256;
   /// Longest accepted request line (bytes, excluding the newline).
   std::size_t max_line_bytes = 1 << 20;
   /// Upper bound for the accept-failure backoff sleep.
   std::chrono::milliseconds max_accept_backoff{200};
+  /// AsyncServer write-buffer high-water mark: once a connection owes this
+  /// many unsent bytes, the server stops *reading* from it (EPOLLIN off)
+  /// until the peer drains below half — a stalled reader caps its own
+  /// memory and never blocks the loop.
+  std::size_t max_write_buffer = 1 << 20;
+  /// AsyncServer stop() drain bound: connections that cannot flush their
+  /// pending answers within this budget are closed anyway, so a stalled
+  /// reader cannot block graceful shutdown.
+  std::chrono::milliseconds drain_timeout{5000};
   /// Injectable syscall boundary (nullptr = fault::system_io()).
   fault::Io* io = nullptr;
 };
+
+namespace detail {
+
+/// Creates, binds, and starts listening on the 127.0.0.1:`options.port`
+/// listener socket both servers share (SO_REUSEADDR, optional
+/// SO_REUSEPORT, `options.backlog` or SOMAXCONN). Returns the fd and
+/// writes the bound port; throws mapit::Error on any failure.
+[[nodiscard]] int bind_listener(const ServerOptions& options, bool nonblocking,
+                                std::uint16_t* port_out);
+
+/// accept4 errnos that mean "right now", not "never again" (shared by both
+/// servers' accept paths).
+[[nodiscard]] bool transient_accept_error(int err);
+
+/// The refusal line clients past `max_connections` receive.
+inline constexpr char kCapacityRefusal[] =
+    "ERR server at connection capacity (try again later)\n";
+
+}  // namespace detail
+
+/// The HEALTH probe answer (no trailing newline); shared so both servers
+/// report the identical format.
+[[nodiscard]] std::string format_health(
+    const QueryEngine& engine, std::chrono::steady_clock::time_point started,
+    std::size_t connections, std::uint64_t refused,
+    std::uint64_t accept_retries);
 
 class LineServer {
  public:

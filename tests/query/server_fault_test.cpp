@@ -1,10 +1,11 @@
-// LineServer hardening under injected faults and hostile clients: EMFILE
+// Server hardening under injected faults and hostile clients: EMFILE
 // bursts on accept, idle connections, oversized request lines, connection
-// caps, clients that vanish mid-batch, and graceful drain on stop. The
-// soak test at the end runs all of it at once and still expects golden
-// answers; the TSan CI job runs this whole binary (FAULT_MATRIX stage).
-#include "query/server.h"
-
+// caps, clients that vanish mid-batch, stalled readers, and graceful drain
+// on stop. The whole matrix is typed over BOTH servers — the blocking
+// LineServer and the epoll AsyncServer — because the contract (DESIGN.md
+// §9, §12) is one contract with two implementations. The soak test at the
+// end runs all of it at once and still expects golden answers; the TSan CI
+// job runs this whole binary (FAULT_MATRIX stage).
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
@@ -19,9 +20,12 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "fault/plan.h"
+#include "query/async_server.h"
+#include "query/server.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "test_util.h"
@@ -91,6 +95,7 @@ std::string roundtrip(std::uint16_t port, const std::string& request) {
   return response;
 }
 
+template <typename ServerT>
 class ServerFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -103,10 +108,22 @@ class ServerFaultTest : public ::testing::Test {
   std::unique_ptr<QueryEngine> engine_;
 };
 
-TEST_F(ServerFaultTest, SurvivesEmfileBurstOnAccept) {
+using ServerTypes = ::testing::Types<LineServer, AsyncServer>;
+
+class ServerTypeNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return std::is_same_v<T, LineServer> ? "Line" : "Async";
+  }
+};
+
+TYPED_TEST_SUITE(ServerFaultTest, ServerTypes, ServerTypeNames);
+
+TYPED_TEST(ServerFaultTest, SurvivesEmfileBurstOnAccept) {
   fault::FaultPlan plan;
   // The first four accepts fail with fd exhaustion, the fifth with a
-  // connection that died in the backlog; the accept loop must back off and
+  // connection that died in the backlog; the accept path must back off and
   // keep serving, never exit.
   plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 1, .repeat = 4,
                         .inject_errno = EMFILE});
@@ -115,24 +132,24 @@ TEST_F(ServerFaultTest, SurvivesEmfileBurstOnAccept) {
   ServerOptions options;
   options.max_accept_backoff = std::chrono::milliseconds(10);
   options.io = &plan;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
   const std::string response = roundtrip(server.port(), "lookup 10.0.0.1 f\n");
-  EXPECT_EQ(response, engine_->answer("lookup 10.0.0.1 f") + "\n");
+  EXPECT_EQ(response, this->engine_->answer("lookup 10.0.0.1 f") + "\n");
   EXPECT_GE(server.accept_retries(), 5u);
   server.stop();
 }
 
-TEST_F(ServerFaultTest, EnfileThenStopDoesNotHangInBackoff) {
+TYPED_TEST(ServerFaultTest, EnfileThenStopDoesNotHangInBackoff) {
   fault::FaultPlan plan;
   plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 1, .repeat = 1000,
                         .inject_errno = ENFILE});
   ServerOptions options;
   options.max_accept_backoff = std::chrono::milliseconds(5000);
   options.io = &plan;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
-  // Let the loop reach a long backoff sleep, then stop: the sleep must be
+  // Let the loop reach a long backoff wait, then stop: the wait must be
   // interrupted, not waited out.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   const auto begin = std::chrono::steady_clock::now();
@@ -141,10 +158,10 @@ TEST_F(ServerFaultTest, EnfileThenStopDoesNotHangInBackoff) {
             std::chrono::seconds(2));
 }
 
-TEST_F(ServerFaultTest, IdleConnectionIsClosedAfterTimeout) {
+TYPED_TEST(ServerFaultTest, IdleConnectionIsClosedAfterTimeout) {
   ServerOptions options;
   options.idle_timeout = std::chrono::milliseconds(100);
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
   const int fd = connect_to(server.port());
   // An active roundtrip first: activity must not trip the idle timer.
@@ -161,10 +178,10 @@ TEST_F(ServerFaultTest, IdleConnectionIsClosedAfterTimeout) {
   server.stop();
 }
 
-TEST_F(ServerFaultTest, RefusesConnectionsPastTheCap) {
+TYPED_TEST(ServerFaultTest, RefusesConnectionsPastTheCap) {
   ServerOptions options;
   options.max_connections = 1;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
 
   const int occupant = connect_to(server.port());
@@ -189,27 +206,27 @@ TEST_F(ServerFaultTest, RefusesConnectionsPastTheCap) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
-  EXPECT_EQ(accepted, engine_->answer("stats") + "\n");
+  EXPECT_EQ(accepted, this->engine_->answer("stats") + "\n");
   server.stop();
 }
 
-TEST_F(ServerFaultTest, OversizedCompleteLineGetsErrAndBatchContinues) {
+TYPED_TEST(ServerFaultTest, OversizedCompleteLineGetsErrAndBatchContinues) {
   ServerOptions options;
   options.max_line_bytes = 64;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
   const std::string request =
       std::string(200, 'a') + "\nlookup 10.0.0.1 f\n";
   const std::string response = roundtrip(server.port(), request);
   EXPECT_EQ(response, "ERR request line exceeds 64 bytes\n" +
-                          engine_->answer("lookup 10.0.0.1 f") + "\n");
+                          this->engine_->answer("lookup 10.0.0.1 f") + "\n");
   server.stop();
 }
 
-TEST_F(ServerFaultTest, UnterminatedGiantLineIsBoundedAndAnswered) {
+TYPED_TEST(ServerFaultTest, UnterminatedGiantLineIsBoundedAndAnswered) {
   ServerOptions options;
   options.max_line_bytes = 1024;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
   const int fd = connect_to(server.port());
   // Stream 1 MiB with no newline: the server must answer the ERR line
@@ -222,12 +239,12 @@ TEST_F(ServerFaultTest, UnterminatedGiantLineIsBoundedAndAnswered) {
   const std::string response = drain(fd);
   close(fd);
   EXPECT_EQ(response, "ERR request line exceeds 1024 bytes\n" +
-                          engine_->answer("stats") + "\n");
+                          this->engine_->answer("stats") + "\n");
   server.stop();
 }
 
-TEST_F(ServerFaultTest, ClientDisconnectMidBatchDoesNotKillServer) {
-  LineServer server(*engine_, 0);
+TYPED_TEST(ServerFaultTest, ClientDisconnectMidBatchDoesNotKillServer) {
+  TypeParam server(*this->engine_, ServerOptions{});
   server.start();
   // A client pipelines a deep batch and vanishes without reading a byte:
   // the server's sends must fail with EPIPE/ECONNRESET (never SIGPIPE) and
@@ -242,24 +259,24 @@ TEST_F(ServerFaultTest, ClientDisconnectMidBatchDoesNotKillServer) {
 
   // The server survives and keeps answering fresh clients.
   const std::string response = roundtrip(server.port(), "stats\n");
-  EXPECT_EQ(response, engine_->answer("stats") + "\n");
+  EXPECT_EQ(response, this->engine_->answer("stats") + "\n");
   server.stop();
 }
 
-TEST_F(ServerFaultTest, InjectedSendResetKillsOneConnectionOnly) {
+TYPED_TEST(ServerFaultTest, InjectedSendResetKillsOneConnectionOnly) {
   fault::FaultPlan plan;
   plan.add(fault::Fault{.op = fault::Op::kSend, .nth = 1,
                         .inject_errno = ECONNRESET});
   ServerOptions options;
   options.io = &plan;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
   // First client: its answer send is reset mid-batch; it observes EOF.
   const std::string first = roundtrip(server.port(), "stats\n");
   EXPECT_EQ(first, "");
   // Second client: the fault is spent, service continues.
   const std::string second = roundtrip(server.port(), "stats\n");
-  EXPECT_EQ(second, engine_->answer("stats") + "\n");
+  EXPECT_EQ(second, this->engine_->answer("stats") + "\n");
   server.stop();
 }
 
@@ -274,10 +291,10 @@ long long health_field(const std::string& line, const std::string& key) {
 // The server-level HEALTH probe: answered in-order alongside engine lines,
 // reporting the served snapshot's CRC and live server counters — including
 // a refusal that happened moments earlier.
-TEST_F(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
+TYPED_TEST(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
   ServerOptions options;
   options.max_connections = 1;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
 
   // Occupy the single slot, then get one client refused so the probe has a
@@ -301,10 +318,12 @@ TEST_F(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
   const std::size_t newline = response.find('\n');
   ASSERT_NE(newline, std::string::npos) << response;
   const std::string health = response.substr(0, newline);
-  EXPECT_EQ(response.substr(newline + 1), engine_->answer("stats") + "\n");
+  EXPECT_EQ(response.substr(newline + 1),
+            this->engine_->answer("stats") + "\n");
 
   char crc_hex[16];
-  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", reader_->payload_crc32());
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                this->reader_->payload_crc32());
   EXPECT_EQ(health.rfind("OK crc32=" + std::string(crc_hex) + " uptime_s=",
                          0),
             0u)
@@ -317,14 +336,14 @@ TEST_F(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
   server.stop();
 }
 
-TEST_F(ServerFaultTest, StopDrainsInFlightAnswersWholeLines) {
-  LineServer server(*engine_, 0);
+TYPED_TEST(ServerFaultTest, StopDrainsInFlightAnswersWholeLines) {
+  TypeParam server(*this->engine_, ServerOptions{});
   server.start();
   std::string batch;
   std::string expected;
   for (int i = 0; i < 500; ++i) {
     batch += "lookup 10.0.0.1 f\n";
-    expected += engine_->answer("lookup 10.0.0.1 f") + "\n";
+    expected += this->engine_->answer("lookup 10.0.0.1 f") + "\n";
   }
   const int fd = connect_to(server.port());
   send_exactly(fd, batch);
@@ -342,19 +361,109 @@ TEST_F(ServerFaultTest, StopDrainsInFlightAnswersWholeLines) {
   }
 }
 
-TEST_F(ServerFaultTest, ServeForeverStopReleasesTheListenerPort) {
-  auto server = std::make_unique<LineServer>(*engine_, 0);
+// The stalled-reader regression (the bug this PR fixes): a client that
+// pipelines a deep batch and never reads a byte used to pin a LineServer
+// worker forever in a blocking send, which in turn hung stop(). Now the
+// LineServer's SO_SNDTIMEO drops the connection and the AsyncServer's
+// bounded drain closes it — either way stop() returns promptly.
+TYPED_TEST(ServerFaultTest, StalledReaderCannotBlockStop) {
+  ServerOptions options;
+  options.send_timeout = std::chrono::milliseconds(200);   // LineServer path
+  options.max_write_buffer = 32 * 1024;                    // AsyncServer path
+  options.drain_timeout = std::chrono::milliseconds(300);  // AsyncServer path
+  TypeParam server(*this->engine_, options);
+  server.start();
+
+  // A tiny receive window makes the kernel buffers fill fast, wedging the
+  // server's sends while most answers are still unsent.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(server.port());
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                    sizeof(address)),
+            0)
+      << std::strerror(errno);
+
+  std::string batch;
+  for (int i = 0; i < 8000; ++i) batch += "lookup 10.0.0.1 f\n";
+  // Send from a helper thread: once the server stops reading (wedged send
+  // or write backpressure), our own send would block too. The helper
+  // tolerates the server dropping us — that IS the expected outcome.
+  std::thread stalled_sender([&] {
+    std::size_t sent = 0;
+    while (sent < batch.size()) {
+      const ssize_t n = send(fd, batch.data() + sent, batch.size() - sent,
+                             MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  });
+  // Let the batch land and the server wedge against the never-read socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto begin = std::chrono::steady_clock::now();
+  server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - begin,
+            std::chrono::seconds(3));
+  close(fd);
+  stalled_sender.join();
+}
+
+// The listen backlog is SOMAXCONN (not the old magic 64): while accepts
+// are stalled by injected fd exhaustion, a burst of clients well past 64
+// must all complete their handshakes immediately out of the backlog — with
+// a 64-deep backlog the kernel drops the overflow SYNs and every dropped
+// client stalls in a >=1s retransmit. Afterwards every one of them gets a
+// real answer.
+TYPED_TEST(ServerFaultTest, BacklogAbsorbsBurstWhileAcceptsAreStalled) {
+  fault::FaultPlan plan;
+  plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 1, .repeat = 10,
+                        .inject_errno = EMFILE});
+  ServerOptions options;
+  options.max_accept_backoff = std::chrono::milliseconds(100);
+  options.io = &plan;
+  TypeParam server(*this->engine_, options);
+  server.start();
+
+  // ~430ms of stalled accepts (10 injections through the doubling backoff)
+  // covers the whole burst below, which takes a few milliseconds.
+  constexpr int kBurst = 150;
+  std::vector<int> fds;
+  fds.reserve(kBurst);
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBurst; ++i) fds.push_back(connect_to(server.port()));
+  EXPECT_LT(std::chrono::steady_clock::now() - begin,
+            std::chrono::seconds(1));
+
+  const std::string expected = this->engine_->answer("stats") + "\n";
+  for (const int fd : fds) {
+    send_exactly(fd, "stats\n");
+    shutdown(fd, SHUT_WR);
+    EXPECT_EQ(drain(fd), expected);
+    close(fd);
+  }
+  EXPECT_GE(server.accept_retries(), 10u);
+  server.stop();
+}
+
+TYPED_TEST(ServerFaultTest, ServeForeverStopReleasesTheListenerPort) {
+  auto server = std::make_unique<TypeParam>(*this->engine_, ServerOptions{});
   const std::uint16_t port = server->port();
   std::thread serving([&] { server->serve_forever(); });
   // One roundtrip proves the loop is up before we stop it.
-  EXPECT_EQ(roundtrip(port, "stats\n"), engine_->answer("stats") + "\n");
+  EXPECT_EQ(roundtrip(port, "stats\n"), this->engine_->answer("stats") + "\n");
   server->stop();
   serving.join();
   server.reset();
   // The fd must be closed by now (the old bug leaked it on this path):
   // binding the same port again succeeds only if the listener is gone.
   EXPECT_NO_THROW({
-    LineServer rebound(*engine_, port);
+    TypeParam rebound(*this->engine_, port);
     EXPECT_EQ(rebound.port(), port);
   });
 }
@@ -362,7 +471,7 @@ TEST_F(ServerFaultTest, ServeForeverStopReleasesTheListenerPort) {
 // Everything at once: fd exhaustion, an idle client, a line flood, a
 // vanishing client — and the golden batch must still come back exact, with
 // a clean TSan-checked shutdown.
-TEST_F(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
+TYPED_TEST(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
   fault::FaultPlan plan;
   plan.add(fault::Fault{.op = fault::Op::kAccept, .nth = 2, .repeat = 3,
                         .inject_errno = EMFILE});
@@ -374,7 +483,7 @@ TEST_F(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
   options.max_line_bytes = 2048;
   options.max_accept_backoff = std::chrono::milliseconds(10);
   options.io = &plan;
-  LineServer server(*engine_, options);
+  TypeParam server(*this->engine_, options);
   server.start();
 
   // Chaos phase. An idle client that will be timed out...
@@ -383,7 +492,7 @@ TEST_F(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
   const std::string flood_response =
       roundtrip(server.port(), std::string(100 * 1024, 'z') + "\nstats\n");
   EXPECT_EQ(flood_response, "ERR request line exceeds 2048 bytes\n" +
-                                engine_->answer("stats") + "\n");
+                                this->engine_->answer("stats") + "\n");
   // ...and a client that vanishes with answers in flight.
   {
     const int fd = connect_to(server.port());
@@ -410,7 +519,7 @@ TEST_F(ServerFaultTest, SoakKeepsGoldenAnswersUnderChaos) {
   for (int i = 0; i < 40; ++i) {
     for (const std::string& query : queries) {
       request += query + "\n";
-      expected += engine_->answer(query) + "\n";
+      expected += this->engine_->answer(query) + "\n";
     }
   }
   std::vector<std::thread> clients;

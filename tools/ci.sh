@@ -24,6 +24,11 @@
 #                 require byte-identical inferences vs an uninterrupted
 #                 run; also checks the deadline checkpoint-and-exit path
 #                 (default: FAULT_MATRIX)
+#   ASYNC_SMOKE   1 = boot `mapit serve --async` on a real snapshot and
+#                 replay the canned query batch over both wire protocols
+#                 (line and binary), diffing each response stream against
+#                 the committed golden answers; ends with a SIGTERM
+#                 graceful-drain check (default: SNAPSHOT_SMOKE)
 #   BUILD_DIR     override the derived build directory
 #   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
@@ -37,6 +42,7 @@ BENCH_SMOKE="${BENCH_SMOKE:-1}"
 SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 FAULT_MATRIX="${FAULT_MATRIX:-1}"
 CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
+ASYNC_SMOKE="${ASYNC_SMOKE:-${SNAPSHOT_SMOKE}}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # One build dir per (type, sanitizer) combination so matrix jobs and local
@@ -226,6 +232,99 @@ for key in ("snapshot_crc32", "snapshot_bytes", "standard_inferences"):
         sys.exit(f"{key} drifted: got {got}, committed {want}")
     print(f"{key} == {want}: ok")
 EOF
+fi
+
+if [[ "${ASYNC_SMOKE}" == "1" ]]; then
+  echo "== async serve smoke =="
+  # Boot the epoll event-loop server through the real binary and replay the
+  # canned query batch over BOTH wire protocols. The line-protocol response
+  # must be byte-identical to the committed golden answers — the same bytes
+  # `mapit query` and the blocking server produce — and the binary-protocol
+  # frame payloads must reassemble to the same file. SIGTERM at the end
+  # must drain gracefully (exit 0), not kill the loop mid-answer.
+  mapit_bin="${BUILD_DIR}/tools/mapit"
+  work="${BUILD_DIR}/async_smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 9
+  "${mapit_bin}" snapshot \
+    --traces "${work}/traces.txt" --rib "${work}/rib.txt" \
+    --relationships "${work}/relationships.txt" \
+    --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt" \
+    --out "${work}/snapshot.bin"
+
+  "${mapit_bin}" serve "${work}/snapshot.bin" --async --reuseport \
+    --backlog 512 2> "${work}/serve.log" &
+  serve_pid=$!
+  trap 'kill "${serve_pid}" 2>/dev/null || true' EXIT
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^serving .* on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "${work}/serve.log" | head -n 1)"
+    [[ -n "${port}" ]] && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "async server died during startup:" >&2
+      cat "${work}/serve.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "async server never announced its port" >&2
+    cat "${work}/serve.log" >&2
+    exit 1
+  fi
+
+  for protocol in line binary; do
+    python3 - "${port}" "${REPO_ROOT}/tests/cli/golden_queries.txt" \
+      "${work}/${protocol}_answers.txt" "${protocol}" <<'EOF'
+import socket, struct, sys
+
+port, query_path, out_path, protocol = sys.argv[1:5]
+queries = []
+for line in open(query_path):
+    line = line.strip()
+    if line and not line.startswith("#"):
+        queries.append(line)
+
+sock = socket.create_connection(("127.0.0.1", int(port)), timeout=30)
+sock.settimeout(30)
+if protocol == "line":
+    sock.sendall(("\n".join(queries) + "\n").encode())
+else:
+    request = b"MQB1"
+    for query in queries:
+        payload = query.encode()
+        request += struct.pack("<I", len(payload)) + payload
+    sock.sendall(request)
+sock.shutdown(socket.SHUT_WR)
+data = b""
+while True:
+    chunk = sock.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+sock.close()
+
+if protocol == "binary":
+    payloads, offset = [], 0
+    while offset < len(data):
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        payloads.append(data[offset:offset + length])
+        offset += length
+    data = b"\n".join(payloads) + b"\n"
+open(out_path, "wb").write(data)
+EOF
+    diff -u "${REPO_ROOT}/tests/cli/golden_answers.txt" \
+      "${work}/${protocol}_answers.txt"
+    echo "async ${protocol}-protocol golden answers: ok"
+  done
+
+  kill -TERM "${serve_pid}"
+  wait "${serve_pid}"
+  trap - EXIT
+  echo "async SIGTERM graceful drain: ok"
 fi
 
 echo "CI OK"

@@ -34,6 +34,7 @@
 #include "net/error.h"
 #include "net/load_report.h"
 #include "query/query_engine.h"
+#include "query/async_server.h"
 #include "query/server.h"
 #include "store/reader.h"
 #include "store/writer.h"
@@ -105,10 +106,20 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
       "        lookup <addr> <f|b> | addr <addr> | ip2as <addr> [f|b]\n"
       "        | links <asn> <asn> | stats\n"
       "  mapit serve SNAPSHOT [--port N] [server options]\n"
-      "      blocking TCP server for the same line protocol on\n"
-      "      127.0.0.1:N (default: an ephemeral port, printed on stderr)\n"
+      "      TCP server for the same line protocol on 127.0.0.1:N\n"
+      "      (default: an ephemeral port, printed on stderr)\n"
+      "      --async                epoll event-loop server instead of the\n"
+      "                             thread-per-connection one; also speaks\n"
+      "                             the length-prefixed binary protocol\n"
+      "                             (connections starting with \"MQB1\")\n"
+      "      --reuseport            SO_REUSEPORT: run N processes on one\n"
+      "                             port, kernel load-balances connections\n"
+      "      --backlog N            listen(2) backlog (default: SOMAXCONN)\n"
       "      --idle-timeout SECS    close connections idle this long\n"
       "                             (default 300, 0 = never)\n"
+      "      --send-timeout SECS    drop a connection whose blocked send\n"
+      "                             stalls this long (blocking server only;\n"
+      "                             default: --idle-timeout)\n"
       "      --max-connections N    refuse clients past N live connections\n"
       "                             with an ERR line (default 256)\n"
       "      --max-line BYTES       answer ERR to longer request lines\n"
@@ -632,38 +643,67 @@ int cmd_serve(Args& args) {
     }
     server_options.max_line_bytes = *parsed;
   }
+  if (const auto value = args.value("--send-timeout")) {
+    const auto parsed = parse_bounded(*value, 86400);
+    if (!parsed) {
+      std::cerr << "--send-timeout expects seconds in [0, 86400], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    server_options.send_timeout = std::chrono::seconds(*parsed);
+  }
+  if (const auto value = args.value("--backlog")) {
+    const auto parsed = parse_bounded(*value, 65536);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--backlog expects an integer in [1, 65536], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    server_options.backlog = static_cast<int>(*parsed);
+  }
+  server_options.reuse_port = args.flag("--reuseport");
+  const bool use_async = args.flag("--async");
   args.reject_unknown();
 
   const store::SnapshotReader reader = store::SnapshotReader::open(
       *snapshot_path);
   const query::QueryEngine engine(reader);
-  query::LineServer server(engine, server_options);
-  std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
-            << server.port() << " (" << reader.inferences().size()
-            << " inference records, " << reader.size_bytes()
-            << " bytes mmap'd)\n";
+  // Both servers expose the same surface; run whichever under the same
+  // signal-drain scaffolding.
+  const auto run = [&](auto& server) {
+    std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
+              << server.port() << (use_async ? " (async)" : "") << " ("
+              << reader.inferences().size() << " inference records, "
+              << reader.size_bytes() << " bytes mmap'd)\n";
 
-  // SIGTERM/SIGINT drain the server gracefully (in-flight batches are
-  // answered, then connections close) instead of killing it mid-send. The
-  // drain thread blocks on the signal guard's self-pipe; when
-  // serve_forever() returns for any other reason, wake() sends it home.
-  core::SignalGuard signals;
-  std::thread drain([&] {
-    const int signal_number = signals.wait();
-    if (signal_number != 0) {
-      std::cerr << "received "
-                << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
-                << ", draining connections...\n";
-      server.stop();
+    // SIGTERM/SIGINT drain the server gracefully (in-flight batches are
+    // answered, then connections close) instead of killing it mid-send. The
+    // drain thread blocks on the signal guard's self-pipe; when
+    // serve_forever() returns for any other reason, wake() sends it home.
+    core::SignalGuard signals;
+    std::thread drain([&] {
+      const int signal_number = signals.wait();
+      if (signal_number != 0) {
+        std::cerr << "received "
+                  << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << ", draining connections...\n";
+        server.stop();
+      }
+    });
+    server.serve_forever();
+    signals.wake();
+    drain.join();
+    if (core::SignalGuard::signal_received() != 0) {
+      std::cerr << "drained; exiting\n";
     }
-  });
-  server.serve_forever();
-  signals.wake();
-  drain.join();
-  if (core::SignalGuard::signal_received() != 0) {
-    std::cerr << "drained; exiting\n";
+    return kExitOk;
+  };
+  if (use_async) {
+    query::AsyncServer server(engine, server_options);
+    return run(server);
   }
-  return kExitOk;
+  query::LineServer server(engine, server_options);
+  return run(server);
 }
 
 int cmd_paths(Args& args) {
