@@ -1,0 +1,23 @@
+// Fuzz target: core::read_checkpoint_bytes — the full checkpoint
+// validation path (magic, endianness marker, version, payload size, CRC,
+// reserved bytes, payload cursor) over an in-memory image, exactly what
+// read_checkpoint runs after slurping the file.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/checkpoint.h"
+#include "net/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    const mapit::core::Checkpoint checkpoint =
+        mapit::core::read_checkpoint_bytes(bytes, "fuzz input");
+    (void)checkpoint.engine_state.size();
+  } catch (const mapit::Error&) {
+    // Expected rejection path (CheckpointError derives from mapit::Error).
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz target: core::read_inferences — the address|dir|asn|asn|kind|v/n
+// result parser. Accepted records are re-serialized, which asserts the
+// round-trip formatting never chokes on values the parser let through.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/result_io.h"
+#include "net/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    const auto inferences = mapit::core::read_inferences(in);
+    std::ostringstream out;
+    mapit::core::write_inferences(out, inferences);
+  } catch (const mapit::Error&) {
+    // Expected rejection path.
+  }
+  return 0;
+}

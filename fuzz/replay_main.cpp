@@ -1,0 +1,65 @@
+// Standalone replay driver: gives every *_fuzzer.cpp harness a plain main()
+// when libFuzzer is unavailable (gcc builds, MAPIT_FUZZ=OFF).
+//
+// Usage: fuzz_<target> <file-or-directory>...
+// Each file argument is fed to LLVMFuzzerTestOneInput once; directories are
+// walked non-recursively in sorted order. This is how the committed
+// fuzz/corpus/ seeds and fuzz/regressions/ crash inputs run as ordinary
+// ctest cases (label: fuzz-regression) in every build configuration — a
+// past finding stays covered even in jobs that cannot link libFuzzer.
+//
+// Exit status: 0 when every input was replayed (the harness aborts the
+// process on a real finding), 1 on usage or I/O errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool replay_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  std::printf("replayed %zu bytes: %s\n", bytes.size(), path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-directory>...\n", argv[0]);
+    return 1;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(arg.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    if (!replay_file(file)) return 1;
+  }
+  std::printf("replayed %zu inputs\n", files.size());
+  return 0;
+}

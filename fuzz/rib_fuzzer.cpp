@@ -1,0 +1,31 @@
+// Fuzz target: bgp::Rib::read — the collector|prefix|asn RIB parser, in
+// both strict and lenient modes, plus the consolidation pass over whatever
+// survived (it walks every accepted announcement).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "bgp/rib.h"
+#include "net/error.h"
+#include "net/load_report.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)mapit::bgp::Rib::read(in);
+  } catch (const mapit::Error&) {
+    // Expected rejection path.
+  }
+  {
+    std::istringstream in(text);
+    mapit::LoadReport report;
+    const mapit::bgp::Rib rib = mapit::bgp::Rib::read(in, &report);
+    (void)report.summary("rib");
+    (void)rib.consolidate();
+    (void)rib.moas_prefixes();
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: store::SnapshotReader::from_bytes — the binary snapshot
+// validator (header, section table, CRC). When an image validates, a
+// QueryEngine is built over it and queried: the reader's acceptance
+// promise is that every accepted section is safe to binary-search, so
+// post-validation lookups must not be able to crash either.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/error.h"
+#include "query/query_engine.h"
+#include "store/reader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    const mapit::store::SnapshotReader reader =
+        mapit::store::SnapshotReader::from_bytes(bytes);
+    const mapit::query::QueryEngine engine(reader);
+    (void)engine.answer("stats");
+    (void)engine.answer("lookup 10.0.0.1 f");
+    (void)engine.answer("addr 10.0.0.1");
+    (void)engine.answer("ip2as 10.0.0.1");
+    (void)engine.answer("ip2as 10.0.0.1 b");
+    (void)engine.answer("links 100 200");
+  } catch (const mapit::Error&) {
+    // Expected rejection path (SnapshotError derives from mapit::Error).
+  }
+  return 0;
+}

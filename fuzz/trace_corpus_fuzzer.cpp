@@ -1,0 +1,35 @@
+// Fuzz target: trace::read_corpus — the traceroute text parser, in both
+// strict and lenient modes.
+//
+// Contract under fuzzing: arbitrary bytes either parse or raise
+// mapit::Error. Anything else escaping (raw std exceptions, UB caught by
+// the sanitizers) is a finding. Lenient mode additionally must never throw
+// for line-level damage — it quarantines into the LoadReport instead.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "net/error.h"
+#include "net/load_report.h"
+#include "trace/trace_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::istringstream in(text);
+    (void)mapit::trace::read_corpus(in, /*threads=*/1);
+  } catch (const mapit::Error&) {
+    // Expected rejection path.
+  }
+  {
+    std::istringstream in(text);
+    mapit::LoadReport report;
+    const auto corpus = mapit::trace::read_corpus(in, /*threads=*/1, &report);
+    // Exercise the quarantine summary formatting too.
+    (void)report.summary("traces");
+    (void)corpus.traces().size();
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "net/error.h"
+#include "net/parse.h"
 
 namespace mapit::bgp {
 
@@ -79,52 +80,66 @@ Rib Rib::read(std::istream& in, LoadReport* report) {
   Rib rib;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t line_offset = 0;
   std::size_t loaded = 0;
+  // Line number for humans, byte offset so a crashing input (fuzzer
+  // finding, corrupt dump) maps straight to the offending bytes.
+  const auto where = [&line_no, &line_offset] {
+    return "rib line " + std::to_string(line_no) + " (byte " +
+           std::to_string(line_offset) + ")";
+  };
   // Parses + applies one payload line; throws ParseError on any damage.
   // The prefix and origin are parsed BEFORE the collector is registered,
   // so a rejected line leaves the Rib completely untouched — lenient mode
   // must not leak collector ids from quarantined lines.
-  const auto load_line = [&rib, &line, &line_no] {
+  const auto load_line = [&rib, &line, &where] {
     const auto bar1 = line.find('|');
     const auto bar2 = bar1 == std::string::npos ? std::string::npos
                                                 : line.find('|', bar1 + 1);
     if (bar2 == std::string::npos) {
-      throw ParseError("rib line " + std::to_string(line_no) +
-                       ": expected 'collector|prefix|asn', got '" + line + "'");
+      throw ParseError(where() + ": expected 'collector|prefix|asn', got '" +
+                       line + "'");
     }
     try {
       const net::Prefix prefix =
           net::Prefix::parse_or_throw(line.substr(bar1 + 1, bar2 - bar1 - 1));
       const auto origin =
-          static_cast<asdata::Asn>(std::stoul(line.substr(bar2 + 1)));
-      MAPIT_ENSURE(origin != asdata::kUnknownAsn,
+          net::parse_uint<asdata::Asn>(std::string_view(line).substr(bar2 + 1));
+      if (!origin) {
+        throw ParseError("bad origin ASN '" + line.substr(bar2 + 1) + "'");
+      }
+      MAPIT_ENSURE(*origin != asdata::kUnknownAsn,
                    "announcement with unknown origin");
       const CollectorId collector = rib.add_collector(line.substr(0, bar1));
-      rib.add_announcement(collector, prefix, origin);
+      rib.add_announcement(collector, prefix, *origin);
     } catch (const ParseError& e) {
       // Prefix parse errors carry no position; add the line number so the
       // caller (and the LoadReport) can name the offender.
-      throw ParseError("rib line " + std::to_string(line_no) + ": " +
-                       e.what());
+      throw ParseError(where() + ": " + e.what());
     } catch (const std::exception&) {
-      throw ParseError("rib line " + std::to_string(line_no) +
-                       ": malformed record '" + line + "'");
+      throw ParseError(where() + ": malformed record '" + line + "'");
     }
   };
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    // getline consumed the line plus one '\n'; remember where it started.
+    const std::size_t next_offset = line_offset + line.size() + 1;
+    if (line.empty() || line[0] == '#') {
+      line_offset = next_offset;
+      continue;
+    }
     if (report == nullptr) {
       load_line();
       ++loaded;
-      continue;
+    } else {
+      try {
+        load_line();
+        ++loaded;
+      } catch (const ParseError& e) {
+        report->record(line_no, e.what());
+      }
     }
-    try {
-      load_line();
-      ++loaded;
-    } catch (const ParseError& e) {
-      report->record(line_no, e.what());
-    }
+    line_offset = next_offset;
   }
   if (report != nullptr) report->add_loaded(loaded);
   return rib;

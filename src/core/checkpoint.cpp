@@ -203,6 +203,43 @@ void write_checkpoint(const std::string& path, const Checkpoint& checkpoint,
   fault::write_file_atomic(path, bytes, io);
 }
 
+Checkpoint read_checkpoint_bytes(std::string_view bytes,
+                                 const std::string& context) {
+  if (bytes.size() < kHeaderSize) {
+    throw CheckpointError("checkpoint file too small: " + context);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError("bad checkpoint magic: " + context);
+  }
+  Cursor header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+  if (header.read_u32() != kEndianMarker) {
+    throw CheckpointError("checkpoint written with foreign endianness: " +
+                          context);
+  }
+  const std::uint32_t version = header.read_u32();
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version) + ": " + context);
+  }
+  const std::uint64_t payload_size = header.read_u64();
+  if (payload_size != bytes.size() - kHeaderSize) {
+    throw CheckpointError("checkpoint payload size mismatch: " + context);
+  }
+  const std::uint32_t expected_crc = header.read_u32();
+  // Reserved bytes must be zero: the bit-flip rejection matrix covers every
+  // header byte, and a version-1 reader that ignored them could silently
+  // accept a file some future version relies on them to disambiguate.
+  if (header.read_u32() != 0) {
+    throw CheckpointError("checkpoint reserved header bytes are nonzero: " +
+                          context);
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (crc32(payload) != expected_crc) {
+    throw CheckpointError("checkpoint CRC mismatch: " + context);
+  }
+  return parse_payload(payload);
+}
+
 Checkpoint read_checkpoint(const std::string& path, fault::Io& io) {
   const int fd = io.open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
   if (fd < 0) {
@@ -224,42 +261,7 @@ Checkpoint read_checkpoint(const std::string& path, fault::Io& io) {
     bytes.append(buffer, static_cast<std::size_t>(got));
   }
   (void)io.close(fd);
-
-  if (bytes.size() < kHeaderSize) {
-    throw CheckpointError("checkpoint file too small: " + path);
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw CheckpointError("bad checkpoint magic: " + path);
-  }
-  Cursor header(std::string_view(bytes).substr(sizeof(kMagic),
-                                               kHeaderSize - sizeof(kMagic)));
-  if (header.read_u32() != kEndianMarker) {
-    throw CheckpointError("checkpoint written with foreign endianness: " +
-                          path);
-  }
-  const std::uint32_t version = header.read_u32();
-  if (version != kCheckpointVersion) {
-    throw CheckpointError("unsupported checkpoint version " +
-                          std::to_string(version) + ": " + path);
-  }
-  const std::uint64_t payload_size = header.read_u64();
-  if (payload_size != bytes.size() - kHeaderSize) {
-    throw CheckpointError("checkpoint payload size mismatch: " + path);
-  }
-  const std::uint32_t expected_crc = header.read_u32();
-  // Reserved bytes must be zero: the bit-flip rejection matrix covers every
-  // header byte, and a version-1 reader that ignored them could silently
-  // accept a file some future version relies on them to disambiguate.
-  if (header.read_u32() != 0) {
-    throw CheckpointError("checkpoint reserved header bytes are nonzero: " +
-                          path);
-  }
-  const std::string_view payload =
-      std::string_view(bytes).substr(kHeaderSize);
-  if (crc32(payload) != expected_crc) {
-    throw CheckpointError("checkpoint CRC mismatch: " + path);
-  }
-  return parse_payload(payload);
+  return read_checkpoint_bytes(bytes, path);
 }
 
 void verify_checkpoint_meta(const CheckpointMeta& expected,

@@ -101,6 +101,13 @@ inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
 void write_checkpoint(const std::string& path, const Checkpoint& checkpoint,
                       fault::Io& io = fault::system_io());
 
+/// Fully validates an in-memory checkpoint image (header, endianness,
+/// version, size, CRC, payload). Throws CheckpointError naming `context`
+/// (a path or a synthetic label) when anything is wrong. This is the whole
+/// validation path minus file I/O — the fuzz harness drives it directly.
+[[nodiscard]] Checkpoint read_checkpoint_bytes(
+    std::string_view bytes, const std::string& context = "checkpoint");
+
 /// Reads and fully validates a checkpoint file. Throws CheckpointError when
 /// the file is missing, unreadable, truncated, of a foreign endianness or
 /// version, fails its CRC, or carries a malformed payload.

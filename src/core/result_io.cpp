@@ -32,13 +32,12 @@ template <typename UInt>
   return value;
 }
 
-[[nodiscard]] InferenceKind kind_from(const std::string& text,
-                                      std::size_t line_no) {
+[[nodiscard]] InferenceKind kind_from(const std::string& text) {
   if (text == "direct") return InferenceKind::kDirect;
   if (text == "indirect") return InferenceKind::kIndirect;
   if (text == "stub") return InferenceKind::kStub;
-  throw ParseError("inferences line " + std::to_string(line_no) +
-                   ": unknown kind '" + text + "'");
+  // Positional context (line + byte offset) is added by the caller.
+  throw ParseError("unknown kind '" + text + "'");
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -81,16 +80,26 @@ std::vector<Inference> read_inferences(std::istream& in) {
   std::vector<Inference> out;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t line_offset = 0;
+  // Line number for humans, byte offset (of the line start, CR included)
+  // so a fuzzer crash or corrupt file maps straight to the input bytes.
+  const auto where = [&line_no, &line_offset] {
+    return "inferences line " + std::to_string(line_no) + " (byte " +
+           std::to_string(line_offset) + ")";
+  };
   while (std::getline(in, line)) {
     ++line_no;
+    const std::size_t next_offset = line_offset + line.size() + 1;
     // Accept files that passed through Windows tooling (CRLF endings) or
     // that gained trailing blank lines in transit.
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      line_offset = next_offset;
+      continue;
+    }
     const std::vector<std::string> fields = split(line, '|');
     if (fields.size() != 6) {
-      throw ParseError("inferences line " + std::to_string(line_no) +
-                       ": expected 6 fields, got " +
+      throw ParseError(where() + ": expected 6 fields, got " +
                        std::to_string(fields.size()));
     }
     try {
@@ -106,7 +115,7 @@ std::vector<Inference> read_inferences(std::istream& in) {
       inference.router_as =
           parse_uint<asdata::Asn>(fields[2], "router ASN");
       inference.other_as = parse_uint<asdata::Asn>(fields[3], "other ASN");
-      inference.kind = kind_from(fields[4], line_no);
+      inference.kind = kind_from(fields[4]);
       const std::size_t slash = fields[5].find('/');
       if (slash == std::string::npos) {
         throw ParseError("bad evidence '" + fields[5] + "'");
@@ -122,12 +131,11 @@ std::vector<Inference> read_inferences(std::istream& in) {
       }
       out.push_back(inference);
     } catch (const ParseError& e) {
-      throw ParseError("inferences line " + std::to_string(line_no) + ": " +
-                       e.what());
+      throw ParseError(where() + ": " + e.what());
     } catch (const std::exception&) {
-      throw ParseError("inferences line " + std::to_string(line_no) +
-                       ": malformed number in '" + line + "'");
+      throw ParseError(where() + ": malformed number in '" + line + "'");
     }
+    line_offset = next_offset;
   }
   return out;
 }

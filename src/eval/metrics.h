@@ -27,6 +27,8 @@ struct Metrics {
     fn += other.fn;
     return *this;
   }
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace mapit::eval

@@ -1,0 +1,36 @@
+// Strict number parsing shared by every text parser (trace corpus, RIB,
+// inference files, CLI flags).
+//
+// The std::sto* family is the wrong tool for input validation: it silently
+// accepts trailing garbage ("123abc" -> 123), leading whitespace and signs
+// ("-1" wraps to a huge unsigned), and reports failures with raw
+// std::invalid_argument/std::out_of_range — exceptions outside the
+// mapit::Error hierarchy that escape parser boundaries and turn fuzzer
+// findings into uncaught-exception aborts. These helpers parse the WHOLE
+// string or fail, and fail by returning nullopt so each call site can
+// attach its own positional context (line and byte offset).
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+#include <system_error>
+
+namespace mapit::net {
+
+/// Strict decimal parse of the entire string into an unsigned integer
+/// type: rejects empty input, whitespace, signs, trailing bytes, and
+/// out-of-range values.
+template <typename UInt>
+[[nodiscard]] std::optional<UInt> parse_uint(std::string_view text) {
+  static_assert(static_cast<UInt>(-1) > UInt{0},
+                "parse_uint is for unsigned types");
+  UInt value{};
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace mapit::net

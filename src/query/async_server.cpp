@@ -30,15 +30,6 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 /// unsent tail — keeps memory bounded without erasing on every flush.
 constexpr std::size_t kCompactThreshold = 256 * 1024;
 
-std::uint32_t read_le32(const char* bytes) {
-  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
-             << 16 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
-             << 24;
-}
-
 int clamp_ms(std::chrono::steady_clock::duration d) {
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
@@ -49,18 +40,6 @@ int clamp_ms(std::chrono::steady_clock::duration d) {
 }
 
 }  // namespace
-
-void append_binary_frame(std::string& out, std::string_view payload) {
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  const char header[4] = {
-      static_cast<char>(length & 0xFF),
-      static_cast<char>((length >> 8) & 0xFF),
-      static_cast<char>((length >> 16) & 0xFF),
-      static_cast<char>((length >> 24) & 0xFF),
-  };
-  out.append(header, sizeof(header));
-  out.append(payload);
-}
 
 AsyncServer::AsyncServer(const QueryEngine& engine,
                          const ServerOptions& options)
@@ -178,113 +157,6 @@ bool AsyncServer::flush(Connection& connection) {
   return true;
 }
 
-void AsyncServer::process_line_input(Connection& connection) {
-  std::size_t start = 0;
-  if (connection.discarding_line) {
-    const std::size_t newline = connection.in.find('\n');
-    if (newline == std::string::npos) {
-      connection.in.clear();
-      return;
-    }
-    start = newline + 1;
-    connection.discarding_line = false;
-  }
-  while (true) {
-    const std::size_t newline = connection.in.find('\n', start);
-    if (newline == std::string::npos) break;
-    std::string_view line(connection.in.data() + start, newline - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    start = newline + 1;
-    if (line.empty()) continue;  // blank keep-alive lines get no answer
-    if (line.size() > options_.max_line_bytes) {
-      connection.out += "ERR request line exceeds " +
-                        std::to_string(options_.max_line_bytes) + " bytes";
-    } else if (line == "HEALTH") {
-      connection.out +=
-          format_health(engine_, started_, connections_.size(),
-                        refused_connections(), accept_retries());
-    } else {
-      connection.out += engine_.answer(line);
-    }
-    connection.out += '\n';
-  }
-  connection.in.erase(0, start);
-  // An incomplete line past the bound is answered and discarded NOW — the
-  // buffer must stay bounded no matter how much the client streams without
-  // a newline (same rule as the blocking server).
-  if (connection.in.size() > options_.max_line_bytes) {
-    connection.out += "ERR request line exceeds " +
-                      std::to_string(options_.max_line_bytes) + " bytes\n";
-    connection.in.clear();
-    connection.in.shrink_to_fit();
-    connection.discarding_line = true;
-  }
-}
-
-void AsyncServer::process_binary_input(Connection& connection) {
-  std::size_t start = 0;
-  while (true) {
-    if (connection.discard_frame_bytes > 0) {
-      const std::size_t available = connection.in.size() - start;
-      const std::size_t eaten = static_cast<std::size_t>(std::min<std::uint64_t>(
-          connection.discard_frame_bytes, available));
-      start += eaten;
-      connection.discard_frame_bytes -= eaten;
-      if (connection.discard_frame_bytes > 0) break;  // need more to skip
-    }
-    if (connection.in.size() - start < 4) break;
-    const std::uint32_t length = read_le32(connection.in.data() + start);
-    if (length > options_.max_line_bytes) {
-      // Oversized frame: one ERR response frame, payload skipped, the
-      // connection survives — the binary protocol's ERR-and-discard rule.
-      append_binary_frame(connection.out,
-                          "ERR request frame exceeds " +
-                              std::to_string(options_.max_line_bytes) +
-                              " bytes");
-      connection.discard_frame_bytes = length;
-      start += 4;
-      continue;
-    }
-    if (connection.in.size() - start < 4 + static_cast<std::size_t>(length)) {
-      break;  // frame not complete yet
-    }
-    const std::string_view query(connection.in.data() + start + 4, length);
-    if (query == "HEALTH") {
-      append_binary_frame(connection.out,
-                          format_health(engine_, started_,
-                                        connections_.size(),
-                                        refused_connections(),
-                                        accept_retries()));
-    } else {
-      append_binary_frame(connection.out, engine_.answer(query));
-    }
-    start += 4 + static_cast<std::size_t>(length);
-  }
-  connection.in.erase(0, start);
-}
-
-void AsyncServer::process_input(Connection& connection) {
-  if (connection.mode == Connection::Mode::kUndecided) {
-    const std::size_t probe =
-        std::min(connection.in.size(), sizeof(kBinaryProtocolMagic));
-    if (std::memcmp(connection.in.data(), kBinaryProtocolMagic, probe) != 0) {
-      // Not a prefix of the magic: an ordinary line client (no query verb
-      // starts with 'M', so this decides on the very first byte).
-      connection.mode = Connection::Mode::kLine;
-    } else if (connection.in.size() >= sizeof(kBinaryProtocolMagic)) {
-      connection.mode = Connection::Mode::kBinary;
-      connection.in.erase(0, sizeof(kBinaryProtocolMagic));
-    } else {
-      return;  // a strict prefix of the magic: wait for more bytes
-    }
-  }
-  if (connection.mode == Connection::Mode::kLine) {
-    process_line_input(connection);
-  } else {
-    process_binary_input(connection);
-  }
-}
-
 void AsyncServer::handle_readable(Connection& connection,
                                   std::chrono::steady_clock::time_point now) {
   char buffer[kReadChunk];
@@ -303,8 +175,9 @@ void AsyncServer::handle_readable(Connection& connection,
       break;
     }
     connection.last_activity = now;
-    connection.in.append(buffer, static_cast<std::size_t>(n));
-    process_input(connection);
+    connection.session.feed(std::string_view(buffer,
+                                             static_cast<std::size_t>(n)),
+                            connection.out);
     if (!flush(connection)) {
       close_connection(connection);
       return;
@@ -369,7 +242,13 @@ void AsyncServer::accept_ready(std::chrono::steady_clock::time_point now) {
       ::close(fd);
       continue;
     }
-    auto connection = std::make_unique<Connection>();
+    // The HEALTH callback reports this server's live counters; everything
+    // else about request handling lives in the session.
+    auto connection = std::make_unique<Connection>(ProtocolSession(
+        engine_, options_.max_line_bytes, [this] {
+          return format_health(engine_, started_, connections_.size(),
+                               refused_connections(), accept_retries());
+        }));
     connection->fd = fd;
     connection->last_activity = now;
     connection->armed = EPOLLIN;

@@ -10,7 +10,10 @@
 // mmap'd snapshot behind SO_REUSEPORT (`ServerOptions::reuse_port`) for
 // per-core scale-out.
 //
-// Protocols. Both run on the same port:
+// Protocols. Both run on the same port, implemented by the socketless
+// query::ProtocolSession (protocol.h) — one session per connection, so the
+// exact framing code that answers TCP clients is also driven directly by
+// unit tests and the fuzz harnesses:
 //   * Line protocol — byte-identical to LineServer (one '\n'-terminated
 //     query per line, exactly one answer line each, CRLF tolerated, HEALTH
 //     answered by the server). tests/query/async_server_test.cpp proves
@@ -58,17 +61,11 @@
 #include <thread>
 
 #include "fault/io.h"
+#include "query/protocol.h"
 #include "query/query_engine.h"
 #include "query/server.h"
 
 namespace mapit::query {
-
-/// First bytes of a binary-protocol connection ("MQB1").
-inline constexpr char kBinaryProtocolMagic[4] = {'M', 'Q', 'B', '1'};
-
-/// Appends one binary-protocol frame (little-endian uint32 length +
-/// payload) to `out`. Shared with clients in tests and benches.
-void append_binary_frame(std::string& out, std::string_view payload);
 
 class AsyncServer {
  public:
@@ -117,14 +114,14 @@ class AsyncServer {
 
  private:
   struct Connection {
+    explicit Connection(ProtocolSession session_in)
+        : session(std::move(session_in)) {}
+
     int fd = -1;
-    enum class Mode { kUndecided, kLine, kBinary };
-    Mode mode = Mode::kUndecided;
-    std::string in;            ///< unparsed request bytes
+    /// Request framing + answering (mode sniff, line/binary protocols).
+    ProtocolSession session;
     std::string out;           ///< answer bytes not yet written
     std::size_t out_off = 0;   ///< bytes of `out` already sent
-    std::uint64_t discard_frame_bytes = 0;  ///< oversized-frame payload left
-    bool discarding_line = false;  ///< inside an oversized line (answered)
     bool want_close = false;   ///< peer EOF: close once `out` is flushed
     bool paused = false;       ///< EPOLLIN off (write backpressure)
     std::uint32_t armed = 0;   ///< epoll events currently registered
@@ -141,10 +138,6 @@ class AsyncServer {
   void accept_ready(std::chrono::steady_clock::time_point now);
   void handle_readable(Connection& connection,
                        std::chrono::steady_clock::time_point now);
-  /// Parses every complete request in `connection.in` into answers.
-  void process_input(Connection& connection);
-  void process_line_input(Connection& connection);
-  void process_binary_input(Connection& connection);
   /// Sends as much of `out` as the socket takes. False = connection dead.
   [[nodiscard]] bool flush(Connection& connection);
   /// Recomputes and applies the epoll event mask for the connection.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/error.h"
+#include "net/parse.h"
 #include "parallel/thread_pool.h"
 
 namespace mapit::trace {
@@ -94,11 +95,11 @@ Trace parse_trace(std::string_view line, std::string_view context) {
     fail(context, "expected 'monitor|destination|hops'");
   }
   Trace trace;
-  try {
-    trace.monitor = static_cast<MonitorId>(std::stoul(std::string(fields[0])));
-  } catch (const std::exception&) {
+  const auto monitor = net::parse_uint<MonitorId>(fields[0]);
+  if (!monitor) {
     fail(context, "bad monitor id '" + std::string(fields[0]) + "'");
   }
+  trace.monitor = *monitor;
   const auto destination = net::Ipv4Address::parse(fields[1]);
   if (!destination) {
     fail(context, "bad destination '" + std::string(fields[1]) + "'");
@@ -130,13 +131,21 @@ TraceCorpus read_corpus(std::istream& in, unsigned threads,
   // identical to the sequential reader's.
   std::vector<std::string> lines;
   std::vector<std::size_t> line_numbers;
+  std::vector<std::size_t> line_offsets;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t offset = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // getline consumes the line plus exactly one '\n', so the next line
+    // starts size()+1 bytes later (exact even for CRLF input — the '\r'
+    // stays in `line` and is counted).
+    const std::size_t line_start = offset;
+    offset += line.size() + 1;
     if (line.empty() || line[0] == '#') continue;
     lines.push_back(std::move(line));
     line_numbers.push_back(line_no);
+    line_offsets.push_back(line_start);
   }
 
   std::vector<Trace> traces(lines.size());
@@ -155,8 +164,11 @@ TraceCorpus read_corpus(std::istream& in, unsigned threads,
       pool ? &*pool : nullptr, lines.size(),
       [&](unsigned, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+          // Line number for humans, byte offset so a fuzzer crash (or any
+          // tool holding the raw bytes) maps straight to the input.
           const std::string context =
-              "trace line " + std::to_string(line_numbers[i]);
+              "trace line " + std::to_string(line_numbers[i]) + " (byte " +
+              std::to_string(line_offsets[i]) + ")";
           if (report == nullptr) {
             traces[i] = parse_trace(lines[i], context);
             continue;

@@ -1,0 +1,167 @@
+// Differential-sweep tests: JSON round-trip, drift detection, grid
+// fingerprinting, and crash-resume through the state file.
+#include "eval/diff_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "net/error.h"
+
+namespace mapit::eval {
+namespace {
+
+DiffSweepReport tiny_report() {
+  DiffSweepReport report;
+  DiffSweepCell a;
+  a.rate = 0.0;
+  a.seed = 7;
+  a.mapit = Metrics{48, 0, 15};
+  a.simple = Metrics{45, 69, 18};
+  a.convention = Metrics{18, 135, 45};
+  a.converged = true;
+  a.iterations = 3;
+  a.inferences = 601;
+  DiffSweepCell b;
+  b.rate = 0.5;
+  b.seed = 9;
+  b.mapit = Metrics{55, 0, 5};
+  b.simple = Metrics{43, 76, 17};
+  b.convention = Metrics{24, 108, 36};
+  b.converged = true;
+  b.iterations = 2;
+  b.inferences = 598;
+  report.cells = {a, b};
+  return report;
+}
+
+TEST(DiffSweepJson, RoundTripsExactly) {
+  const DiffSweepReport report = tiny_report();
+  std::istringstream in(format_diff_sweep_json(report));
+  const DiffSweepReport parsed = parse_diff_sweep_json(in, "test");
+  EXPECT_EQ(parsed.cells, report.cells);
+}
+
+TEST(DiffSweepJson, RejectsMalformedCellLines) {
+  std::istringstream in(
+      "{\n  \"cells\": [\n    {\"rate\": oops}\n  ]\n}\n");
+  EXPECT_THROW(
+      { (void)parse_diff_sweep_json(in, "bad.json"); }, mapit::Error);
+}
+
+TEST(DiffSweepDrift, ExactMatchIsEmpty) {
+  const DiffSweepReport report = tiny_report();
+  EXPECT_TRUE(diff_sweep_drift(report, report).empty());
+}
+
+TEST(DiffSweepDrift, FlagsChangedMissingAndExtraCells) {
+  const DiffSweepReport baseline = tiny_report();
+
+  DiffSweepReport changed = baseline;
+  changed.cells[0].mapit.tp += 1;
+  const auto drift = diff_sweep_drift(baseline, changed);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_NE(drift[0].find("rate=0"), std::string::npos);
+
+  DiffSweepReport missing = baseline;
+  missing.cells.pop_back();
+  EXPECT_FALSE(diff_sweep_drift(baseline, missing).empty());
+  EXPECT_FALSE(diff_sweep_drift(missing, baseline).empty());
+}
+
+TEST(DiffSweepGrid, FingerprintPinsRatesAndSeeds) {
+  DiffSweepOptions a;
+  a.rates = {0.0, 1.0};
+  a.seeds = {7};
+  DiffSweepOptions b = a;
+  const std::uint64_t fp = grid_fingerprint(a);
+  EXPECT_EQ(fp, grid_fingerprint(b));
+  b.rates = {0.0, 0.5};
+  EXPECT_NE(fp, grid_fingerprint(b));
+  b = a;
+  b.seeds = {9};
+  EXPECT_NE(fp, grid_fingerprint(b));
+}
+
+TEST(DiffSweepGrid, RejectsEmptyAndOutOfRangeGrids) {
+  DiffSweepOptions empty;
+  empty.rates.clear();
+  EXPECT_THROW({ (void)run_diff_sweep(empty); }, mapit::Error);
+  DiffSweepOptions bad;
+  bad.rates = {1.5};
+  bad.seeds = {7};
+  EXPECT_THROW({ (void)run_diff_sweep(bad); }, mapit::Error);
+}
+
+class DiffSweepStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    state_path_ = (std::filesystem::temp_directory_path() /
+                   ("mapit_diff_sweep_state_" +
+                    std::to_string(::testing::UnitTest::GetInstance()
+                                       ->random_seed()) +
+                    "_" + std::to_string(counter_++)))
+                      .string();
+    std::filesystem::remove(state_path_);
+  }
+  void TearDown() override { std::filesystem::remove(state_path_); }
+
+  static int counter_;
+  std::string state_path_;
+};
+
+int DiffSweepStateTest::counter_ = 0;
+
+TEST_F(DiffSweepStateTest, ResumeReproducesFreshRun) {
+  DiffSweepOptions options;
+  options.rates = {0.0};
+  options.seeds = {7};
+  options.state_path = state_path_;
+  const DiffSweepReport fresh = run_diff_sweep(options);
+  ASSERT_EQ(fresh.cells.size(), 1u);
+  ASSERT_TRUE(std::filesystem::exists(state_path_));
+
+  // Second run resumes every cell from the state file (no recompute) and
+  // must reproduce the exact same integers.
+  std::ostringstream progress;
+  options.progress = &progress;
+  const DiffSweepReport resumed = run_diff_sweep(options);
+  EXPECT_EQ(resumed.cells, fresh.cells);
+  EXPECT_NE(progress.str().find("resumed from state"), std::string::npos);
+}
+
+TEST_F(DiffSweepStateTest, StaleGridStateIsDiscarded) {
+  DiffSweepOptions options;
+  options.rates = {0.0};
+  options.seeds = {7};
+  options.state_path = state_path_;
+  (void)run_diff_sweep(options);
+
+  // A different grid must not reuse the old state's cells.
+  options.seeds = {9};
+  std::ostringstream progress;
+  options.progress = &progress;
+  const DiffSweepReport report = run_diff_sweep(options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].seed, 9u);
+  EXPECT_EQ(progress.str().find("resumed from state"), std::string::npos);
+}
+
+TEST_F(DiffSweepStateTest, DamagedStateFileThrows) {
+  {
+    std::ofstream out(state_path_);
+    out << "not a sweep state file\n";
+  }
+  DiffSweepOptions options;
+  options.rates = {0.0};
+  options.seeds = {7};
+  options.state_path = state_path_;
+  EXPECT_THROW({ (void)run_diff_sweep(options); }, mapit::Error);
+}
+
+}  // namespace
+}  // namespace mapit::eval

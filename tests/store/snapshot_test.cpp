@@ -123,9 +123,9 @@ TEST(SnapshotRoundTrip, PipelineDataRoundTrips) {
   using testutil::MiniWorld;
   MiniWorld world({{"10.0.0.0/8", 100}, {"20.0.0.0/8", 200}},
                   {
-                      "10.0.0.9|20.0.0.99|10.0.0.1 10.0.0.5 20.0.0.2 20.0.0.6",
-                      "10.0.0.9|20.0.0.99|10.0.0.1 10.0.0.5 20.0.0.2",
-                      "10.0.0.9|20.0.0.98|10.0.0.1 10.0.0.5 20.0.0.2",
+                      "10|20.0.0.99|10.0.0.1 10.0.0.5 20.0.0.2 20.0.0.6",
+                      "10|20.0.0.99|10.0.0.1 10.0.0.5 20.0.0.2",
+                      "10|20.0.0.98|10.0.0.1 10.0.0.5 20.0.0.2",
                   });
   const core::Result result = world.run();
   const SnapshotData data =

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Single CI entry point: configure, build, test, bench smoke. Run from
+# Single CI entry point: configure, build, test, smoke stages. Run from
 # anywhere; operates on the repo root. Behaviour is driven by env vars so
 # every job in .github/workflows/ci.yml calls this same script:
 #
+#   STAGES        comma/space-separated stage list. `configure` and `build`
+#                 always run first; the rest are selectable:
+#                   test       ctest (honours CTEST_LABELS)
+#                   fault      fault-injection matrices (ctest -L fault)
+#                   checkpoint kill/resume matrix through the real binary
+#                   bench      bench smoke + inference-count tripwire
+#                   snapshot   CLI snapshot + golden queries + CRC tripwire
+#                   async      epoll server smoke over both wire protocols
+#                   sweep      differential baseline sweep vs DIFF_sweep.json
+#                   fuzz       bounded libFuzzer smoke via tools/fuzz.sh
+#                              (clang only; replays regressions first)
+#                 Unset: the legacy per-stage toggles below pick the set.
+#                 A stage-timing table is printed on exit either way.
 #   BUILD_TYPE    CMake build type (default RelWithDebInfo)
 #   SANITIZE      MAPIT_SANITIZE value, e.g. "address;undefined" or "thread"
 #                 (default: none)
@@ -29,6 +42,13 @@
 #                 (line and binary), diffing each response stream against
 #                 the committed golden answers; ends with a SIGTERM
 #                 graceful-drain check (default: SNAPSHOT_SMOKE)
+#   DIFF_SWEEP    1 = run the MAP-IT vs baselines sweep over the default
+#                 artifact-rate × seed grid and require exact agreement
+#                 with the committed DIFF_sweep.json (default: BENCH_SMOKE)
+#   FUZZ_SMOKE    1 = replay committed fuzz regressions, then fuzz every
+#                 harness for FUZZ_TIME seconds under ASan+UBSan. Needs
+#                 clang; see tools/fuzz.sh (default 0)
+#   FUZZ_TIME     seconds per fuzz target in the fuzz stage (default 60)
 #   BUILD_DIR     override the derived build directory
 #   JOBS          parallel build/test jobs (default: nproc)
 set -euo pipefail
@@ -43,6 +63,9 @@ SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 FAULT_MATRIX="${FAULT_MATRIX:-1}"
 CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
 ASYNC_SMOKE="${ASYNC_SMOKE:-${SNAPSHOT_SMOKE}}"
+DIFF_SWEEP="${DIFF_SWEEP:-${BENCH_SMOKE}}"
+FUZZ_SMOKE="${FUZZ_SMOKE:-0}"
+FUZZ_TIME="${FUZZ_TIME:-60}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # One build dir per (type, sanitizer) combination so matrix jobs and local
@@ -55,60 +78,101 @@ if [[ -z "${BUILD_DIR:-}" ]]; then
   BUILD_DIR="${REPO_ROOT}/build-${suffix}"
 fi
 
-CMAKE_ARGS=(
-  -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
-  -DMAPIT_WERROR="${WERROR}"
-  -DMAPIT_SANITIZE="${SANITIZE}"
-)
-if command -v ccache >/dev/null 2>&1; then
-  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
-fi
+# ---------------------------------------------------------------------------
+# Stage runner: every stage goes through run_stage so the timing table on
+# exit reflects exactly what ran — also when a stage fails.
+STAGE_NAMES=()
+STAGE_TIMES=()
+STAGE_RESULTS=()
 
-echo "== configure (${BUILD_TYPE}${SANITIZE:+, sanitize=${SANITIZE}}) =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${CMAKE_ARGS[@]}"
+print_stage_table() {
+  echo
+  echo "== stage timings =="
+  printf '%-12s %10s  %s\n' "stage" "seconds" "result"
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-12s %10s  %s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" \
+      "${STAGE_RESULTS[$i]}"
+  done
+}
+trap print_stage_table EXIT
 
-echo "== build =="
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
+run_stage() {
+  local name="$1"
+  local start end
+  start=$(date +%s%N)
+  STAGE_NAMES+=("${name}")
+  STAGE_TIMES+=("-")
+  STAGE_RESULTS+=("FAILED")
+  local idx=$((${#STAGE_NAMES[@]} - 1))
+  "stage_${name}"
+  end=$(date +%s%N)
+  STAGE_TIMES[idx]=$(awk -v n=$((end - start)) 'BEGIN{printf "%.1f", n/1e9}')
+  STAGE_RESULTS[idx]="ok"
+}
 
-echo "== test${CTEST_LABELS:+ (-L '${CTEST_LABELS}')} =="
-CTEST_ARGS=(--test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}")
-if [[ -n "${CTEST_LABELS}" ]]; then
-  CTEST_ARGS+=(-L "${CTEST_LABELS}")
-fi
-ctest "${CTEST_ARGS[@]}"
+# ---------------------------------------------------------------------------
 
-if [[ "${FAULT_MATRIX}" == "1" ]]; then
+stage_configure() {
+  echo "== configure (${BUILD_TYPE}${SANITIZE:+, sanitize=${SANITIZE}}) =="
+  local cmake_args=(
+    -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+    -DMAPIT_WERROR="${WERROR}"
+    -DMAPIT_SANITIZE="${SANITIZE}"
+  )
+  if command -v ccache >/dev/null 2>&1; then
+    cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  fi
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${cmake_args[@]}"
+}
+
+stage_build() {
+  echo "== build =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+}
+
+stage_test() {
+  echo "== test${CTEST_LABELS:+ (-L '${CTEST_LABELS}')} =="
+  local ctest_args=(--test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}")
+  if [[ -n "${CTEST_LABELS}" ]]; then
+    ctest_args+=(-L "${CTEST_LABELS}")
+  fi
+  ctest "${ctest_args[@]}"
+}
+
+stage_fault() {
   echo "== fault matrix (-L fault) =="
   # Fault-injection matrices have their own label (and timeout) so the
   # sanitizer jobs — whose CTEST_LABELS exclude them above — still run
   # them: crash/ENOSPC/short-write at every syscall of the atomic artifact
   # writer, and the query-server chaos/soak suite.
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fault
-fi
+}
 
-if [[ "${CHECKPOINT_MATRIX}" == "1" ]]; then
+stage_checkpoint() {
   echo "== checkpoint kill/resume matrix =="
   # Kill-at-every-pass proof through the real binary: every invocation
   # advances exactly one run boundary, checkpoints, and exits 5; the chain
   # of --resume legs must converge to byte-identical inferences for every
   # thread count, and a completed run must clean up its checkpoint.
-  mapit_bin="${BUILD_DIR}/tools/mapit"
-  work="${BUILD_DIR}/checkpoint_matrix"
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/checkpoint_matrix"
   rm -rf "${work}"
   mkdir -p "${work}"
   "${mapit_bin}" simulate --out "${work}" --seed 9
-  inputs=(--traces "${work}/traces.txt" --rib "${work}/rib.txt"
-          --relationships "${work}/relationships.txt"
-          --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt")
+  local inputs=(--traces "${work}/traces.txt" --rib "${work}/rib.txt"
+                --relationships "${work}/relationships.txt"
+                --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt")
   "${mapit_bin}" run "${inputs[@]}" --threads 1 \
     --output "${work}/reference.txt" \
     --uncertain "${work}/reference_uncertain.txt"
 
+  local threads ckpt rc legs
   for threads in 1 8; do
     ckpt="${work}/ckpt-${threads}"
-    flags=("${inputs[@]}" --threads "${threads}"
-           --output "${work}/resumed-${threads}.txt"
-           --uncertain "${work}/resumed-${threads}-uncertain.txt")
+    local flags=("${inputs[@]}" --threads "${threads}"
+                 --output "${work}/resumed-${threads}.txt"
+                 --uncertain "${work}/resumed-${threads}-uncertain.txt")
     set +e
     "${mapit_bin}" run "${flags[@]}" --checkpoint-dir "${ckpt}" \
       --stop-after 1
@@ -145,9 +209,9 @@ if [[ "${CHECKPOINT_MATRIX}" == "1" ]]; then
   # Deadline supervision: an already-expired budget must checkpoint and
   # exit 5 at the first boundary, leaving a valid checkpoint a plain
   # --resume completes from — with the same bytes.
-  dflags=("${inputs[@]}" --threads 1
-          --output "${work}/deadline.txt"
-          --uncertain "${work}/deadline_uncertain.txt")
+  local dflags=("${inputs[@]}" --threads 1
+                --output "${work}/deadline.txt"
+                --uncertain "${work}/deadline_uncertain.txt")
   set +e
   "${mapit_bin}" run "${dflags[@]}" \
     --checkpoint-dir "${work}/ckpt-deadline" --deadline 0.000001
@@ -160,9 +224,9 @@ if [[ "${CHECKPOINT_MATRIX}" == "1" ]]; then
   "${mapit_bin}" run "${dflags[@]}" --resume "${work}/ckpt-deadline"
   cmp "${work}/reference.txt" "${work}/deadline.txt"
   echo "deadline checkpoint-and-exit + resume: ok"
-fi
+}
 
-if [[ "${BENCH_SMOKE}" == "1" ]]; then
+stage_bench() {
   echo "== bench smoke =="
   # Minimal measurement time: checks the bench binaries run, not their
   # numbers.
@@ -173,7 +237,7 @@ if [[ "${BENCH_SMOKE}" == "1" ]]; then
   # must match the committed BENCH_engine.json. A drift means the engine's
   # output changed — that must be a deliberate, reviewed update of the
   # committed report, never a side effect.
-  report="${BUILD_DIR}/bench_smoke_report.json"
+  local report="${BUILD_DIR}/bench_smoke_report.json"
   "${BUILD_DIR}/bench/perf_engine_report" --reps 1 --threads 1,2 \
     --out "${report}"
   python3 - "${report}" "${REPO_ROOT}/BENCH_engine.json" <<'EOF'
@@ -185,17 +249,17 @@ if got != want:
     sys.exit(f"standard_inferences drifted: got {got}, committed {want}")
 print(f"standard_inferences == {want}: ok")
 EOF
-fi
+}
 
-if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then
+stage_snapshot() {
   echo "== snapshot smoke =="
   # Build a snapshot through the CLI from seeded synthetic datasets, answer
   # the committed canned query batch, and diff against the committed golden
   # answers. The batch ends with `stats`, whose answer embeds the artifact's
   # CRC — so byte-determinism drift, format drift, and engine-output drift
   # all fail this diff, not just protocol regressions.
-  mapit_bin="${BUILD_DIR}/tools/mapit"
-  work="${BUILD_DIR}/snapshot_smoke"
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/snapshot_smoke"
   rm -rf "${work}"
   mkdir -p "${work}"
   "${mapit_bin}" simulate --out "${work}" --seed 9
@@ -220,7 +284,7 @@ if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then
   # and inference count must match the committed BENCH_query.json. Any
   # change to the engine's output or the artifact encoding must arrive as a
   # deliberate update of the committed report.
-  query_report="${BUILD_DIR}/snapshot_smoke_report.json"
+  local query_report="${BUILD_DIR}/snapshot_smoke_report.json"
   "${BUILD_DIR}/bench/perf_query_report" --reps 1 --out "${query_report}"
   python3 - "${query_report}" "${REPO_ROOT}/BENCH_query.json" <<'EOF'
 import json, sys
@@ -232,9 +296,9 @@ for key in ("snapshot_crc32", "snapshot_bytes", "standard_inferences"):
         sys.exit(f"{key} drifted: got {got}, committed {want}")
     print(f"{key} == {want}: ok")
 EOF
-fi
+}
 
-if [[ "${ASYNC_SMOKE}" == "1" ]]; then
+stage_async() {
   echo "== async serve smoke =="
   # Boot the epoll event-loop server through the real binary and replay the
   # canned query batch over BOTH wire protocols. The line-protocol response
@@ -242,8 +306,8 @@ if [[ "${ASYNC_SMOKE}" == "1" ]]; then
   # `mapit query` and the blocking server produce — and the binary-protocol
   # frame payloads must reassemble to the same file. SIGTERM at the end
   # must drain gracefully (exit 0), not kill the loop mid-answer.
-  mapit_bin="${BUILD_DIR}/tools/mapit"
-  work="${BUILD_DIR}/async_smoke"
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/async_smoke"
   rm -rf "${work}"
   mkdir -p "${work}"
   "${mapit_bin}" simulate --out "${work}" --seed 9
@@ -255,10 +319,11 @@ if [[ "${ASYNC_SMOKE}" == "1" ]]; then
 
   "${mapit_bin}" serve "${work}/snapshot.bin" --async --reuseport \
     --backlog 512 2> "${work}/serve.log" &
-  serve_pid=$!
-  trap 'kill "${serve_pid}" 2>/dev/null || true' EXIT
-  port=""
-  for _ in $(seq 1 100); do
+  local serve_pid=$!
+  trap 'kill "${serve_pid}" 2>/dev/null || true; print_stage_table' EXIT
+  local port=""
+  local _i
+  for _i in $(seq 1 100); do
     port="$(sed -n 's/^serving .* on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
       "${work}/serve.log" | head -n 1)"
     [[ -n "${port}" ]] && break
@@ -275,6 +340,7 @@ if [[ "${ASYNC_SMOKE}" == "1" ]]; then
     exit 1
   fi
 
+  local protocol
   for protocol in line binary; do
     python3 - "${port}" "${REPO_ROOT}/tests/cli/golden_queries.txt" \
       "${work}/${protocol}_answers.txt" "${protocol}" <<'EOF'
@@ -323,8 +389,63 @@ EOF
 
   kill -TERM "${serve_pid}"
   wait "${serve_pid}"
-  trap - EXIT
+  trap print_stage_table EXIT
   echo "async SIGTERM graceful drain: ok"
+}
+
+stage_sweep() {
+  echo "== differential baseline sweep =="
+  # MAP-IT vs the §5.6 heuristics across the artifact-rate × seed grid;
+  # the fresh integers must agree exactly with the committed
+  # DIFF_sweep.json (the pipeline is seeded and thread-invariant, so any
+  # disagreement is real drift). Resumable: a killed sweep continues at
+  # the first unfinished cell through the state file.
+  MAPIT_BIN="${BUILD_DIR}/tools/mapit" \
+    SWEEP_STATE="${BUILD_DIR}/diff_sweep.state" \
+    "${REPO_ROOT}/tools/diff_sweep.sh"
+  echo "diff sweep vs committed baseline: ok"
+}
+
+stage_fuzz() {
+  echo "== fuzz smoke (${FUZZ_TIME}s per target) =="
+  # Replays every committed regression input, then fuzzes each harness
+  # under ASan+UBSan for FUZZ_TIME seconds. New findings are minimized
+  # into fuzz/regressions/ and fail the stage. Needs clang (libFuzzer);
+  # gcc-only machines cover the same inputs via `ctest -L fuzz-regression`.
+  FUZZ_TIME="${FUZZ_TIME}" JOBS="${JOBS}" "${REPO_ROOT}/tools/fuzz.sh"
+}
+
+# ---------------------------------------------------------------------------
+# Stage selection: STAGES wins; otherwise derive the list from the legacy
+# per-stage toggles so existing CI jobs keep working unchanged.
+if [[ -n "${STAGES:-}" ]]; then
+  SELECTED=()
+  for stage in $(echo "${STAGES}" | tr ',' ' '); do
+    case "${stage}" in
+      configure|build) ;;  # always run; listed for convenience
+      test|fault|checkpoint|bench|snapshot|async|sweep|fuzz)
+        SELECTED+=("${stage}") ;;
+      *)
+        echo "ci.sh: unknown stage '${stage}' (valid: test fault checkpoint" \
+             "bench snapshot async sweep fuzz)" >&2
+        exit 2 ;;
+    esac
+  done
+else
+  SELECTED=(test)
+  if [[ "${FAULT_MATRIX}" == "1" ]]; then SELECTED+=(fault); fi
+  if [[ "${CHECKPOINT_MATRIX}" == "1" ]]; then SELECTED+=(checkpoint); fi
+  if [[ "${BENCH_SMOKE}" == "1" ]]; then SELECTED+=(bench); fi
+  if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then SELECTED+=(snapshot); fi
+  if [[ "${ASYNC_SMOKE}" == "1" ]]; then SELECTED+=(async); fi
+  if [[ "${DIFF_SWEEP}" == "1" ]]; then SELECTED+=(sweep); fi
+  if [[ "${FUZZ_SMOKE}" == "1" ]]; then SELECTED+=(fuzz); fi
 fi
+
+run_stage configure
+run_stage build
+for stage in "${SELECTED[@]}"; do
+  run_stage "${stage}"
+done
 
 echo "CI OK"

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Coverage-guided fuzzing driver for the libFuzzer harnesses in fuzz/
+# (DESIGN.md §13). Requires clang: libFuzzer ships with clang only, so on
+# gcc-only machines this script exits with instructions and the plain
+# `fuzz-regression` ctest label carries replay coverage instead.
+#
+# Per target the script:
+#   1. replays every committed fuzz/regressions/<target>/ input file by
+#      file (a regression that crashes again fails fast, before fuzzing);
+#   2. fuzzes for FUZZ_TIME seconds from a working corpus seeded with the
+#      committed fuzz/corpus/<target>/ inputs, ASan+UBSan live;
+#   3. on a crash, minimizes the artifact and dedupes it into
+#      fuzz/regressions/<target>/ (named by content hash, so re-finding a
+#      known crash never duplicates a file) — commit these;
+#   4. merge-minimizes the working corpus back into fuzz/corpus/<target>/
+#      when CORPUS_MERGE=1, keeping the committed seeds small.
+#
+# Usage:
+#   tools/fuzz.sh                 # all targets, FUZZ_TIME seconds each
+#   tools/fuzz.sh rib snapshot    # just these targets
+#
+# Env vars:
+#   FUZZ_TIME     seconds of fuzzing per target (default 60; 0 = replay
+#                 seeds + regressions only, no fuzzing — the CI smoke)
+#   CORPUS_MERGE  1 = minimize the grown corpus back into fuzz/corpus/
+#                 (default 0; off in CI so caches don't churn the tree)
+#   BUILD_DIR     fuzz build tree (default <repo>/build-fuzz)
+#   CLANG_CXX     clang++ binary to use (default clang++)
+#   JOBS          parallel build jobs (default: nproc)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+FUZZ_TIME="${FUZZ_TIME:-60}"
+CORPUS_MERGE="${CORPUS_MERGE:-0}"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-fuzz}"
+CLANG_CXX="${CLANG_CXX:-clang++}"
+JOBS="${JOBS:-$(nproc)}"
+
+ALL_TARGETS=(trace_corpus rib snapshot checkpoint inferences server_protocol)
+TARGETS=("$@")
+if [[ ${#TARGETS[@]} -eq 0 ]]; then
+  TARGETS=("${ALL_TARGETS[@]}")
+fi
+
+if ! command -v "${CLANG_CXX}" > /dev/null 2>&1; then
+  echo "fuzz.sh: ${CLANG_CXX} not found — libFuzzer needs clang." >&2
+  echo "Install clang or run the replay coverage instead:" >&2
+  echo "  ctest --test-dir build -L fuzz-regression" >&2
+  exit 2
+fi
+
+echo "=== configure + build (${BUILD_DIR}) ==="
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_COMPILER="${CLANG_CXX}" \
+  -DMAPIT_FUZZ=ON \
+  ${CMAKE_EXTRA_ARGS:-} > /dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target $(printf 'fuzz_%s ' "${TARGETS[@]}")
+
+fail=0
+for target in "${TARGETS[@]}"; do
+  bin="${BUILD_DIR}/fuzz/fuzz_${target}"
+  seeds="${REPO_ROOT}/fuzz/corpus/${target}"
+  regressions="${REPO_ROOT}/fuzz/regressions/${target}"
+  work="${BUILD_DIR}/fuzz/work/${target}"
+  artifacts="${BUILD_DIR}/fuzz/artifacts/${target}"
+  mkdir -p "${work}" "${artifacts}" "${regressions}"
+
+  echo "=== ${target}: replay committed regressions + seeds ==="
+  replay_files=()
+  for dir in "${regressions}" "${seeds}"; do
+    [[ -d "${dir}" ]] || continue
+    while IFS= read -r -d '' f; do replay_files+=("$f"); done \
+      < <(find "${dir}" -maxdepth 1 -type f -print0 | sort -z)
+  done
+  if [[ ${#replay_files[@]} -gt 0 ]]; then
+    if ! "${bin}" "${replay_files[@]}" > /dev/null; then
+      echo "fuzz.sh: ${target}: a COMMITTED input crashes the harness" >&2
+      fail=1
+      continue
+    fi
+  fi
+
+  if [[ "${FUZZ_TIME}" -le 0 ]]; then
+    echo "=== ${target}: replay-only (FUZZ_TIME=${FUZZ_TIME}) ==="
+    continue
+  fi
+
+  echo "=== ${target}: fuzz ${FUZZ_TIME}s ==="
+  # Seed the working corpus (first dir receives new finds; seeds stay
+  # read-only). -timeout bounds a single input; malloc_limit_mb keeps
+  # decompression-bomb style inputs from taking out the machine.
+  set +e
+  "${bin}" "${work}" "${seeds}" \
+    -max_total_time="${FUZZ_TIME}" \
+    -timeout=10 \
+    -rss_limit_mb=2048 -malloc_limit_mb=512 \
+    -print_final_stats=1 \
+    -artifact_prefix="${artifacts}/" 2>&1 | tail -20
+  status=${PIPESTATUS[0]}
+  set -e
+
+  crashes=$(find "${artifacts}" -maxdepth 1 -type f \
+            \( -name 'crash-*' -o -name 'timeout-*' -o -name 'oom-*' \) \
+            2> /dev/null | sort)
+  if [[ -n "${crashes}" ]]; then
+    fail=1
+    echo "fuzz.sh: ${target}: NEW findings:" >&2
+    while IFS= read -r artifact; do
+      # Minimize, then file under a content hash so the same crash found
+      # twice lands on the same name (dedupe for free).
+      minimized="${artifact}.min"
+      set +e
+      "${bin}" -minimize_crash=1 -runs=2000 -exact_artifact_path="${minimized}" \
+        "${artifact}" > /dev/null 2>&1
+      set -e
+      [[ -s "${minimized}" ]] || cp "${artifact}" "${minimized}"
+      hash=$(sha256sum "${minimized}" | cut -c1-16)
+      dest="${regressions}/$(basename "${artifact}" | cut -d- -f1)_${hash}.bin"
+      cp "${minimized}" "${dest}"
+      echo "  ${dest}" >&2
+    done <<< "${crashes}"
+  elif [[ "${status}" -ne 0 ]]; then
+    echo "fuzz.sh: ${target}: fuzzer exited ${status} without artifacts" >&2
+    fail=1
+  fi
+
+  if [[ "${CORPUS_MERGE}" == "1" ]]; then
+    echo "=== ${target}: merge-minimize corpus back into fuzz/corpus ==="
+    merged="${BUILD_DIR}/fuzz/merged/${target}"
+    rm -rf "${merged}" && mkdir -p "${merged}"
+    "${bin}" -merge=1 "${merged}" "${seeds}" "${work}" > /dev/null 2>&1
+    rm -f "${seeds}"/*
+    cp "${merged}"/* "${seeds}/" 2> /dev/null || true
+  fi
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "fuzz.sh: findings above — minimized inputs were copied into" >&2
+  echo "fuzz/regressions/; fix the parser and commit them as tests." >&2
+  exit 1
+fi
+echo "fuzz.sh: all targets clean"

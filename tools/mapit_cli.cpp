@@ -18,6 +18,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -30,9 +31,12 @@
 #include "core/explain.h"
 #include "core/result_io.h"
 #include "core/supervisor.h"
+#include "eval/diff_sweep.h"
 #include "eval/experiment.h"
+#include "fault/atomic_file.h"
 #include "net/error.h"
 #include "net/load_report.h"
+#include "net/parse.h"
 #include "query/query_engine.h"
 #include "query/async_server.h"
 #include "query/server.h"
@@ -98,6 +102,16 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
       "  mapit paths --traces FILE --rib FILE [run options] [--limit N]\n"
       "  mapit stats --traces FILE [--threads N]\n"
       "  mapit simulate --out DIR [--seed N] [--scale small|standard]\n"
+      "  mapit sweep [--rates R,R,...] [--seeds N,N,...] [--out FILE]\n"
+      "      differential baseline sweep: MAP-IT vs the Simple and\n"
+      "      Convention heuristics over an artifact-rate x seed grid;\n"
+      "      emits a deterministic JSON report (default rates 0,0.5,1\n"
+      "      and seeds 7,9)\n"
+      "      --state FILE           resumable cell state (atomic rewrite\n"
+      "                             per cell; stale grids are discarded)\n"
+      "      --baseline FILE        compare against a committed report;\n"
+      "                             any integer-field drift exits 1\n"
+      "      --threads N            engine workers (output-invariant)\n"
       "  mapit snapshot --traces FILE --rib FILE --out SNAPSHOT [run options]\n"
       "      runs MAP-IT and writes the mmap-ready binary snapshot (byte-\n"
       "      deterministic for identical inputs, any thread count)\n"
@@ -291,7 +305,22 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
 
   auto pipeline = std::make_unique<RunPipeline>();
   core::Options& options = pipeline->options;
-  if (const auto f = args.value("--f")) options.f = std::stod(*f);
+  if (const auto f = args.value("--f")) {
+    // Strict parse: std::stod would accept "0.5x" and abort the process on
+    // "abc" with a raw std::invalid_argument.
+    std::size_t pos = 0;
+    double parsed = -1;
+    try {
+      parsed = std::stod(*f, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != f->size() || !(parsed >= 0.0) || !(parsed <= 1.0)) {
+      std::cerr << "--f expects a fraction in [0, 1], got '" << *f << "'\n";
+      std::exit(kExitUsage);
+    }
+    options.f = parsed;
+  }
   if (const auto rule = args.value("--remove-rule")) {
     if (*rule == "majority") {
       options.remove_rule = core::RemoveRule::kMajority;
@@ -714,7 +743,15 @@ int cmd_paths(Args& args) {
     usage(kExitUsage);
   }
   std::size_t limit = 20;
-  if (const auto l = args.value("--limit")) limit = std::stoul(*l);
+  if (const auto l = args.value("--limit")) {
+    const auto parsed = net::parse_uint<std::size_t>(*l);
+    if (!parsed) {
+      std::cerr << "--limit expects a non-negative integer, got '" << *l
+                << "'\n";
+      usage(kExitUsage);
+    }
+    limit = *parsed;
+  }
   const unsigned threads = parse_threads(args);
   const bool lenient = args.flag("--lenient");
   const auto relationships_path = args.value("--relationships");
@@ -793,7 +830,12 @@ int cmd_eval(Args& args) {
   }
   std::optional<asdata::Asn> target;
   if (const auto t = args.value("--target")) {
-    target = static_cast<asdata::Asn>(std::stoul(*t));
+    const auto parsed = net::parse_uint<asdata::Asn>(*t);
+    if (!parsed) {
+      std::cerr << "--target expects an ASN, got '" << *t << "'\n";
+      usage(kExitUsage);
+    }
+    target = *parsed;
   }
   args.reject_unknown();
 
@@ -890,7 +932,13 @@ int cmd_simulate(Args& args) {
     }
   }
   if (const auto seed = args.value("--seed")) {
-    const auto value = static_cast<std::uint64_t>(std::stoull(*seed));
+    const auto parsed = net::parse_uint<std::uint64_t>(*seed);
+    if (!parsed) {
+      std::cerr << "--seed expects a non-negative integer, got '" << *seed
+                << "'\n";
+      return kExitUsage;
+    }
+    const std::uint64_t value = *parsed;
     config.topology.seed = value;
     config.simulation.seed = value ^ 0xFEEDu;
     config.dataset_seed = value ^ 0xBEEFu;
@@ -940,6 +988,79 @@ int cmd_simulate(Args& args) {
   return 0;
 }
 
+int cmd_sweep(Args& args) {
+  eval::DiffSweepOptions options;
+  options.progress = &std::cerr;
+  if (const auto rates = args.value("--rates")) {
+    options.rates.clear();
+    std::stringstream in(*rates);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      std::size_t pos = 0;
+      double rate = -1;
+      try {
+        rate = std::stod(token, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != token.size() || !(rate >= 0.0) || !(rate <= 1.0)) {
+        std::cerr << "--rates expects comma-separated fractions in [0, 1], "
+                     "got '" << token << "'\n";
+        return kExitUsage;
+      }
+      options.rates.push_back(rate);
+    }
+  }
+  if (const auto seeds = args.value("--seeds")) {
+    options.seeds.clear();
+    std::stringstream in(*seeds);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      const auto seed = net::parse_uint<std::uint64_t>(token);
+      if (!seed) {
+        std::cerr << "--seeds expects comma-separated integers, got '"
+                  << token << "'\n";
+        return kExitUsage;
+      }
+      options.seeds.push_back(*seed);
+    }
+  }
+  if (options.rates.empty() || options.seeds.empty()) {
+    std::cerr << "sweep: need at least one rate and one seed\n";
+    return kExitUsage;
+  }
+  if (const auto state = args.value("--state")) options.state_path = *state;
+  options.threads = parse_threads(args);
+  const auto out_path = args.value("--out");
+  const auto baseline_path = args.value("--baseline");
+  args.reject_unknown();
+
+  const eval::DiffSweepReport report = eval::run_diff_sweep(options);
+  const std::string json = eval::format_diff_sweep_json(report);
+  if (out_path) {
+    fault::write_file_atomic(*out_path, json);
+  } else {
+    std::cout << json;
+  }
+
+  if (baseline_path) {
+    std::ifstream in(*baseline_path);
+    if (!in) throw mapit::Error("cannot open baseline: " + *baseline_path);
+    const eval::DiffSweepReport baseline =
+        eval::parse_diff_sweep_json(in, *baseline_path);
+    const std::vector<std::string> drift =
+        eval::diff_sweep_drift(baseline, report);
+    if (!drift.empty()) {
+      std::cerr << "DIFF SWEEP DRIFT against " << *baseline_path << ":\n";
+      for (const std::string& line : drift) std::cerr << "  " << line << "\n";
+      return 1;
+    }
+    std::cerr << "diff sweep matches baseline " << *baseline_path << " ("
+              << report.cells.size() << " cells)\n";
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -952,6 +1073,7 @@ int main(int argc, char** argv) {
     if (command == "paths") return cmd_paths(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "snapshot") return cmd_snapshot(args);
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
