@@ -136,7 +136,7 @@ Rib Rib::read(std::istream& in, LoadReport* report) {
         load_line();
         ++loaded;
       } catch (const ParseError& e) {
-        report->record(line_no, e.what());
+        report->record(line_no, line_offset, e.what());
       }
     }
     line_offset = next_offset;

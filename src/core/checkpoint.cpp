@@ -2,102 +2,25 @@
 
 #include <fcntl.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
 
+#include "core/wire.h"
 #include "fault/atomic_file.h"
 
 namespace mapit::core {
 
 namespace {
 
+using wire::append_u32;
+using wire::append_u64;
+using wire::crc32;
+using wire::Cursor;
+
 constexpr char kMagic[8] = {'M', 'A', 'P', 'I', 'T', 'C', 'K', 'P'};
 constexpr std::uint32_t kEndianMarker = 0x0A0B0C0Du;
 constexpr std::size_t kHeaderSize = 32;
-
-/// CRC-32 (IEEE 802.3, reflected). store/ has an identical implementation,
-/// but core cannot depend on store (store depends on core), so the table
-/// lives here too — 1 KiB of constants is cheaper than a layering cycle.
-[[nodiscard]] const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
-[[nodiscard]] std::uint32_t crc32(std::string_view bytes) {
-  const auto& table = crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : bytes) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-void append_u32(std::string& out, std::uint32_t value) {
-  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-void append_u64(std::string& out, std::uint64_t value) {
-  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-/// Bounds-checked forward reader over a byte buffer; every overrun is a
-/// CheckpointError, never an out-of-range memory read.
-class Cursor {
- public:
-  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::uint8_t read_u8() {
-    need(1);
-    return static_cast<std::uint8_t>(bytes_[offset_++]);
-  }
-
-  [[nodiscard]] std::uint32_t read_u32() {
-    need(4);
-    std::uint32_t value;
-    std::memcpy(&value, bytes_.data() + offset_, sizeof(value));
-    offset_ += sizeof(value);
-    return value;
-  }
-
-  [[nodiscard]] std::uint64_t read_u64() {
-    need(8);
-    std::uint64_t value;
-    std::memcpy(&value, bytes_.data() + offset_, sizeof(value));
-    offset_ += sizeof(value);
-    return value;
-  }
-
-  [[nodiscard]] std::string_view read_bytes(std::uint64_t count) {
-    need(count);
-    std::string_view out = bytes_.substr(offset_, count);
-    offset_ += count;
-    return out;
-  }
-
-  [[nodiscard]] bool exhausted() const { return offset_ == bytes_.size(); }
-
- private:
-  void need(std::uint64_t count) const {
-    if (count > bytes_.size() - offset_) {
-      throw CheckpointError("checkpoint payload truncated");
-    }
-  }
-
-  std::string_view bytes_;
-  std::size_t offset_ = 0;
-};
 
 [[nodiscard]] std::string serialize_payload(const Checkpoint& checkpoint) {
   std::string payload;

@@ -14,6 +14,7 @@ const char* to_string(Op op) {
     case Op::kWrite: return "write";
     case Op::kFsync: return "fsync";
     case Op::kFstat: return "fstat";
+    case Op::kFtruncate: return "ftruncate";
     case Op::kRename: return "rename";
     case Op::kClose: return "close";
     case Op::kAccept: return "accept4";
@@ -42,6 +43,8 @@ ssize_t Io::write(int fd, const void* buffer, std::size_t count) {
 int Io::fsync(int fd) { return ::fsync(fd); }
 
 int Io::fstat(int fd, struct ::stat* out) { return ::fstat(fd, out); }
+
+int Io::ftruncate(int fd, ::off_t length) { return ::ftruncate(fd, length); }
 
 int Io::rename(const char* from, const char* to) {
   return ::rename(from, to);

@@ -32,6 +32,7 @@ enum class Op {
   kWrite,
   kFsync,
   kFstat,
+  kFtruncate,
   kRename,
   kClose,
   kAccept,
@@ -56,6 +57,7 @@ class Io {
   virtual ssize_t write(int fd, const void* buffer, std::size_t count);
   virtual int fsync(int fd);
   virtual int fstat(int fd, struct ::stat* out);
+  virtual int ftruncate(int fd, ::off_t length);
   virtual int rename(const char* from, const char* to);
   virtual int close(int fd);
   virtual int accept4(int fd, ::sockaddr* address, ::socklen_t* length,

@@ -115,6 +115,15 @@ int FaultPlan::fstat(int fd, struct ::stat* out) {
   return system_io().fstat(fd, out);
 }
 
+int FaultPlan::ftruncate(int fd, ::off_t length) {
+  const Fault* fault = on_call(Op::kFtruncate);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().ftruncate(fd, length);
+}
+
 int FaultPlan::rename(const char* from, const char* to) {
   const Fault* fault = on_call(Op::kRename);
   if (fault != nullptr && fault->inject_errno != 0) {

@@ -73,6 +73,7 @@ class FaultPlan final : public Io {
   ssize_t write(int fd, const void* buffer, std::size_t count) override;
   int fsync(int fd) override;
   int fstat(int fd, struct ::stat* out) override;
+  int ftruncate(int fd, ::off_t length) override;
   int rename(const char* from, const char* to) override;
   int close(int fd) override;
   int accept4(int fd, ::sockaddr* address, ::socklen_t* length,

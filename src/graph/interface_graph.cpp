@@ -29,10 +29,35 @@ InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
                                std::span<const net::Ipv4Address> all_addresses,
                                unsigned threads)
     : other_sides_(all_addresses) {
-  // Gather raw adjacency lists keyed by address.
-  std::unordered_map<net::Ipv4Address, std::size_t> index;
+  accumulate(sanitized);
+  finalize(threads);
+}
+
+void InterfaceGraph::fold(const trace::TraceCorpus& sanitized_delta,
+                          std::span<const net::Ipv4Address> all_addresses,
+                          unsigned threads) {
+  // The §4.2 other-side heuristic is population-sensitive: a delta address
+  // can flip an *existing* record's /30-vs-/31 decision by witnessing the
+  // other half of its prefix. Rebuild the map over the merged population
+  // before recomputing every record's other side in finalize().
+  other_sides_ = OtherSideMap(all_addresses);
+  accumulate(sanitized_delta);
+  // finalize() re-sorts/uniques every neighbour set, so appending the
+  // delta's raw contributions to the already-deduplicated base sets yields
+  // exactly the union a cold build over base+delta would gather — and the
+  // dense layout is rebuilt from scratch through the same code path, so
+  // phantom discovery order (hence every HalfId) matches the cold build.
+  phantoms_.clear();
+  phantom_index_.clear();
+  finalize(threads);
+}
+
+void InterfaceGraph::accumulate(const trace::TraceCorpus& sanitized) {
+  // Gather raw adjacency lists keyed by address. index_ doubles as the
+  // gather index: existing entries point at their (sorted) record, new
+  // addresses append; finalize() restores the sorted invariant.
   auto record_for = [&](net::Ipv4Address address) -> InterfaceRecord& {
-    auto [it, inserted] = index.emplace(address, records_.size());
+    auto [it, inserted] = index_.emplace(address, records_.size());
     if (inserted) {
       records_.push_back(InterfaceRecord{address, {}, {}, {}});
     }
@@ -54,7 +79,9 @@ InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
       record_for(*b.address).backward.push_back(*a.address);
     }
   }
+}
 
+void InterfaceGraph::finalize(unsigned threads) {
   for (InterfaceRecord& record : records_) {
     sort_unique(record.forward);
     sort_unique(record.backward);
@@ -65,6 +92,7 @@ InterfaceGraph::InterfaceGraph(const trace::TraceCorpus& sanitized,
             [](const InterfaceRecord& x, const InterfaceRecord& y) {
               return x.address < y.address;
             });
+  index_.clear();
   index_.reserve(records_.size());
   for (std::size_t i = 0; i < records_.size(); ++i) {
     index_.emplace(records_[i].address, i);

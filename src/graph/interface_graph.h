@@ -82,6 +82,20 @@ class InterfaceGraph {
                  std::span<const net::Ipv4Address> all_addresses,
                  unsigned threads = 1);
 
+  /// Incrementally folds a batch of sanitized delta traces into the graph.
+  /// `all_addresses` must be the *merged* unsanitized address population
+  /// (base + every delta so far) — the §4.2 other-side heuristic is
+  /// rebuilt over it, because new witnesses can flip existing records'
+  /// /30-vs-/31 decisions.
+  ///
+  /// Postcondition (pinned by the ingest equivalence tests): the folded
+  /// graph is indistinguishable — records, neighbour sets, other sides,
+  /// phantom order, every HalfId — from a cold-built graph over the
+  /// concatenated corpus, for any fold batching and any thread count.
+  void fold(const trace::TraceCorpus& sanitized_delta,
+            std::span<const net::Ipv4Address> all_addresses,
+            unsigned threads = 1);
+
   /// The record for `address`, or nullptr when the address never appeared
   /// adjacent to another address.
   [[nodiscard]] const InterfaceRecord* find(net::Ipv4Address address) const;
@@ -147,6 +161,8 @@ class InterfaceGraph {
   [[nodiscard]] HalfId other_side_id(HalfId id) const { return other_ids_[id]; }
 
  private:
+  void accumulate(const trace::TraceCorpus& sanitized);
+  void finalize(unsigned threads);
   void build_dense_layout(unsigned threads);
 
   std::vector<InterfaceRecord> records_;                       // sorted by address

@@ -1,0 +1,250 @@
+#include "ingest/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/journal.h"
+#include "ingest/pipeline.h"
+#include "ingest/source.h"
+#include "net/error.h"
+#include "net/load_report.h"
+#include "trace/trace_io.h"
+
+namespace mapit::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A source line that parsed: what the journal, the fold, and the
+/// quarantine accounting each need.
+struct PendingLine {
+  std::uint64_t offset = core::kNoSourceOffset;
+  std::string line;
+  trace::Trace trace;
+};
+
+/// Sleeps `seconds` in small slices so a stop flag interrupts promptly.
+void interruptible_sleep(double seconds, const std::atomic<bool>* stop) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < deadline) {
+    if (stop != nullptr && stop->load()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  }
+}
+
+}  // namespace
+
+IngestStats run_ingest(const IngestOptions& options,
+                       const std::atomic<bool>* stop) {
+  fault::Io& io = options.io != nullptr ? *options.io : fault::system_io();
+  IngestStats stats;
+
+  IngestSetup setup;
+  setup.traces_path = options.traces_path;
+  setup.rib_path = options.rib_path;
+  setup.relationships_path = options.relationships_path;
+  setup.as2org_path = options.as2org_path;
+  setup.ixps_path = options.ixps_path;
+  setup.lenient = options.lenient;
+  setup.options = options.engine_options;
+  IngestPipeline pipeline(setup);
+  if (options.log != nullptr) {
+    *options.log << "ingest: base " << pipeline.base_traces() << " traces, "
+                 << pipeline.interfaces() << " interfaces\n";
+  }
+
+  // The journal binds to the base run's identity; a base input edited
+  // since the journal was created is rejected here (exit 4), never folded.
+  core::JournalContents replayed;
+  core::JournalWriter writer = core::JournalWriter::open(
+      options.journal_path, pipeline.meta(), &replayed, io);
+
+  // Replay: restore every preserved delta line. Batch boundaries are
+  // irrelevant to the folded result (the equivalence invariant), so the
+  // whole journal folds as one batch; commit records are only consistency-
+  // checked and used to find where the interrupted batch (if any) begins.
+  std::uint64_t follow_offset = 0;
+  std::uint64_t journal_traces = 0;
+  std::uint64_t committed_traces = 0;
+  std::uint64_t batch_seq = 0;
+  trace::TraceCorpus replay_corpus;
+  for (const core::JournalRecord& record : replayed.records) {
+    if (record.type == core::JournalRecord::Type::kTrace) {
+      ++journal_traces;
+      try {
+        replay_corpus.add(trace::parse_trace(record.line, "journal"));
+      } catch (const Error& error) {
+        // Only parsed lines are ever appended; one that no longer parses
+        // means the parser and the journal disagree — corruption-grade.
+        throw core::JournalError(options.journal_path +
+                                 ": journaled trace no longer parses: " +
+                                 error.what());
+      }
+      if (record.source_offset != core::kNoSourceOffset) {
+        follow_offset =
+            std::max(follow_offset,
+                     record.source_offset + record.line.size() + 1);
+      }
+    } else {
+      if (record.traces_total != journal_traces) {
+        throw core::JournalError(
+            options.journal_path + ": commit record claims " +
+            std::to_string(record.traces_total) + " traces but " +
+            std::to_string(journal_traces) + " precede it");
+      }
+      if (record.batch_seq <= batch_seq) {
+        throw core::JournalError(options.journal_path +
+                                 ": commit sequence numbers not ascending");
+      }
+      batch_seq = record.batch_seq;
+      committed_traces = record.traces_total;
+    }
+  }
+  stats.replayed_traces = journal_traces;
+  stats.folded_traces = journal_traces;
+  std::uint64_t total_traces = journal_traces;
+  pipeline.fold(replay_corpus);
+
+  // Publish the replayed state. When the journal carries trace records
+  // past its last commit (crash between watermark and commit), this is
+  // the interrupted batch completing: same fold, same snapshot, and the
+  // commit record it never got.
+  store::WriteInfo info = pipeline.publish(options.out_path, io);
+  ++stats.publishes;
+  stats.snapshot_crc = info.payload_crc32;
+  if (journal_traces > committed_traces) {
+    ++batch_seq;
+    writer.append(core::JournalRecord::commit(batch_seq, total_traces,
+                                              info.payload_crc32));
+    writer.sync();
+    ++stats.batches;
+  }
+  if (options.log != nullptr) {
+    *options.log << "ingest: replayed " << journal_traces
+                 << " journaled traces, published " << options.out_path
+                 << "\n";
+  }
+
+  std::optional<FileTailer> tailer;
+  if (!options.follow_path.empty()) {
+    tailer.emplace(options.follow_path, follow_offset, io);
+  }
+  std::optional<IngestSocket> socket;
+  if (options.listen_port >= 0) {
+    socket.emplace(static_cast<std::uint16_t>(options.listen_port), 65536,
+                   io);
+    stats.listen_port = socket->port();
+    if (options.log != nullptr) {
+      *options.log << "ingest: listening on 127.0.0.1:" << socket->port()
+                   << "\n";
+    }
+  }
+
+  std::vector<SourceLine> incoming;
+  std::vector<PendingLine> pending;
+  Clock::time_point first_pending{};
+  std::uint64_t delta_line_no = 0;
+  LoadReport delta_report;
+
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    // WAL order: accepted lines become durable before the fold that
+    // consumes them; the commit record lands only after the snapshot
+    // rename. A crash anywhere in between replays into identical state.
+    for (const PendingLine& entry : pending) {
+      writer.append(core::JournalRecord::trace(entry.offset, entry.line));
+    }
+    writer.sync();
+    trace::TraceCorpus batch;
+    for (PendingLine& entry : pending) batch.add(std::move(entry.trace));
+    pipeline.fold(batch);
+    total_traces += pending.size();
+    stats.folded_traces += pending.size();
+    info = pipeline.publish(options.out_path, io);
+    ++stats.publishes;
+    stats.snapshot_crc = info.payload_crc32;
+    ++batch_seq;
+    writer.append(core::JournalRecord::commit(batch_seq, total_traces,
+                                              info.payload_crc32));
+    writer.sync();
+    ++stats.batches;
+    if (options.log != nullptr) {
+      char crc_hex[9];
+      std::snprintf(crc_hex, sizeof(crc_hex), "%08x", info.payload_crc32);
+      *options.log << "ingest: batch " << batch_seq << ": folded "
+                   << pending.size() << " traces (" << total_traces
+                   << " total), snapshot crc32 " << crc_hex << "\n";
+    }
+    pending.clear();
+  };
+
+  while (true) {
+    if (stop != nullptr && stop->load()) {
+      flush();  // accepted lines must not be lost to a graceful shutdown
+      break;
+    }
+    if (options.max_batches != 0 && stats.batches >= options.max_batches) {
+      break;
+    }
+    incoming.clear();
+    std::size_t arrived = 0;
+    if (tailer) arrived += tailer->poll(incoming);
+    if (socket) arrived += socket->drain(incoming);
+    for (SourceLine& source_line : incoming) {
+      ++delta_line_no;
+      const std::string& line = source_line.line;
+      if (line.empty() || line[0] == '#') continue;  // corpus comment rules
+      try {
+        trace::Trace parsed = trace::parse_trace(
+            line, "delta line " + std::to_string(delta_line_no));
+        if (pending.empty()) first_pending = Clock::now();
+        pending.push_back(PendingLine{source_line.offset,
+                                      std::move(source_line.line),
+                                      std::move(parsed)});
+        delta_report.add_loaded(1);
+      } catch (const Error& error) {
+        if (!options.lenient) throw;
+        delta_report.record(delta_line_no,
+                            source_line.offset == core::kNoSourceOffset
+                                ? 0
+                                : source_line.offset,
+                            error.what());
+      }
+    }
+    stats.quarantined = delta_report.skipped();
+
+    bool due = pending.size() >= options.batch_lines;
+    if (!due && options.batch_seconds > 0 && !pending.empty() &&
+        std::chrono::duration<double>(Clock::now() - first_pending).count() >=
+            options.batch_seconds) {
+      due = true;
+    }
+    if (options.drain && arrived == 0) {
+      flush();  // input exhausted: flush the leftovers and finish
+      break;
+    }
+    if (due) {
+      flush();
+    } else if (arrived == 0) {
+      interruptible_sleep(options.poll_interval, stop);
+    }
+  }
+
+  if (options.log != nullptr) {
+    const std::string summary = delta_report.summary("ingest deltas");
+    if (!summary.empty()) *options.log << summary;
+  }
+  return stats;
+}
+
+}  // namespace mapit::ingest

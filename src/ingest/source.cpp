@@ -1,0 +1,202 @@
+#include "ingest/source.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <utility>
+
+#include "query/server.h"
+
+namespace mapit::ingest {
+
+namespace {
+
+/// A socket client streaming this much without a newline is not sending
+/// corpus lines; drop it rather than buffer without bound.
+constexpr std::size_t kMaxPartialLine = 1 << 20;
+
+}  // namespace
+
+// ---- FileTailer ----------------------------------------------------------
+
+FileTailer::FileTailer(std::string path, std::uint64_t start_offset,
+                       fault::Io& io)
+    : path_(std::move(path)),
+      start_offset_(start_offset),
+      offset_(start_offset),
+      io_(&io) {}
+
+FileTailer::~FileTailer() {
+  if (fd_ >= 0) (void)io_->close(fd_);
+}
+
+bool FileTailer::ensure_open() {
+  if (fd_ >= 0) return true;
+  const int fd = io_->open(path_.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) return false;  // not created yet: poll again later
+  // Skip the prefix already replayed from the journal. Sequential reads
+  // instead of a seek keep the tailer inside the fault::Io surface; this
+  // runs once per (re)open, not per poll.
+  std::uint64_t remaining = start_offset_;
+  char buffer[1 << 16];
+  while (remaining > 0) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, sizeof(buffer)));
+    const ssize_t n = io_->read(fd, buffer, want);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // The file is (still) shorter than the replayed prefix — the source
+      // has not caught up to what the journal preserved. Retry later.
+      (void)io_->close(fd);
+      return false;
+    }
+    remaining -= static_cast<std::uint64_t>(n);
+  }
+  fd_ = fd;
+  return true;
+}
+
+std::size_t FileTailer::poll(std::vector<SourceLine>& out) {
+  if (!ensure_open()) return 0;
+  std::size_t emitted = 0;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = io_->read(fd_, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF for now; appended bytes show up next poll
+    partial_.append(buffer, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = partial_.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = partial_.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      out.push_back(SourceLine{offset_ + start, std::move(line)});
+      ++emitted;
+      start = newline + 1;
+    }
+    partial_.erase(0, start);
+    offset_ += start;
+  }
+  return emitted;
+}
+
+// ---- IngestSocket --------------------------------------------------------
+
+IngestSocket::IngestSocket(std::uint16_t port, std::size_t max_queued,
+                           fault::Io& io)
+    : max_queued_(max_queued), io_(&io) {
+  query::ServerOptions options;
+  options.port = port;
+  listen_fd_ = query::detail::bind_listener(options, /*nonblocking=*/false,
+                                            &port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+IngestSocket::~IngestSocket() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  space_cv_.notify_all();  // release readers blocked on a full queue
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& thread : connections) thread.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void IngestSocket::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = io_->accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      if (query::detail::transient_accept_error(errno)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        continue;
+      }
+      break;  // listener shut down or unrecoverable
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void IngestSocket::handle_connection(int fd) {
+  std::string pending;
+  char buffer[16 * 1024];
+  while (true) {
+    const ssize_t n = io_->recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or connection error
+    pending.append(buffer, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    bool dead = false;
+    while (true) {
+      const std::size_t newline = pending.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = pending.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = newline + 1;
+      if (!enqueue(std::move(line))) {
+        dead = true;  // shutting down
+        break;
+      }
+    }
+    if (dead) break;
+    pending.erase(0, start);
+    if (pending.size() > kMaxPartialLine) break;  // not a corpus client
+  }
+  // An incomplete final line (no newline before EOF) is dropped: the
+  // client never finished sending it.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+  ::close(fd);
+}
+
+bool IngestSocket::enqueue(std::string line) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Backpressure: a full queue blocks this reader (and therefore, through
+  // TCP flow control, its client) until the ingest loop drains.
+  space_cv_.wait(lock, [&] {
+    return stopping_.load() || queue_.size() < max_queued_;
+  });
+  if (stopping_.load()) return false;
+  queue_.push_back(std::move(line));
+  received_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t IngestSocket::drain(std::vector<SourceLine>& out) {
+  std::deque<std::string> lines;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines.swap(queue_);
+  }
+  if (!lines.empty()) space_cv_.notify_all();
+  for (std::string& line : lines) {
+    out.push_back(SourceLine{core::kNoSourceOffset, std::move(line)});
+  }
+  return lines.size();
+}
+
+}  // namespace mapit::ingest

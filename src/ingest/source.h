@@ -1,0 +1,125 @@
+// Delta sources for streaming ingestion: where new trace lines come from.
+//
+// Two sources, both producing the same thing — raw corpus lines tagged
+// with a source byte offset (kNoSourceOffset when there is none):
+//
+//   * FileTailer — tail-follows an append-only delta corpus file. Only
+//     complete ('\n'-terminated) lines are emitted; a partial tail line
+//     waits for the rest of its bytes. The tailer keeps its fd open across
+//     polls, so appends by a concurrent writer are picked up by plain
+//     read() calls — no seeking, which keeps the whole surface inside
+//     fault::Io. A file that does not exist yet is simply "no input";
+//     the tailer retries the open on every poll. Rewriting or truncating
+//     the followed file is NOT supported (it is a journal-shaped input:
+//     append-only by contract).
+//
+//   * IngestSocket — a bounded TCP intake on 127.0.0.1. Clients connect,
+//     send corpus lines, and close; every complete line is queued for the
+//     ingest loop. The queue is bounded: when it is full the reader
+//     threads stop reading, so a fast producer is throttled by TCP
+//     backpressure instead of growing the process (same philosophy as the
+//     query servers' write-buffer high-water mark). Listener and sockets
+//     share the query servers' bind helper and the fault::Io boundary.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/journal.h"
+#include "fault/io.h"
+
+namespace mapit::ingest {
+
+/// One delta corpus line plus where it came from.
+struct SourceLine {
+  /// Byte offset of the line start in the followed file, or
+  /// core::kNoSourceOffset for socket lines.
+  std::uint64_t offset = core::kNoSourceOffset;
+  std::string line;  ///< without the trailing newline
+};
+
+class FileTailer {
+ public:
+  /// Follows `path` starting at byte `start_offset` (a resume skips the
+  /// prefix already replayed from the journal by reading and discarding
+  /// it — once, at the first successful open).
+  FileTailer(std::string path, std::uint64_t start_offset,
+             fault::Io& io = fault::system_io());
+  FileTailer(const FileTailer&) = delete;
+  FileTailer& operator=(const FileTailer&) = delete;
+  ~FileTailer();
+
+  /// Appends every complete line that arrived since the last poll to
+  /// `out`. Returns the number of lines appended. A missing file or an
+  /// unreadable prefix yields 0 (and the next poll retries).
+  std::size_t poll(std::vector<SourceLine>& out);
+
+  /// Byte offset the next emitted line will start at.
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+ private:
+  /// Ensures fd_ is open and positioned past start_offset_. False when
+  /// the file cannot be opened (yet) or the skip failed.
+  bool ensure_open();
+
+  std::string path_;
+  std::uint64_t start_offset_ = 0;  ///< bytes to discard at first open
+  std::uint64_t offset_ = 0;        ///< file position of partial_'s start
+  std::string partial_;             ///< bytes of an incomplete tail line
+  int fd_ = -1;
+  fault::Io* io_;
+};
+
+class IngestSocket {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// accept thread. Throws mapit::Error when the listener cannot be set
+  /// up. `max_queued` bounds the line queue (backpressure past it).
+  explicit IngestSocket(std::uint16_t port, std::size_t max_queued = 65536,
+                        fault::Io& io = fault::system_io());
+  IngestSocket(const IngestSocket&) = delete;
+  IngestSocket& operator=(const IngestSocket&) = delete;
+
+  /// Stops accepting, closes every connection, joins all threads.
+  ~IngestSocket();
+
+  /// The bound port (the chosen one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Moves every queued line into `out` (offset = kNoSourceOffset).
+  /// Returns the number of lines appended. Never blocks.
+  std::size_t drain(std::vector<SourceLine>& out);
+
+  /// Lines accepted into the queue so far.
+  [[nodiscard]] std::uint64_t received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Blocks while the queue is full (backpressure); false once stopping.
+  bool enqueue(std::string line);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::size_t max_queued_;
+  fault::Io* io_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> received_{0};
+
+  std::mutex mutex_;  ///< guards queue_, connection_fds_, connections_
+  std::condition_variable space_cv_;  ///< signalled when the queue drains
+  std::deque<std::string> queue_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connections_;
+  std::thread accept_thread_;
+};
+
+}  // namespace mapit::ingest

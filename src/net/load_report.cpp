@@ -4,10 +4,11 @@
 
 namespace mapit {
 
-void LoadReport::record(std::size_t line_no, std::string error) {
+void LoadReport::record(std::size_t line_no, std::size_t byte_offset,
+                        std::string error) {
   ++skipped_;
   if (offenders_.size() < kMaxDetailed) {
-    offenders_.push_back(Offender{line_no, std::move(error)});
+    offenders_.push_back(Offender{line_no, byte_offset, std::move(error)});
   }
 }
 
@@ -17,8 +18,9 @@ std::string LoadReport::summary(const std::string& what) const {
                     std::to_string(loaded_ + skipped_) +
                     " lines as malformed\n";
   for (const Offender& offender : offenders_) {
-    out += "  line " + std::to_string(offender.line_no) + ": " +
-           offender.error + "\n";
+    out += "  line " + std::to_string(offender.line_no) + " (byte " +
+           std::to_string(offender.byte_offset) + "): " + offender.error +
+           "\n";
   }
   if (skipped_ > offenders_.size()) {
     out += "  ... and " + std::to_string(skipped_ - offenders_.size()) +

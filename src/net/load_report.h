@@ -21,9 +21,14 @@ namespace mapit {
 
 class LoadReport {
  public:
-  /// A skipped line: its 1-based line number and the parse error.
+  /// A skipped line: its 1-based line number, the byte offset where the
+  /// line starts in the input stream, and the parse error. The offset is
+  /// structured (not just embedded in the error text) so tools holding the
+  /// raw bytes — delta tailers, fuzzer triage — can seek straight to the
+  /// offender.
   struct Offender {
     std::size_t line_no = 0;
+    std::size_t byte_offset = 0;
     std::string error;
   };
 
@@ -31,7 +36,7 @@ class LoadReport {
   static constexpr std::size_t kMaxDetailed = 10;
 
   /// Records one skipped line. Must be called in ascending line order.
-  void record(std::size_t line_no, std::string error);
+  void record(std::size_t line_no, std::size_t byte_offset, std::string error);
 
   /// Lines skipped in total (detailed or not).
   [[nodiscard]] std::size_t skipped() const { return skipped_; }
@@ -47,7 +52,7 @@ class LoadReport {
 
   /// Human-readable summary for stderr, e.g.
   ///   "traces: skipped 3 of 120 malformed lines
-  ///      line 7: trace line 7: bad destination 'x'
+  ///      line 7 (byte 212): trace line 7: bad destination 'x'
   ///      ..."
   /// Empty string when nothing was skipped.
   [[nodiscard]] std::string summary(const std::string& what) const;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/error.h"
+#include "query/hub.h"
 
 namespace mapit::query {
 
@@ -43,11 +44,23 @@ int clamp_ms(std::chrono::steady_clock::duration d) {
 
 AsyncServer::AsyncServer(const QueryEngine& engine,
                          const ServerOptions& options)
-    : engine_(engine),
+    : engine_(&engine),
       options_(options),
       io_(options.io != nullptr ? options.io : &fault::system_io()),
       started_(std::chrono::steady_clock::now()) {
-  listen_fd_ = detail::bind_listener(options, /*nonblocking=*/true, &port_);
+  init_sockets();
+}
+
+AsyncServer::AsyncServer(SnapshotHub& hub, const ServerOptions& options)
+    : hub_(&hub),
+      options_(options),
+      io_(options.io != nullptr ? options.io : &fault::system_io()),
+      started_(std::chrono::steady_clock::now()) {
+  init_sockets();
+}
+
+void AsyncServer::init_sockets() {
+  listen_fd_ = detail::bind_listener(options_, /*nonblocking=*/true, &port_);
   epoll_fd_ = io_->epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     const int err = errno;
@@ -157,8 +170,37 @@ bool AsyncServer::flush(Connection& connection) {
   return true;
 }
 
+std::string AsyncServer::health_line() const {
+  // Loop thread only: `feeding_` is set for exactly the feed that can call
+  // this (HEALTH is answered synchronously inside session.feed), so the
+  // probe reports the generation answering the rest of its batch.
+  const QueryEngine& engine =
+      feeding_ != nullptr ? feeding_->engine : *engine_;
+  const std::uint64_t generation =
+      feeding_ != nullptr ? feeding_->generation : 1;
+  return format_health(engine, generation,
+                       hub_ != nullptr ? hub_->swap_count() : 0, started_,
+                       connections_.size(), refused_connections(),
+                       accept_retries());
+}
+
 void AsyncServer::handle_readable(Connection& connection,
                                   std::chrono::steady_clock::time_point now) {
+  // Pin exactly one snapshot generation for this readiness event's whole
+  // read batch (hub mode): every answer it produces comes from it, so a
+  // concurrent republish can never tear a batch. The pin drops on return.
+  std::shared_ptr<const LoadedSnapshot> pin;
+  const QueryEngine* engine = engine_;
+  if (hub_ != nullptr) {
+    pin = hub_->current();
+    engine = &pin->engine;
+  }
+  feeding_ = pin.get();
+  struct FeedScope {
+    AsyncServer& server;
+    ~FeedScope() { server.feeding_ = nullptr; }
+  } feed_scope{*this};
+
   char buffer[kReadChunk];
   while (!connection.paused && !connection.want_close) {
     const ssize_t n = io_->recv(connection.fd, buffer, sizeof(buffer), 0);
@@ -175,7 +217,8 @@ void AsyncServer::handle_readable(Connection& connection,
       break;
     }
     connection.last_activity = now;
-    connection.session.feed(std::string_view(buffer,
+    connection.session.feed(*engine,
+                            std::string_view(buffer,
                                              static_cast<std::size_t>(n)),
                             connection.out);
     if (!flush(connection)) {
@@ -243,12 +286,14 @@ void AsyncServer::accept_ready(std::chrono::steady_clock::time_point now) {
       continue;
     }
     // The HEALTH callback reports this server's live counters; everything
-    // else about request handling lives in the session.
+    // else about request handling lives in the session. In hub mode the
+    // construction-time engine is only a placeholder — every feed re-points
+    // the session at the generation it pinned.
+    const QueryEngine& setup_engine =
+        hub_ != nullptr ? hub_->current()->engine : *engine_;
     auto connection = std::make_unique<Connection>(ProtocolSession(
-        engine_, options_.max_line_bytes, [this] {
-          return format_health(engine_, started_, connections_.size(),
-                               refused_connections(), accept_retries());
-        }));
+        setup_engine, options_.max_line_bytes,
+        [this] { return health_line(); }));
     connection->fd = fd;
     connection->last_activity = now;
     connection->armed = EPOLLIN;

@@ -77,6 +77,12 @@ class AsyncServer {
   /// Convenience: default options with an explicit port.
   AsyncServer(const QueryEngine& engine, std::uint16_t port);
 
+  /// Hot-swap mode: answers from `hub`'s current snapshot generation,
+  /// pinned once per readiness event's read batch, so a republish never
+  /// tears a batch and never drops a connection. `hub` must outlive the
+  /// server.
+  AsyncServer(SnapshotHub& hub, const ServerOptions& options);
+
   AsyncServer(const AsyncServer&) = delete;
   AsyncServer& operator=(const AsyncServer&) = delete;
 
@@ -132,7 +138,11 @@ class AsyncServer {
     }
   };
 
+  /// Listener + epoll + wake-pipe setup shared by both constructors.
+  void init_sockets();
   void event_loop();
+  /// HEALTH answer for the batch being fed right now (loop thread only).
+  [[nodiscard]] std::string health_line() const;
   /// Accepts until the listener would block; transient failures disarm the
   /// listener and set `accept_rearm_at_` instead of sleeping.
   void accept_ready(std::chrono::steady_clock::time_point now);
@@ -152,7 +162,8 @@ class AsyncServer {
       std::chrono::steady_clock::time_point now) const;
   void close_listener();
 
-  const QueryEngine& engine_;
+  const QueryEngine* engine_ = nullptr;  ///< fixed-engine mode; else null
+  SnapshotHub* hub_ = nullptr;           ///< hot-swap mode; else null
   ServerOptions options_;
   fault::Io* io_ = nullptr;
   int listen_fd_ = -1;
@@ -171,6 +182,10 @@ class AsyncServer {
   // ---- event-loop-thread state (no locking: only the loop touches it) ----
   /// fd -> connection. Ordered map: deterministic idle-scan order.
   std::map<int, std::unique_ptr<Connection>> connections_;
+  /// The generation pinned by the feed in progress (hub mode): set for the
+  /// duration of handle_readable so the HEALTH callback reports exactly
+  /// the generation answering the rest of the batch. Null between feeds.
+  const LoadedSnapshot* feeding_ = nullptr;
   bool listener_registered_ = false;
   std::chrono::milliseconds accept_backoff_{0};
   std::chrono::steady_clock::time_point accept_rearm_at_{};

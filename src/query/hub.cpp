@@ -1,0 +1,73 @@
+#include "query/hub.h"
+
+#include <fcntl.h>
+
+#include <utility>
+
+#include "store/format.h"
+
+namespace mapit::query {
+
+SnapshotHub::SnapshotHub(std::string path, fault::Io& io)
+    : path_(std::move(path)), io_(&io) {
+  // Initial load throws on failure: a server must not come up answering
+  // from nothing. The identity is taken before the open — if the file is
+  // republished between the stat and the open we record the older identity
+  // and the first refresh() simply swaps again, which is benign.
+  FileIdentity identity;
+  (void)stat_path(&identity);
+  failed_.store(0, std::memory_order_relaxed);  // probe failures don't count
+  current_ = std::make_shared<LoadedSnapshot>(
+      store::SnapshotReader::open(path_, *io_), /*generation=*/1);
+  identity_ = identity;
+}
+
+std::shared_ptr<const LoadedSnapshot> SnapshotHub::current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+bool SnapshotHub::stat_path(FileIdentity* out) {
+  const int fd = io_->open(path_.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  struct ::stat st{};
+  if (io_->fstat(fd, &st) != 0) {
+    (void)io_->close(fd);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  (void)io_->close(fd);
+  out->dev = st.st_dev;
+  out->ino = st.st_ino;
+  out->size = st.st_size;
+  out->mtim = st.st_mtim;
+  return true;
+}
+
+bool SnapshotHub::refresh() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FileIdentity identity;
+  if (!stat_path(&identity)) return false;
+  if (identity == identity_) return false;
+  // The file changed under the path (the publisher renames a complete new
+  // file over it). Open + fully validate before anything is swapped; a
+  // file that fails validation leaves the previous generation serving.
+  try {
+    auto next = std::make_shared<LoadedSnapshot>(
+        store::SnapshotReader::open(path_, *io_), next_generation_);
+    current_ = std::move(next);
+    identity_ = identity;
+    ++next_generation_;
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const Error&) {
+    // SnapshotError (validation) or Error (open) alike: count, keep serving.
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+}  // namespace mapit::query

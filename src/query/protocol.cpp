@@ -32,19 +32,25 @@ void append_binary_frame(std::string& out, std::string_view payload) {
 
 ProtocolSession::ProtocolSession(const QueryEngine& engine,
                                  std::size_t max_line_bytes, HealthFn health)
-    : engine_(engine),
+    : engine_(&engine),
       max_line_bytes_(max_line_bytes),
       health_(std::move(health)) {}
 
 std::string ProtocolSession::answer_health() {
   // Without a server behind it there is no health to report; the engine's
   // ERR answer keeps the one-answer-per-request invariant.
-  return health_ ? health_() : engine_.answer("HEALTH");
+  return health_ ? health_() : engine_->answer("HEALTH");
 }
 
 void ProtocolSession::feed(std::string_view bytes, std::string& out) {
   in_.append(bytes);
   process(out);
+}
+
+void ProtocolSession::feed(const QueryEngine& engine, std::string_view bytes,
+                           std::string& out) {
+  engine_ = &engine;
+  feed(bytes, out);
 }
 
 void ProtocolSession::process(std::string& out) {
@@ -93,7 +99,7 @@ void ProtocolSession::process_line(std::string& out) {
     } else if (line == "HEALTH") {
       out += answer_health();
     } else {
-      out += engine_.answer(line);
+      out += engine_->answer(line);
     }
     out += '\n';
   }
@@ -140,7 +146,7 @@ void ProtocolSession::process_binary(std::string& out) {
     if (query == "HEALTH") {
       append_binary_frame(out, answer_health());
     } else {
-      append_binary_frame(out, engine_.answer(query));
+      append_binary_frame(out, engine_->answer(query));
     }
     start += 4 + static_cast<std::size_t>(length);
   }

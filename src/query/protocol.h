@@ -54,9 +54,10 @@ class ProtocolSession {
   /// Answer for the server-level "HEALTH" probe (no trailing newline).
   using HealthFn = std::function<std::string()>;
 
-  /// `engine` must outlive the session. `max_line_bytes` bounds both a
-  /// request line and a binary frame payload. `health` may be empty (see
-  /// above).
+  /// `engine` must outlive the session (or every feed must use the
+  /// engine-explicit overload below, which re-points the session first).
+  /// `max_line_bytes` bounds both a request line and a binary frame
+  /// payload. `health` may be empty (see above).
   explicit ProtocolSession(const QueryEngine& engine,
                            std::size_t max_line_bytes = 1 << 20,
                            HealthFn health = {});
@@ -65,6 +66,14 @@ class ProtocolSession {
   /// complete to `out`. Incomplete trailing input is buffered for the next
   /// feed, so arbitrary chunking produces byte-identical output.
   void feed(std::string_view bytes, std::string& out);
+
+  /// Same, answering from `engine` instead of the constructor's — the
+  /// hot-swap path: a server pins one snapshot generation per read batch
+  /// and feeds with it, so every answer in the batch (all frames, all
+  /// lines) comes from exactly that generation. Framing state carries
+  /// across feeds regardless of which engine each one used.
+  void feed(const QueryEngine& engine, std::string_view bytes,
+            std::string& out);
 
   /// True once the magic decided this is a binary-framing session.
   [[nodiscard]] bool binary_mode() const { return mode_ == Mode::kBinary; }
@@ -80,7 +89,7 @@ class ProtocolSession {
   void process_binary(std::string& out);
   [[nodiscard]] std::string answer_health();
 
-  const QueryEngine& engine_;
+  const QueryEngine* engine_;
   std::size_t max_line_bytes_;
   HealthFn health_;
   Mode mode_ = Mode::kUndecided;

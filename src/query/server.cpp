@@ -14,6 +14,7 @@
 #include <string>
 
 #include "net/error.h"
+#include "query/hub.h"
 
 namespace mapit::query {
 
@@ -88,7 +89,8 @@ int bind_listener(const ServerOptions& options, bool nonblocking,
 
 }  // namespace detail
 
-std::string format_health(const QueryEngine& engine,
+std::string format_health(const QueryEngine& engine, std::uint64_t generation,
+                          std::uint64_t swaps,
                           std::chrono::steady_clock::time_point started,
                           std::size_t connections, std::uint64_t refused,
                           std::uint64_t accept_retries) {
@@ -105,11 +107,14 @@ std::string format_health(const QueryEngine& engine,
   out += " inferences=" + std::to_string(engine.reader().inferences().size());
   out += " refused=" + std::to_string(refused);
   out += " accept_retries=" + std::to_string(accept_retries);
+  out += " version=" + std::to_string(engine.reader().version());
+  out += " generation=" + std::to_string(generation);
+  out += " swaps=" + std::to_string(swaps);
   return out;
 }
 
 LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
-    : engine_(engine),
+    : engine_(&engine),
       options_(options),
       io_(options.io != nullptr ? options.io : &fault::system_io()),
       started_(std::chrono::steady_clock::now()) {
@@ -118,6 +123,14 @@ LineServer::LineServer(const QueryEngine& engine, const ServerOptions& options)
 
 LineServer::LineServer(const QueryEngine& engine, std::uint16_t port)
     : LineServer(engine, ServerOptions{.port = port}) {}
+
+LineServer::LineServer(SnapshotHub& hub, const ServerOptions& options)
+    : hub_(&hub),
+      options_(options),
+      io_(options.io != nullptr ? options.io : &fault::system_io()),
+      started_(std::chrono::steady_clock::now()) {
+  listen_fd_ = detail::bind_listener(options, /*nonblocking=*/false, &port_);
+}
 
 LineServer::~LineServer() { stop(); }
 
@@ -232,6 +245,19 @@ void LineServer::handle_connection(int fd) {
     }
     pending.append(chunk);
 
+    // Pin exactly one snapshot generation for this whole read batch: every
+    // answer below (including HEALTH) comes from it, so a concurrent
+    // republish can never tear a pipelined batch. The pin drops at the end
+    // of the iteration, letting a retired generation unmap promptly.
+    std::shared_ptr<const LoadedSnapshot> pin;
+    const QueryEngine* engine = engine_;
+    std::uint64_t generation = 1;
+    if (hub_ != nullptr) {
+      pin = hub_->current();
+      engine = &pin->engine;
+      generation = pin->generation;
+    }
+
     // Answer every complete line in this chunk with one send.
     responses.clear();
     std::size_t start = 0;
@@ -248,9 +274,9 @@ void LineServer::handle_connection(int fd) {
       } else if (line == "HEALTH") {
         // Server-level readiness probe; answered here because the engine
         // knows nothing about connections or uptime.
-        responses += health_line();
+        responses += health_line(*engine, generation);
       } else {
-        responses += engine_.answer(line);
+        responses += engine->answer(line);
       }
       responses += '\n';
     }
@@ -281,9 +307,12 @@ std::size_t LineServer::active_connections() const {
   return connection_fds_.size();
 }
 
-std::string LineServer::health_line() const {
-  return format_health(engine_, started_, active_connections(),
-                       refused_connections(), accept_retries());
+std::string LineServer::health_line(const QueryEngine& engine,
+                                    std::uint64_t generation) const {
+  return format_health(engine, generation,
+                       hub_ != nullptr ? hub_->swap_count() : 0, started_,
+                       active_connections(), refused_connections(),
+                       accept_retries());
 }
 
 void LineServer::stop() {

@@ -47,6 +47,9 @@
 
 namespace mapit::query {
 
+class SnapshotHub;      // hub.h — live snapshot hot-swap
+struct LoadedSnapshot;  // hub.h — one pinned snapshot generation
+
 /// Options shared by both servers (the blocking LineServer here and the
 /// epoll AsyncServer in async_server.h); fields that only one of them
 /// consults say so.
@@ -108,11 +111,14 @@ inline constexpr char kCapacityRefusal[] =
 }  // namespace detail
 
 /// The HEALTH probe answer (no trailing newline); shared so both servers
-/// report the identical format.
+/// report the identical format. `generation` and `swaps` describe the live
+/// snapshot hot-swap state (generation 1 / 0 swaps for a server bound to a
+/// fixed engine); the snapshot's own format version comes from the engine's
+/// reader. New fields append at the end — probes match the line's prefix.
 [[nodiscard]] std::string format_health(
-    const QueryEngine& engine, std::chrono::steady_clock::time_point started,
-    std::size_t connections, std::uint64_t refused,
-    std::uint64_t accept_retries);
+    const QueryEngine& engine, std::uint64_t generation, std::uint64_t swaps,
+    std::chrono::steady_clock::time_point started, std::size_t connections,
+    std::uint64_t refused, std::uint64_t accept_retries);
 
 class LineServer {
  public:
@@ -122,6 +128,11 @@ class LineServer {
 
   /// Convenience: default options with an explicit port.
   LineServer(const QueryEngine& engine, std::uint16_t port);
+
+  /// Hot-swap mode: answers from `hub`'s current snapshot generation,
+  /// pinned once per read batch, so a republish never tears a pipelined
+  /// batch and never drops a connection. `hub` must outlive the server.
+  LineServer(SnapshotHub& hub, const ServerOptions& options);
 
   LineServer(const LineServer&) = delete;
   LineServer& operator=(const LineServer&) = delete;
@@ -160,13 +171,16 @@ class LineServer {
  private:
   void accept_loop();
   void handle_connection(int fd);
-  /// Answer for the server-level "HEALTH" probe line (no trailing newline).
-  [[nodiscard]] std::string health_line() const;
+  /// Answer for the server-level "HEALTH" probe line (no trailing
+  /// newline), reporting the batch's pinned engine and generation.
+  [[nodiscard]] std::string health_line(const QueryEngine& engine,
+                                        std::uint64_t generation) const;
   /// Closes the listener exactly once (whichever of the accept loop's exit
   /// and stop() runs last with the fd still open does it).
   void close_listener_locked();
 
-  const QueryEngine& engine_;
+  const QueryEngine* engine_ = nullptr;  ///< fixed-engine mode; else null
+  SnapshotHub* hub_ = nullptr;           ///< hot-swap mode; else null
   ServerOptions options_;
   fault::Io* io_ = nullptr;
   int listen_fd_ = -1;

@@ -188,7 +188,7 @@ TraceCorpus read_corpus(std::istream& in, unsigned threads,
     if (errors[i].empty()) {
       kept.push_back(std::move(traces[i]));
     } else {
-      report->record(line_numbers[i], std::move(errors[i]));
+      report->record(line_numbers[i], line_offsets[i], std::move(errors[i]));
     }
   }
   report->add_loaded(kept.size());

@@ -137,6 +137,8 @@ TEST_P(RibLenientTest, LenientSkipsCountsAndKeepsTheRest) {
   EXPECT_EQ(report.loaded(), 2u);
   ASSERT_EQ(report.offenders().size(), 1u);
   EXPECT_EQ(report.offenders()[0].line_no, 3u);
+  // "# header\n" + "rv|10.0.0.0/8|100\n" = 27 bytes before line 3.
+  EXPECT_EQ(report.offenders()[0].byte_offset, 27u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

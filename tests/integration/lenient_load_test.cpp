@@ -63,6 +63,9 @@ TEST(LenientLoad, ParallelReportMatchesSequential) {
       EXPECT_EQ(report.offenders()[i].line_no,
                 sequential.offenders()[i].line_no)
           << threads << " threads, offender " << i;
+      EXPECT_EQ(report.offenders()[i].byte_offset,
+                sequential.offenders()[i].byte_offset)
+          << threads << " threads, offender " << i;
       EXPECT_EQ(report.offenders()[i].error, sequential.offenders()[i].error)
           << threads << " threads, offender " << i;
     }

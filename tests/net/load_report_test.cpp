@@ -17,30 +17,32 @@ TEST(LoadReport, EmptyReportHasEmptySummary) {
 
 TEST(LoadReport, RecordsOffendersInOrder) {
   LoadReport report;
-  report.record(3, "bad monitor");
-  report.record(7, "bad destination");
+  report.record(3, 42, "bad monitor");
+  report.record(7, 190, "bad destination");
   report.add_loaded(5);
   ASSERT_EQ(report.offenders().size(), 2u);
   EXPECT_EQ(report.offenders()[0].line_no, 3u);
+  EXPECT_EQ(report.offenders()[0].byte_offset, 42u);
   EXPECT_EQ(report.offenders()[0].error, "bad monitor");
   EXPECT_EQ(report.offenders()[1].line_no, 7u);
+  EXPECT_EQ(report.offenders()[1].byte_offset, 190u);
   EXPECT_EQ(report.summary("traces"),
             "traces: skipped 2 of 7 lines as malformed\n"
-            "  line 3: bad monitor\n"
-            "  line 7: bad destination\n");
+            "  line 3 (byte 42): bad monitor\n"
+            "  line 7 (byte 190): bad destination\n");
 }
 
 TEST(LoadReport, DetailCapsAtKMaxDetailedButKeepsCounting) {
   LoadReport report;
   for (std::size_t i = 1; i <= LoadReport::kMaxDetailed + 5; ++i) {
-    report.record(i, "err " + std::to_string(i));
+    report.record(i, i * 10, "err " + std::to_string(i));
   }
   EXPECT_EQ(report.skipped(), LoadReport::kMaxDetailed + 5);
   EXPECT_EQ(report.offenders().size(), LoadReport::kMaxDetailed);
   const std::string summary = report.summary("rib");
   EXPECT_NE(summary.find("... and 5 more"), std::string::npos);
   // Only the first kMaxDetailed get lines.
-  EXPECT_NE(summary.find("line 1: err 1"), std::string::npos);
+  EXPECT_NE(summary.find("line 1 (byte 10): err 1"), std::string::npos);
   EXPECT_EQ(summary.find("line 11:"), std::string::npos);
 }
 

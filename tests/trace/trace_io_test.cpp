@@ -111,6 +111,8 @@ TEST_P(TraceIoLenientTest, LenientSkipsCountsAndKeepsTheRest) {
   EXPECT_EQ(report.loaded(), 2u);
   ASSERT_EQ(report.offenders().size(), 1u);
   EXPECT_EQ(report.offenders()[0].line_no, 3u);
+  // "# header\n" + "0|9.9.9.9|1.0.0.1\n" = 27 bytes before line 3.
+  EXPECT_EQ(report.offenders()[0].byte_offset, 27u);
   EXPECT_NE(report.offenders()[0].error.find("line 3"), std::string::npos);
 }
 

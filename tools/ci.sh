@@ -11,6 +11,8 @@
 #                   bench      bench smoke + inference-count tripwire
 #                   snapshot   CLI snapshot + golden queries + CRC tripwire
 #                   async      epoll server smoke over both wire protocols
+#                   ingest     streaming-ingest smoke: cold-vs-incremental
+#                              equivalence + kill-mid-journal resume
 #                   sweep      differential baseline sweep vs DIFF_sweep.json
 #                   fuzz       bounded libFuzzer smoke via tools/fuzz.sh
 #                              (clang only; replays regressions first)
@@ -42,6 +44,12 @@
 #                 (line and binary), diffing each response stream against
 #                 the committed golden answers; ends with a SIGTERM
 #                 graceful-drain check (default: SNAPSHOT_SMOKE)
+#   INGEST_SMOKE  1 = stream the tail of a seeded corpus through
+#                 `mapit ingest --drain` and require the published snapshot
+#                 to be byte-identical to a cold `mapit snapshot` over the
+#                 full corpus; then truncate the delta journal twice (deep
+#                 cut and torn frame) and re-ingest — every resume must
+#                 converge to the same bytes (default: SNAPSHOT_SMOKE)
 #   DIFF_SWEEP    1 = run the MAP-IT vs baselines sweep over the default
 #                 artifact-rate × seed grid and require exact agreement
 #                 with the committed DIFF_sweep.json (default: BENCH_SMOKE)
@@ -63,6 +71,7 @@ SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 FAULT_MATRIX="${FAULT_MATRIX:-1}"
 CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
 ASYNC_SMOKE="${ASYNC_SMOKE:-${SNAPSHOT_SMOKE}}"
+INGEST_SMOKE="${INGEST_SMOKE:-${SNAPSHOT_SMOKE}}"
 DIFF_SWEEP="${DIFF_SWEEP:-${BENCH_SMOKE}}"
 FUZZ_SMOKE="${FUZZ_SMOKE:-0}"
 FUZZ_TIME="${FUZZ_TIME:-60}"
@@ -393,6 +402,63 @@ EOF
   echo "async SIGTERM graceful drain: ok"
 }
 
+stage_ingest() {
+  echo "== ingest cold-vs-incremental equivalence =="
+  # The streaming-ingestion signature invariant, proven through the real
+  # binary: folding a delta stream onto a base corpus must publish a
+  # snapshot byte-identical to a cold batch run over the concatenated
+  # corpus — for any batching boundary. `cmp` (not a CRC) so any drift in
+  # any byte fails.
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/ingest_smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 9
+  local datasets=(--rib "${work}/rib.txt"
+                  --relationships "${work}/relationships.txt"
+                  --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt")
+
+  # Split the corpus: the first 3/4 is the base batch the pipeline starts
+  # from, the rest arrives later as an appended delta stream.
+  local total base_lines
+  total=$(wc -l < "${work}/traces.txt")
+  base_lines=$((total * 3 / 4))
+  head -n "${base_lines}" "${work}/traces.txt" > "${work}/base.txt"
+  tail -n "+$((base_lines + 1))" "${work}/traces.txt" > "${work}/delta.txt"
+
+  "${mapit_bin}" snapshot --traces "${work}/traces.txt" "${datasets[@]}" \
+    --out "${work}/cold.snap"
+
+  local ingest_flags=(--traces "${work}/base.txt" "${datasets[@]}"
+                      --journal "${work}/deltas.jnl"
+                      --out "${work}/live.snap"
+                      --follow "${work}/delta.txt" --drain)
+  "${mapit_bin}" ingest "${ingest_flags[@]}" 2> "${work}/ingest.log"
+  cmp "${work}/cold.snap" "${work}/live.snap"
+  echo "incremental publish == cold snapshot: ok (${total} traces," \
+       "$((total - base_lines)) streamed)"
+
+  echo "== ingest kill-mid-journal resume =="
+  # Simulate a crash that tore the journal tail: chop bytes off the end,
+  # re-run, and require the resumed pipeline — replayed prefix plus
+  # re-tailed delta lines — to publish the same bytes. Two cuts: a deep
+  # one that loses whole records, and a 3-byte one that tears a frame
+  # mid-header.
+  local size cut
+  for cut in 4096 3; do
+    size=$(stat -c %s "${work}/deltas.jnl")
+    if [[ "${size}" -le "${cut}" ]]; then
+      echo "journal too small (${size} bytes) for a ${cut}-byte cut" >&2
+      exit 1
+    fi
+    truncate -s $((size - cut)) "${work}/deltas.jnl"
+    rm -f "${work}/live.snap"
+    "${mapit_bin}" ingest "${ingest_flags[@]}" 2>> "${work}/ingest.log"
+    cmp "${work}/cold.snap" "${work}/live.snap"
+    echo "resume after ${cut}-byte journal cut: byte-identical: ok"
+  done
+}
+
 stage_sweep() {
   echo "== differential baseline sweep =="
   # MAP-IT vs the §5.6 heuristics across the artifact-rate × seed grid;
@@ -423,11 +489,11 @@ if [[ -n "${STAGES:-}" ]]; then
   for stage in $(echo "${STAGES}" | tr ',' ' '); do
     case "${stage}" in
       configure|build) ;;  # always run; listed for convenience
-      test|fault|checkpoint|bench|snapshot|async|sweep|fuzz)
+      test|fault|checkpoint|bench|snapshot|async|ingest|sweep|fuzz)
         SELECTED+=("${stage}") ;;
       *)
         echo "ci.sh: unknown stage '${stage}' (valid: test fault checkpoint" \
-             "bench snapshot async sweep fuzz)" >&2
+             "bench snapshot async ingest sweep fuzz)" >&2
         exit 2 ;;
     esac
   done
@@ -438,6 +504,7 @@ else
   if [[ "${BENCH_SMOKE}" == "1" ]]; then SELECTED+=(bench); fi
   if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then SELECTED+=(snapshot); fi
   if [[ "${ASYNC_SMOKE}" == "1" ]]; then SELECTED+=(async); fi
+  if [[ "${INGEST_SMOKE}" == "1" ]]; then SELECTED+=(ingest); fi
   if [[ "${DIFF_SWEEP}" == "1" ]]; then SELECTED+=(sweep); fi
   if [[ "${FUZZ_SMOKE}" == "1" ]]; then SELECTED+=(fuzz); fi
 fi

@@ -6,11 +6,13 @@
 //   mapit snapshot  run MAP-IT and write the binary snapshot artifact
 //   mapit query     batch-answer queries against a snapshot (stdin/stdout)
 //   mapit serve     serve a snapshot over a TCP line protocol
+//   mapit ingest    stream delta traces into a journal + live snapshot
 //   mapit help      usage
 //
 // All file formats are the library's line-oriented text formats (see the
 // respective *_io headers); `mapit simulate` writes examples of each. The
 // snapshot artifact is the binary format of src/store/format.h.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -34,11 +36,13 @@
 #include "eval/diff_sweep.h"
 #include "eval/experiment.h"
 #include "fault/atomic_file.h"
+#include "ingest/runner.h"
 #include "net/error.h"
 #include "net/load_report.h"
 #include "net/parse.h"
 #include "query/query_engine.h"
 #include "query/async_server.h"
+#include "query/hub.h"
 #include "query/server.h"
 #include "store/reader.h"
 #include "store/writer.h"
@@ -138,8 +142,33 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
       "                             with an ERR line (default 256)\n"
       "      --max-line BYTES       answer ERR to longer request lines\n"
       "                             instead of buffering them (default 1MiB)\n"
+      "      --watch-interval SECS  poll SNAPSHOT for replacement every\n"
+      "                             SECS seconds and hot-swap to the new\n"
+      "                             version without dropping connections\n"
+      "                             (default 2; 0 disables watching)\n"
       "      answers HEALTH probe lines itself; SIGTERM/SIGINT drain\n"
       "      gracefully (in-flight batches are answered first)\n"
+      "  mapit ingest --traces FILE --rib FILE --journal FILE --out SNAPSHOT\n"
+      "      streaming ingestion: load the base corpus once, then fold\n"
+      "      delta traces incrementally and republish SNAPSHOT after each\n"
+      "      batch; deltas are preserved in an append-only crash-safe\n"
+      "      journal and replayed on restart, so the published snapshot is\n"
+      "      always byte-identical to a cold run over base+deltas\n"
+      "      [--relationships/--as2org/--ixps/--f/--remove-rule/--no-stub/\n"
+      "       --no-siblings/--threads/--lenient as for `mapit run`]\n"
+      "      --follow FILE          tail an append-only delta corpus file\n"
+      "      --listen PORT          accept delta lines on 127.0.0.1:PORT\n"
+      "                             (0 = ephemeral, printed on stderr)\n"
+      "      --batch-lines N        fold after N pending lines (default\n"
+      "                             1000)\n"
+      "      --batch-seconds SECS   ...or SECS after the first pending\n"
+      "                             line (default 5; 0 = count-only)\n"
+      "      --poll-interval SECS   source poll cadence (default 0.2)\n"
+      "      --drain                consume what the sources have now,\n"
+      "                             flush, publish, exit (batch mode)\n"
+      "      --max-batches N        stop after N batch commits\n"
+      "      SIGTERM/SIGINT flush pending accepted lines as a final batch\n"
+      "      before exiting; rerunning resumes from the journal\n"
       "  mapit help\n"
       "\n"
       "exit codes: 0 ok; 2 usage; 3 load/parse error; 4 checkpoint\n"
@@ -246,6 +275,42 @@ double parse_seconds_or_die(const char* flag, const std::string& value) {
   return parsed;
 }
 
+/// Parses the engine options shared by run/paths/snapshot/ingest:
+/// --f, --remove-rule, --no-stub, --no-siblings, --threads.
+core::Options parse_engine_options(Args& args) {
+  core::Options options;
+  if (const auto f = args.value("--f")) {
+    // Strict parse: std::stod would accept "0.5x" and abort the process on
+    // "abc" with a raw std::invalid_argument.
+    std::size_t pos = 0;
+    double parsed = -1;
+    try {
+      parsed = std::stod(*f, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != f->size() || !(parsed >= 0.0) || !(parsed <= 1.0)) {
+      std::cerr << "--f expects a fraction in [0, 1], got '" << *f << "'\n";
+      std::exit(kExitUsage);
+    }
+    options.f = parsed;
+  }
+  if (const auto rule = args.value("--remove-rule")) {
+    if (*rule == "majority") {
+      options.remove_rule = core::RemoveRule::kMajority;
+    } else if (*rule == "add") {
+      options.remove_rule = core::RemoveRule::kAddRule;
+    } else {
+      std::cerr << "unknown remove rule '" << *rule << "'\n";
+      std::exit(kExitUsage);
+    }
+  }
+  options.stub_heuristic = !args.flag("--no-stub");
+  options.sibling_grouping = !args.flag("--no-siblings");
+  options.threads = parse_threads(args);
+  return options;
+}
+
 std::ifstream open_or_die(const std::string& path) {
   std::ifstream stream(path);
   if (!stream) {
@@ -305,35 +370,7 @@ std::unique_ptr<RunPipeline> build_run_pipeline(Args& args, const char* verb) {
 
   auto pipeline = std::make_unique<RunPipeline>();
   core::Options& options = pipeline->options;
-  if (const auto f = args.value("--f")) {
-    // Strict parse: std::stod would accept "0.5x" and abort the process on
-    // "abc" with a raw std::invalid_argument.
-    std::size_t pos = 0;
-    double parsed = -1;
-    try {
-      parsed = std::stod(*f, &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (pos != f->size() || !(parsed >= 0.0) || !(parsed <= 1.0)) {
-      std::cerr << "--f expects a fraction in [0, 1], got '" << *f << "'\n";
-      std::exit(kExitUsage);
-    }
-    options.f = parsed;
-  }
-  if (const auto rule = args.value("--remove-rule")) {
-    if (*rule == "majority") {
-      options.remove_rule = core::RemoveRule::kMajority;
-    } else if (*rule == "add") {
-      options.remove_rule = core::RemoveRule::kAddRule;
-    } else {
-      std::cerr << "unknown remove rule '" << *rule << "'\n";
-      std::exit(kExitUsage);
-    }
-  }
-  options.stub_heuristic = !args.flag("--no-stub");
-  options.sibling_grouping = !args.flag("--no-siblings");
-  options.threads = parse_threads(args);
+  options = parse_engine_options(args);
   const bool lenient = args.flag("--lenient");
   const auto relationships_path = args.value("--relationships");
   const auto as2org_path = args.value("--as2org");
@@ -692,18 +729,51 @@ int cmd_serve(Args& args) {
   }
   server_options.reuse_port = args.flag("--reuseport");
   const bool use_async = args.flag("--async");
+  unsigned long watch_interval = 2;
+  if (const auto value = args.value("--watch-interval")) {
+    const auto parsed = parse_bounded(*value, 86400);
+    if (!parsed) {
+      std::cerr << "--watch-interval expects seconds in [0, 86400], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    watch_interval = *parsed;
+  }
   args.reject_unknown();
 
-  const store::SnapshotReader reader = store::SnapshotReader::open(
-      *snapshot_path);
-  const query::QueryEngine engine(reader);
+  query::SnapshotHub hub(*snapshot_path);
   // Both servers expose the same surface; run whichever under the same
   // signal-drain scaffolding.
   const auto run = [&](auto& server) {
-    std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
-              << server.port() << (use_async ? " (async)" : "") << " ("
-              << reader.inferences().size() << " inference records, "
-              << reader.size_bytes() << " bytes mmap'd)\n";
+    {
+      const auto snapshot = hub.current();
+      std::cerr << "serving " << *snapshot_path << " on 127.0.0.1:"
+                << server.port() << (use_async ? " (async)" : "") << " ("
+                << snapshot->reader.inferences().size()
+                << " inference records, " << snapshot->reader.size_bytes()
+                << " bytes mmap'd)\n";
+    }
+
+    // The watcher polls the snapshot path and hot-swaps new versions in;
+    // running queries keep their pinned generation, new batches see the
+    // fresh one. A snapshot that fails to validate keeps the old one.
+    std::atomic<bool> watch_stop{false};
+    std::thread watcher;
+    if (watch_interval > 0) {
+      watcher = std::thread([&] {
+        while (!watch_stop.load()) {
+          for (unsigned long slept = 0;
+               slept < watch_interval * 10 && !watch_stop.load(); ++slept) {
+            std::this_thread::sleep_for(std::chrono::milliseconds{100});
+          }
+          if (watch_stop.load()) break;
+          if (hub.refresh()) {
+            std::cerr << "snapshot replaced; now serving generation "
+                      << hub.current()->generation << "\n";
+          }
+        }
+      });
+    }
 
     // SIGTERM/SIGINT drain the server gracefully (in-flight batches are
     // answered, then connections close) instead of killing it mid-send. The
@@ -722,17 +792,120 @@ int cmd_serve(Args& args) {
     server.serve_forever();
     signals.wake();
     drain.join();
+    watch_stop.store(true);
+    if (watcher.joinable()) watcher.join();
     if (core::SignalGuard::signal_received() != 0) {
       std::cerr << "drained; exiting\n";
     }
     return kExitOk;
   };
   if (use_async) {
-    query::AsyncServer server(engine, server_options);
+    query::AsyncServer server(hub, server_options);
     return run(server);
   }
-  query::LineServer server(engine, server_options);
+  query::LineServer server(hub, server_options);
   return run(server);
+}
+
+int cmd_ingest(Args& args) {
+  ingest::IngestOptions options;
+  const auto traces_path = args.value("--traces");
+  const auto rib_path = args.value("--rib");
+  const auto journal_path = args.value("--journal");
+  const auto out_path = args.value("--out");
+  if (!traces_path || !rib_path || !journal_path || !out_path) {
+    std::cerr << "ingest: --traces, --rib, --journal and --out are "
+                 "required\n";
+    usage(kExitUsage);
+  }
+  options.traces_path = *traces_path;
+  options.rib_path = *rib_path;
+  options.journal_path = *journal_path;
+  options.out_path = *out_path;
+  options.engine_options = parse_engine_options(args);
+  options.lenient = args.flag("--lenient");
+  if (const auto value = args.value("--relationships")) {
+    options.relationships_path = *value;
+  }
+  if (const auto value = args.value("--as2org")) options.as2org_path = *value;
+  if (const auto value = args.value("--ixps")) options.ixps_path = *value;
+  if (const auto value = args.value("--follow")) options.follow_path = *value;
+  if (const auto value = args.value("--listen")) {
+    const auto parsed = parse_bounded(*value, 65535);
+    if (!parsed) {
+      std::cerr << "--listen expects a port in [0, 65535], got '" << *value
+                << "'\n";
+      return kExitUsage;
+    }
+    options.listen_port = static_cast<int>(*parsed);
+  }
+  if (const auto value = args.value("--batch-lines")) {
+    const auto parsed = parse_bounded(*value, 1UL << 24);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--batch-lines expects an integer in [1, 2^24], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.batch_lines = *parsed;
+  }
+  if (const auto value = args.value("--batch-seconds")) {
+    options.batch_seconds = parse_seconds_or_die("--batch-seconds", *value);
+  }
+  if (const auto value = args.value("--poll-interval")) {
+    options.poll_interval = parse_seconds_or_die("--poll-interval", *value);
+  }
+  options.drain = args.flag("--drain");
+  if (const auto value = args.value("--max-batches")) {
+    const auto parsed = parse_bounded(*value, 1UL << 30);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--max-batches expects an integer in [1, 2^30], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.max_batches = *parsed;
+  }
+  args.reject_unknown();
+  if (options.follow_path.empty() && options.listen_port < 0 &&
+      !options.drain) {
+    std::cerr << "ingest: need --follow and/or --listen (or --drain to "
+                 "just replay the journal and republish)\n";
+    usage(kExitUsage);
+  }
+  options.log = &std::cerr;
+
+  // SIGTERM/SIGINT flush the pending accepted lines as a final batch and
+  // end the session; the journal makes the next run resume seamlessly.
+  core::SignalGuard signals;
+  std::atomic<bool> stop{false};
+  std::thread watcher([&] {
+    const int signal_number = signals.wait();
+    if (signal_number != 0) {
+      std::cerr << "received "
+                << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                << ", flushing pending deltas...\n";
+      stop.store(true);
+    }
+  });
+  ingest::IngestStats stats;
+  try {
+    stats = ingest::run_ingest(options, &stop);
+  } catch (...) {
+    signals.wake();
+    watcher.join();
+    throw;
+  }
+  signals.wake();
+  watcher.join();
+
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", stats.snapshot_crc);
+  std::cerr << "ingest done: replayed " << stats.replayed_traces
+            << ", folded " << stats.folded_traces << " traces in "
+            << stats.batches << " batches (" << stats.quarantined
+            << " quarantined), " << stats.publishes
+            << " publishes, last crc32 " << crc_hex << "\n";
+  return core::SignalGuard::signal_received() != 0 ? kExitInterrupted
+                                                   : kExitOk;
 }
 
 int cmd_paths(Args& args) {
@@ -1077,6 +1250,7 @@ int main(int argc, char** argv) {
     if (command == "snapshot") return cmd_snapshot(args);
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "ingest") return cmd_ingest(args);
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::cerr << "unknown command '" << command << "'\n";
     usage(kExitUsage);
