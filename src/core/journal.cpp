@@ -9,6 +9,7 @@
 
 #include "core/wire.h"
 #include "fault/atomic_file.h"
+#include "net/error.h"
 
 namespace mapit::core {
 
@@ -344,6 +345,16 @@ void JournalWriter::sync() {
     throw JournalError("fsync failed on journal " + path_ + ": " +
                        std::strerror(errno));
   }
+}
+
+void JournalWriter::rollback_to(std::uint64_t size) {
+  MAPIT_ENSURE(size >= kJournalHeaderSize && size <= size_,
+               "journal rollback target out of range");
+  if (io_->ftruncate(fd_, static_cast<::off_t>(size)) != 0) {
+    throw JournalError("cannot roll back journal " + path_ + ": " +
+                       std::strerror(errno));
+  }
+  size_ = size;
 }
 
 void JournalWriter::close() {

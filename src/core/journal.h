@@ -149,6 +149,13 @@ class JournalWriter {
   /// fsyncs everything appended so far — the batch commit point.
   void sync();
 
+  /// Truncates the file back to `size` bytes. The degraded-mode retry path
+  /// uses this to discard a batch whose append failed partway (a failed
+  /// write can leave a partial frame on disk that size() does not account
+  /// for) before re-appending the whole batch. `size` must not exceed
+  /// size(). O_APPEND makes the next append land at the new end.
+  void rollback_to(std::uint64_t size);
+
   /// File size after the last append (header + all records).
   [[nodiscard]] std::uint64_t size() const { return size_; }
 

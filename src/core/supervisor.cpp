@@ -53,15 +53,22 @@ namespace {
 // touch a `this` pointer safely; the single-instance rule keeps them
 // unambiguous.
 std::atomic<int> g_signal_received{0};
+std::atomic<std::uint64_t> g_hup_count{0};
 std::atomic<int> g_wake_fd{-1};
 std::atomic<bool> g_guard_exists{false};
 
 extern "C" void mapit_signal_handler(int signal_number) {
-  // Record only the first signal; a second SIGINT while draining should not
-  // overwrite the original reason.
-  int expected = 0;
-  g_signal_received.compare_exchange_strong(expected, signal_number,
-                                            std::memory_order_relaxed);
+  if (signal_number == SIGHUP) {
+    // SIGHUP is a nudge, not a stop: count it and wake, but leave the
+    // recorded stop signal alone.
+    g_hup_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Record only the first signal; a second SIGINT while draining should
+    // not overwrite the original reason.
+    int expected = 0;
+    g_signal_received.compare_exchange_strong(expected, signal_number,
+                                              std::memory_order_relaxed);
+  }
   const int fd = g_wake_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char byte = 1;
@@ -77,6 +84,7 @@ SignalGuard::SignalGuard() {
   MAPIT_ENSURE(!g_guard_exists.exchange(true),
                "only one SignalGuard may exist at a time");
   g_signal_received.store(0, std::memory_order_relaxed);
+  g_hup_count.store(0, std::memory_order_relaxed);
   int fds[2];
   if (::pipe2(fds, O_CLOEXEC) != 0) {
     g_guard_exists.store(false);
@@ -95,11 +103,13 @@ SignalGuard::SignalGuard() {
   action.sa_flags = SA_RESTART;
   (void)::sigaction(SIGTERM, &action, &old_term_);
   (void)::sigaction(SIGINT, &action, &old_int_);
+  (void)::sigaction(SIGHUP, &action, &old_hup_);
 }
 
 SignalGuard::~SignalGuard() {
   (void)::sigaction(SIGTERM, &old_term_, nullptr);
   (void)::sigaction(SIGINT, &old_int_, nullptr);
+  (void)::sigaction(SIGHUP, &old_hup_, nullptr);
   g_wake_fd.store(-1, std::memory_order_relaxed);
   (void)::close(write_fd_);
   (void)::close(read_fd_);
@@ -108,6 +118,10 @@ SignalGuard::~SignalGuard() {
 
 int SignalGuard::signal_received() {
   return g_signal_received.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SignalGuard::hup_count() {
+  return g_hup_count.load(std::memory_order_relaxed);
 }
 
 int SignalGuard::wait() {

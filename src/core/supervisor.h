@@ -44,9 +44,14 @@ enum class StopReason : std::uint8_t {
 /// when the file is unavailable (non-Linux), which disables RSS budgets.
 [[nodiscard]] std::size_t current_rss_bytes();
 
-/// Installs SIGTERM/SIGINT handlers for the lifetime of the object and
-/// restores the previous handlers on destruction. At most one instance may
-/// exist at a time (enforced). All methods are thread-safe.
+/// Installs SIGTERM/SIGINT/SIGHUP handlers for the lifetime of the object
+/// and restores the previous handlers on destruction. At most one instance
+/// may exist at a time (enforced). All methods are thread-safe.
+///
+/// SIGHUP is deliberately NOT a stop signal: it only bumps hup_count() and
+/// wakes wait()ers, so long-running commands (`serve`, `supervise`) can use
+/// it as an operator nudge — force a snapshot re-check, forward to children
+/// — while TERM/INT keep their shutdown meaning.
 class SignalGuard {
  public:
   SignalGuard();
@@ -54,11 +59,17 @@ class SignalGuard {
   SignalGuard(const SignalGuard&) = delete;
   SignalGuard& operator=(const SignalGuard&) = delete;
 
-  /// The first signal received (SIGTERM/SIGINT), or 0 if none yet.
+  /// The first stop signal received (SIGTERM/SIGINT), or 0 if none yet.
+  /// SIGHUP never shows up here.
   [[nodiscard]] static int signal_received();
 
+  /// Number of SIGHUPs received since the guard was installed. Callers that
+  /// care keep their own last-seen value and compare.
+  [[nodiscard]] static std::uint64_t hup_count();
+
   /// Blocks until a signal arrives or wake() is called. Returns
-  /// signal_received() at that moment (0 means a plain wake()).
+  /// signal_received() at that moment (0 means a plain wake() or a SIGHUP;
+  /// check hup_count() to tell the two apart).
   int wait();
 
   /// Unblocks one wait()er without a signal (e.g. the server exited for
@@ -70,6 +81,7 @@ class SignalGuard {
   int write_fd_ = -1;
   struct sigaction old_term_ {};
   struct sigaction old_int_ {};
+  struct sigaction old_hup_ {};
 };
 
 struct SupervisorOptions {

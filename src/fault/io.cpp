@@ -1,6 +1,8 @@
 #include "fault/io.h"
 
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -23,6 +25,10 @@ const char* to_string(Op op) {
     case Op::kEpollCreate: return "epoll_create1";
     case Op::kEpollCtl: return "epoll_ctl";
     case Op::kEpollWait: return "epoll_wait";
+    case Op::kFork: return "fork";
+    case Op::kExecvp: return "execvp";
+    case Op::kWaitpid: return "waitpid";
+    case Op::kKill: return "kill";
     case Op::kCount_: break;
   }
   return "?";
@@ -74,6 +80,18 @@ int Io::epoll_wait(int epfd, struct ::epoll_event* events, int max_events,
                    int timeout_ms) {
   return ::epoll_wait(epfd, events, max_events, timeout_ms);
 }
+
+::pid_t Io::fork() { return ::fork(); }
+
+int Io::execvp(const char* file, char* const argv[]) {
+  return ::execvp(file, argv);
+}
+
+::pid_t Io::waitpid(::pid_t pid, int* status, int options) {
+  return ::waitpid(pid, status, options);
+}
+
+int Io::kill(::pid_t pid, int sig) { return ::kill(pid, sig); }
 
 Io& system_io() {
   static Io instance;

@@ -41,6 +41,10 @@ enum class Op {
   kEpollCreate,
   kEpollCtl,
   kEpollWait,
+  kFork,
+  kExecvp,
+  kWaitpid,
+  kKill,
   kCount_,
 };
 
@@ -69,6 +73,12 @@ class Io {
   virtual int epoll_ctl(int epfd, int op, int fd, struct ::epoll_event* event);
   virtual int epoll_wait(int epfd, struct ::epoll_event* events,
                          int max_events, int timeout_ms);
+  // Process management (the `mapit supervise` tier). Same POSIX contract:
+  // fork returns twice, execvp only returns on failure.
+  virtual ::pid_t fork();
+  virtual int execvp(const char* file, char* const argv[]);
+  virtual ::pid_t waitpid(::pid_t pid, int* status, int options);
+  virtual int kill(::pid_t pid, int sig);
 };
 
 /// The shared passthrough instance production code defaults to.

@@ -197,4 +197,40 @@ int FaultPlan::epoll_wait(int epfd, struct ::epoll_event* events,
   return system_io().epoll_wait(epfd, events, max_events, timeout_ms);
 }
 
+::pid_t FaultPlan::fork() {
+  const Fault* fault = on_call(Op::kFork);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().fork();
+}
+
+int FaultPlan::execvp(const char* file, char* const argv[]) {
+  const Fault* fault = on_call(Op::kExecvp);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().execvp(file, argv);
+}
+
+::pid_t FaultPlan::waitpid(::pid_t pid, int* status, int options) {
+  const Fault* fault = on_call(Op::kWaitpid);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().waitpid(pid, status, options);
+}
+
+int FaultPlan::kill(::pid_t pid, int sig) {
+  const Fault* fault = on_call(Op::kKill);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().kill(pid, sig);
+}
+
 }  // namespace mapit::fault

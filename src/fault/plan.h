@@ -85,6 +85,10 @@ class FaultPlan final : public Io {
   int epoll_ctl(int epfd, int op, int fd, struct ::epoll_event* event) override;
   int epoll_wait(int epfd, struct ::epoll_event* events, int max_events,
                  int timeout_ms) override;
+  ::pid_t fork() override;
+  int execvp(const char* file, char* const argv[]) override;
+  ::pid_t waitpid(::pid_t pid, int* status, int options) override;
+  int kill(::pid_t pid, int sig) override;
 
  private:
   struct Armed {

@@ -1,8 +1,13 @@
 #include "ingest/runner.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cerrno>
 #include <cstdio>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -15,6 +20,7 @@
 #include "ingest/source.h"
 #include "net/error.h"
 #include "net/load_report.h"
+#include "query/server.h"
 #include "trace/trace_io.h"
 
 namespace mapit::ingest {
@@ -41,6 +47,116 @@ void interruptible_sleep(double seconds, const std::atomic<bool>* stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds{20});
   }
 }
+
+/// What the ingest loop shares with the HEALTH endpoint thread.
+struct HealthState {
+  Clock::time_point started = Clock::now();
+  std::atomic<bool> degraded{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> publishes{0};
+  std::atomic<std::size_t> pending{0};
+
+  void set_error(const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    last_error_ = message;
+  }
+  [[nodiscard]] std::string error() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return last_error_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::string last_error_;
+};
+
+/// The ingest process's answer to `mapit supervise` liveness probes: one
+/// connection at a time, read one request line (bounded by a receive
+/// timeout so a wedged prober cannot pin the thread), answer a single
+/// status line, close. Deliberately minimal — probes are rare and tiny,
+/// and the real intake has its own socket.
+class HealthEndpoint {
+ public:
+  HealthEndpoint(std::uint16_t port, const HealthState& state, fault::Io& io)
+      : state_(&state), io_(&io) {
+    query::ServerOptions options;
+    options.port = port;
+    listen_fd_ =
+        query::detail::bind_listener(options, /*nonblocking=*/false, &port_);
+    thread_ = std::thread([this] { loop(); });
+  }
+  HealthEndpoint(const HealthEndpoint&) = delete;
+  HealthEndpoint& operator=(const HealthEndpoint&) = delete;
+  ~HealthEndpoint() {
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void loop() {
+    while (!stopping_.load()) {
+      const int fd =
+          io_->accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (stopping_.load()) break;
+        if (errno == EINTR) continue;
+        if (query::detail::transient_accept_error(errno)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds{1});
+          continue;
+        }
+        break;
+      }
+      answer(fd);
+      ::close(fd);
+    }
+  }
+
+  void answer(int fd) {
+    struct ::timeval timeout{2, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                       sizeof(timeout));
+    char buffer[256];
+    std::string request;
+    while (request.find('\n') == std::string::npos &&
+           request.size() < sizeof(buffer)) {
+      const ssize_t n = io_->recv(fd, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF, timeout, or error: answer what we can
+      request.append(buffer, static_cast<std::size_t>(n));
+    }
+    const auto uptime =
+        std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                         state_->started)
+            .count();
+    std::string error = state_->error();
+    if (error.empty()) error = "none";
+    for (char& c : error) {
+      if (c == ' ' || c == '\n' || c == '\r' || c == '\t') c = '_';
+    }
+    std::string line = "OK degraded=";
+    line += state_->degraded.load(std::memory_order_relaxed) ? '1' : '0';
+    line += " uptime=" + std::to_string(uptime);
+    line += " batches=" +
+            std::to_string(state_->batches.load(std::memory_order_relaxed));
+    line += " publishes=" + std::to_string(state_->publishes.load(
+                                std::memory_order_relaxed));
+    line += " pending=" +
+            std::to_string(state_->pending.load(std::memory_order_relaxed));
+    line += " last_error=" + error + "\n";
+    (void)io_->send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+  }
+
+  const HealthState* state_;
+  fault::Io* io_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -115,25 +231,161 @@ IngestStats run_ingest(const IngestOptions& options,
   std::uint64_t total_traces = journal_traces;
   pipeline.fold(replay_corpus);
 
+  HealthState health;
+  std::optional<HealthEndpoint> health_endpoint;
+  if (options.health_port >= 0) {
+    health_endpoint.emplace(static_cast<std::uint16_t>(options.health_port),
+                            health, io);
+    stats.health_port = health_endpoint->port();
+    if (options.log != nullptr) {
+      *options.log << "ingest: health endpoint on 127.0.0.1:"
+                   << health_endpoint->port() << "\n";
+    }
+  }
+
+  // ---- the flush machine --------------------------------------------------
+  // One batch moves through journal -> fold -> publish -> commit. A stage
+  // that fails with an I/O-shaped Error (ENOSPC, EIO, a full filesystem)
+  // parks the machine instead of killing the run: the loop keeps tailing
+  // its sources and the failed stage is retried every retry_interval
+  // seconds until the disk recovers. Completed stages never rerun, so the
+  // eventual republish is byte-identical to an unfaulted run's output.
+  // The journal stages track a dirty flag because a failed append can
+  // leave a partial frame on disk that writer.size() does not account
+  // for — a retry first rolls the file back to the batch's start.
+  enum class Stage { kIdle, kJournal, kFold, kPublish, kCommit };
+  struct FlushState {
+    Stage stage = Stage::kIdle;
+    std::vector<PendingLine> inflight;  ///< the batch being flushed
+    std::uint64_t seq = 0;              ///< its commit sequence number
+    bool commit = true;     ///< append a commit record at the end
+    bool startup = false;   ///< the replay-completion publish
+    std::uint64_t rollback_size = 0;  ///< journal size to restore on retry
+    bool journal_dirty = false;  ///< bytes possibly past rollback_size
+    bool degraded = false;
+    Clock::time_point next_attempt{};
+  };
+  FlushState flush;
+  store::WriteInfo info;
+  const double retry_interval =
+      options.retry_interval > 0 ? options.retry_interval : 1.0;
+
+  const auto attempt_flush = [&]() -> bool {
+    try {
+      if (flush.stage == Stage::kJournal) {
+        if (flush.journal_dirty) {
+          writer.rollback_to(flush.rollback_size);
+          flush.journal_dirty = false;
+        }
+        flush.journal_dirty = true;
+        // WAL order: accepted lines become durable before the fold that
+        // consumes them; the commit record lands only after the snapshot
+        // rename. A crash anywhere in between replays into identical
+        // state.
+        for (const PendingLine& entry : flush.inflight) {
+          writer.append(
+              core::JournalRecord::trace(entry.offset, entry.line));
+        }
+        writer.sync();
+        flush.journal_dirty = false;
+        flush.stage = Stage::kFold;
+      }
+      if (flush.stage == Stage::kFold) {
+        // In-memory: cannot fail with I/O, runs exactly once per batch
+        // (the traces move out of inflight here).
+        trace::TraceCorpus batch;
+        for (PendingLine& entry : flush.inflight) {
+          batch.add(std::move(entry.trace));
+        }
+        pipeline.fold(batch);
+        total_traces += flush.inflight.size();
+        stats.folded_traces += flush.inflight.size();
+        flush.stage = Stage::kPublish;
+      }
+      if (flush.stage == Stage::kPublish) {
+        info = pipeline.publish(options.out_path, io);
+        ++stats.publishes;
+        health.publishes.fetch_add(1, std::memory_order_relaxed);
+        stats.snapshot_crc = info.payload_crc32;
+        if (flush.commit) {
+          flush.stage = Stage::kCommit;
+          flush.rollback_size = writer.size();
+          flush.journal_dirty = false;
+        } else {
+          flush.stage = Stage::kIdle;
+        }
+      }
+      if (flush.stage == Stage::kCommit) {
+        if (flush.journal_dirty) {
+          writer.rollback_to(flush.rollback_size);
+          flush.journal_dirty = false;
+        }
+        flush.journal_dirty = true;
+        writer.append(core::JournalRecord::commit(flush.seq, total_traces,
+                                                  info.payload_crc32));
+        writer.sync();
+        flush.journal_dirty = false;
+        batch_seq = flush.seq;
+        ++stats.batches;
+        health.batches.fetch_add(1, std::memory_order_relaxed);
+        flush.stage = Stage::kIdle;
+      }
+    } catch (const Error& error) {
+      // JournalError from append/sync/rollback, SnapshotError from
+      // publish. (Injected crashes are not Errors and still unwind —
+      // the WAL replay covers those.)
+      if (!flush.degraded) {
+        flush.degraded = true;
+        ++stats.degraded_entries;
+        health.degraded.store(true, std::memory_order_relaxed);
+        if (options.log != nullptr) {
+          *options.log << "ingest: DEGRADED: " << error.what()
+                       << " (retrying every " << retry_interval << "s)\n";
+        }
+      }
+      health.set_error(error.what());
+      flush.next_attempt =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(retry_interval));
+      return false;
+    }
+    if (flush.degraded) {
+      flush.degraded = false;
+      health.degraded.store(false, std::memory_order_relaxed);
+      if (options.log != nullptr) {
+        *options.log << "ingest: recovered from degraded mode\n";
+      }
+    }
+    if (options.log != nullptr && !flush.startup) {
+      char crc_hex[9];
+      std::snprintf(crc_hex, sizeof(crc_hex), "%08x", info.payload_crc32);
+      *options.log << "ingest: batch " << flush.seq << ": folded "
+                   << flush.inflight.size() << " traces (" << total_traces
+                   << " total), snapshot crc32 " << crc_hex << "\n";
+    }
+    flush.inflight.clear();
+    return true;
+  };
+
   // Publish the replayed state. When the journal carries trace records
   // past its last commit (crash between watermark and commit), this is
   // the interrupted batch completing: same fold, same snapshot, and the
-  // commit record it never got.
-  store::WriteInfo info = pipeline.publish(options.out_path, io);
-  ++stats.publishes;
-  stats.snapshot_crc = info.payload_crc32;
-  if (journal_traces > committed_traces) {
-    ++batch_seq;
-    writer.append(core::JournalRecord::commit(batch_seq, total_traces,
-                                              info.payload_crc32));
-    writer.sync();
-    ++stats.batches;
+  // commit record it never got. Runs through the flush machine so even a
+  // sick disk at startup degrades instead of killing the process.
+  flush.stage = Stage::kPublish;
+  flush.startup = true;
+  flush.commit = journal_traces > committed_traces;
+  flush.seq = batch_seq + 1;
+  while (!attempt_flush()) {
+    if (stop != nullptr && stop->load()) break;
+    interruptible_sleep(retry_interval, stop);
   }
-  if (options.log != nullptr) {
+  if (options.log != nullptr && flush.stage == Stage::kIdle) {
     *options.log << "ingest: replayed " << journal_traces
                  << " journaled traces, published " << options.out_path
                  << "\n";
   }
+  flush.startup = false;
 
   std::optional<FileTailer> tailer;
   if (!options.follow_path.empty()) {
@@ -156,41 +408,42 @@ IngestStats run_ingest(const IngestOptions& options,
   std::uint64_t delta_line_no = 0;
   LoadReport delta_report;
 
-  const auto flush = [&] {
-    if (pending.empty()) return;
-    // WAL order: accepted lines become durable before the fold that
-    // consumes them; the commit record lands only after the snapshot
-    // rename. A crash anywhere in between replays into identical state.
-    for (const PendingLine& entry : pending) {
-      writer.append(core::JournalRecord::trace(entry.offset, entry.line));
-    }
-    writer.sync();
-    trace::TraceCorpus batch;
-    for (PendingLine& entry : pending) batch.add(std::move(entry.trace));
-    pipeline.fold(batch);
-    total_traces += pending.size();
-    stats.folded_traces += pending.size();
-    info = pipeline.publish(options.out_path, io);
-    ++stats.publishes;
-    stats.snapshot_crc = info.payload_crc32;
-    ++batch_seq;
-    writer.append(core::JournalRecord::commit(batch_seq, total_traces,
-                                              info.payload_crc32));
-    writer.sync();
-    ++stats.batches;
-    if (options.log != nullptr) {
-      char crc_hex[9];
-      std::snprintf(crc_hex, sizeof(crc_hex), "%08x", info.payload_crc32);
-      *options.log << "ingest: batch " << batch_seq << ": folded "
-                   << pending.size() << " traces (" << total_traces
-                   << " total), snapshot crc32 " << crc_hex << "\n";
-    }
+  // Seeds a new batch into the flush machine: pending -> inflight, journal
+  // rollback point at the current durable end of file.
+  const auto start_flush = [&] {
+    flush.inflight = std::move(pending);
     pending.clear();
+    flush.stage = Stage::kJournal;
+    flush.commit = true;
+    flush.seq = batch_seq + 1;
+    flush.rollback_size = writer.size();
+    flush.journal_dirty = false;
+    flush.next_attempt = Clock::now();
   };
 
+  const std::size_t backlog_cap = options.max_pending_lines != 0
+                                      ? options.max_pending_lines
+                                      : options.batch_lines * 10;
+
   while (true) {
-    if (stop != nullptr && stop->load()) {
-      flush();  // accepted lines must not be lost to a graceful shutdown
+    const bool stopping = stop != nullptr && stop->load();
+    // Advance an in-flight flush first: immediately when healthy, at the
+    // retry cadence while degraded — and once more when stopping, a last
+    // chance to land the batch before exit.
+    if (flush.stage != Stage::kIdle &&
+        (!flush.degraded || stopping ||
+         Clock::now() >= flush.next_attempt)) {
+      (void)attempt_flush();
+    }
+    if (stopping) {
+      if (flush.stage == Stage::kIdle && !pending.empty()) {
+        start_flush();  // accepted lines must not be lost to a shutdown
+        (void)attempt_flush();
+      }
+      if (flush.stage != Stage::kIdle && options.log != nullptr) {
+        *options.log << "ingest: stopping while degraded: the in-flight "
+                        "batch did not complete\n";
+      }
       break;
     }
     if (options.max_batches != 0 && stats.batches >= options.max_batches) {
@@ -198,8 +451,15 @@ IngestStats run_ingest(const IngestOptions& options,
     }
     incoming.clear();
     std::size_t arrived = 0;
-    if (tailer) arrived += tailer->poll(incoming);
-    if (socket) arrived += socket->drain(incoming);
+    // While a flush is parked degraded, keep accepting input only up to
+    // the backlog bound; past it the tailer holds position and the ingest
+    // socket's queue fills, throttling producers through TCP.
+    const bool backlogged =
+        flush.stage != Stage::kIdle && pending.size() >= backlog_cap;
+    if (!backlogged) {
+      if (tailer) arrived += tailer->poll(incoming);
+      if (socket) arrived += socket->drain(incoming);
+    }
     for (SourceLine& source_line : incoming) {
       ++delta_line_no;
       const std::string& line = source_line.line;
@@ -222,24 +482,42 @@ IngestStats run_ingest(const IngestOptions& options,
       }
     }
     stats.quarantined = delta_report.skipped();
+    health.pending.store(pending.size() + flush.inflight.size(),
+                         std::memory_order_relaxed);
 
-    bool due = pending.size() >= options.batch_lines;
-    if (!due && options.batch_seconds > 0 && !pending.empty() &&
+    bool due = flush.stage == Stage::kIdle &&
+               pending.size() >= options.batch_lines;
+    if (!due && flush.stage == Stage::kIdle && options.batch_seconds > 0 &&
+        !pending.empty() &&
         std::chrono::duration<double>(Clock::now() - first_pending).count() >=
             options.batch_seconds) {
       due = true;
     }
-    if (options.drain && arrived == 0) {
-      flush();  // input exhausted: flush the leftovers and finish
-      break;
+    if (options.drain && arrived == 0 && !backlogged) {
+      if (flush.stage == Stage::kIdle) {
+        if (pending.empty()) break;  // input exhausted and flushed: done
+        start_flush();  // leftovers become the final batch
+        continue;
+      }
+      // A drain run never abandons its last batch: wait out the fault and
+      // let the top of the loop retry it.
+      interruptible_sleep(std::min(options.poll_interval, retry_interval),
+                          stop);
+      continue;
     }
     if (due) {
-      flush();
+      start_flush();
+      (void)attempt_flush();
     } else if (arrived == 0) {
-      interruptible_sleep(options.poll_interval, stop);
+      interruptible_sleep(flush.degraded
+                              ? std::min(options.poll_interval,
+                                         retry_interval)
+                              : options.poll_interval,
+                          stop);
     }
   }
 
+  if (socket) stats.source_rearms = socket->rearms();
   if (options.log != nullptr) {
     const std::string summary = delta_report.summary("ingest deltas");
     if (!summary.empty()) *options.log << summary;

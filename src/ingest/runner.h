@@ -25,6 +25,17 @@
 // published snapshot is safely renamed into place. A crash at any point
 // therefore loses nothing: the worst case replays a batch whose snapshot
 // was already published, which re-publishes identical bytes.
+//
+// Degraded mode: a journal or publish failure with an I/O flavor (ENOSPC,
+// EIO, a full /tmp) no longer kills the run. The flush parks mid-stage and
+// is retried every `retry_interval` seconds while the loop keeps tailing
+// its sources (bounded by `max_pending_lines`, past which polling pauses
+// and socket backpressure engages). Completed stages are never redone, so
+// when the disk recovers the republished snapshot is byte-identical to an
+// unfaulted run's. Journal corruption at startup and a rotated/truncated
+// follow file (SourceRotatedError) stay fatal — those are not conditions
+// that clear on their own. The optional HEALTH endpoint (`health_port`)
+// reports `degraded=` so `mapit supervise` can see the state.
 #pragma once
 
 #include <atomic>
@@ -58,6 +69,17 @@ struct IngestOptions {
   std::size_t batch_lines = 1000;  ///< count watermark
   double batch_seconds = 5.0;      ///< time watermark (0 = count only)
   double poll_interval = 0.2;      ///< source poll cadence (seconds)
+  /// Degraded-mode retry cadence: how long to wait before re-attempting a
+  /// flush stage that failed with an I/O error (<= 0 picks 1s).
+  double retry_interval = 1.0;
+  /// Accepted-but-unflushed line bound while a flush is parked degraded:
+  /// past it, source polling pauses until the flush lands (0 = ten
+  /// batches' worth).
+  std::size_t max_pending_lines = 0;
+  /// HEALTH endpoint port for supervision probes (-1 = none; 0 =
+  /// ephemeral). Answers one `OK degraded=... last_error=...` line per
+  /// connection.
+  int health_port = -1;
   /// Consume everything the sources have right now, flush, publish, exit —
   /// instead of waiting for more input. The batch/resume test mode.
   bool drain = false;
@@ -75,8 +97,11 @@ struct IngestStats {
   std::uint64_t batches = 0;          ///< commit records appended this run
   std::uint64_t quarantined = 0;      ///< delta lines that failed to parse
   std::uint64_t publishes = 0;        ///< snapshot publications
+  std::uint64_t degraded_entries = 0; ///< flush failures that began a park
+  std::uint64_t source_rearms = 0;    ///< ingest listener re-binds
   std::uint32_t snapshot_crc = 0;     ///< last published payload CRC
   std::uint16_t listen_port = 0;      ///< bound ingest port (when listening)
+  std::uint16_t health_port = 0;      ///< bound HEALTH port (when enabled)
 };
 
 /// Runs the ingest session described by `options` until input is exhausted

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -38,6 +39,14 @@ bool FileTailer::ensure_open() {
   if (fd_ >= 0) return true;
   const int fd = io_->open(path_.c_str(), O_RDONLY | O_CLOEXEC, 0);
   if (fd < 0) return false;  // not created yet: poll again later
+  struct ::stat st{};
+  if (io_->fstat(fd, &st) == 0) {
+    dev_ = st.st_dev;
+    ino_ = st.st_ino;
+    have_identity_ = true;
+  } else {
+    have_identity_ = false;  // rotation check degrades to size-only
+  }
   // Skip the prefix already replayed from the journal. Sequential reads
   // instead of a seek keep the tailer inside the fault::Io surface; this
   // runs once per (re)open, not per poll.
@@ -67,7 +76,14 @@ std::size_t FileTailer::poll(std::vector<SourceLine>& out) {
   while (true) {
     const ssize_t n = io_->read(fd_, buffer, sizeof(buffer));
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF for now; appended bytes show up next poll
+    if (n == 0) {
+      // EOF for now; appended bytes show up next poll. This is also the
+      // only moment rotation is observable: mid-file we are still reading
+      // bytes the held fd preserves even if the path moved on.
+      check_rotation();
+      break;
+    }
+    if (n < 0) break;  // transient read error: retry next poll
     partial_.append(buffer, static_cast<std::size_t>(n));
     std::size_t start = 0;
     while (true) {
@@ -85,6 +101,42 @@ std::size_t FileTailer::poll(std::vector<SourceLine>& out) {
   return emitted;
 }
 
+void FileTailer::check_rotation() {
+  // Truncation: the file now holds fewer bytes than we already consumed.
+  // The persisted offsets no longer describe this file — loud failure.
+  struct ::stat held{};
+  if (io_->fstat(fd_, &held) != 0) return;  // transient: recheck next poll
+  const std::uint64_t consumed = offset_ + partial_.size();
+  if (static_cast<std::uint64_t>(held.st_size) < consumed) {
+    throw SourceRotatedError(
+        "delta source " + path_ + " was truncated: file holds " +
+        std::to_string(held.st_size) + " bytes but offset " +
+        std::to_string(consumed) + " was already consumed (the followed "
+        "file is append-only by contract)");
+  }
+  // Rotation: the path no longer names the file our fd holds. ENOENT is
+  // conclusive (logrotate-style delete); any other open failure is treated
+  // as transient and rechecked at the next EOF.
+  const int probe = io_->open(path_.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (probe < 0) {
+    if (errno == ENOENT) {
+      throw SourceRotatedError("delta source " + path_ +
+                               " was rotated: the followed file was deleted");
+    }
+    return;
+  }
+  struct ::stat named{};
+  const bool probed = io_->fstat(probe, &named) == 0;
+  (void)io_->close(probe);
+  if (!probed || !have_identity_) return;
+  if (named.st_dev != dev_ || named.st_ino != ino_) {
+    throw SourceRotatedError(
+        "delta source " + path_ +
+        " was rotated: the path names a different file now (the tailer "
+        "would re-read from a stale offset)");
+  }
+}
+
 // ---- IngestSocket --------------------------------------------------------
 
 IngestSocket::IngestSocket(std::uint16_t port, std::size_t max_queued,
@@ -99,7 +151,13 @@ IngestSocket::IngestSocket(std::uint16_t port, std::size_t max_queued,
 
 IngestSocket::~IngestSocket() {
   stopping_.store(true);
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    // Under the lock: rearm_listener() rechecks stopping_ under the same
+    // lock before installing a fresh fd, so either we shut the fd it
+    // installed or it never installs one.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
   space_cv_.notify_all();  // release readers blocked on a full queue
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
@@ -117,7 +175,20 @@ IngestSocket::~IngestSocket() {
 
 void IngestSocket::accept_loop() {
   while (!stopping_.load()) {
-    const int fd = io_->accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    int listen_fd;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) {
+      // The listener died on a fatal accept error; keep trying to re-bind
+      // the original port instead of going deaf for the rest of the run.
+      if (!rearm_listener()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+      }
+      continue;
+    }
+    const int fd = io_->accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (stopping_.load()) break;
       if (errno == EINTR) continue;
@@ -125,7 +196,16 @@ void IngestSocket::accept_loop() {
         std::this_thread::sleep_for(std::chrono::milliseconds{1});
         continue;
       }
-      break;  // listener shut down or unrecoverable
+      // Unrecoverable on this fd (EBADF, EINVAL after an injected fault,
+      // ...): drop it and fall into the re-arm path above.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (listen_fd_ == listen_fd) {
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+      }
+      continue;
     }
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_.load()) {
@@ -137,7 +217,44 @@ void IngestSocket::accept_loop() {
   }
 }
 
+bool IngestSocket::rearm_listener() {
+  query::ServerOptions options;
+  options.port = port_;
+  int fd = -1;
+  try {
+    fd = query::detail::bind_listener(options, /*nonblocking=*/false,
+                                      nullptr);
+  } catch (const Error&) {
+    return false;  // port still busy (lingering sockets); retried shortly
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load()) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  rearms_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void IngestSocket::handle_connection(int fd) {
+  try {
+    read_lines(fd);
+  } catch (...) {
+    // One client's failure — an injected recv fault, a hostile payload —
+    // is isolated to that connection; the listener and every other reader
+    // keep running.
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+  ::close(fd);
+}
+
+void IngestSocket::read_lines(int fd) {
   std::string pending;
   char buffer[16 * 1024];
   while (true) {
@@ -164,13 +281,6 @@ void IngestSocket::handle_connection(int fd) {
   }
   // An incomplete final line (no newline before EOF) is dropped: the
   // client never finished sending it.
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    connection_fds_.erase(
-        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
-        connection_fds_.end());
-  }
-  ::close(fd);
 }
 
 bool IngestSocket::enqueue(std::string line) {

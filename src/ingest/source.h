@@ -9,9 +9,13 @@
 //     polls, so appends by a concurrent writer are picked up by plain
 //     read() calls — no seeking, which keeps the whole surface inside
 //     fault::Io. A file that does not exist yet is simply "no input";
-//     the tailer retries the open on every poll. Rewriting or truncating
-//     the followed file is NOT supported (it is a journal-shaped input:
-//     append-only by contract).
+//     the tailer retries the open on every poll. The input is append-only
+//     by contract: rewriting, truncating, or rotating the followed file is
+//     DETECTED, not survived — at every EOF the tailer compares the held
+//     fd's identity (dev/inode) with whatever the path names now and the
+//     file size with the bytes already consumed, and throws
+//     SourceRotatedError (a loud, distinct failure) rather than silently
+//     re-reading garbage from a stale offset.
 //
 //   * IngestSocket — a bounded TCP intake on 127.0.0.1. Clients connect,
 //     send corpus lines, and close; every complete line is queued for the
@@ -33,8 +37,19 @@
 
 #include "core/journal.h"
 #include "fault/io.h"
+#include "net/error.h"
 
 namespace mapit::ingest {
+
+/// The followed delta file was rotated, replaced, or truncated under the
+/// tailer. Deliberately its own type: the degraded-mode ingest loop retries
+/// plain I/O errors but must NOT retry this — the persisted offsets no
+/// longer describe the file, so continuing would fold garbage. The CLI maps
+/// it to exit 3 like other load errors, with a message naming the cause.
+class SourceRotatedError : public Error {
+ public:
+  using Error::Error;
+};
 
 /// One delta corpus line plus where it came from.
 struct SourceLine {
@@ -57,7 +72,8 @@ class FileTailer {
 
   /// Appends every complete line that arrived since the last poll to
   /// `out`. Returns the number of lines appended. A missing file or an
-  /// unreadable prefix yields 0 (and the next poll retries).
+  /// unreadable prefix yields 0 (and the next poll retries). Throws
+  /// SourceRotatedError when the followed file was rotated/truncated.
   std::size_t poll(std::vector<SourceLine>& out);
 
   /// Byte offset the next emitted line will start at.
@@ -68,11 +84,20 @@ class FileTailer {
   /// the file cannot be opened (yet) or the skip failed.
   bool ensure_open();
 
+  /// Called at EOF: throws SourceRotatedError when the path no longer
+  /// names the file we hold (rotation) or the file shrank below the bytes
+  /// already consumed (truncation). Transient stat/open failures are
+  /// ignored — the next poll rechecks.
+  void check_rotation();
+
   std::string path_;
   std::uint64_t start_offset_ = 0;  ///< bytes to discard at first open
   std::uint64_t offset_ = 0;        ///< file position of partial_'s start
   std::string partial_;             ///< bytes of an incomplete tail line
   int fd_ = -1;
+  ::dev_t dev_ = 0;  ///< identity of the file fd_ holds (rotation check)
+  ::ino_t ino_ = 0;
+  bool have_identity_ = false;
   fault::Io* io_;
 };
 
@@ -101,9 +126,20 @@ class IngestSocket {
     return received_.load(std::memory_order_relaxed);
   }
 
+  /// Times the listener died on a fatal accept error and was re-bound.
+  [[nodiscard]] std::uint64_t rearms() const {
+    return rearms_.load(std::memory_order_relaxed);
+  }
+
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// The recv/parse body of handle_connection; may throw, the wrapper
+  /// isolates the failure to this one connection.
+  void read_lines(int fd);
+  /// Re-binds the listener on the original port after a fatal accept
+  /// error. False when binding failed (retried) or we are stopping.
+  bool rearm_listener();
   /// Blocks while the queue is full (backpressure); false once stopping.
   bool enqueue(std::string line);
 
@@ -113,6 +149,7 @@ class IngestSocket {
   fault::Io* io_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> rearms_{0};
 
   std::mutex mutex_;  ///< guards queue_, connection_fds_, connections_
   std::condition_variable space_cv_;  ///< signalled when the queue drains

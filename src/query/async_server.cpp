@@ -137,6 +137,7 @@ void AsyncServer::rearm(Connection& connection) {
 
 void AsyncServer::close_connection(Connection& connection) {
   const int fd = connection.fd;
+  total_pending_ -= connection.pending_out();
   io_->epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(fd);  // destroys `connection`
@@ -144,6 +145,7 @@ void AsyncServer::close_connection(Connection& connection) {
 }
 
 bool AsyncServer::flush(Connection& connection) {
+  const std::size_t before = connection.pending_out();
   while (connection.out_off < connection.out.size()) {
     const ssize_t n = io_->send(connection.fd,
                                 connection.out.data() + connection.out_off,
@@ -151,9 +153,15 @@ bool AsyncServer::flush(Connection& connection) {
                                 MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n <= 0) return false;  // peer vanished (EPIPE/ECONNRESET/...)
+    if (n <= 0) {
+      // Peer vanished (EPIPE/ECONNRESET/...): the caller closes the
+      // connection, which settles the in-flight accounting itself.
+      total_pending_ -= before - connection.pending_out();
+      return false;
+    }
     connection.out_off += static_cast<std::size_t>(n);
   }
+  total_pending_ -= before - connection.pending_out();
   if (connection.out_off >= connection.out.size()) {
     connection.out.clear();
     connection.out_off = 0;
@@ -181,11 +189,44 @@ std::string AsyncServer::health_line() const {
   return format_health(engine, generation,
                        hub_ != nullptr ? hub_->swap_count() : 0, started_,
                        connections_.size(), refused_connections(),
-                       accept_retries());
+                       accept_retries(), shed_connections(),
+                       hub_ != nullptr ? hub_->last_error() : std::string());
+}
+
+void AsyncServer::shed_connection(Connection& connection) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  // One refusal in the peer's own framing, then close once it is flushed.
+  // The answer is a few dozen bytes — bounded even though the budget is
+  // already blown; anything less (a silent close) reads as a server bug to
+  // clients instead of a back-off signal.
+  const std::size_t before = connection.pending_out();
+  constexpr std::string_view kAnswer = "ERR overloaded retry";
+  if (connection.session.binary_mode()) {
+    append_binary_frame(connection.out, kAnswer);
+  } else {
+    connection.out.append(kAnswer);
+    connection.out += '\n';
+  }
+  total_pending_ += connection.pending_out() - before;
+  connection.want_close = true;
+  if (!flush(connection) || connection.pending_out() == 0) {
+    close_connection(connection);
+    return;
+  }
+  rearm(connection);
 }
 
 void AsyncServer::handle_readable(Connection& connection,
                                   std::chrono::steady_clock::time_point now) {
+  // Load shedding: past the aggregate in-flight budget, stop taking on new
+  // work — this readable connection gets one overload answer and a close.
+  // Checked before reading so a shed batch is never parsed or answered,
+  // and pressure can only fall while the server is over budget.
+  if (options_.max_inflight_bytes > 0 &&
+      total_pending_ > options_.max_inflight_bytes) {
+    shed_connection(connection);
+    return;
+  }
   // Pin exactly one snapshot generation for this readiness event's whole
   // read batch (hub mode): every answer it produces comes from it, so a
   // concurrent republish can never tear a batch. The pin drops on return.
@@ -217,10 +258,12 @@ void AsyncServer::handle_readable(Connection& connection,
       break;
     }
     connection.last_activity = now;
+    const std::size_t before = connection.pending_out();
     connection.session.feed(*engine,
                             std::string_view(buffer,
                                              static_cast<std::size_t>(n)),
                             connection.out);
+    total_pending_ += connection.pending_out() - before;
     if (!flush(connection)) {
       close_connection(connection);
       return;

@@ -113,6 +113,11 @@ class AsyncServer {
     return accept_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Connections closed with the overload answer (max_inflight_bytes).
+  [[nodiscard]] std::uint64_t shed_connections() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
   /// Live connections right now (the HEALTH line reports this too).
   [[nodiscard]] std::size_t active_connections() const {
     return active_.load(std::memory_order_relaxed);
@@ -148,6 +153,9 @@ class AsyncServer {
   void accept_ready(std::chrono::steady_clock::time_point now);
   void handle_readable(Connection& connection,
                        std::chrono::steady_clock::time_point now);
+  /// Answers "ERR overloaded retry" in the connection's protocol mode and
+  /// schedules the close (load shedding past max_inflight_bytes).
+  void shed_connection(Connection& connection);
   /// Sends as much of `out` as the socket takes. False = connection dead.
   [[nodiscard]] bool flush(Connection& connection);
   /// Recomputes and applies the epoll event mask for the connection.
@@ -173,6 +181,7 @@ class AsyncServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::size_t> active_{0};
   std::thread loop_thread_;
 
@@ -187,6 +196,10 @@ class AsyncServer {
   /// the generation answering the rest of the batch. Null between feeds.
   const LoadedSnapshot* feeding_ = nullptr;
   bool listener_registered_ = false;
+  /// Σ pending_out() over all connections — the quantity the in-flight
+  /// budget (ServerOptions::max_inflight_bytes) sheds against. Maintained
+  /// incrementally at every point `out`/`out_off` change.
+  std::size_t total_pending_ = 0;
   std::chrono::milliseconds accept_backoff_{0};
   std::chrono::steady_clock::time_point accept_rearm_at_{};
   bool draining_ = false;

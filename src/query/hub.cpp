@@ -47,10 +47,19 @@ bool SnapshotHub::stat_path(FileIdentity* out) {
   return true;
 }
 
+std::string SnapshotHub::last_error() const {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
 bool SnapshotHub::refresh() {
   const std::lock_guard<std::mutex> lock(mutex_);
   FileIdentity identity;
-  if (!stat_path(&identity)) return false;
+  if (!stat_path(&identity)) {
+    const std::lock_guard<std::mutex> error_lock(error_mutex_);
+    last_error_ = "cannot stat snapshot " + path_;
+    return false;
+  }
   if (identity == identity_) return false;
   // The file changed under the path (the publisher renames a complete new
   // file over it). Open + fully validate before anything is swapped; a
@@ -63,9 +72,12 @@ bool SnapshotHub::refresh() {
     ++next_generation_;
     swaps_.fetch_add(1, std::memory_order_relaxed);
     return true;
-  } catch (const Error&) {
-    // SnapshotError (validation) or Error (open) alike: count, keep serving.
+  } catch (const Error& error) {
+    // SnapshotError (validation) or Error (open) alike: count, record the
+    // message for HEALTH's last_swap_error=, keep serving.
     failed_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> error_lock(error_mutex_);
+    last_error_ = error.what();
     return false;
   }
 }

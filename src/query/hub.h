@@ -76,6 +76,12 @@ class SnapshotHub {
     return failed_.load(std::memory_order_relaxed);
   }
 
+  /// The most recent refresh failure message, or "" when every refresh so
+  /// far succeeded. Never cleared by a later success: HEALTH consumers see
+  /// `swaps=` advance past the error and know the hub recovered, while the
+  /// message itself distinguishes "never swapped" from "swap failing".
+  [[nodiscard]] std::string last_error() const;
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
@@ -105,6 +111,9 @@ class SnapshotHub {
 
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> failed_{0};
+
+  mutable std::mutex error_mutex_;  ///< guards last_error_
+  std::string last_error_;
 };
 
 }  // namespace mapit::query

@@ -93,7 +93,8 @@ std::string format_health(const QueryEngine& engine, std::uint64_t generation,
                           std::uint64_t swaps,
                           std::chrono::steady_clock::time_point started,
                           std::size_t connections, std::uint64_t refused,
-                          std::uint64_t accept_retries) {
+                          std::uint64_t accept_retries, std::uint64_t shed,
+                          const std::string& last_swap_error) {
   char crc_hex[9];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
                 engine.reader().payload_crc32());
@@ -102,7 +103,7 @@ std::string format_health(const QueryEngine& engine, std::uint64_t generation,
                           .count();
   std::string out = "OK crc32=";
   out += crc_hex;
-  out += " uptime_s=" + std::to_string(uptime);
+  out += " uptime=" + std::to_string(uptime);
   out += " connections=" + std::to_string(connections);
   out += " inferences=" + std::to_string(engine.reader().inferences().size());
   out += " refused=" + std::to_string(refused);
@@ -110,6 +111,17 @@ std::string format_health(const QueryEngine& engine, std::uint64_t generation,
   out += " version=" + std::to_string(engine.reader().version());
   out += " generation=" + std::to_string(generation);
   out += " swaps=" + std::to_string(swaps);
+  out += " shed=" + std::to_string(shed);
+  // "never swapped" (none) and "swap failing" (the message) must be
+  // distinguishable to the supervisor's probe. One token, key=value safe.
+  out += " last_swap_error=";
+  if (last_swap_error.empty()) {
+    out += "none";
+  } else {
+    for (const char c : last_swap_error) {
+      out += (c == ' ' || c == '\n' || c == '\r' || c == '\t') ? '_' : c;
+    }
+  }
   return out;
 }
 
@@ -291,7 +303,27 @@ void LineServer::handle_connection(int fd) {
       pending.shrink_to_fit();
       discarding = true;
     }
-    if (!responses.empty() && !send_all(*io_, fd, responses)) break;
+    if (!responses.empty()) {
+      // Load shedding: if this batch's answers would push the server past
+      // its aggregate in-flight budget, refuse the whole batch and close —
+      // a bounded "try elsewhere" beats queueing unboundedly behind slow
+      // readers. Checked before the bytes are owed, so shed connections
+      // never contribute to the pressure they are shed for.
+      const std::size_t budget = options_.max_inflight_bytes;
+      if (budget > 0) {
+        const std::size_t inflight =
+            inflight_bytes_.load(std::memory_order_relaxed);
+        if (inflight + responses.size() > budget) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          (void)send_all(*io_, fd, detail::kOverloadRefusal);
+          break;
+        }
+      }
+      inflight_bytes_.fetch_add(responses.size(), std::memory_order_relaxed);
+      const bool sent = send_all(*io_, fd, responses);
+      inflight_bytes_.fetch_sub(responses.size(), std::memory_order_relaxed);
+      if (!sent) break;
+    }
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -312,7 +344,8 @@ std::string LineServer::health_line(const QueryEngine& engine,
   return format_health(engine, generation,
                        hub_ != nullptr ? hub_->swap_count() : 0, started_,
                        active_connections(), refused_connections(),
-                       accept_retries());
+                       accept_retries(), shed_connections(),
+                       hub_ != nullptr ? hub_->last_error() : std::string());
 }
 
 void LineServer::stop() {

@@ -4,9 +4,10 @@
 // tolerated); the server answers each non-empty line with exactly one
 // answer line, in order, so clients may pipeline arbitrarily deep batches.
 // One line is handled by the server itself rather than the engine: "HEALTH"
-// answers a readiness line ("OK crc32=<hex> uptime_s=<n> connections=<n>
-// inferences=<n> refused=<n> accept_retries=<n>") so load balancers can
-// probe the server and verify which snapshot it is serving.
+// answers a readiness line ("OK crc32=<hex> uptime=<n> connections=<n>
+// inferences=<n> refused=<n> accept_retries=<n> ... last_swap_error=<...>")
+// so load balancers and the `mapit supervise` probe can check the server
+// and verify which snapshot it is serving (see format_health below).
 // Answers for all complete lines in one read are written with a single
 // send, which is what sustains 100k+ queries/sec over loopback (see
 // bench/perf_query_report.cpp).
@@ -87,6 +88,12 @@ struct ServerOptions {
   /// pending answers within this budget are closed anyway, so a stalled
   /// reader cannot block graceful shutdown.
   std::chrono::milliseconds drain_timeout{5000};
+  /// Load-shedding budget: aggregate answer bytes accepted but not yet
+  /// handed to the kernel, across all connections of this server. A batch
+  /// that would push past the budget is not processed — the client gets
+  /// "ERR overloaded retry" and a close instead of queueing unboundedly.
+  /// 0 = unlimited (the default; per-connection bounds still apply).
+  std::size_t max_inflight_bytes = 0;
   /// Injectable syscall boundary (nullptr = fault::system_io()).
   fault::Io* io = nullptr;
 };
@@ -108,17 +115,26 @@ namespace detail {
 inline constexpr char kCapacityRefusal[] =
     "ERR server at connection capacity (try again later)\n";
 
+/// The shed answer clients get when the in-flight budget is exhausted
+/// (ServerOptions::max_inflight_bytes). Clients should back off and retry.
+inline constexpr char kOverloadRefusal[] = "ERR overloaded retry\n";
+
 }  // namespace detail
 
 /// The HEALTH probe answer (no trailing newline); shared so both servers
 /// report the identical format. `generation` and `swaps` describe the live
 /// snapshot hot-swap state (generation 1 / 0 swaps for a server bound to a
 /// fixed engine); the snapshot's own format version comes from the engine's
-/// reader. New fields append at the end — probes match the line's prefix.
+/// reader. `shed` counts connections refused by the in-flight budget;
+/// `last_swap_error` is the most recent hot-swap failure ("" = none yet —
+/// reported as `last_swap_error=none`, spaces become '_' so the line stays
+/// key=value parseable). New fields append at the end — probes match the
+/// line's prefix.
 [[nodiscard]] std::string format_health(
     const QueryEngine& engine, std::uint64_t generation, std::uint64_t swaps,
     std::chrono::steady_clock::time_point started, std::size_t connections,
-    std::uint64_t refused, std::uint64_t accept_retries);
+    std::uint64_t refused, std::uint64_t accept_retries, std::uint64_t shed,
+    const std::string& last_swap_error);
 
 class LineServer {
  public:
@@ -165,6 +181,11 @@ class LineServer {
     return accept_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Connections closed with the overload answer (max_inflight_bytes).
+  [[nodiscard]] std::uint64_t shed_connections() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
   /// Live connections right now (the HEALTH line reports this too).
   [[nodiscard]] std::size_t active_connections() const;
 
@@ -188,6 +209,10 @@ class LineServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  /// Aggregate answer bytes currently being written across all connection
+  /// threads — the quantity max_inflight_bytes budgets.
+  std::atomic<std::size_t> inflight_bytes_{0};
   std::thread accept_thread_;
 
   /// Guards listen_fd_ and accept_active_; accept_cv_ signals accept-loop

@@ -1,0 +1,465 @@
+#include "supervise/supervise.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace mapit::supervise {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_of(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+int parse_int(const std::string& value, const std::string& key,
+              int line_no) {
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw SpecError("spec line " + std::to_string(line_no) + ": " + key +
+                    " wants an integer, got \"" + value + "\"");
+  }
+}
+
+double parse_double(const std::string& value, const std::string& key,
+                    int line_no) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw SpecError("spec line " + std::to_string(line_no) + ": " + key +
+                    " wants a number, got \"" + value + "\"");
+  }
+}
+
+void apply_setting(SuperviseOptions& options, const std::string& key,
+                   const std::string& value, int line_no) {
+  if (key == "restart-base-ms") {
+    options.restart_base_ms = parse_int(value, key, line_no);
+  } else if (key == "restart-cap-ms") {
+    options.restart_cap_ms = parse_int(value, key, line_no);
+  } else if (key == "breaker-restarts") {
+    options.breaker_restarts = parse_int(value, key, line_no);
+  } else if (key == "breaker-window-s") {
+    options.breaker_window_s = parse_double(value, key, line_no);
+  } else if (key == "probe-interval-s") {
+    options.probe_interval_s = parse_double(value, key, line_no);
+  } else if (key == "probe-timeout-s") {
+    options.probe_timeout_s = parse_double(value, key, line_no);
+  } else if (key == "probe-misses") {
+    options.probe_misses = parse_int(value, key, line_no);
+  } else if (key == "probe-grace-s") {
+    options.probe_grace_s = parse_double(value, key, line_no);
+  } else if (key == "drain-s") {
+    options.drain_s = parse_double(value, key, line_no);
+  } else {
+    throw SpecError("spec line " + std::to_string(line_no) +
+                    ": unknown setting \"" + key + "\"");
+  }
+}
+
+/// One HEALTH round-trip against 127.0.0.1:`port`. True only when the
+/// answer starts with "OK". connect() is raw (fault::Io carries no
+/// connect); the request/response bytes go through `io` so probe failures
+/// are injectable. A wedged single-threaded server still *accepts* (the
+/// kernel backlog does) — it is the recv that times out, which is exactly
+/// the live-PID-but-dead-service signal this probe exists to catch.
+bool probe_health(int port, double timeout_s, fault::Io& io) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  struct ::timeval timeout{};
+  timeout.tv_sec = static_cast<::time_t>(timeout_s);
+  timeout.tv_usec = static_cast<::suseconds_t>(
+      (timeout_s - static_cast<double>(timeout.tv_sec)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  struct ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  constexpr char kProbe[] = "HEALTH\n";
+  if (io.send(fd, kProbe, sizeof(kProbe) - 1, MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(sizeof(kProbe) - 1)) {
+    ::close(fd);
+    return false;
+  }
+  char buffer[256];
+  const ssize_t n = io.recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  return n >= 2 && buffer[0] == 'O' && buffer[1] == 'K';
+}
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+struct Child {
+  WorkerSpec spec;
+  ::pid_t pid = -1;
+  bool running = false;
+  bool abandoned = false;  ///< breaker tripped: never restarted again
+  bool restart_pending = false;
+  Clock::time_point restart_at{};
+  Clock::time_point started{};
+  Clock::time_point next_probe{};
+  std::deque<Clock::time_point> exit_times;  ///< pruned to breaker window
+  int probe_misses = 0;
+};
+
+}  // namespace
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kStart: return "start";
+    case EventType::kExit: return "exit";
+    case EventType::kRestartScheduled: return "restart-scheduled";
+    case EventType::kProbeKill: return "probe-kill";
+    case EventType::kBreakerTrip: return "breaker-trip";
+    case EventType::kDrainKill: return "drain-kill";
+    case EventType::kStop: return "stop";
+  }
+  return "?";
+}
+
+SuperviseOptions parse_spec(const std::string& text) {
+  SuperviseOptions options;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "set") {
+      if (tokens.size() != 3) {
+        throw SpecError("spec line " + std::to_string(line_no) +
+                        ": want `set <key> <value>`");
+      }
+      apply_setting(options, tokens[1], tokens[2], line_no);
+    } else if (tokens[0] == "worker") {
+      if (tokens.size() < 3) {
+        throw SpecError("spec line " + std::to_string(line_no) +
+                        ": want `worker <name> [probe=PORT] <argv...>`");
+      }
+      WorkerSpec spec;
+      spec.name = tokens[1];
+      std::size_t argv_start = 2;
+      if (tokens[2].rfind("probe=", 0) == 0) {
+        spec.probe_port =
+            parse_int(tokens[2].substr(6), "probe", line_no);
+        argv_start = 3;
+      }
+      if (argv_start >= tokens.size()) {
+        throw SpecError("spec line " + std::to_string(line_no) +
+                        ": worker \"" + spec.name + "\" has no argv");
+      }
+      spec.argv.assign(tokens.begin() +
+                           static_cast<std::ptrdiff_t>(argv_start),
+                       tokens.end());
+      for (const WorkerSpec& existing : options.workers) {
+        if (existing.name == spec.name) {
+          throw SpecError("spec line " + std::to_string(line_no) +
+                          ": duplicate worker name \"" + spec.name + "\"");
+        }
+      }
+      options.workers.push_back(std::move(spec));
+    } else {
+      throw SpecError("spec line " + std::to_string(line_no) +
+                      ": unknown directive \"" + tokens[0] + "\"");
+    }
+  }
+  return options;
+}
+
+SuperviseOptions load_spec(const std::string& path, fault::Io& io) {
+  const int fd = io.open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    throw Error("cannot open supervision spec " + path + ": " +
+                std::strerror(errno));
+  }
+  std::string text;
+  char buffer[1 << 14];
+  while (true) {
+    const ssize_t n = io.read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      (void)io.close(fd);
+      throw Error("cannot read supervision spec " + path + ": " +
+                  std::strerror(errno));
+    }
+    if (n == 0) break;
+    text.append(buffer, static_cast<std::size_t>(n));
+  }
+  (void)io.close(fd);
+  return parse_spec(text);
+}
+
+ProcessSupervisor::ProcessSupervisor(SuperviseOptions options)
+    : options_(std::move(options)) {}
+
+SuperviseReport ProcessSupervisor::run(
+    const std::atomic<bool>* stop, const std::atomic<std::uint64_t>* hup) {
+  fault::Io& io = options_.io != nullptr ? *options_.io : fault::system_io();
+  SuperviseReport report;
+  std::vector<Child> children;
+  children.reserve(options_.workers.size());
+  for (const WorkerSpec& spec : options_.workers) {
+    Child child;
+    child.spec = spec;
+    children.push_back(std::move(child));
+  }
+
+  const auto record = [&](EventType type, const std::string& worker,
+                          std::int64_t detail) {
+    report.events.push_back(SuperviseEvent{type, worker, detail});
+  };
+  const auto log = [&](const std::string& message) {
+    if (options_.log != nullptr) {
+      *options_.log << "supervise: " << message << "\n" << std::flush;
+    }
+  };
+
+  const auto spawn = [&](Child& child, bool is_restart) -> bool {
+    const ::pid_t pid = io.fork();
+    if (pid < 0) {
+      // A failed fork is indistinguishable, for scheduling purposes, from
+      // a child that died instantly: it re-enters the backoff/breaker path
+      // below via a synthetic exit.
+      log("cannot fork " + child.spec.name + ": " + std::strerror(errno));
+      return false;
+    }
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(child.spec.argv.size() + 1);
+      for (const std::string& arg : child.spec.argv) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      (void)io.execvp(argv[0], argv.data());
+      ::_exit(127);  // exec failed; the parent sees exit 127 and backs off
+    }
+    const Clock::time_point now = Clock::now();
+    child.pid = pid;
+    child.running = true;
+    child.started = now;
+    child.probe_misses = 0;
+    child.next_probe = now + seconds_of(options_.probe_grace_s);
+    record(EventType::kStart, child.spec.name, pid);
+    if (is_restart) {
+      ++report.restarts;
+      log("restarted " + child.spec.name + " pid " + std::to_string(pid) +
+          " (restart #" + std::to_string(report.restarts) + ")");
+    } else {
+      log("started " + child.spec.name + " pid " + std::to_string(pid));
+    }
+    return true;
+  };
+
+  // Exit bookkeeping shared by real reaps and synthetic fork failures:
+  // prune the breaker window, either trip it or schedule the backoff.
+  const auto handle_exit = [&](Child& child, bool stopping) {
+    if (stopping) return;  // drain mode: exits are just exits
+    const Clock::time_point now = Clock::now();
+    const Clock::duration window = seconds_of(options_.breaker_window_s);
+    child.exit_times.push_back(now);
+    while (!child.exit_times.empty() &&
+           now - child.exit_times.front() > window) {
+      child.exit_times.pop_front();
+    }
+    const int exits_in_window = static_cast<int>(child.exit_times.size());
+    if (exits_in_window >= options_.breaker_restarts) {
+      child.abandoned = true;
+      report.breaker_tripped = true;
+      record(EventType::kBreakerTrip, child.spec.name, exits_in_window);
+      log("breaker tripped for " + child.spec.name + ": " +
+          std::to_string(exits_in_window) + " exits within " +
+          std::to_string(options_.breaker_window_s) +
+          "s; abandoning it (the rest of the fleet keeps serving)");
+      return;
+    }
+    std::int64_t backoff_ms = options_.restart_base_ms;
+    for (int i = 1; i < exits_in_window &&
+                    backoff_ms < options_.restart_cap_ms;
+         ++i) {
+      backoff_ms *= 2;
+    }
+    backoff_ms = std::min<std::int64_t>(backoff_ms, options_.restart_cap_ms);
+    child.restart_pending = true;
+    child.restart_at = now + std::chrono::milliseconds(backoff_ms);
+    record(EventType::kRestartScheduled, child.spec.name, backoff_ms);
+    log("restarting " + child.spec.name + " in " +
+        std::to_string(backoff_ms) + " ms");
+  };
+
+  // Reaps every child waitpid has for us. Returns the number reaped.
+  const auto reap = [&](bool stopping) {
+    int reaped = 0;
+    while (true) {
+      int status = 0;
+      const ::pid_t pid = io.waitpid(-1, &status, WNOHANG);
+      if (pid <= 0) break;
+      for (Child& child : children) {
+        if (child.pid != pid || !child.running) continue;
+        child.running = false;
+        child.pid = -1;
+        record(EventType::kExit, child.spec.name, status);
+        log(child.spec.name + " exited (" + describe_status(status) + ")");
+        handle_exit(child, stopping);
+        ++reaped;
+        break;
+      }
+    }
+    return reaped;
+  };
+
+  // Initial fleet. A worker whose very first fork fails takes the restart
+  // path like everyone else.
+  for (Child& child : children) {
+    if (!spawn(child, /*is_restart=*/false)) handle_exit(child, false);
+  }
+
+  std::uint64_t last_hup = hup != nullptr ? hup->load() : 0;
+  bool stop_seen = false;
+  while (true) {
+    if (stop != nullptr && stop->load()) {
+      stop_seen = true;
+      break;
+    }
+    (void)reap(/*stopping=*/false);
+
+    // SIGHUP cascade: every increment the CLI's SignalGuard observed is
+    // forwarded once to the live children (serve workers re-check their
+    // snapshot on it).
+    if (hup != nullptr) {
+      const std::uint64_t hups = hup->load();
+      if (hups != last_hup) {
+        last_hup = hups;
+        for (Child& child : children) {
+          if (child.running) (void)io.kill(child.pid, SIGHUP);
+        }
+        log("forwarded SIGHUP to the fleet");
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    bool any_alive_or_pending = false;
+    for (Child& child : children) {
+      if (child.abandoned) continue;
+      if (!child.running) {
+        if (child.restart_pending && now >= child.restart_at) {
+          child.restart_pending = false;
+          if (!spawn(child, /*is_restart=*/true)) handle_exit(child, false);
+        }
+        any_alive_or_pending = true;
+        continue;
+      }
+      any_alive_or_pending = true;
+      // Liveness probe: a PID that is alive but no longer answers HEALTH
+      // is wedged — SIGKILL it and let the reap/restart path recover.
+      if (child.spec.probe_port >= 0 && now >= child.next_probe) {
+        child.next_probe = now + seconds_of(options_.probe_interval_s);
+        if (probe_health(child.spec.probe_port, options_.probe_timeout_s,
+                         io)) {
+          child.probe_misses = 0;
+        } else if (++child.probe_misses >= options_.probe_misses) {
+          record(EventType::kProbeKill, child.spec.name, child.pid);
+          ++report.probe_kills;
+          log(child.spec.name + " pid " + std::to_string(child.pid) +
+              " stopped answering HEALTH (" +
+              std::to_string(child.probe_misses) +
+              " consecutive misses); killing it");
+          (void)io.kill(child.pid, SIGKILL);
+          child.probe_misses = 0;
+        }
+      }
+    }
+    if (!any_alive_or_pending) {
+      // Every worker tripped its breaker: nothing left to supervise.
+      log("every worker tripped the crash-loop breaker; giving up");
+      return report;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+
+  // Cascaded shutdown: SIGTERM the fleet, give it drain_s to leave
+  // gracefully, SIGKILL the stragglers, reap everything.
+  record(EventType::kStop, "", 0);
+  log(std::string("stopping: cascading SIGTERM to the fleet") +
+      (stop_seen ? "" : " (spurious)"));
+  for (Child& child : children) {
+    if (child.running) (void)io.kill(child.pid, SIGTERM);
+  }
+  const Clock::time_point drain_deadline =
+      Clock::now() + seconds_of(options_.drain_s);
+  while (Clock::now() < drain_deadline) {
+    (void)reap(/*stopping=*/true);
+    if (std::none_of(children.begin(), children.end(),
+                     [](const Child& c) { return c.running; })) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+  for (Child& child : children) {
+    if (!child.running) continue;
+    record(EventType::kDrainKill, child.spec.name, child.pid);
+    log(child.spec.name + " did not drain in " +
+        std::to_string(options_.drain_s) + "s; killing it");
+    (void)io.kill(child.pid, SIGKILL);
+  }
+  for (Child& child : children) {
+    if (!child.running) continue;
+    int status = 0;
+    if (io.waitpid(child.pid, &status, 0) == child.pid) {
+      child.running = false;
+      child.pid = -1;
+      record(EventType::kExit, child.spec.name, status);
+      log(child.spec.name + " exited (" + describe_status(status) + ")");
+    }
+  }
+  log("fleet stopped");
+  return report;
+}
+
+}  // namespace mapit::supervise

@@ -1,0 +1,132 @@
+// The self-healing process tier behind `mapit supervise`.
+//
+// One supervisor process fork/execs a fleet of children — typically N
+// `mapit serve --async --reuseport` workers sharing a port plus one
+// `mapit ingest` — from a declarative spec, then babysits them:
+//
+//   * Crash restarts. A child that exits (or is killed) is restarted with
+//     capped exponential backoff: the first restart inside the breaker
+//     window waits restart_base_ms, the next doubles, and so on up to
+//     restart_cap_ms. The schedule is deterministic (no jitter) so tests
+//     can assert it exactly.
+//   * Crash-loop breaker. breaker_restarts exits within breaker_window_s
+//     seconds trips the breaker for that child: it is abandoned (no more
+//     restarts), the rest of the fleet keeps serving, and the run's report
+//     says so — the CLI maps it to its own exit code so an init system can
+//     tell "operator stopped it" from "one worker is hopeless".
+//   * Liveness probes. A worker declared with probe=PORT is periodically
+//     probed with the servers' HEALTH line; probe_misses consecutive
+//     failures (after a post-start grace) means the PID is alive but the
+//     process is wedged — it is SIGKILLed and takes the normal restart
+//     path.
+//   * Signal cascade. SIGTERM/SIGINT to the supervisor forwards SIGTERM to
+//     every child and waits out a bounded graceful drain (drain_s);
+//     stragglers get SIGKILL. SIGHUP is forwarded as-is (the serve workers
+//     use it to force a snapshot re-check).
+//
+// Everything process-shaped (fork, execvp, waitpid, kill) and every probe
+// byte goes through the fault::Io boundary, so the whole tier is testable
+// with injected failures — no real crashes needed to exercise the breaker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/io.h"
+#include "net/error.h"
+
+namespace mapit::supervise {
+
+/// A malformed supervision spec (unknown setting, missing argv, ...).
+class SpecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One supervised child: a name for logs, the argv to exec, and an
+/// optional HEALTH probe port.
+struct WorkerSpec {
+  std::string name;
+  std::vector<std::string> argv;
+  int probe_port = -1;  ///< -1 = liveness is waitpid-only
+};
+
+struct SuperviseOptions {
+  std::vector<WorkerSpec> workers;
+
+  // Restart backoff (deterministic: base, 2*base, 4*base, ... capped).
+  int restart_base_ms = 500;
+  int restart_cap_ms = 30000;
+
+  // Crash-loop breaker: this many exits within the window trips it.
+  int breaker_restarts = 5;
+  double breaker_window_s = 60.0;
+
+  // HEALTH probing (only for workers with probe_port >= 0).
+  double probe_interval_s = 2.0;  ///< cadence between probes per worker
+  double probe_timeout_s = 1.0;   ///< connect/send/recv budget per probe
+  int probe_misses = 3;           ///< consecutive failures before SIGKILL
+  double probe_grace_s = 5.0;     ///< no probing this long after a (re)start
+
+  double drain_s = 5.0;  ///< graceful SIGTERM drain bound on shutdown
+
+  std::ostream* log = nullptr;  ///< event lines (nullptr = silent)
+  fault::Io* io = nullptr;      ///< syscall boundary (nullptr = system_io)
+};
+
+/// Parses the spec text. Lines: `#` comments, `set <key> <value>` for any
+/// SuperviseOptions scalar (kebab-case, e.g. `set restart-base-ms 20`),
+/// and `worker <name> [probe=PORT] <argv...>`. Throws SpecError.
+[[nodiscard]] SuperviseOptions parse_spec(const std::string& text);
+
+/// Reads and parses a spec file. Throws SpecError / mapit::Error.
+[[nodiscard]] SuperviseOptions load_spec(const std::string& path,
+                                         fault::Io& io = fault::system_io());
+
+enum class EventType : std::uint8_t {
+  kStart,             ///< child spawned (detail = pid)
+  kExit,              ///< child reaped (detail = raw waitpid status)
+  kRestartScheduled,  ///< restart queued (detail = backoff ms)
+  kProbeKill,         ///< live PID stopped answering HEALTH (detail = pid)
+  kBreakerTrip,       ///< crash-loop breaker tripped (detail = exits seen)
+  kDrainKill,         ///< SIGKILL after the graceful drain ran out
+  kStop,              ///< supervisor began cascading shutdown
+};
+
+[[nodiscard]] const char* to_string(EventType type);
+
+/// One recorded supervision event. The sequence of events is deterministic
+/// for a deterministic child schedule, which is what the tests pin.
+struct SuperviseEvent {
+  EventType type;
+  std::string worker;  ///< "" for supervisor-level events (kStop)
+  std::int64_t detail = 0;
+};
+
+struct SuperviseReport {
+  std::vector<SuperviseEvent> events;
+  std::uint64_t restarts = 0;      ///< restarts actually performed
+  std::uint64_t probe_kills = 0;   ///< wedged children SIGKILLed
+  bool breaker_tripped = false;    ///< at least one worker abandoned
+};
+
+/// Runs the fleet until `*stop` becomes true (cascaded shutdown) or every
+/// worker has tripped its breaker. `hup`, when given, is a monotonically
+/// increasing counter (SignalGuard::hup_count()); every observed increment
+/// forwards one SIGHUP to the live children. Single-threaded: one loop
+/// owns spawn, reap, probe, and drain.
+class ProcessSupervisor {
+ public:
+  explicit ProcessSupervisor(SuperviseOptions options);
+
+  SuperviseReport run(const std::atomic<bool>* stop,
+                      const std::atomic<std::uint64_t>* hup = nullptr);
+
+ private:
+  SuperviseOptions options_;
+};
+
+}  // namespace mapit::supervise

@@ -1,0 +1,141 @@
+// FileTailer's append-only contract: rotation, replacement, and
+// truncation of the followed file are DETECTED and reported as a loud,
+// distinct SourceRotatedError — never survived silently. A stale offset
+// into a rewritten file would fold garbage into the live snapshot, so the
+// degraded-mode retry loop deliberately refuses to retry this error; the
+// tests here pin the detection itself.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ingest/source.h"
+
+namespace mapit::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SourceRotationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mapit_rotation_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "delta.txt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_file(const std::string& text) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  void append_file(const std::string& text) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << text;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(SourceRotationTest, AppendsKeepFlowingWithoutFalsePositives) {
+  write_file("a\nb\n");
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  // Every poll ends at EOF and therefore runs the rotation check; a file
+  // that only ever grows must never trip it.
+  EXPECT_EQ(tailer.poll(lines), 2u);
+  EXPECT_EQ(tailer.poll(lines), 0u);
+  append_file("c\n");
+  EXPECT_EQ(tailer.poll(lines), 1u);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2].line, "c");
+}
+
+TEST_F(SourceRotationTest, PartialTailLineIsNotMistakenForTruncation) {
+  write_file("x\npart");
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  EXPECT_EQ(tailer.poll(lines), 1u);  // "part" waits for its newline
+  EXPECT_EQ(tailer.poll(lines), 0u);
+  append_file("ial\n");
+  EXPECT_EQ(tailer.poll(lines), 1u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].line, "partial");
+}
+
+TEST_F(SourceRotationTest, TruncationThrowsDistinctError) {
+  write_file("one\ntwo\nthree\n");
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  ASSERT_EQ(tailer.poll(lines), 3u);
+  fs::resize_file(path_, 4);  // shrinks below the 14 consumed bytes
+  try {
+    (void)tailer.poll(lines);
+    FAIL() << "expected SourceRotatedError";
+  } catch (const SourceRotatedError& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SourceRotationTest, DeletedFileThrowsDistinctError) {
+  write_file("one\n");
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  ASSERT_EQ(tailer.poll(lines), 1u);
+  fs::remove(path_);
+  try {
+    (void)tailer.poll(lines);
+    FAIL() << "expected SourceRotatedError";
+  } catch (const SourceRotatedError& error) {
+    EXPECT_NE(std::string(error.what()).find("deleted"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SourceRotationTest, LogrotateStyleReplacementThrowsDistinctError) {
+  write_file("one\ntwo\n");
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  ASSERT_EQ(tailer.poll(lines), 2u);
+  // Create the replacement while the original inode is still held open
+  // (so the inode number cannot be recycled), then rename over the path —
+  // exactly what logrotate's default mode does.
+  const std::string fresh = (dir_ / "delta.txt.new").string();
+  {
+    std::ofstream out(fresh, std::ios::binary);
+    out << "one\ntwo\nrewritten history\n";
+  }
+  fs::rename(fresh, path_);
+  try {
+    (void)tailer.poll(lines);
+    FAIL() << "expected SourceRotatedError";
+  } catch (const SourceRotatedError& error) {
+    EXPECT_NE(std::string(error.what()).find("different file"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SourceRotationTest, MissingFileIsNoInputNotAnError) {
+  // A follow file that does not exist yet is "no input": the tailer
+  // retries the open every poll and only starts the rotation bookkeeping
+  // once it has actually held the file.
+  FileTailer tailer(path_, 0);
+  std::vector<SourceLine> lines;
+  EXPECT_EQ(tailer.poll(lines), 0u);
+  write_file("late\n");
+  EXPECT_EQ(tailer.poll(lines), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].line, "late");
+}
+
+}  // namespace
+}  // namespace mapit::ingest

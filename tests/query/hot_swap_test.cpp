@@ -131,6 +131,7 @@ TEST_F(HotSwapTest, HubSwapsGenerationsAndSurvivesBadPublishes) {
             answer_for(100, "lookup 10.0.0.1 f"));
   EXPECT_FALSE(hub.refresh());  // unchanged file: no swap
   EXPECT_EQ(hub.swap_count(), 0u);
+  EXPECT_EQ(hub.last_error(), "");  // nothing failed yet
 
   publish(path_, data_for(300));
   EXPECT_TRUE(hub.refresh());
@@ -162,15 +163,18 @@ TEST_F(HotSwapTest, HubSwapsGenerationsAndSurvivesBadPublishes) {
   }
   EXPECT_FALSE(hub.refresh());
   EXPECT_GE(hub.failed_refreshes(), 1u);
+  EXPECT_NE(hub.last_error(), "");  // the failure message is preserved
   EXPECT_EQ(hub.current()->generation, 3u);
   EXPECT_EQ(hub.current()->engine.answer("lookup 10.0.0.1 f"),
             answer_for(500, "lookup 10.0.0.1 f"));
 
-  // Recovery: the next good publish swaps in as generation 4.
+  // Recovery: the next good publish swaps in as generation 4. The error
+  // message stays (HEALTH consumers see swaps= advance past it).
   publish(path_, data_for(700));
   EXPECT_TRUE(hub.refresh());
   EXPECT_EQ(hub.current()->generation, 4u);
   EXPECT_EQ(hub.swap_count(), 3u);
+  EXPECT_NE(hub.last_error(), "");
 }
 
 TEST_F(HotSwapTest, HealthReportsVersionGenerationAndSwaps) {
@@ -187,6 +191,8 @@ TEST_F(HotSwapTest, HealthReportsVersionGenerationAndSwaps) {
     EXPECT_EQ(health.rfind("OK crc32=", 0), 0u) << health;
     EXPECT_NE(health.find(" version="), std::string::npos) << health;
     EXPECT_NE(health.find(" generation=1 swaps=0"), std::string::npos)
+        << health;
+    EXPECT_NE(health.find(" last_swap_error=none"), std::string::npos)
         << health;
   }
 

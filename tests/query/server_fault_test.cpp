@@ -324,15 +324,19 @@ TYPED_TEST(ServerFaultTest, HealthProbeReportsSnapshotCrcAndCounters) {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
                 this->reader_->payload_crc32());
-  EXPECT_EQ(health.rfind("OK crc32=" + std::string(crc_hex) + " uptime_s=",
+  EXPECT_EQ(health.rfind("OK crc32=" + std::string(crc_hex) + " uptime=",
                          0),
             0u)
       << health;
-  EXPECT_GE(health_field(health, "uptime_s"), 0) << health;
+  EXPECT_GE(health_field(health, "uptime"), 0) << health;
   EXPECT_EQ(health_field(health, "connections"), 1) << health;
   EXPECT_EQ(health_field(health, "inferences"), 2) << health;
   EXPECT_EQ(health_field(health, "refused"), 1) << health;
   EXPECT_EQ(health_field(health, "accept_retries"), 0) << health;
+  EXPECT_EQ(health_field(health, "shed"), 0) << health;
+  // A fixed-engine server has no hub, so no swap ever failed.
+  EXPECT_NE(health.find(" last_swap_error=none"), std::string::npos)
+      << health;
   server.stop();
 }
 

@@ -1,0 +1,97 @@
+// Test helper for the supervision tier: a deliberately unreliable child.
+//
+//   flaky_child <state-file> <fail-count> [--port P] [--mute] [--ignore-term]
+//
+// Every start increments a counter persisted in <state-file>; while the
+// counter is <= <fail-count> the process exits 1 immediately (a crash
+// loop the supervisor must ride out with backoff). Once past the
+// threshold it "serves": with --port it answers one "OK flaky" line per
+// connection (a HEALTH-shaped endpoint the probe accepts); with --mute it
+// binds and listens but never accepts — the live-PID-but-wedged-service
+// state the liveness probe exists to catch; with --ignore-term it shrugs
+// off SIGTERM so the drain bound's SIGKILL path is reachable. The state
+// file doubles as the test's progress signal: polling it reveals how many
+// times the supervisor has (re)started us.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: flaky_child <state-file> <fail-count> [--port P] "
+                 "[--mute] [--ignore-term]\n");
+    return 64;
+  }
+  const std::string state_path = argv[1];
+  const long fail_count = std::strtol(argv[2], nullptr, 10);
+  int port = -1;
+  bool mute = false;
+  bool ignore_term = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--mute") {
+      mute = true;
+    } else if (arg == "--ignore-term") {
+      ignore_term = true;
+    } else {
+      std::fprintf(stderr, "flaky_child: unknown argument %s\n", arg.c_str());
+      return 64;
+    }
+  }
+
+  long starts = 0;
+  {
+    std::ifstream in(state_path);
+    in >> starts;
+  }
+  ++starts;
+  {
+    std::ofstream out(state_path, std::ios::trunc);
+    out << starts << "\n";
+  }
+  if (starts <= fail_count) return 1;
+
+  if (ignore_term) (void)::signal(SIGTERM, SIG_IGN);
+
+  if (port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return 2;
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      return 2;
+    }
+    if (mute) {
+      // Bound but wedged: connections land in the kernel backlog, nothing
+      // ever answers. The probe's recv must time out.
+      while (true) ::pause();
+    }
+    while (true) {
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      char buffer[256];
+      (void)::recv(conn, buffer, sizeof(buffer), 0);
+      const char kReply[] = "OK flaky\n";
+      (void)::send(conn, kReply, sizeof(kReply) - 1, MSG_NOSIGNAL);
+      (void)::close(conn);
+    }
+  }
+  while (true) ::pause();
+}

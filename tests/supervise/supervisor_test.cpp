@@ -1,0 +1,465 @@
+// The self-healing contract of `mapit supervise`, pinned against a
+// purpose-built flaky child (tests/supervise/flaky_child.cpp):
+//
+//   * restart backoff is deterministic (base, 2*base, ..., capped) and
+//     readable straight off the event report;
+//   * the crash-loop breaker abandons a hopeless worker after K exits in
+//     the window while the rest of the fleet keeps answering;
+//   * a live PID that stops answering HEALTH is SIGKILLed and restarted;
+//   * the SIGTERM drain is bounded — a child that ignores SIGTERM is
+//     SIGKILLed when drain_s runs out;
+//   * fork failures take the same backoff/breaker path as instant exits
+//     (via fault::Io injection, no real resource exhaustion needed).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/plan.h"
+#include "supervise/supervise.h"
+
+namespace mapit::supervise {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+#ifndef FLAKY_CHILD_PATH
+#error "FLAKY_CHILD_PATH must point at the flaky_child helper binary"
+#endif
+
+std::vector<std::int64_t> details_of(const SuperviseReport& report,
+                                     EventType type,
+                                     const std::string& worker) {
+  std::vector<std::int64_t> details;
+  for (const SuperviseEvent& event : report.events) {
+    if (event.type == type && event.worker == worker) {
+      details.push_back(event.detail);
+    }
+  }
+  return details;
+}
+
+std::size_t count_of(const SuperviseReport& report, EventType type,
+                     const std::string& worker) {
+  return details_of(report, type, worker).size();
+}
+
+long read_counter(const std::string& path) {
+  std::ifstream in(path);
+  long value = 0;
+  in >> value;
+  return value;
+}
+
+/// Waits until the flaky child's start counter reaches `want` (the test's
+/// window into supervisor progress). Generous deadline: sanitizer builds
+/// stretch every spawn.
+bool wait_for_counter(const std::string& path, long want,
+                      std::chrono::seconds deadline = 60s) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (read_counter(path) >= want) return true;
+    std::this_thread::sleep_for(20ms);
+  }
+  return false;
+}
+
+/// Grabs a free loopback port the way the tests everywhere else do: bind
+/// port 0, remember the kernel's pick, close. The tiny reuse race is
+/// acceptable in a test.
+int pick_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::socklen_t length = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+                    &length) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::close(fd);
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+/// One HEALTH-shaped round trip against a flaky child in serve mode.
+bool probe_ok(int port, std::string* reply = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  struct ::timeval timeout{};
+  timeout.tv_sec = 2;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  struct ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const char kProbe[] = "HEALTH\n";
+  if (::send(fd, kProbe, sizeof(kProbe) - 1, MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(sizeof(kProbe) - 1)) {
+    ::close(fd);
+    return false;
+  }
+  char buffer[256];
+  const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  if (n < 2 || buffer[0] != 'O' || buffer[1] != 'K') return false;
+  if (reply != nullptr) reply->assign(buffer, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// A mutex-guarded std::ostream the supervisor thread can log into while
+/// the test thread polls for a line — the only way to observe "breaker
+/// tripped" *before* run() returns without a data race.
+class SyncLog : public std::streambuf {
+ public:
+  std::ostream& stream() { return stream_; }
+
+  bool contains(const std::string& needle) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return text_.find(needle) != std::string::npos;
+  }
+
+  bool wait_for(const std::string& needle,
+                std::chrono::seconds deadline = 60s) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      if (contains(needle)) return true;
+      std::this_thread::sleep_for(20ms);
+    }
+    return false;
+  }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      text_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::string text_;
+  std::ostream stream_{this};
+};
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("mapit_supervise_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string state_path(const std::string& name) const {
+    return (dir_ / (name + ".state")).string();
+  }
+
+  /// A flaky_child worker spec: crashes `fail_count` times, then serves.
+  WorkerSpec flaky(const std::string& name, int fail_count,
+                   const std::vector<std::string>& extra = {}) const {
+    WorkerSpec spec;
+    spec.name = name;
+    spec.argv = {FLAKY_CHILD_PATH, state_path(name),
+                 std::to_string(fail_count)};
+    spec.argv.insert(spec.argv.end(), extra.begin(), extra.end());
+    return spec;
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------- spec ---
+
+TEST(SpecParserTest, ParsesSettingsAndWorkers) {
+  const SuperviseOptions options = parse_spec(
+      "# fleet of two\n"
+      "set restart-base-ms 20\n"
+      "set restart-cap-ms 400\n"
+      "set breaker-restarts 4\n"
+      "set breaker-window-s 12.5\n"
+      "set probe-interval-s 0.5\n"
+      "set probe-timeout-s 0.25\n"
+      "set probe-misses 2\n"
+      "set probe-grace-s 1.5\n"
+      "set drain-s 3\n"
+      "\n"
+      "worker web probe=7101 mapit serve --async --port 7101\n"
+      "worker feed mapit ingest --journal j --out s\n");
+  EXPECT_EQ(options.restart_base_ms, 20);
+  EXPECT_EQ(options.restart_cap_ms, 400);
+  EXPECT_EQ(options.breaker_restarts, 4);
+  EXPECT_DOUBLE_EQ(options.breaker_window_s, 12.5);
+  EXPECT_DOUBLE_EQ(options.probe_interval_s, 0.5);
+  EXPECT_DOUBLE_EQ(options.probe_timeout_s, 0.25);
+  EXPECT_EQ(options.probe_misses, 2);
+  EXPECT_DOUBLE_EQ(options.probe_grace_s, 1.5);
+  EXPECT_DOUBLE_EQ(options.drain_s, 3.0);
+  ASSERT_EQ(options.workers.size(), 2u);
+  EXPECT_EQ(options.workers[0].name, "web");
+  EXPECT_EQ(options.workers[0].probe_port, 7101);
+  ASSERT_EQ(options.workers[0].argv.size(), 5u);
+  EXPECT_EQ(options.workers[0].argv[0], "mapit");
+  EXPECT_EQ(options.workers[1].name, "feed");
+  EXPECT_EQ(options.workers[1].probe_port, -1);
+}
+
+TEST(SpecParserTest, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_spec("set restart-base-ms\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("set no-such-knob 5\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("set restart-base-ms fast\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("worker lonely\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("worker w probe=80\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("worker w probe=eighty sleep 1\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("worker twin sleep 1\nworker twin sleep 2\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("restart now\n"), SpecError);
+  // And the error message carries the line number.
+  try {
+    (void)parse_spec("# fine\nset bogus 1\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpecParserTest, LoadSpecReadsFileAndReportsMissing) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("mapit_spec_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string path = (dir / "fleet.spec").string();
+  {
+    std::ofstream out(path);
+    out << "set drain-s 1\nworker w sleep 60\n";
+  }
+  const SuperviseOptions options = load_spec(path);
+  EXPECT_DOUBLE_EQ(options.drain_s, 1.0);
+  ASSERT_EQ(options.workers.size(), 1u);
+  EXPECT_THROW((void)load_spec((dir / "absent.spec").string()), Error);
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------- restart ---
+
+TEST_F(SupervisorTest, BackoffScheduleIsDeterministicAndCapped) {
+  SuperviseOptions options;
+  options.workers.push_back(flaky("w", 3));
+  options.restart_base_ms = 20;
+  options.restart_cap_ms = 50;  // third restart would be 80 -> clamped
+  options.breaker_restarts = 10;
+  options.breaker_window_s = 300.0;
+  options.drain_s = 2.0;
+
+  std::atomic<bool> stop{false};
+  SuperviseReport report;
+  std::thread runner([&] {
+    ProcessSupervisor supervisor(options);
+    report = supervisor.run(&stop);
+  });
+  // Fourth start is the one that sticks (three crashes, then serve).
+  EXPECT_TRUE(wait_for_counter(state_path("w"), 4));
+  stop.store(true);
+  runner.join();
+
+  EXPECT_EQ(details_of(report, EventType::kRestartScheduled, "w"),
+            (std::vector<std::int64_t>{20, 40, 50}));
+  EXPECT_EQ(report.restarts, 3u);
+  EXPECT_FALSE(report.breaker_tripped);
+  EXPECT_EQ(count_of(report, EventType::kStart, "w"), 4u);
+  EXPECT_GE(count_of(report, EventType::kExit, "w"), 3u);
+  // The run ended through the cascade, not the give-up path.
+  EXPECT_EQ(count_of(report, EventType::kStop, ""), 1u);
+}
+
+TEST_F(SupervisorTest, BreakerTripsAfterKExitsAndRunReturns) {
+  SuperviseOptions options;
+  options.workers.push_back(flaky("hopeless", 99));
+  options.restart_base_ms = 10;
+  options.restart_cap_ms = 1000;
+  options.breaker_restarts = 3;
+  options.breaker_window_s = 300.0;
+
+  // No stop flag: with its only worker abandoned the run returns by
+  // itself — the exact behavior the CLI maps to the crash-loop exit code.
+  ProcessSupervisor supervisor(options);
+  const SuperviseReport report = supervisor.run(nullptr);
+
+  EXPECT_TRUE(report.breaker_tripped);
+  EXPECT_EQ(report.restarts, 2u);
+  EXPECT_EQ(count_of(report, EventType::kStart, "hopeless"), 3u);
+  EXPECT_EQ(count_of(report, EventType::kExit, "hopeless"), 3u);
+  EXPECT_EQ(details_of(report, EventType::kRestartScheduled, "hopeless"),
+            (std::vector<std::int64_t>{10, 20}));
+  EXPECT_EQ(details_of(report, EventType::kBreakerTrip, "hopeless"),
+            (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(count_of(report, EventType::kStop, ""), 0u);
+}
+
+TEST_F(SupervisorTest, BreakerAbandonsOneWorkerWhileSurvivorKeepsServing) {
+  const int port = pick_port();
+  ASSERT_GT(port, 0);
+  SuperviseOptions options;
+  options.workers.push_back(flaky("doomed", 99));
+  options.workers.push_back(
+      flaky("steady", 0, {"--port", std::to_string(port)}));
+  options.restart_base_ms = 10;
+  options.restart_cap_ms = 1000;
+  options.breaker_restarts = 2;
+  options.breaker_window_s = 300.0;
+  options.drain_s = 2.0;
+  SyncLog log;
+  options.log = &log.stream();
+
+  std::atomic<bool> stop{false};
+  SuperviseReport report;
+  std::thread runner([&] {
+    ProcessSupervisor supervisor(options);
+    report = supervisor.run(&stop);
+  });
+  // Wait until the doomed worker's second exit has actually been reaped
+  // and the breaker recorded — the start counter alone only proves the
+  // second spawn happened, not that the supervisor saw it die.
+  EXPECT_TRUE(wait_for_counter(state_path("doomed"), 2));
+  EXPECT_TRUE(log.wait_for("breaker tripped for doomed"));
+  // The survivor must still answer (retry while it boots).
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  std::string reply;
+  bool answered = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (probe_ok(port, &reply)) {
+      answered = true;
+      break;
+    }
+    std::this_thread::sleep_for(50ms);
+  }
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(reply, "OK flaky\n");
+  stop.store(true);
+  runner.join();
+
+  EXPECT_TRUE(report.breaker_tripped);
+  EXPECT_EQ(count_of(report, EventType::kBreakerTrip, "doomed"), 1u);
+  EXPECT_EQ(count_of(report, EventType::kBreakerTrip, "steady"), 0u);
+  EXPECT_EQ(count_of(report, EventType::kStart, "steady"), 1u);
+}
+
+// -------------------------------------------------------------- probes ---
+
+TEST_F(SupervisorTest, ProbeKillsWedgedWorkerAndRestartsIt) {
+  const int port = pick_port();
+  ASSERT_GT(port, 0);
+  SuperviseOptions options;
+  WorkerSpec wedged =
+      flaky("wedged", 0, {"--port", std::to_string(port), "--mute"});
+  wedged.probe_port = port;
+  options.workers.push_back(std::move(wedged));
+  options.restart_base_ms = 10;
+  options.restart_cap_ms = 1000;
+  options.breaker_restarts = 99;
+  options.breaker_window_s = 300.0;
+  options.probe_interval_s = 0.1;
+  options.probe_timeout_s = 0.2;
+  options.probe_misses = 2;
+  options.probe_grace_s = 0.1;
+  options.drain_s = 2.0;
+
+  std::atomic<bool> stop{false};
+  SuperviseReport report;
+  std::thread runner([&] {
+    ProcessSupervisor supervisor(options);
+    report = supervisor.run(&stop);
+  });
+  // The child binds but never answers; two missed probes must SIGKILL it
+  // and the restart brings up start #2 (equally mute — one cycle is
+  // enough to pin the mechanism).
+  EXPECT_TRUE(wait_for_counter(state_path("wedged"), 2));
+  stop.store(true);
+  runner.join();
+
+  EXPECT_GE(report.probe_kills, 1u);
+  EXPECT_GE(count_of(report, EventType::kProbeKill, "wedged"), 1u);
+  EXPECT_GE(report.restarts, 1u);
+  EXPECT_FALSE(report.breaker_tripped);
+}
+
+// --------------------------------------------------------------- drain ---
+
+TEST_F(SupervisorTest, DrainBoundSigkillsChildrenThatIgnoreSigterm) {
+  SuperviseOptions options;
+  options.workers.push_back(flaky("stubborn", 0, {"--ignore-term"}));
+  options.drain_s = 0.3;
+
+  std::atomic<bool> stop{false};
+  SuperviseReport report;
+  std::thread runner([&] {
+    ProcessSupervisor supervisor(options);
+    report = supervisor.run(&stop);
+  });
+  EXPECT_TRUE(wait_for_counter(state_path("stubborn"), 1));
+  // Give the child a beat to install its SIG_IGN before we cascade.
+  std::this_thread::sleep_for(200ms);
+  stop.store(true);
+  runner.join();
+
+  EXPECT_EQ(count_of(report, EventType::kDrainKill, "stubborn"), 1u);
+  // The post-drain reap still collects the SIGKILLed child.
+  EXPECT_EQ(count_of(report, EventType::kExit, "stubborn"), 1u);
+}
+
+// ---------------------------------------------------------- fork fault ---
+
+TEST_F(SupervisorTest, ForkFailuresTakeTheBreakerPathWithoutSpawning) {
+  fault::FaultPlan plan;
+  plan.add(fault::Fault{.op = fault::Op::kFork,
+                        .nth = 1,
+                        .repeat = 100,
+                        .inject_errno = EAGAIN});
+  SuperviseOptions options;
+  options.workers.push_back(flaky("unforkable", 0));
+  options.restart_base_ms = 1;
+  options.restart_cap_ms = 10;
+  options.breaker_restarts = 3;
+  options.breaker_window_s = 300.0;
+  options.io = &plan;
+
+  ProcessSupervisor supervisor(options);
+  const SuperviseReport report = supervisor.run(nullptr);
+
+  EXPECT_TRUE(report.breaker_tripped);
+  EXPECT_EQ(count_of(report, EventType::kStart, "unforkable"), 0u);
+  EXPECT_EQ(count_of(report, EventType::kBreakerTrip, "unforkable"), 1u);
+  EXPECT_EQ(read_counter(state_path("unforkable")), 0);
+}
+
+}  // namespace
+}  // namespace mapit::supervise

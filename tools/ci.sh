@@ -13,6 +13,9 @@
 #                   async      epoll server smoke over both wire protocols
 #                   ingest     streaming-ingest smoke: cold-vs-incremental
 #                              equivalence + kill-mid-journal resume
+#                   supervise  self-healing smoke: supervised worker fleet,
+#                              kill -9 one mid-replay, zero failed golden
+#                              answers + automatic restart, SIGTERM drain
 #                   sweep      differential baseline sweep vs DIFF_sweep.json
 #                   fuzz       bounded libFuzzer smoke via tools/fuzz.sh
 #                              (clang only; replays regressions first)
@@ -44,6 +47,11 @@
 #                 (line and binary), diffing each response stream against
 #                 the committed golden answers; ends with a SIGTERM
 #                 graceful-drain check (default: SNAPSHOT_SMOKE)
+#   SUPERVISE_SMOKE 1 = boot a supervised two-worker serve fleet, kill -9
+#                 one worker mid-replay, and require zero failed golden
+#                 answers plus a recorded automatic restart; ends with a
+#                 SIGTERM cascade that must drain the fleet
+#                 (default: ASYNC_SMOKE)
 #   INGEST_SMOKE  1 = stream the tail of a seeded corpus through
 #                 `mapit ingest --drain` and require the published snapshot
 #                 to be byte-identical to a cold `mapit snapshot` over the
@@ -71,6 +79,7 @@ SNAPSHOT_SMOKE="${SNAPSHOT_SMOKE:-${BENCH_SMOKE}}"
 FAULT_MATRIX="${FAULT_MATRIX:-1}"
 CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
 ASYNC_SMOKE="${ASYNC_SMOKE:-${SNAPSHOT_SMOKE}}"
+SUPERVISE_SMOKE="${SUPERVISE_SMOKE:-${ASYNC_SMOKE}}"
 INGEST_SMOKE="${INGEST_SMOKE:-${SNAPSHOT_SMOKE}}"
 DIFF_SWEEP="${DIFF_SWEEP:-${BENCH_SMOKE}}"
 FUZZ_SMOKE="${FUZZ_SMOKE:-0}"
@@ -459,6 +468,148 @@ stage_ingest() {
   done
 }
 
+stage_supervise() {
+  echo "== supervise self-healing smoke =="
+  # Boot a supervised fleet — two `serve --async --reuseport` workers
+  # sharing one port — then kill -9 one worker mid-replay. The replay
+  # retries transient connection errors (a reset is exactly what a killed
+  # worker's in-flight connections see) but treats any WRONG bytes as a
+  # hard failure: the surviving worker must keep answering the golden
+  # batch while the supervisor restarts its sibling. Ends with a SIGTERM
+  # cascade that must drain the whole fleet and exit 0.
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/supervise_smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 9
+  "${mapit_bin}" snapshot \
+    --traces "${work}/traces.txt" --rib "${work}/rib.txt" \
+    --relationships "${work}/relationships.txt" \
+    --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt" \
+    --out "${work}/snapshot.bin"
+
+  local port
+  port="$(python3 -c 'import socket
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])')"
+
+  cat > "${work}/fleet.spec" <<EOF
+set restart-base-ms 100
+set restart-cap-ms 1000
+set breaker-restarts 10
+set breaker-window-s 60
+set drain-s 10
+worker web1 ${mapit_bin} serve ${work}/snapshot.bin --async --reuseport --port ${port}
+worker web2 ${mapit_bin} serve ${work}/snapshot.bin --async --reuseport --port ${port}
+EOF
+
+  "${mapit_bin}" supervise "${work}/fleet.spec" 2> "${work}/supervise.log" &
+  local super_pid=$!
+  trap 'kill "${super_pid}" 2>/dev/null || true; print_stage_table' EXIT
+
+  local pid1="" _i
+  for _i in $(seq 1 100); do
+    pid1="$(sed -n 's/^supervise: started web1 pid \([0-9]*\).*/\1/p' \
+      "${work}/supervise.log" | head -n 1)"
+    if [[ -n "${pid1}" ]] && \
+       grep -q '^supervise: started web2 pid ' "${work}/supervise.log"; then
+      break
+    fi
+    pid1=""
+    if ! kill -0 "${super_pid}" 2>/dev/null; then
+      echo "supervisor died during startup:" >&2
+      cat "${work}/supervise.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${pid1}" ]]; then
+    echo "supervisor never reported both workers started" >&2
+    cat "${work}/supervise.log" >&2
+    exit 1
+  fi
+
+  # One golden replay round: retries connection-level failures, hard-fails
+  # on any byte drift. Reused for every round below.
+  replay_round() {
+    python3 - "${port}" "${REPO_ROOT}/tests/cli/golden_queries.txt" \
+      "${work}/replay_answers.txt" <<'EOF'
+import socket, sys, time
+
+port, query_path, out_path = sys.argv[1:4]
+queries = [l.strip() for l in open(query_path)
+           if l.strip() and not l.startswith("#")]
+request = ("\n".join(queries) + "\n").encode()
+deadline = time.monotonic() + 60
+last = None
+while time.monotonic() < deadline:
+    try:
+        sock = socket.create_connection(("127.0.0.1", int(port)), timeout=10)
+        sock.settimeout(10)
+        sock.sendall(request)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+        sock.close()
+        open(out_path, "wb").write(data)
+        sys.exit(0)
+    except OSError as error:
+        last = error  # reset/refused mid-kill: retry against the survivor
+        time.sleep(0.2)
+sys.exit(f"replay never completed: {last}")
+EOF
+    diff -u "${REPO_ROOT}/tests/cli/golden_answers.txt" \
+      "${work}/replay_answers.txt"
+  }
+
+  local round
+  for round in 1 2 3; do replay_round; done
+  echo "supervised fleet golden answers (pre-kill): ok"
+
+  kill -9 "${pid1}"
+  # The kill must not cost clients a single wrong answer while the
+  # supervisor brings the worker back.
+  for round in 1 2 3 4 5; do replay_round; done
+  echo "golden answers across kill -9 of web1 (pid ${pid1}): ok"
+
+  local restarted=""
+  for _i in $(seq 1 100); do
+    if grep -q '^supervise: restarted web1 ' "${work}/supervise.log"; then
+      restarted=yes
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${restarted}" ]]; then
+    echo "supervisor never recorded the web1 restart" >&2
+    cat "${work}/supervise.log" >&2
+    exit 1
+  fi
+  replay_round
+  echo "automatic restart recorded and fleet still golden: ok"
+
+  kill -TERM "${super_pid}"
+  local rc=0
+  wait "${super_pid}" || rc=$?
+  trap print_stage_table EXIT
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "supervise exited ${rc} after SIGTERM (want 0):" >&2
+    cat "${work}/supervise.log" >&2
+    exit 1
+  fi
+  if ! grep -q '^supervise: fleet stopped' "${work}/supervise.log"; then
+    echo "supervisor did not report a drained fleet" >&2
+    cat "${work}/supervise.log" >&2
+    exit 1
+  fi
+  echo "supervise SIGTERM cascade drained the fleet: ok"
+}
+
 stage_sweep() {
   echo "== differential baseline sweep =="
   # MAP-IT vs the §5.6 heuristics across the artifact-rate × seed grid;
@@ -489,11 +640,11 @@ if [[ -n "${STAGES:-}" ]]; then
   for stage in $(echo "${STAGES}" | tr ',' ' '); do
     case "${stage}" in
       configure|build) ;;  # always run; listed for convenience
-      test|fault|checkpoint|bench|snapshot|async|ingest|sweep|fuzz)
+      test|fault|checkpoint|bench|snapshot|async|ingest|supervise|sweep|fuzz)
         SELECTED+=("${stage}") ;;
       *)
         echo "ci.sh: unknown stage '${stage}' (valid: test fault checkpoint" \
-             "bench snapshot async ingest sweep fuzz)" >&2
+             "bench snapshot async ingest supervise sweep fuzz)" >&2
         exit 2 ;;
     esac
   done
@@ -504,6 +655,7 @@ else
   if [[ "${BENCH_SMOKE}" == "1" ]]; then SELECTED+=(bench); fi
   if [[ "${SNAPSHOT_SMOKE}" == "1" ]]; then SELECTED+=(snapshot); fi
   if [[ "${ASYNC_SMOKE}" == "1" ]]; then SELECTED+=(async); fi
+  if [[ "${SUPERVISE_SMOKE}" == "1" ]]; then SELECTED+=(supervise); fi
   if [[ "${INGEST_SMOKE}" == "1" ]]; then SELECTED+=(ingest); fi
   if [[ "${DIFF_SWEEP}" == "1" ]]; then SELECTED+=(sweep); fi
   if [[ "${FUZZ_SMOKE}" == "1" ]]; then SELECTED+=(fuzz); fi

@@ -7,6 +7,7 @@
 //   mapit query     batch-answer queries against a snapshot (stdin/stdout)
 //   mapit serve     serve a snapshot over a TCP line protocol
 //   mapit ingest    stream delta traces into a journal + live snapshot
+//   mapit supervise babysit a fleet of serve/ingest workers from a spec
 //   mapit help      usage
 //
 // All file formats are the library's line-oriented text formats (see the
@@ -46,6 +47,7 @@
 #include "query/server.h"
 #include "store/reader.h"
 #include "store/writer.h"
+#include "supervise/supervise.h"
 #include "topo/truth_io.h"
 #include "trace/sanitize.h"
 #include "trace/trace_io.h"
@@ -62,6 +64,8 @@ constexpr int kExitLoadError = 3;         ///< input file unreadable/malformed
 constexpr int kExitCheckpointMismatch = 4;  ///< corrupt or foreign checkpoint
 constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
                                      ///< (signal, deadline, memory budget)
+constexpr int kExitCrashLoop = 6;    ///< supervise: a worker tripped the
+                                     ///< crash-loop circuit breaker
 
 /// Prints usage to stdout for `mapit help` (exit 0) and to stderr for
 /// every rejected invocation (exit 2) — errors must never masquerade as
@@ -146,8 +150,13 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
       "                             SECS seconds and hot-swap to the new\n"
       "                             version without dropping connections\n"
       "                             (default 2; 0 disables watching)\n"
+      "      --max-inflight BYTES   load shedding: past BYTES of answer\n"
+      "                             data in flight, new requests are\n"
+      "                             answered `ERR overloaded retry` and\n"
+      "                             closed (default 0 = unlimited)\n"
       "      answers HEALTH probe lines itself; SIGTERM/SIGINT drain\n"
-      "      gracefully (in-flight batches are answered first)\n"
+      "      gracefully (in-flight batches are answered first); SIGHUP\n"
+      "      forces an immediate snapshot re-check\n"
       "  mapit ingest --traces FILE --rib FILE --journal FILE --out SNAPSHOT\n"
       "      streaming ingestion: load the base corpus once, then fold\n"
       "      delta traces incrementally and republish SNAPSHOT after each\n"
@@ -167,13 +176,41 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
       "      --drain                consume what the sources have now,\n"
       "                             flush, publish, exit (batch mode)\n"
       "      --max-batches N        stop after N batch commits\n"
+      "      --retry-interval SECS  degraded mode: a journal/publish I/O\n"
+      "                             failure (ENOSPC, EIO) parks the batch\n"
+      "                             and retries it every SECS while the\n"
+      "                             sources keep being tailed (default 1)\n"
+      "      --max-pending N        pause source polling past N accepted\n"
+      "                             but unflushed lines while degraded\n"
+      "                             (default: 10x --batch-lines)\n"
+      "      --health-port N        answer `OK degraded=...` probes on\n"
+      "                             127.0.0.1:N (0 = ephemeral; the\n"
+      "                             supervise probe target)\n"
       "      SIGTERM/SIGINT flush pending accepted lines as a final batch\n"
       "      before exiting; rerunning resumes from the journal\n"
+      "  mapit supervise SPEC\n"
+      "      fork/exec and babysit a worker fleet (serve workers sharing a\n"
+      "      --reuseport port + an ingest process) from a declarative SPEC\n"
+      "      file: `worker <name> [probe=PORT] <argv...>` lines plus\n"
+      "      optional `set <key> <value>` lines (restart-base-ms,\n"
+      "      restart-cap-ms, breaker-restarts, breaker-window-s,\n"
+      "      probe-interval-s, probe-timeout-s, probe-misses,\n"
+      "      probe-grace-s, drain-s). Crashed workers restart with capped\n"
+      "      exponential backoff; a live PID that stops answering HEALTH\n"
+      "      on its probe port is killed and restarted; breaker-restarts\n"
+      "      exits within breaker-window-s abandon that worker (exit 6\n"
+      "      at shutdown) while the rest keep serving. SIGTERM/SIGINT\n"
+      "      cascade a bounded graceful drain; SIGHUP is forwarded\n"
+      "      --restart-base-ms/--restart-cap-ms/--breaker-restarts/\n"
+      "      --breaker-window/--probe-interval/--probe-timeout/\n"
+      "      --probe-misses/--probe-grace/--drain override the spec\n"
       "  mapit help\n"
       "\n"
       "exit codes: 0 ok; 2 usage; 3 load/parse error; 4 checkpoint\n"
       "  mismatch/corruption; 5 interrupted by signal/deadline/memory\n"
-      "  budget (a resumable checkpoint was written first)\n";
+      "  budget (a resumable checkpoint was written first); 6 supervise\n"
+      "  ended with at least one worker abandoned by the crash-loop\n"
+      "  breaker\n";
   std::exit(exit_code);
 }
 
@@ -727,6 +764,15 @@ int cmd_serve(Args& args) {
     }
     server_options.backlog = static_cast<int>(*parsed);
   }
+  if (const auto value = args.value("--max-inflight")) {
+    const auto parsed = parse_bounded(*value, 1UL << 34);
+    if (!parsed) {
+      std::cerr << "--max-inflight expects bytes in [0, 2^34], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    server_options.max_inflight_bytes = *parsed;
+  }
   server_options.reuse_port = args.flag("--reuseport");
   const bool use_async = args.flag("--async");
   unsigned long watch_interval = 2;
@@ -776,20 +822,39 @@ int cmd_serve(Args& args) {
     }
 
     // SIGTERM/SIGINT drain the server gracefully (in-flight batches are
-    // answered, then connections close) instead of killing it mid-send. The
+    // answered, then connections close) instead of killing it mid-send.
+    // SIGHUP forces an immediate snapshot re-check (the operator just
+    // republished and does not want to wait out --watch-interval). The
     // drain thread blocks on the signal guard's self-pipe; when
-    // serve_forever() returns for any other reason, wake() sends it home.
+    // serve_forever() returns for any other reason, `done` + wake() send
+    // it home — `done` first, because a SIGHUP can consume the wake byte.
     core::SignalGuard signals;
+    std::atomic<bool> done{false};
     std::thread drain([&] {
-      const int signal_number = signals.wait();
-      if (signal_number != 0) {
-        std::cerr << "received "
-                  << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
-                  << ", draining connections...\n";
-        server.stop();
+      std::uint64_t seen_hups = 0;
+      while (true) {
+        const int signal_number = signals.wait();
+        if (signal_number != 0) {
+          std::cerr << "received "
+                    << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                    << ", draining connections...\n";
+          server.stop();
+          return;
+        }
+        if (done.load()) return;
+        const std::uint64_t hups = core::SignalGuard::hup_count();
+        if (hups != seen_hups) {
+          seen_hups = hups;
+          std::cerr << "received SIGHUP, re-checking snapshot...\n";
+          if (hub.refresh()) {
+            std::cerr << "snapshot replaced; now serving generation "
+                      << hub.current()->generation << "\n";
+          }
+        }
       }
     });
     server.serve_forever();
+    done.store(true);
     signals.wake();
     drain.join();
     watch_stop.store(true);
@@ -864,6 +929,27 @@ int cmd_ingest(Args& args) {
     }
     options.max_batches = *parsed;
   }
+  if (const auto value = args.value("--retry-interval")) {
+    options.retry_interval = parse_seconds_or_die("--retry-interval", *value);
+  }
+  if (const auto value = args.value("--max-pending")) {
+    const auto parsed = parse_bounded(*value, 1UL << 30);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--max-pending expects an integer in [1, 2^30], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.max_pending_lines = *parsed;
+  }
+  if (const auto value = args.value("--health-port")) {
+    const auto parsed = parse_bounded(*value, 65535);
+    if (!parsed) {
+      std::cerr << "--health-port expects a port in [0, 65535], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.health_port = static_cast<int>(*parsed);
+  }
   args.reject_unknown();
   if (options.follow_path.empty() && options.listen_port < 0 &&
       !options.drain) {
@@ -875,25 +961,34 @@ int cmd_ingest(Args& args) {
 
   // SIGTERM/SIGINT flush the pending accepted lines as a final batch and
   // end the session; the journal makes the next run resume seamlessly.
+  // The watcher loops because SIGHUP also wakes wait() (and means nothing
+  // to ingest) — a HUP must not disarm the TERM handler.
   core::SignalGuard signals;
   std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
   std::thread watcher([&] {
-    const int signal_number = signals.wait();
-    if (signal_number != 0) {
-      std::cerr << "received "
-                << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
-                << ", flushing pending deltas...\n";
-      stop.store(true);
+    while (true) {
+      const int signal_number = signals.wait();
+      if (signal_number != 0) {
+        std::cerr << "received "
+                  << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << ", flushing pending deltas...\n";
+        stop.store(true);
+        return;
+      }
+      if (done.load()) return;
     }
   });
   ingest::IngestStats stats;
   try {
     stats = ingest::run_ingest(options, &stop);
   } catch (...) {
+    done.store(true);
     signals.wake();
     watcher.join();
     throw;
   }
+  done.store(true);
   signals.wake();
   watcher.join();
 
@@ -906,6 +1001,98 @@ int cmd_ingest(Args& args) {
             << " publishes, last crc32 " << crc_hex << "\n";
   return core::SignalGuard::signal_received() != 0 ? kExitInterrupted
                                                    : kExitOk;
+}
+
+int cmd_supervise(Args& args) {
+  const auto spec_path = args.positional();
+  if (!spec_path) {
+    std::cerr << "supervise: spec file path is required\n";
+    usage(kExitUsage);
+  }
+  supervise::SuperviseOptions options;
+  try {
+    options = supervise::load_spec(*spec_path);
+  } catch (const supervise::SpecError& error) {
+    std::cerr << "supervise: " << error.what() << "\n";
+    return kExitUsage;
+  }
+  // Flag overrides beat the spec (same precedence as everywhere else:
+  // command line wins over file).
+  const auto int_override = [&](const char* flag, int& field,
+                                unsigned long max) {
+    if (const auto value = args.value(flag)) {
+      const auto parsed = parse_bounded(*value, max);
+      if (!parsed) {
+        std::cerr << flag << " expects an integer in [0, " << max
+                  << "], got '" << *value << "'\n";
+        std::exit(kExitUsage);
+      }
+      field = static_cast<int>(*parsed);
+    }
+  };
+  const auto seconds_override = [&](const char* flag, double& field) {
+    if (const auto value = args.value(flag)) {
+      field = parse_seconds_or_die(flag, *value);
+    }
+  };
+  int_override("--restart-base-ms", options.restart_base_ms, 1UL << 20);
+  int_override("--restart-cap-ms", options.restart_cap_ms, 1UL << 26);
+  int_override("--breaker-restarts", options.breaker_restarts, 1UL << 16);
+  int_override("--probe-misses", options.probe_misses, 1UL << 16);
+  seconds_override("--breaker-window", options.breaker_window_s);
+  seconds_override("--probe-interval", options.probe_interval_s);
+  seconds_override("--probe-timeout", options.probe_timeout_s);
+  seconds_override("--probe-grace", options.probe_grace_s);
+  seconds_override("--drain", options.drain_s);
+  args.reject_unknown();
+  if (options.workers.empty()) {
+    std::cerr << "supervise: " << *spec_path << " declares no workers\n";
+    return kExitUsage;
+  }
+  options.log = &std::cerr;
+
+  // TERM/INT set the stop flag the supervisor's loop polls (it cascades
+  // the shutdown itself); SIGHUP increments the counter it forwards to
+  // the fleet. The watcher loops for the same reason ingest's does.
+  core::SignalGuard signals;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> hups{0};
+  std::thread watcher([&] {
+    while (true) {
+      const int signal_number = signals.wait();
+      hups.store(core::SignalGuard::hup_count());
+      if (signal_number != 0) {
+        std::cerr << "supervise: received "
+                  << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << ", stopping the fleet...\n";
+        stop.store(true);
+        return;
+      }
+      if (done.load()) return;
+    }
+  });
+  supervise::ProcessSupervisor supervisor(std::move(options));
+  supervise::SuperviseReport report;
+  try {
+    report = supervisor.run(&stop, &hups);
+  } catch (...) {
+    done.store(true);
+    signals.wake();
+    watcher.join();
+    throw;
+  }
+  done.store(true);
+  signals.wake();
+  watcher.join();
+
+  std::cerr << "supervise done: " << report.restarts << " restarts, "
+            << report.probe_kills << " probe kills"
+            << (report.breaker_tripped
+                    ? ", at least one worker abandoned by the breaker"
+                    : "")
+            << "\n";
+  return report.breaker_tripped ? kExitCrashLoop : kExitOk;
 }
 
 int cmd_paths(Args& args) {
@@ -1251,6 +1438,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "ingest") return cmd_ingest(args);
+    if (command == "supervise") return cmd_supervise(args);
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::cerr << "unknown command '" << command << "'\n";
     usage(kExitUsage);
