@@ -1,0 +1,109 @@
+// Fuzz target: the MDP1 frame layer (ingest/transport.h) — the bytes a
+// hostile or corrupted peer can put on the delta-transport socket.
+//
+// Three properties are checked on every input:
+//   1. No escape: FrameReader and the typed payload parsers only ever
+//     throw TransportError. Anything else (std::bad_alloc from a trusted
+//     length field, std::out_of_range, an InvariantError) is a bug that
+//     would kill a receiver connection thread in production.
+//   2. Chunking invariance: feeding the same bytes one byte at a time
+//     must yield exactly the frame sequence (and the same accept/reject
+//     outcome) of a single whole-buffer delivery — TCP segmentation must
+//     never change what the receiver decodes.
+//   3. Round-trip: a payload the typed parser accepts must re-serialize
+//     to byte-identical frame bytes. The wire format has one canonical
+//     encoding; parse/serialize drift here is how a resent batch could
+//     stop matching its watermark.
+//
+// Replayed/duplicate/oversized/zero-length frames are all just byte
+// patterns to this harness; the committed corpus seeds each of them.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ingest/transport.h"
+
+namespace {
+
+using namespace mapit::ingest;
+
+struct FeedResult {
+  std::vector<Frame> frames;
+  bool rejected = false;
+
+  friend bool operator==(const FeedResult&, const FeedResult&) = default;
+};
+
+FeedResult feed(std::string_view bytes, std::size_t chunk) {
+  FeedResult result;
+  FrameReader reader;
+  try {
+    for (std::size_t i = 0; i < bytes.size(); i += chunk) {
+      reader.append(bytes.substr(i, chunk));
+      Frame frame;
+      while (reader.next(frame)) result.frames.push_back(frame);
+    }
+  } catch (const TransportError&) {
+    result.rejected = true;
+  }
+  return result;
+}
+
+void check_typed_roundtrip(const Frame& frame) {
+  const std::string framed = serialize_frame(frame.type, frame.payload);
+  try {
+    switch (frame.type) {
+      case FrameType::kChallenge:
+        if (serialize_challenge(parse_challenge(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kHello:
+        if (serialize_hello(parse_hello(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kHelloAck:
+        if (serialize_hello_ack(parse_hello_ack(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kBatch:
+        if (serialize_batch(parse_batch(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kAck:
+        if (serialize_ack(parse_ack(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kError:
+        if (serialize_error(parse_error(frame.payload)) != framed) {
+          std::abort();
+        }
+        break;
+      case FrameType::kHeartbeat:
+        break;  // payload is ignored by both ends
+    }
+  } catch (const TransportError&) {
+    // A well-framed envelope around a malformed payload: rejected with
+    // the right type, connection-fatal, never journal-corrupting.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const FeedResult whole = feed(bytes, std::max<std::size_t>(size, 1));
+  const FeedResult bytewise = feed(bytes, 1);
+  if (!(whole == bytewise)) std::abort();  // chunking changed the frames
+  for (const Frame& frame : whole.frames) check_typed_roundtrip(frame);
+  return 0;
+}

@@ -15,6 +15,7 @@ namespace mapit::core {
 
 namespace {
 
+using wire::append_u16;
 using wire::append_u32;
 using wire::append_u64;
 using wire::crc32;
@@ -77,6 +78,29 @@ constexpr std::size_t kHeaderCrcEnd = 48;
                            context);
       }
       return out;
+    case JournalRecord::Type::kRemoteBatch: {
+      out.type = JournalRecord::Type::kRemoteBatch;
+      out.batch_seq = cursor.read_u64();
+      out.source_offset = cursor.read_u64();
+      const std::size_t name_len = cursor.read_u16();
+      if (name_len == 0 || name_len > kMaxJournalSessionName) {
+        throw JournalError("journal remote-batch session name length " +
+                           std::to_string(name_len) + " out of range: " +
+                           context);
+      }
+      out.session = std::string(cursor.read_bytes(name_len));
+      const std::uint32_t count = cursor.read_u32();
+      out.lines.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len = cursor.read_u32();
+        out.lines.emplace_back(cursor.read_bytes(len));
+      }
+      if (!cursor.exhausted()) {
+        throw JournalError("journal remote-batch record has trailing "
+                           "bytes: " + context);
+      }
+      return out;
+    }
   }
   throw JournalError("journal record has unknown type " +
                      std::to_string(type) + ": " + context);
@@ -147,6 +171,21 @@ JournalRecord JournalRecord::commit(std::uint64_t batch_seq,
   return out;
 }
 
+JournalRecord JournalRecord::remote_batch(std::string session,
+                                          std::uint64_t seq,
+                                          std::uint64_t end_offset,
+                                          std::vector<std::string> lines) {
+  MAPIT_ENSURE(!session.empty() && session.size() <= kMaxJournalSessionName,
+               "remote-batch session name length out of range");
+  JournalRecord out;
+  out.type = Type::kRemoteBatch;
+  out.batch_seq = seq;
+  out.source_offset = end_offset;
+  out.session = std::move(session);
+  out.lines = std::move(lines);
+  return out;
+}
+
 std::string serialize_journal_header(const CheckpointMeta& meta) {
   std::string out;
   out.reserve(kJournalHeaderSize);
@@ -178,6 +217,17 @@ std::string serialize_journal_record(const JournalRecord& record) {
       append_u32(payload, record.snapshot_crc);
       append_u32(payload, 0);  // reserved
       break;
+    case JournalRecord::Type::kRemoteBatch:
+      append_u64(payload, record.batch_seq);
+      append_u64(payload, record.source_offset);
+      append_u16(payload, static_cast<std::uint16_t>(record.session.size()));
+      payload.append(record.session);
+      append_u32(payload, static_cast<std::uint32_t>(record.lines.size()));
+      for (const std::string& line : record.lines) {
+        append_u32(payload, static_cast<std::uint32_t>(line.size()));
+        payload.append(line);
+      }
+      break;
   }
   std::string out;
   out.reserve(kJournalFrameSize + payload.size());
@@ -204,7 +254,7 @@ JournalContents read_journal_bytes(std::string_view bytes,
     throw JournalError("journal written with foreign endianness: " + context);
   }
   const std::uint32_t version = header.read_u32();
-  if (version != kJournalVersion) {
+  if (version < kMinJournalVersion || version > kJournalVersion) {
     throw JournalError("unsupported journal version " +
                        std::to_string(version) + ": " + context);
   }

@@ -20,6 +20,15 @@
 //   trace payload  (type 1) := u64 source offset | raw trace line bytes
 //   commit payload (type 2) := u64 batch sequence | u64 traces folded total
 //                              | u32 published snapshot CRC | u32 reserved
+//   remote payload (type 3) := u64 session sequence | u64 sender end offset
+//                              | u16 session name length | session name
+//                              | u32 line count | (u32 length | line bytes)*
+//
+// Format version 2 adds the type-3 remote-batch record (the MDP1 transport's
+// exactly-once unit: one accepted batch from one sender session, journaled
+// atomically with its (session, seq) watermark so a torn tail can never
+// leave traces durable without the watermark that dedupes their resend).
+// Readers accept versions 1 and 2; writers emit version 2.
 //
 // Durability contract: the header is created with fault::write_file_atomic
 // (the path holds either nothing or a complete header); records are
@@ -57,7 +66,11 @@ class JournalError : public CheckpointError {
   using CheckpointError::CheckpointError;
 };
 
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
+/// Oldest header version read_journal_bytes still accepts. Version 1
+/// journals simply predate the remote-batch record type; every v1 byte
+/// sequence parses identically under v2 rules.
+inline constexpr std::uint32_t kMinJournalVersion = 1;
 inline constexpr std::size_t kJournalHeaderSize = 56;
 inline constexpr std::size_t kJournalFrameSize = 12;
 /// Sanity cap on a single record payload. Trace lines are bounded far
@@ -65,30 +78,45 @@ inline constexpr std::size_t kJournalFrameSize = 12;
 inline constexpr std::uint32_t kMaxJournalPayload = 1u << 24;
 /// source_offset value for delta lines with no file position (socket).
 inline constexpr std::uint64_t kNoSourceOffset = ~0ull;
+/// Sanity cap on a remote-batch session name (also enforced by the MDP1
+/// handshake, so a journaled name can always round-trip the wire).
+inline constexpr std::size_t kMaxJournalSessionName = 256;
 
 /// One journal record. Which fields are meaningful depends on `type`;
 /// the factory functions below construct well-formed instances.
 struct JournalRecord {
-  enum class Type : std::uint8_t { kTrace = 1, kCommit = 2 };
+  enum class Type : std::uint8_t { kTrace = 1, kCommit = 2, kRemoteBatch = 3 };
 
   Type type = Type::kTrace;
   /// kTrace: byte offset of the line in its source file, so a tailer
   /// resuming after a torn tail knows where to re-read from; lines with no
   /// file position (socket deltas) record kNoSourceOffset. The raw
   /// accepted line follows.
+  /// kRemoteBatch: the sender's source-file offset after the last line of
+  /// the batch — replayed to a reconnecting sender so it resumes reading
+  /// exactly where the durable prefix ends.
   std::uint64_t source_offset = 0;
   std::string line;
   /// kCommit: the batch watermark bookkeeping — sequence number, total
   /// traces folded so far, and the CRC of the snapshot published for it.
+  /// kRemoteBatch: batch_seq is the per-session monotonic sequence number.
   std::uint64_t batch_seq = 0;
   std::uint64_t traces_total = 0;
   std::uint32_t snapshot_crc = 0;
+  /// kRemoteBatch: sender session name plus the accepted trace lines of
+  /// the batch, journaled as one atomic record (all-or-nothing under a
+  /// torn tail, which is what makes ACK-after-fsync exactly-once).
+  std::string session;
+  std::vector<std::string> lines;
 
   [[nodiscard]] static JournalRecord trace(std::uint64_t source_offset,
                                            std::string line);
   [[nodiscard]] static JournalRecord commit(std::uint64_t batch_seq,
                                             std::uint64_t traces_total,
                                             std::uint32_t snapshot_crc);
+  [[nodiscard]] static JournalRecord remote_batch(
+      std::string session, std::uint64_t seq, std::uint64_t end_offset,
+      std::vector<std::string> lines);
 
   friend bool operator==(const JournalRecord&,
                          const JournalRecord&) = default;

@@ -18,6 +18,10 @@
 
 namespace mapit::core::wire {
 
+inline void append_u16(std::string& out, std::uint16_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
 inline void append_u32(std::string& out, std::uint32_t value) {
   out.append(reinterpret_cast<const char*>(&value), sizeof(value));
 }
@@ -62,6 +66,14 @@ class Cursor {
   [[nodiscard]] std::uint8_t read_u8() {
     need(1);
     return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+
+  [[nodiscard]] std::uint16_t read_u16() {
+    need(2);
+    std::uint16_t value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(value));
+    offset_ += sizeof(value);
+    return value;
   }
 
   [[nodiscard]] std::uint32_t read_u32() {

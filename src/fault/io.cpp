@@ -20,6 +20,7 @@ const char* to_string(Op op) {
     case Op::kRename: return "rename";
     case Op::kClose: return "close";
     case Op::kAccept: return "accept4";
+    case Op::kConnect: return "connect";
     case Op::kSend: return "send";
     case Op::kRecv: return "recv";
     case Op::kEpollCreate: return "epoll_create1";
@@ -60,6 +61,10 @@ int Io::close(int fd) { return ::close(fd); }
 
 int Io::accept4(int fd, ::sockaddr* address, ::socklen_t* length, int flags) {
   return ::accept4(fd, address, length, flags);
+}
+
+int Io::connect(int fd, const ::sockaddr* address, ::socklen_t length) {
+  return ::connect(fd, address, length);
 }
 
 ssize_t Io::send(int fd, const void* buffer, std::size_t count, int flags) {

@@ -36,6 +36,7 @@ enum class Op {
   kRename,
   kClose,
   kAccept,
+  kConnect,
   kSend,
   kRecv,
   kEpollCreate,
@@ -66,6 +67,7 @@ class Io {
   virtual int close(int fd);
   virtual int accept4(int fd, ::sockaddr* address, ::socklen_t* length,
                       int flags);
+  virtual int connect(int fd, const ::sockaddr* address, ::socklen_t length);
   virtual ssize_t send(int fd, const void* buffer, std::size_t count,
                        int flags);
   virtual ssize_t recv(int fd, void* buffer, std::size_t count, int flags);

@@ -155,6 +155,15 @@ int FaultPlan::accept4(int fd, ::sockaddr* address, ::socklen_t* length,
   return system_io().accept4(fd, address, length, flags);
 }
 
+int FaultPlan::connect(int fd, const ::sockaddr* address, ::socklen_t length) {
+  const Fault* fault = on_call(Op::kConnect);
+  if (fault != nullptr && fault->inject_errno != 0) {
+    errno = fault->inject_errno;
+    return -1;
+  }
+  return system_io().connect(fd, address, length);
+}
+
 ssize_t FaultPlan::send(int fd, const void* buffer, std::size_t count,
                         int flags) {
   return byte_op(Op::kSend, count, [&](std::size_t n) {

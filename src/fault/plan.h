@@ -78,6 +78,7 @@ class FaultPlan final : public Io {
   int close(int fd) override;
   int accept4(int fd, ::sockaddr* address, ::socklen_t* length,
               int flags) override;
+  int connect(int fd, const ::sockaddr* address, ::socklen_t length) override;
   ssize_t send(int fd, const void* buffer, std::size_t count,
                int flags) override;
   ssize_t recv(int fd, void* buffer, std::size_t count, int flags) override;

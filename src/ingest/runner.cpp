@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -18,6 +19,7 @@
 #include "core/journal.h"
 #include "ingest/pipeline.h"
 #include "ingest/source.h"
+#include "ingest/transport.h"
 #include "net/error.h"
 #include "net/load_report.h"
 #include "query/server.h"
@@ -35,6 +37,9 @@ struct PendingLine {
   std::uint64_t offset = core::kNoSourceOffset;
   std::string line;
   trace::Trace trace;
+  /// Remote batches are journaled (as one kRemoteBatch record) before their
+  /// ACK, ahead of the flush that folds them; the journal stage skips these.
+  bool journaled = false;
 };
 
 /// Sleeps `seconds` in small slices so a stop flag interrupts promptly.
@@ -55,6 +60,7 @@ struct HealthState {
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> publishes{0};
   std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> sessions{0};  ///< authenticated MDP1 connections
 
   void set_error(const std::string& message) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -64,10 +70,19 @@ struct HealthState {
     const std::lock_guard<std::mutex> lock(mutex_);
     return last_error_;
   }
+  void set_last_ack(const std::string& value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    last_ack_ = value;
+  }
+  [[nodiscard]] std::string last_ack() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return last_ack_;
+  }
 
  private:
   mutable std::mutex mutex_;
   std::string last_error_;
+  std::string last_ack_;
 };
 
 /// The ingest process's answer to `mapit supervise` liveness probes: one
@@ -137,6 +152,11 @@ class HealthEndpoint {
     for (char& c : error) {
       if (c == ' ' || c == '\n' || c == '\r' || c == '\t') c = '_';
     }
+    std::string last_ack = state_->last_ack();
+    if (last_ack.empty()) last_ack = "none";
+    for (char& c : last_ack) {
+      if (c == ' ' || c == '\n' || c == '\r' || c == '\t') c = '_';
+    }
     std::string line = "OK degraded=";
     line += state_->degraded.load(std::memory_order_relaxed) ? '1' : '0';
     line += " uptime=" + std::to_string(uptime);
@@ -146,6 +166,9 @@ class HealthEndpoint {
                                 std::memory_order_relaxed));
     line += " pending=" +
             std::to_string(state_->pending.load(std::memory_order_relaxed));
+    line += " sessions=" +
+            std::to_string(state_->sessions.load(std::memory_order_relaxed));
+    line += " last_ack=" + last_ack;
     line += " last_error=" + error + "\n";
     (void)io_->send(fd, line.data(), line.size(), MSG_NOSIGNAL);
   }
@@ -193,24 +216,47 @@ IngestStats run_ingest(const IngestOptions& options,
   std::uint64_t journal_traces = 0;
   std::uint64_t committed_traces = 0;
   std::uint64_t batch_seq = 0;
+  WatermarkTable watermarks;
   trace::TraceCorpus replay_corpus;
+  const auto replay_line = [&](const std::string& line) {
+    ++journal_traces;
+    try {
+      replay_corpus.add(trace::parse_trace(line, "journal"));
+    } catch (const Error& error) {
+      // Only parsed lines are ever appended; one that no longer parses
+      // means the parser and the journal disagree — corruption-grade.
+      throw core::JournalError(options.journal_path +
+                               ": journaled trace no longer parses: " +
+                               error.what());
+    }
+  };
   for (const core::JournalRecord& record : replayed.records) {
     if (record.type == core::JournalRecord::Type::kTrace) {
-      ++journal_traces;
-      try {
-        replay_corpus.add(trace::parse_trace(record.line, "journal"));
-      } catch (const Error& error) {
-        // Only parsed lines are ever appended; one that no longer parses
-        // means the parser and the journal disagree — corruption-grade.
-        throw core::JournalError(options.journal_path +
-                                 ": journaled trace no longer parses: " +
-                                 error.what());
-      }
+      replay_line(record.line);
       if (record.source_offset != core::kNoSourceOffset) {
         follow_offset =
             std::max(follow_offset,
                      record.source_offset + record.line.size() + 1);
       }
+    } else if (record.type == core::JournalRecord::Type::kRemoteBatch) {
+      // Restore the session watermark the ACK promised was durable. The
+      // record is atomic: its lines and its dedupe key replay together.
+      const auto mark = watermarks.get(record.session);
+      if (mark && record.batch_seq <= mark->seq) {
+        throw core::JournalError(options.journal_path +
+                                 ": remote batch sequence not ascending "
+                                 "for session " +
+                                 record.session);
+      }
+      if (mark && record.source_offset < mark->offset) {
+        throw core::JournalError(options.journal_path +
+                                 ": remote batch offset regressed for "
+                                 "session " +
+                                 record.session);
+      }
+      watermarks.set(record.session, record.batch_seq,
+                     record.source_offset);
+      for (const std::string& line : record.lines) replay_line(line);
     } else {
       if (record.traces_total != journal_traces) {
         throw core::JournalError(
@@ -269,10 +315,25 @@ IngestStats run_ingest(const IngestOptions& options,
   store::WriteInfo info;
   const double retry_interval =
       options.retry_interval > 0 ? options.retry_interval : 1.0;
+  // The remote receipt path (journal + fsync before ACK) has its own
+  // degraded park, independent of the flush machine's; HEALTH reports
+  // degraded while either is stuck.
+  bool remote_degraded = false;
+  bool remote_dirty = false;  ///< a parked remote append may have left bytes
+  std::uint64_t remote_rollback = 0;
+  Clock::time_point remote_next_attempt{};
 
   const auto attempt_flush = [&]() -> bool {
     try {
       if (flush.stage == Stage::kJournal) {
+        if (remote_dirty) {
+          // A parked remote append left bytes past the durable end; clear
+          // them before this batch claims the tail (the remote retry will
+          // recapture a fresh rollback point).
+          writer.rollback_to(remote_rollback);
+          remote_dirty = false;
+          flush.rollback_size = writer.size();
+        }
         if (flush.journal_dirty) {
           writer.rollback_to(flush.rollback_size);
           flush.journal_dirty = false;
@@ -283,6 +344,7 @@ IngestStats run_ingest(const IngestOptions& options,
         // rename. A crash anywhere in between replays into identical
         // state.
         for (const PendingLine& entry : flush.inflight) {
+          if (entry.journaled) continue;  // remote lines are durable already
           writer.append(
               core::JournalRecord::trace(entry.offset, entry.line));
         }
@@ -351,7 +413,7 @@ IngestStats run_ingest(const IngestOptions& options,
     }
     if (flush.degraded) {
       flush.degraded = false;
-      health.degraded.store(false, std::memory_order_relaxed);
+      health.degraded.store(remote_degraded, std::memory_order_relaxed);
       if (options.log != nullptr) {
         *options.log << "ingest: recovered from degraded mode\n";
       }
@@ -391,14 +453,35 @@ IngestStats run_ingest(const IngestOptions& options,
   if (!options.follow_path.empty()) {
     tailer.emplace(options.follow_path, follow_offset, io);
   }
-  std::optional<IngestSocket> socket;
+  std::optional<TransportServer> transport;
   if (options.listen_port >= 0) {
-    socket.emplace(static_cast<std::uint16_t>(options.listen_port), 65536,
-                   io);
-    stats.listen_port = socket->port();
+    TransportServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(options.listen_port);
+    server_options.secret = options.secret;
+    server_options.meta = pipeline.meta();
+    server_options.max_inflight_batches = options.max_inflight_batches;
+    server_options.heartbeat_seconds = options.transport_heartbeat_seconds;
+    server_options.deadline_seconds = options.transport_deadline_seconds;
+    transport.emplace(server_options, watermarks, io);
+    stats.listen_port = transport->port();
     if (options.log != nullptr) {
-      *options.log << "ingest: listening on 127.0.0.1:" << socket->port()
-                   << "\n";
+      char fingerprint_hex[17];
+      std::snprintf(fingerprint_hex, sizeof(fingerprint_hex), "%016llx",
+                    static_cast<unsigned long long>(
+                        combined_fingerprint(pipeline.meta())));
+      *options.log << "ingest: listening (MDP1) on 127.0.0.1:"
+                   << transport->port() << ", base fingerprint "
+                   << fingerprint_hex << "\n";
+    }
+  }
+  std::optional<IngestSocket> socket;
+  if (options.listen_plain_port >= 0) {
+    socket.emplace(static_cast<std::uint16_t>(options.listen_plain_port),
+                   65536, io);
+    stats.listen_plain_port = socket->port();
+    if (options.log != nullptr) {
+      *options.log << "ingest: listening (plaintext) on 127.0.0.1:"
+                   << socket->port() << "\n";
     }
   }
 
@@ -419,6 +502,133 @@ IngestStats run_ingest(const IngestOptions& options,
     flush.rollback_size = writer.size();
     flush.journal_dirty = false;
     flush.next_attempt = Clock::now();
+  };
+
+  // ---- the remote receipt path --------------------------------------------
+  // One drained batch becomes one atomic kRemoteBatch journal record:
+  // journal -> fsync -> watermark -> ACK, strictly in that order, so an
+  // ACK always names durable state. Lines are parsed exactly once at
+  // intake (quarantine accounting must not double-count across journal
+  // retries); the journal step has its own degraded park mirroring the
+  // flush machine's, and runs only while that machine is idle — the
+  // commit-record consistency check relies on every remote record
+  // preceding the commit that folds its lines.
+  struct RemoteWork {
+    std::uint64_t connection_id = 0;
+    std::string session;
+    std::uint64_t seq = 0;
+    std::uint64_t end_offset = 0;
+    std::vector<PendingLine> accepted;  ///< parsed, marked journaled
+    core::JournalRecord record;         ///< prebuilt kRemoteBatch
+  };
+  std::deque<RemoteWork> remote_backlog;
+  std::vector<ReceivedBatch> remote_incoming;
+
+  const auto intake_remote = [&](ReceivedBatch& batch) {
+    RemoteWork work;
+    work.connection_id = batch.connection_id;
+    work.session = batch.session;
+    work.seq = batch.seq;
+    work.end_offset = batch.end_offset;
+    std::vector<std::string> accepted_lines;
+    for (std::string& line : batch.lines) {
+      ++delta_line_no;
+      if (line.empty() || line[0] == '#') continue;  // corpus comment rules
+      try {
+        trace::Trace parsed = trace::parse_trace(
+            line, "delta line " + std::to_string(delta_line_no));
+        PendingLine entry;
+        entry.line = line;
+        entry.trace = std::move(parsed);
+        entry.journaled = true;
+        work.accepted.push_back(std::move(entry));
+        accepted_lines.push_back(std::move(line));
+        delta_report.add_loaded(1);
+      } catch (const Error& error) {
+        if (!options.lenient) throw;
+        delta_report.record(delta_line_no, 0, error.what());
+      }
+    }
+    // Even an all-quarantined batch is journaled: the watermark must
+    // become durable before the ACK, or a resend would re-quarantine.
+    work.record = core::JournalRecord::remote_batch(
+        work.session, work.seq, work.end_offset, std::move(accepted_lines));
+    remote_backlog.push_back(std::move(work));
+  };
+
+  const auto attempt_remote = [&]() -> bool {
+    while (!remote_backlog.empty()) {
+      RemoteWork& work = remote_backlog.front();
+      const auto mark = watermarks.get(work.session);
+      const std::uint64_t durable_seq = mark ? mark->seq : 0;
+      if (mark && work.seq <= mark->seq) {
+        // Raced duplicate (e.g. the same seq arrived on two connections
+        // around a reconnect): the journal already has it; re-ACK the
+        // watermark so the sender advances.
+        ++stats.remote_duplicates;
+        watermarks.note_ack(work.session);
+        if (transport) transport->ack(work.connection_id, mark->seq, mark->offset);
+        remote_backlog.pop_front();
+        continue;
+      }
+      if (work.seq != durable_seq + 1) {
+        // Connection-level sequencing makes a gap impossible unless the
+        // peer is buggy; drop without ACK and let its deadline resync it.
+        if (options.log != nullptr) {
+          *options.log << "ingest: dropping out-of-order remote batch "
+                       << work.seq << " from session " << work.session
+                       << " (watermark " << durable_seq << ")\n";
+        }
+        remote_backlog.pop_front();
+        continue;
+      }
+      try {
+        if (remote_dirty) {
+          writer.rollback_to(remote_rollback);
+          remote_dirty = false;
+        }
+        remote_rollback = writer.size();
+        remote_dirty = true;
+        writer.append(work.record);
+        writer.sync();  // the durability point: ACK only past this line
+        remote_dirty = false;
+      } catch (const Error& error) {
+        if (!remote_degraded) {
+          remote_degraded = true;
+          ++stats.degraded_entries;
+          health.degraded.store(true, std::memory_order_relaxed);
+          if (options.log != nullptr) {
+            *options.log << "ingest: DEGRADED (remote): " << error.what()
+                         << " (retrying every " << retry_interval << "s)\n";
+          }
+        }
+        health.set_error(error.what());
+        remote_next_attempt =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(retry_interval));
+        return false;
+      }
+      watermarks.set(work.session, work.seq, work.end_offset);
+      watermarks.note_ack(work.session);
+      if (transport) transport->ack(work.connection_id, work.seq, work.end_offset);
+      ++stats.remote_batches;
+      if (pending.empty() && !work.accepted.empty()) {
+        first_pending = Clock::now();
+      }
+      for (PendingLine& entry : work.accepted) {
+        pending.push_back(std::move(entry));
+      }
+      remote_backlog.pop_front();
+    }
+    if (remote_degraded) {
+      remote_degraded = false;
+      health.degraded.store(flush.degraded, std::memory_order_relaxed);
+      if (options.log != nullptr) {
+        *options.log << "ingest: recovered from degraded mode (remote)\n";
+      }
+    }
+    return true;
   };
 
   const std::size_t backlog_cap = options.max_pending_lines != 0
@@ -456,6 +666,22 @@ IngestStats run_ingest(const IngestOptions& options,
     // socket's queue fills, throttling producers through TCP.
     const bool backlogged =
         flush.stage != Stage::kIdle && pending.size() >= backlog_cap;
+    // Remote batches: retry any parked journal write, then drain fresh
+    // ones — but only while the flush machine is idle (it owns the journal
+    // tail mid-batch) and the backlog bound has room. Batches left queued
+    // inside the server throttle senders via the inflight quota.
+    if (transport && flush.stage == Stage::kIdle &&
+        (!remote_degraded || Clock::now() >= remote_next_attempt)) {
+      if (attempt_remote() && pending.size() < backlog_cap) {
+        remote_incoming.clear();
+        transport->drain(remote_incoming);
+        for (ReceivedBatch& batch : remote_incoming) {
+          arrived += batch.lines.size();
+          intake_remote(batch);
+        }
+        if (!remote_backlog.empty()) (void)attempt_remote();
+      }
+    }
     if (!backlogged) {
       if (tailer) arrived += tailer->poll(incoming);
       if (socket) arrived += socket->drain(incoming);
@@ -484,6 +710,14 @@ IngestStats run_ingest(const IngestOptions& options,
     stats.quarantined = delta_report.skipped();
     health.pending.store(pending.size() + flush.inflight.size(),
                          std::memory_order_relaxed);
+    if (transport) {
+      health.sessions.store(transport->sessions(),
+                            std::memory_order_relaxed);
+      if (const auto last = watermarks.last_ack()) {
+        health.set_last_ack(last->first + ":" +
+                            std::to_string(last->second.seq));
+      }
+    }
 
     bool due = flush.stage == Stage::kIdle &&
                pending.size() >= options.batch_lines;
@@ -493,7 +727,8 @@ IngestStats run_ingest(const IngestOptions& options,
             options.batch_seconds) {
       due = true;
     }
-    if (options.drain && arrived == 0 && !backlogged) {
+    if (options.drain && arrived == 0 && !backlogged &&
+        remote_backlog.empty()) {
       if (flush.stage == Stage::kIdle) {
         if (pending.empty()) break;  // input exhausted and flushed: done
         start_flush();  // leftovers become the final batch
@@ -518,6 +753,11 @@ IngestStats run_ingest(const IngestOptions& options,
   }
 
   if (socket) stats.source_rearms = socket->rearms();
+  // Duplicates are dropped at two levels: connection threads re-ACK
+  // batches already at-or-below the durable watermark (the common resend
+  // path), and attempt_remote catches the race where the duplicate was
+  // queued before the watermark advanced. The stat reports both.
+  if (transport) stats.remote_duplicates += transport->duplicates();
   if (options.log != nullptr) {
     const std::string summary = delta_report.summary("ingest deltas");
     if (!summary.empty()) *options.log << summary;

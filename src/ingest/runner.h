@@ -63,8 +63,21 @@ struct IngestOptions {
 
   /// Append-only delta corpus file to tail-follow ("" = none).
   std::string follow_path;
-  /// 127.0.0.1 ingest socket port (-1 = none; 0 = ephemeral).
+  /// MDP1 framed-transport listener port (-1 = none; 0 = ephemeral).
+  /// Remote `mapit send` clients authenticate with `secret` and get
+  /// exactly-once journaling (ACK after fsync, watermark dedupe).
   int listen_port = -1;
+  /// Legacy plaintext line listener (-1 = none; 0 = ephemeral). Kept for
+  /// trusted loopback producers; anything remote should speak MDP1.
+  int listen_plain_port = -1;
+  /// Shared HMAC secret for the MDP1 listener (required with listen_port).
+  std::string secret;
+  /// MDP1 liveness tuning; 0 disables the heartbeat / read deadline
+  /// (deterministic-syscall test hook).
+  double transport_heartbeat_seconds = 2.0;
+  double transport_deadline_seconds = 15.0;
+  /// Per-connection unACKed batch quota for the MDP1 listener.
+  std::size_t max_inflight_batches = 8;
 
   std::size_t batch_lines = 1000;  ///< count watermark
   double batch_seconds = 5.0;      ///< time watermark (0 = count only)
@@ -99,8 +112,11 @@ struct IngestStats {
   std::uint64_t publishes = 0;        ///< snapshot publications
   std::uint64_t degraded_entries = 0; ///< flush failures that began a park
   std::uint64_t source_rearms = 0;    ///< ingest listener re-binds
+  std::uint64_t remote_batches = 0;   ///< MDP1 batches journaled + ACKed
+  std::uint64_t remote_duplicates = 0;///< replayed batches deduped by watermark
   std::uint32_t snapshot_crc = 0;     ///< last published payload CRC
-  std::uint16_t listen_port = 0;      ///< bound ingest port (when listening)
+  std::uint16_t listen_port = 0;      ///< bound MDP1 port (when listening)
+  std::uint16_t listen_plain_port = 0;///< bound plaintext port (when enabled)
   std::uint16_t health_port = 0;      ///< bound HEALTH port (when enabled)
 };
 

@@ -1,0 +1,482 @@
+#include "ingest/sender.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ingest/source.h"
+
+namespace mapit::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cut a batch early once its lines total this many bytes, keeping every
+/// BATCH frame far under the transport payload cap.
+constexpr std::size_t kMaxBatchBytes = 1u << 20;
+
+/// Floor on the socket read slice, which doubles as the tailer poll
+/// interval in session_loop: short enough to keep heartbeats, deadlines,
+/// and the stop flag responsive.
+constexpr double kMinReadSliceSeconds = 0.01;
+
+struct PendingBatch {
+  std::uint64_t seq = 0;
+  std::uint64_t end_offset = 0;
+  std::size_t line_count = 0;
+  std::string wire;  ///< serialized frame, reused verbatim for resends
+};
+
+void set_socket_timeout(int fd, double seconds) {
+  struct ::timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Why the per-connection session loop ended.
+enum class SessionEnd {
+  kDrained,   ///< drain mode: everything sent and ACKed
+  kStopped,   ///< stop flag observed
+  kConnLost,  ///< socket died / deadline passed / re-syncable ERROR
+};
+
+class Sender {
+ public:
+  Sender(const SendOptions& options, const std::atomic<bool>& stop)
+      : options_(options),
+        stop_(&stop),
+        io_(options.io != nullptr ? *options.io : fault::system_io()) {
+    MAPIT_ENSURE(!options_.session.empty() &&
+                     options_.session.size() <= kMaxTransportSession,
+                 "sender session name length out of range");
+    MAPIT_ENSURE(!options_.secret.empty(), "sender requires a shared secret");
+    MAPIT_ENSURE(options_.window >= 1, "sender window must be >= 1");
+    MAPIT_ENSURE(options_.batch_lines >= 1,
+                 "sender batch size must be >= 1");
+  }
+
+  SendStats run() {
+    if (!options_.follow) {
+      // Drain mode ships a file that must already exist; a typo'd path
+      // exiting 0 after "sending" nothing would be a silent data loss.
+      const int probe = io_.open(options_.path.c_str(),
+                                 O_RDONLY | O_CLOEXEC, 0);
+      if (probe < 0) {
+        throw Error("cannot open trace file " + options_.path + ": " +
+                    std::strerror(errno));
+      }
+      (void)io_.close(probe);
+    }
+
+    std::uint64_t failed_attempts = 0;
+    double backoff = options_.reconnect_base_seconds;
+    bool handshaken_once = false;
+
+    while (!stop_->load()) {
+      const int fd = connect_once();
+      if (fd < 0) {
+        ++failed_attempts;
+        if (options_.max_attempts != 0 &&
+            failed_attempts >= options_.max_attempts) {
+          throw TransportRetriesExhausted(
+              "giving up on " + options_.host + ":" +
+              std::to_string(options_.port) + " after " +
+              std::to_string(failed_attempts) + " failed attempts");
+        }
+        sleep_backoff(backoff);
+        backoff = std::min(backoff * 2, options_.reconnect_cap_seconds);
+        continue;
+      }
+      bool session_ok = false;
+      try {
+        handshake(fd);
+        session_ok = true;
+      } catch (const TransportAuthError&) {
+        ::close(fd);
+        throw;  // wrong secret / base: retrying cannot help
+      } catch (const Error& error) {
+        log("handshake failed: " + std::string(error.what()));
+      }
+      if (!session_ok) {
+        ::close(fd);
+        ++failed_attempts;
+        if (options_.max_attempts != 0 &&
+            failed_attempts >= options_.max_attempts) {
+          throw TransportRetriesExhausted(
+              "giving up on " + options_.host + ":" +
+              std::to_string(options_.port) + " after " +
+              std::to_string(failed_attempts) + " failed attempts");
+        }
+        sleep_backoff(backoff);
+        backoff = std::min(backoff * 2, options_.reconnect_cap_seconds);
+        continue;
+      }
+      failed_attempts = 0;
+      backoff = options_.reconnect_base_seconds;
+      if (handshaken_once) {
+        ++stats_.reconnects;
+      } else {
+        handshaken_once = true;
+      }
+
+      SessionEnd end = SessionEnd::kConnLost;
+      try {
+        end = session_loop(fd);
+      } catch (const TransportAuthError&) {
+        ::close(fd);
+        throw;
+      }
+      ::close(fd);
+      if (end == SessionEnd::kDrained || end == SessionEnd::kStopped) break;
+    }
+    return stats_;
+  }
+
+ private:
+  void log(const std::string& message) {
+    if (options_.log) options_.log(message);
+  }
+
+  void sleep_backoff(double seconds) {
+    // Slice the sleep so a stop request is honored promptly.
+    auto remaining = std::chrono::duration<double>(seconds);
+    while (remaining.count() > 0 && !stop_->load()) {
+      const auto slice = std::min<std::chrono::duration<double>>(
+          remaining, std::chrono::duration<double>(0.05));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
+
+  /// Opens a TCP connection and ships the stream magic. -1 on failure.
+  int connect_once() {
+    ::sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+      throw Error("invalid IPv4 address: " + options_.host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (io_.connect(fd, reinterpret_cast<const ::sockaddr*>(&address),
+                    sizeof(address)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    set_socket_timeout(fd, std::max(options_.poll_seconds,
+                                    kMinReadSliceSeconds));
+    if (!send_all(fd, std::string_view(kTransportMagic,
+                                       sizeof(kTransportMagic)))) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  bool send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = io_.send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    last_tx_ = Clock::now();
+    return true;
+  }
+
+  /// Pumps the socket until a frame arrives. Throws TransportError on
+  /// garbage; nullopt on EOF / deadline / stop.
+  std::optional<Frame> read_frame(int fd) {
+    Frame frame;
+    char buffer[16 * 1024];
+    while (!stop_->load()) {
+      if (reader_.next(frame)) {
+        last_rx_ = Clock::now();
+        return frame;
+      }
+      const ssize_t n = io_.recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        reader_.append(std::string_view(buffer, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) return std::nullopt;
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return std::nullopt;
+      if (deadline_passed()) return std::nullopt;
+      maybe_heartbeat(fd);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool deadline_passed() const {
+    if (options_.deadline_seconds <= 0) return false;
+    const std::chrono::duration<double> idle = Clock::now() - last_rx_;
+    return idle.count() > options_.deadline_seconds;
+  }
+
+  void maybe_heartbeat(int fd) {
+    if (options_.heartbeat_seconds <= 0) return;
+    const std::chrono::duration<double> quiet = Clock::now() - last_tx_;
+    if (quiet.count() > options_.heartbeat_seconds) {
+      (void)send_all(fd, serialize_frame(FrameType::kHeartbeat, ""));
+    }
+  }
+
+  /// Maps a server ERROR frame onto the client exception taxonomy.
+  [[noreturn]] void raise_server_error(const ErrorFrame& error) {
+    const std::string what = "server rejected session: " + error.message;
+    if (error.code == TransportErrorCode::kAuthFailed ||
+        error.code == TransportErrorCode::kBaseMismatch) {
+      throw TransportAuthError(what);
+    }
+    throw TransportError(what);
+  }
+
+  /// CHALLENGE -> HELLO -> HELLO_ACK. On success the unACKed window and
+  /// the tailer position are re-synced to the server's durable watermark.
+  void handshake(int fd) {
+    reader_ = FrameReader();
+    last_rx_ = last_tx_ = Clock::now();
+
+    auto frame = read_frame(fd);
+    if (!frame.has_value()) {
+      throw TransportError("connection closed before CHALLENGE");
+    }
+    if (frame->type == FrameType::kError) {
+      raise_server_error(parse_error(frame->payload));
+    }
+    if (frame->type != FrameType::kChallenge) {
+      throw TransportError("expected CHALLENGE, got frame type " +
+                           std::to_string(static_cast<int>(frame->type)));
+    }
+    const ChallengeFrame challenge = parse_challenge(frame->payload);
+    if (challenge.version != kTransportVersion) {
+      throw TransportError("server speaks MDP1 version " +
+                           std::to_string(challenge.version));
+    }
+    if (options_.expect_base.has_value() &&
+        challenge.base_fingerprint != *options_.expect_base) {
+      throw TransportAuthError(
+          "server base fingerprint mismatch: expected " +
+          std::to_string(*options_.expect_base) + ", server announced " +
+          std::to_string(challenge.base_fingerprint));
+    }
+
+    HelloFrame hello;
+    hello.base_fingerprint = challenge.base_fingerprint;
+    hello.session = options_.session;
+    hello.mac = compute_hello_mac(options_.secret, challenge.nonce,
+                                  challenge.base_fingerprint,
+                                  options_.session);
+    if (!send_all(fd, serialize_hello(hello))) {
+      throw TransportError("connection closed while sending HELLO");
+    }
+
+    frame = read_frame(fd);
+    if (!frame.has_value()) {
+      throw TransportError("connection closed before HELLO_ACK");
+    }
+    if (frame->type == FrameType::kError) {
+      raise_server_error(parse_error(frame->payload));
+    }
+    if (frame->type != FrameType::kHelloAck) {
+      throw TransportError("expected HELLO_ACK, got frame type " +
+                           std::to_string(static_cast<int>(frame->type)));
+    }
+    const HelloAckFrame ack = parse_hello_ack(frame->payload);
+
+    // Everything at or below the durable watermark is done; the rest of
+    // the window must be replayed on this connection.
+    absorb_ack(ack.last_seq, ack.last_offset);
+    if (tailer_ == nullptr) {
+      // First handshake of this process: resume reading exactly where the
+      // receiver's journal ends. A crashed predecessor's tail re-sends
+      // nothing (ACKed == durable) and loses nothing (unACKed == not
+      // journaled, so the bytes are still at offset >= last_offset).
+      tailer_ = std::make_unique<FileTailer>(options_.path, ack.last_offset,
+                                             io_);
+      next_seq_ = ack.last_seq + 1;
+      if (ack.last_seq > 0) {
+        log("resuming session " + options_.session + " at seq " +
+            std::to_string(next_seq_) + ", offset " +
+            std::to_string(ack.last_offset));
+      }
+    } else if (ack.last_seq + 1 > next_seq_) {
+      // The server knows sequence numbers this process never sent:
+      // another sender is using our session name concurrently. Replaying
+      // on top of it would interleave two files into one watermark chain.
+      throw TransportAuthError(
+          "session " + options_.session + " advanced to seq " +
+          std::to_string(ack.last_seq) +
+          " behind our back (is another sender using this session?)");
+    }
+  }
+
+  /// Drops every window entry covered by the cumulative ACK.
+  void absorb_ack(std::uint64_t seq, std::uint64_t offset) {
+    while (!unacked_.empty() && unacked_.front().seq <= seq) {
+      ++stats_.batches_acked;
+      unacked_.pop_front();
+    }
+    if (seq > stats_.last_acked_seq) {
+      stats_.last_acked_seq = seq;
+      stats_.acked_offset = offset;
+    }
+  }
+
+  SessionEnd session_loop(int fd) {
+    // Replay the unACKed window first: these batches were on the wire
+    // when the previous connection died, and the server may or may not
+    // have journaled them — its watermark dedupe decides.
+    for (const PendingBatch& pending : unacked_) {
+      if (!send_all(fd, pending.wire)) return SessionEnd::kConnLost;
+      ++stats_.batches_resent;
+    }
+
+    Frame frame;
+    char buffer[16 * 1024];
+    while (!stop_->load()) {
+      // 1. Absorb whatever the server sent (ACKs, heartbeats).
+      while (reader_.next(frame)) {
+        last_rx_ = Clock::now();
+        switch (frame.type) {
+          case FrameType::kAck: {
+            const AckFrame ack = parse_ack(frame.payload);
+            absorb_ack(ack.seq, ack.end_offset);
+            break;
+          }
+          case FrameType::kHeartbeat:
+            break;
+          case FrameType::kError:
+            raise_server_error(parse_error(frame.payload));
+          default:
+            throw TransportError(
+                "unexpected frame type " +
+                std::to_string(static_cast<int>(frame.type)) +
+                " from server");
+        }
+      }
+
+      // 2. Refill the line buffer from the tailer (unless the window and
+      // buffer are already saturated — backpressure reaches the file).
+      std::size_t polled = 0;
+      if (buffer_.size() < options_.batch_lines * options_.window) {
+        polled = tailer_->poll(buffer_);
+        if (polled > 0 && buffer_.size() == polled) {
+          oldest_buffered_ = Clock::now();
+        }
+      }
+      const bool source_idle = polled == 0;
+
+      // 3. Cut and ship batches while the window has room.
+      while (unacked_.size() < options_.window && !buffer_.empty()) {
+        const bool full = buffer_.size() >= options_.batch_lines;
+        const std::chrono::duration<double> age =
+            Clock::now() - oldest_buffered_;
+        const bool aged = age.count() >= options_.batch_seconds;
+        const bool flush_eof = !options_.follow && source_idle;
+        if (!full && !aged && !flush_eof) break;
+
+        PendingBatch pending;
+        pending.seq = next_seq_++;
+        BatchFrame batch;
+        batch.seq = pending.seq;
+        std::size_t bytes = 0;
+        std::size_t take = 0;
+        while (take < buffer_.size() && take < options_.batch_lines &&
+               bytes < kMaxBatchBytes) {
+          bytes += buffer_[take].line.size();
+          ++take;
+        }
+        batch.lines.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.lines.push_back(std::move(buffer_[i].line));
+        }
+        batch.end_offset = take < buffer_.size() ? buffer_[take].offset
+                                                 : tailer_->offset();
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+        if (!buffer_.empty()) oldest_buffered_ = Clock::now();
+        pending.end_offset = batch.end_offset;
+        pending.line_count = take;
+        pending.wire = serialize_batch(batch);
+
+        if (!send_all(fd, pending.wire)) {
+          // Not ACKed, still in the window: the reconnect replays it.
+          unacked_.push_back(std::move(pending));
+          return SessionEnd::kConnLost;
+        }
+        stats_.lines_sent += take;
+        ++stats_.batches_sent;
+        unacked_.push_back(std::move(pending));
+      }
+
+      // 4. Drain termination: source exhausted, window empty.
+      if (!options_.follow && source_idle && buffer_.empty() &&
+          unacked_.empty()) {
+        return SessionEnd::kDrained;
+      }
+
+      // 5. Block briefly on the socket (doubles as the poll interval).
+      const ssize_t n = io_.recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        reader_.append(std::string_view(buffer, static_cast<std::size_t>(n)));
+        last_rx_ = Clock::now();
+      } else if (n == 0) {
+        return SessionEnd::kConnLost;
+      } else if (errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK) {
+        return SessionEnd::kConnLost;
+      }
+      if (deadline_passed()) return SessionEnd::kConnLost;
+      maybe_heartbeat(fd);
+    }
+    return SessionEnd::kStopped;
+  }
+
+  SendOptions options_;
+  const std::atomic<bool>* stop_;
+  fault::Io& io_;
+  SendStats stats_;
+  FrameReader reader_;
+  std::unique_ptr<FileTailer> tailer_;
+  std::vector<SourceLine> buffer_;
+  std::deque<PendingBatch> unacked_;
+  std::uint64_t next_seq_ = 1;
+  Clock::time_point last_rx_{};
+  Clock::time_point last_tx_{};
+  Clock::time_point oldest_buffered_{};
+};
+
+}  // namespace
+
+SendStats run_sender(const SendOptions& options,
+                     const std::atomic<bool>& stop) {
+  Sender sender(options, stop);
+  return sender.run();
+}
+
+}  // namespace mapit::ingest

@@ -1,0 +1,87 @@
+// `mapit send`: the MDP1 client that ships a local delta trace file to a
+// remote `mapit ingest --listen` receiver.
+//
+// The sender tails the file (FileTailer — same rotation detection as the
+// receiver's --follow mode), cuts complete lines into batches with
+// per-session monotonic sequence numbers, and keeps a bounded window of
+// unACKed batches in memory. Recovery is entirely ACK-driven:
+//
+//   * Dropped connection: reconnect with capped exponential backoff, then
+//     re-handshake. The server's HELLO_ACK names the last durable (seq,
+//     source offset); everything at or below it is dropped from the
+//     window, everything above it is resent verbatim.
+//   * Sender crash (kill -9): a fresh process starts with an empty window,
+//     seeks its tailer to HELLO_ACK's offset, and continues at seq + 1 —
+//     no local state files needed; the journal on the receiver is the only
+//     source of truth.
+//   * Receiver crash: same as a dropped connection; the journal replay on
+//     the other side restores the watermark the next HELLO_ACK reports.
+//
+// An ACK is cumulative (covers every seq <= the ACKed one) and is only
+// ever sent after the receiver's journal fsync, so "ACKed" means durable.
+// Resends below the watermark are deduped server-side; the transport is
+// exactly-once end to end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fault/io.h"
+#include "ingest/transport.h"
+
+namespace mapit::ingest {
+
+/// Reconnect attempts exhausted without a durable handshake. Its own type
+/// so the CLI maps it to exit code 8 (transient transport failure) rather
+/// than 7 (rejected credentials — TransportAuthError).
+class TransportRetriesExhausted : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+struct SendOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;     ///< delta trace file to tail
+  std::string session;  ///< stable sender identity (the dedupe namespace)
+  std::string secret;   ///< shared HMAC secret
+  /// When set, the CHALLENGE's base fingerprint must match (mismatch is a
+  /// TransportAuthError before HELLO is ever sent).
+  std::optional<std::uint64_t> expect_base;
+  std::size_t batch_lines = 256;   ///< cut a batch at this many lines
+  double batch_seconds = 0.5;      ///< ... or when the oldest line is this old
+  double poll_seconds = 0.05;      ///< tailer poll interval when idle
+  bool follow = false;  ///< keep tailing after EOF (default: drain and exit)
+  std::size_t window = 8;          ///< max unACKed batches in flight
+  double heartbeat_seconds = 2.0;  ///< 0 disables
+  double deadline_seconds = 15.0;  ///< peer silent this long = reconnect
+  double reconnect_base_seconds = 0.2;  ///< first backoff step
+  double reconnect_cap_seconds = 5.0;   ///< backoff ceiling
+  /// Consecutive failed connection attempts tolerated before giving up
+  /// (TransportRetriesExhausted). 0 = retry forever.
+  std::uint64_t max_attempts = 0;
+  std::function<void(const std::string&)> log;
+  fault::Io* io = nullptr;  ///< nullptr = fault::system_io()
+};
+
+struct SendStats {
+  std::uint64_t lines_sent = 0;     ///< lines shipped at least once
+  std::uint64_t batches_sent = 0;   ///< BATCH frames put on the wire
+  std::uint64_t batches_acked = 0;  ///< batches covered by an ACK
+  std::uint64_t batches_resent = 0; ///< window replays after reconnect
+  std::uint64_t reconnects = 0;     ///< successful re-handshakes after the first
+  std::uint64_t last_acked_seq = 0;
+  std::uint64_t acked_offset = 0;   ///< source bytes durable on the receiver
+};
+
+/// Runs the sender until the file is drained (follow == false), `stop`
+/// becomes true, or an unrecoverable rejection. Throws TransportAuthError
+/// (bad secret / base mismatch), TransportRetriesExhausted (peer
+/// unreachable), mapit::Error (bad source file).
+SendStats run_sender(const SendOptions& options,
+                     const std::atomic<bool>& stop);
+
+}  // namespace mapit::ingest

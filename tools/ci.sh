@@ -13,6 +13,12 @@
 #                   async      epoll server smoke over both wire protocols
 #                   ingest     streaming-ingest smoke: cold-vs-incremental
 #                              equivalence + kill-mid-journal resume
+#                   remote     MDP1 remote delta transport smoke: `mapit
+#                              send` against `mapit ingest --listen`,
+#                              kill -9 the sender mid-stream twice, restart,
+#                              and require the published snapshot to be
+#                              byte-identical to a cold batch run; wrong
+#                              secret must be rejected with exit 7
 #                   supervise  self-healing smoke: supervised worker fleet,
 #                              kill -9 one mid-replay, zero failed golden
 #                              answers + automatic restart, SIGTERM drain
@@ -58,6 +64,15 @@
 #                 full corpus; then truncate the delta journal twice (deep
 #                 cut and torn frame) and re-ingest — every resume must
 #                 converge to the same bytes (default: SNAPSHOT_SMOKE)
+#   REMOTE_INGEST_SMOKE 1 = stream a delta corpus with `mapit send` into
+#                 `mapit ingest --listen` over the authenticated MDP1
+#                 transport, kill -9 the sender mid-stream twice and
+#                 restart it (the receiver's (session, seq) watermark must
+#                 drop every replayed batch), then require the published
+#                 snapshot and a journal-replay re-run to be byte-identical
+#                 to a cold `mapit snapshot` over base+delta; also checks
+#                 that a wrong shared secret is refused at HELLO with
+#                 exit 7 and no journal growth (default: INGEST_SMOKE)
 #   DIFF_SWEEP    1 = run the MAP-IT vs baselines sweep over the default
 #                 artifact-rate × seed grid and require exact agreement
 #                 with the committed DIFF_sweep.json (default: BENCH_SMOKE)
@@ -81,6 +96,7 @@ CHECKPOINT_MATRIX="${CHECKPOINT_MATRIX:-${FAULT_MATRIX}}"
 ASYNC_SMOKE="${ASYNC_SMOKE:-${SNAPSHOT_SMOKE}}"
 SUPERVISE_SMOKE="${SUPERVISE_SMOKE:-${ASYNC_SMOKE}}"
 INGEST_SMOKE="${INGEST_SMOKE:-${SNAPSHOT_SMOKE}}"
+REMOTE_INGEST_SMOKE="${REMOTE_INGEST_SMOKE:-${INGEST_SMOKE}}"
 DIFF_SWEEP="${DIFF_SWEEP:-${BENCH_SMOKE}}"
 FUZZ_SMOKE="${FUZZ_SMOKE:-0}"
 FUZZ_TIME="${FUZZ_TIME:-60}"
@@ -468,6 +484,130 @@ stage_ingest() {
   done
 }
 
+stage_remote() {
+  echo "== remote delta transport (MDP1) kill -9 resilience =="
+  # The exactly-once claim, proven through the real binaries: `mapit send`
+  # streams a delta file into `mapit ingest --listen` over the framed,
+  # authenticated transport; the sender is kill -9'd mid-stream twice and
+  # restarted (resuming from the receiver's durable watermark, resending
+  # anything unACKed), and the final published snapshot must still be
+  # byte-identical (cmp) to a cold batch run over base+delta. A wrong
+  # shared secret must be refused at HELLO with exit 7 and zero journal
+  # writes, and a receiver restart replaying the journal must republish
+  # the same bytes.
+  local mapit_bin="${BUILD_DIR}/tools/mapit"
+  local work="${BUILD_DIR}/remote_smoke"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${mapit_bin}" simulate --out "${work}" --seed 11
+  local datasets=(--rib "${work}/rib.txt"
+                  --relationships "${work}/relationships.txt"
+                  --as2org "${work}/as2org.txt" --ixps "${work}/ixps.txt")
+
+  local total base_lines
+  total=$(wc -l < "${work}/traces.txt")
+  base_lines=$((total * 3 / 4))
+  head -n "${base_lines}" "${work}/traces.txt" > "${work}/base.txt"
+  tail -n "+$((base_lines + 1))" "${work}/traces.txt" > "${work}/delta.txt"
+
+  "${mapit_bin}" snapshot --traces "${work}/traces.txt" "${datasets[@]}" \
+    --out "${work}/cold.snap"
+
+  printf 'remote-smoke-shared-secret\n' > "${work}/secret"
+  printf 'not-the-shared-secret\n' > "${work}/wrong.secret"
+
+  # --listen 0 binds an ephemeral port; scrape it from the startup log
+  # line ("ingest: listening (MDP1) on 127.0.0.1:<port>, ...").
+  "${mapit_bin}" ingest --traces "${work}/base.txt" "${datasets[@]}" \
+    --journal "${work}/deltas.jnl" --out "${work}/live.snap" \
+    --listen 0 --secret-file "${work}/secret" \
+    --batch-seconds 0.1 --poll-interval 0.02 \
+    2> "${work}/ingest.log" &
+  local ingest_pid=$!
+  trap 'kill "${ingest_pid}" 2>/dev/null || true; print_stage_table' EXIT
+
+  local port="" _i
+  for _i in $(seq 1 100); do
+    port="$(sed -n 's/.*listening (MDP1) on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "${work}/ingest.log" | head -n 1)"
+    if [[ -n "${port}" ]]; then break; fi
+    if ! kill -0 "${ingest_pid}" 2>/dev/null; then
+      echo "ingest exited before binding its MDP1 listener:" >&2
+      cat "${work}/ingest.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "ingest never logged its MDP1 listen port" >&2
+    cat "${work}/ingest.log" >&2
+    exit 1
+  fi
+
+  # Wrong shared secret: refused at HELLO with the dedicated exit code,
+  # before anything reaches the journal.
+  local journal_before rc=0
+  journal_before=$(stat -c %s "${work}/deltas.jnl")
+  "${mapit_bin}" send --file "${work}/delta.txt" --port "${port}" \
+    --session smoke --secret-file "${work}/wrong.secret" \
+    2> "${work}/send_rejected.log" || rc=$?
+  if [[ "${rc}" != 7 ]]; then
+    echo "wrong secret: expected exit 7 (auth rejected), got ${rc}:" >&2
+    cat "${work}/send_rejected.log" >&2
+    exit 1
+  fi
+  if [[ "$(stat -c %s "${work}/deltas.jnl")" != "${journal_before}" ]]; then
+    echo "rejected handshake grew the delta journal" >&2
+    exit 1
+  fi
+  echo "wrong secret refused at HELLO (exit 7, no journal writes): ok"
+
+  # Stream the delta with small batches so a kill -9 reliably lands with
+  # batches in flight; --follow keeps the sender alive (tailing) even if
+  # it finishes early, so the kill always interrupts a live session.
+  local send_flags=(--file "${work}/delta.txt" --port "${port}"
+                    --session smoke --secret-file "${work}/secret"
+                    --batch-lines 20 --batch-seconds 0.05
+                    --poll-interval 0.02 --window 2)
+  local round send_pid
+  for round in 1 2; do
+    "${mapit_bin}" send "${send_flags[@]}" --follow \
+      2>> "${work}/send.log" &
+    send_pid=$!
+    sleep 0.4
+    kill -9 "${send_pid}" 2>/dev/null || true
+    wait "${send_pid}" 2>/dev/null || true
+    echo "sender kill -9 round ${round}: ok"
+  done
+  # The final run drains to EOF and exits once every line is ACKed —
+  # i.e. journaled and fsynced by the receiver. Anything the kills left
+  # unACKed is resent; anything already durable is replayed and must be
+  # dropped by the (session, seq) watermark.
+  "${mapit_bin}" send "${send_flags[@]}" 2>> "${work}/send.log"
+
+  kill -TERM "${ingest_pid}"
+  rc=0
+  wait "${ingest_pid}" || rc=$?
+  trap print_stage_table EXIT
+  if [[ "${rc}" != 5 ]]; then
+    echo "ingest: expected exit 5 (interrupted by SIGTERM), got ${rc}:" >&2
+    cat "${work}/ingest.log" >&2
+    exit 1
+  fi
+  cmp "${work}/cold.snap" "${work}/live.snap"
+  echo "remote stream survives two sender kill -9s: byte-identical: ok" \
+       "(${total} traces, $((total - base_lines)) sent remotely)"
+
+  # Receiver restart: replaying the journal (remote batches + watermarks)
+  # alone must republish the same bytes.
+  rm -f "${work}/live.snap"
+  "${mapit_bin}" ingest --traces "${work}/base.txt" "${datasets[@]}" \
+    --journal "${work}/deltas.jnl" --out "${work}/live.snap" --drain \
+    2>> "${work}/ingest.log"
+  cmp "${work}/cold.snap" "${work}/live.snap"
+  echo "receiver restart journal replay: byte-identical: ok"
+}
+
 stage_supervise() {
   echo "== supervise self-healing smoke =="
   # Boot a supervised fleet — two `serve --async --reuseport` workers
@@ -640,11 +780,11 @@ if [[ -n "${STAGES:-}" ]]; then
   for stage in $(echo "${STAGES}" | tr ',' ' '); do
     case "${stage}" in
       configure|build) ;;  # always run; listed for convenience
-      test|fault|checkpoint|bench|snapshot|async|ingest|supervise|sweep|fuzz)
+      test|fault|checkpoint|bench|snapshot|async|ingest|remote|supervise|sweep|fuzz)
         SELECTED+=("${stage}") ;;
       *)
         echo "ci.sh: unknown stage '${stage}' (valid: test fault checkpoint" \
-             "bench snapshot async ingest supervise sweep fuzz)" >&2
+             "bench snapshot async ingest remote supervise sweep fuzz)" >&2
         exit 2 ;;
     esac
   done
@@ -657,6 +797,7 @@ else
   if [[ "${ASYNC_SMOKE}" == "1" ]]; then SELECTED+=(async); fi
   if [[ "${SUPERVISE_SMOKE}" == "1" ]]; then SELECTED+=(supervise); fi
   if [[ "${INGEST_SMOKE}" == "1" ]]; then SELECTED+=(ingest); fi
+  if [[ "${REMOTE_INGEST_SMOKE}" == "1" ]]; then SELECTED+=(remote); fi
   if [[ "${DIFF_SWEEP}" == "1" ]]; then SELECTED+=(sweep); fi
   if [[ "${FUZZ_SMOKE}" == "1" ]]; then SELECTED+=(fuzz); fi
 fi

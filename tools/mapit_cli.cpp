@@ -7,6 +7,7 @@
 //   mapit query     batch-answer queries against a snapshot (stdin/stdout)
 //   mapit serve     serve a snapshot over a TCP line protocol
 //   mapit ingest    stream delta traces into a journal + live snapshot
+//   mapit send      ship a delta trace file to a remote ingest over MDP1
 //   mapit supervise babysit a fleet of serve/ingest workers from a spec
 //   mapit help      usage
 //
@@ -38,6 +39,7 @@
 #include "eval/experiment.h"
 #include "fault/atomic_file.h"
 #include "ingest/runner.h"
+#include "ingest/sender.h"
 #include "net/error.h"
 #include "net/load_report.h"
 #include "net/parse.h"
@@ -66,6 +68,10 @@ constexpr int kExitInterrupted = 5;  ///< graceful checkpoint-and-exit
                                      ///< (signal, deadline, memory budget)
 constexpr int kExitCrashLoop = 6;    ///< supervise: a worker tripped the
                                      ///< crash-loop circuit breaker
+constexpr int kExitTransportRejected = 7;  ///< send: rejected at the MDP1
+                                           ///< handshake (auth/fingerprint)
+constexpr int kExitTransportGaveUp = 8;  ///< send: reconnect attempts
+                                         ///< exhausted
 
 /// Prints usage to stdout for `mapit help` (exit 0) and to stderr for
 /// every rejected invocation (exit 2) — errors must never masquerade as
@@ -166,8 +172,23 @@ constexpr int kExitCrashLoop = 6;    ///< supervise: a worker tripped the
       "      [--relationships/--as2org/--ixps/--f/--remove-rule/--no-stub/\n"
       "       --no-siblings/--threads/--lenient as for `mapit run`]\n"
       "      --follow FILE          tail an append-only delta corpus file\n"
-      "      --listen PORT          accept delta lines on 127.0.0.1:PORT\n"
-      "                             (0 = ephemeral, printed on stderr)\n"
+      "      --listen PORT          accept MDP1 framed batches from `mapit\n"
+      "                             send` on 127.0.0.1:PORT (0 = ephemeral,\n"
+      "                             printed on stderr together with the base\n"
+      "                             fingerprint); requires --secret-file;\n"
+      "                             non-MDP1 bytes are refused with one ERR\n"
+      "                             line and a clean close\n"
+      "      --listen-plain PORT    legacy loopback listener: raw newline-\n"
+      "                             delimited delta lines, no auth, no\n"
+      "                             delivery guarantees across disconnects\n"
+      "      --secret-file FILE     shared HMAC secret for --listen\n"
+      "                             (trailing newline stripped)\n"
+      "      --heartbeat SECS       MDP1 idle heartbeat cadence (default 2;\n"
+      "                             0 disables)\n"
+      "      --deadline SECS        drop an MDP1 peer silent this long\n"
+      "                             (default 15; 0 disables)\n"
+      "      --max-inflight N       per-connection unACKed batch quota\n"
+      "                             (default 8)\n"
       "      --batch-lines N        fold after N pending lines (default\n"
       "                             1000)\n"
       "      --batch-seconds SECS   ...or SECS after the first pending\n"
@@ -188,6 +209,34 @@ constexpr int kExitCrashLoop = 6;    ///< supervise: a worker tripped the
       "                             supervise probe target)\n"
       "      SIGTERM/SIGINT flush pending accepted lines as a final batch\n"
       "      before exiting; rerunning resumes from the journal\n"
+      "  mapit send --file FILE --port N --session NAME --secret-file FILE\n"
+      "      ship a delta trace file to a remote `mapit ingest --listen`\n"
+      "      over MDP1: length-prefixed, CRC-framed, HMAC-authenticated\n"
+      "      batches with exactly-once delivery — an ACK names journal-\n"
+      "      durable state, so a sender killed and restarted at any point\n"
+      "      resumes from the receiver's watermark without loss or\n"
+      "      duplication\n"
+      "      --host HOST            receiver address (default 127.0.0.1)\n"
+      "      --expect-base HEX      require the receiver's base fingerprint\n"
+      "                             to match (as `ingest --listen` logs;\n"
+      "                             mismatch exits 7 before sending)\n"
+      "      --follow               keep tailing FILE after EOF (default:\n"
+      "                             drain and exit once everything is ACKed)\n"
+      "      --batch-lines N        cut a batch at N lines (default 256)\n"
+      "      --batch-seconds SECS   ...or when the oldest pending line is\n"
+      "                             this old (default 0.5)\n"
+      "      --poll-interval SECS   tailer poll cadence when idle\n"
+      "                             (default 0.05)\n"
+      "      --window N             max unACKed batches in flight\n"
+      "                             (default 8)\n"
+      "      --max-attempts N       give up after N consecutive failed\n"
+      "                             connection attempts (exit 8; default\n"
+      "                             0 = retry forever with capped\n"
+      "                             exponential backoff)\n"
+      "      --heartbeat SECS       idle heartbeat cadence (default 2;\n"
+      "                             0 disables)\n"
+      "      --deadline SECS        reconnect when the receiver is silent\n"
+      "                             this long (default 15; 0 disables)\n"
       "  mapit supervise SPEC\n"
       "      fork/exec and babysit a worker fleet (serve workers sharing a\n"
       "      --reuseport port + an ingest process) from a declarative SPEC\n"
@@ -206,11 +255,22 @@ constexpr int kExitCrashLoop = 6;    ///< supervise: a worker tripped the
       "      --probe-misses/--probe-grace/--drain override the spec\n"
       "  mapit help\n"
       "\n"
-      "exit codes: 0 ok; 2 usage; 3 load/parse error; 4 checkpoint\n"
-      "  mismatch/corruption; 5 interrupted by signal/deadline/memory\n"
-      "  budget (a resumable checkpoint was written first); 6 supervise\n"
-      "  ended with at least one worker abandoned by the crash-loop\n"
-      "  breaker\n";
+      "exit codes (shared by every subcommand; see README):\n"
+      "  0  success\n"
+      "  2  usage error: bad flags or arguments\n"
+      "  3  load/parse error: unreadable or malformed input file, or an\n"
+      "     unrecoverable runtime failure outside the families below\n"
+      "  4  checkpoint/journal mismatch or corruption (foreign base inputs,\n"
+      "     torn non-tail frames, bad CRCs)\n"
+      "  5  interrupted by signal/deadline/memory budget; resumable state\n"
+      "     (checkpoint or journal) was flushed first\n"
+      "  6  supervise ended with at least one worker abandoned by the\n"
+      "     crash-loop breaker\n"
+      "  7  send was rejected at the MDP1 handshake: wrong secret or base\n"
+      "     fingerprint mismatch (retrying cannot help; nothing was\n"
+      "     journaled)\n"
+      "  8  send exhausted --max-attempts without completing a handshake\n"
+      "     (transient transport failure; retrying may help)\n";
   std::exit(exit_code);
 }
 
@@ -355,6 +415,28 @@ std::ifstream open_or_die(const std::string& path) {
     std::exit(kExitLoadError);
   }
   return stream;
+}
+
+/// Reads the MDP1 shared secret: whole file, trailing newline stripped —
+/// so `echo secret > file` and a binary key both work.
+std::string read_secret_or_die(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    std::cerr << "cannot open secret file " << path << "\n";
+    std::exit(kExitLoadError);
+  }
+  std::ostringstream contents;
+  contents << stream.rdbuf();
+  std::string secret = contents.str();
+  while (!secret.empty() &&
+         (secret.back() == '\n' || secret.back() == '\r')) {
+    secret.pop_back();
+  }
+  if (secret.empty()) {
+    std::cerr << "secret file " << path << " is empty\n";
+    std::exit(kExitUsage);
+  }
+  return secret;
 }
 
 /// Prints a lenient-load summary to stderr when lines were quarantined.
@@ -904,6 +986,35 @@ int cmd_ingest(Args& args) {
     }
     options.listen_port = static_cast<int>(*parsed);
   }
+  if (const auto value = args.value("--listen-plain")) {
+    const auto parsed = parse_bounded(*value, 65535);
+    if (!parsed) {
+      std::cerr << "--listen-plain expects a port in [0, 65535], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.listen_plain_port = static_cast<int>(*parsed);
+  }
+  if (const auto value = args.value("--secret-file")) {
+    options.secret = read_secret_or_die(*value);
+  }
+  if (const auto value = args.value("--heartbeat")) {
+    options.transport_heartbeat_seconds =
+        parse_seconds_or_die("--heartbeat", *value);
+  }
+  if (const auto value = args.value("--deadline")) {
+    options.transport_deadline_seconds =
+        parse_seconds_or_die("--deadline", *value);
+  }
+  if (const auto value = args.value("--max-inflight")) {
+    const auto parsed = parse_bounded(*value, 1UL << 16);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--max-inflight expects an integer in [1, 2^16], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.max_inflight_batches = *parsed;
+  }
   if (const auto value = args.value("--batch-lines")) {
     const auto parsed = parse_bounded(*value, 1UL << 24);
     if (!parsed || *parsed == 0) {
@@ -951,10 +1062,16 @@ int cmd_ingest(Args& args) {
     options.health_port = static_cast<int>(*parsed);
   }
   args.reject_unknown();
+  if (options.listen_port >= 0 && options.secret.empty()) {
+    std::cerr << "ingest: --listen speaks the authenticated MDP1 transport "
+                 "and requires --secret-file; use --listen-plain for the "
+                 "legacy loopback line protocol\n";
+    usage(kExitUsage);
+  }
   if (options.follow_path.empty() && options.listen_port < 0 &&
-      !options.drain) {
-    std::cerr << "ingest: need --follow and/or --listen (or --drain to "
-                 "just replay the journal and republish)\n";
+      options.listen_plain_port < 0 && !options.drain) {
+    std::cerr << "ingest: need --follow, --listen and/or --listen-plain "
+                 "(or --drain to just replay the journal and republish)\n";
     usage(kExitUsage);
   }
   options.log = &std::cerr;
@@ -999,6 +1116,130 @@ int cmd_ingest(Args& args) {
             << stats.batches << " batches (" << stats.quarantined
             << " quarantined), " << stats.publishes
             << " publishes, last crc32 " << crc_hex << "\n";
+  return core::SignalGuard::signal_received() != 0 ? kExitInterrupted
+                                                   : kExitOk;
+}
+
+int cmd_send(Args& args) {
+  ingest::SendOptions options;
+  const auto file = args.value("--file");
+  const auto port = args.value("--port");
+  const auto session = args.value("--session");
+  const auto secret_file = args.value("--secret-file");
+  if (!file || !port || !session || !secret_file) {
+    std::cerr << "send: --file, --port, --session and --secret-file are "
+                 "required\n";
+    usage(kExitUsage);
+  }
+  options.path = *file;
+  options.session = *session;
+  const auto parsed_port = parse_bounded(*port, 65535);
+  if (!parsed_port || *parsed_port == 0) {
+    std::cerr << "--port expects a port in [1, 65535], got '" << *port
+              << "'\n";
+    return kExitUsage;
+  }
+  options.port = static_cast<std::uint16_t>(*parsed_port);
+  options.secret = read_secret_or_die(*secret_file);
+  if (const auto value = args.value("--host")) options.host = *value;
+  if (const auto value = args.value("--expect-base")) {
+    std::size_t pos = 0;
+    unsigned long long parsed = 0;
+    try {
+      parsed = std::stoull(*value, &pos, 16);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (value->empty() || pos != value->size()) {
+      std::cerr << "--expect-base expects the hex fingerprint `ingest "
+                   "--listen` logs, got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.expect_base = static_cast<std::uint64_t>(parsed);
+  }
+  options.follow = args.flag("--follow");
+  if (const auto value = args.value("--batch-lines")) {
+    const auto parsed = parse_bounded(*value, 1UL << 20);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--batch-lines expects an integer in [1, 2^20], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.batch_lines = *parsed;
+  }
+  if (const auto value = args.value("--batch-seconds")) {
+    options.batch_seconds = parse_seconds_or_die("--batch-seconds", *value);
+  }
+  if (const auto value = args.value("--poll-interval")) {
+    options.poll_seconds = parse_seconds_or_die("--poll-interval", *value);
+  }
+  if (const auto value = args.value("--window")) {
+    const auto parsed = parse_bounded(*value, 1UL << 16);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "--window expects an integer in [1, 2^16], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.window = *parsed;
+  }
+  if (const auto value = args.value("--max-attempts")) {
+    const auto parsed = parse_bounded(*value, 1UL << 30);
+    if (!parsed) {
+      std::cerr << "--max-attempts expects an integer in [0, 2^30], got '"
+                << *value << "'\n";
+      return kExitUsage;
+    }
+    options.max_attempts = *parsed;
+  }
+  if (const auto value = args.value("--heartbeat")) {
+    options.heartbeat_seconds = parse_seconds_or_die("--heartbeat", *value);
+  }
+  if (const auto value = args.value("--deadline")) {
+    options.deadline_seconds = parse_seconds_or_die("--deadline", *value);
+  }
+  args.reject_unknown();
+  options.log = [](const std::string& line) {
+    std::cerr << "send: " << line << "\n";
+  };
+
+  // SIGTERM/SIGINT stop the sender cleanly mid-stream; anything unACKed
+  // is simply resent by the next invocation (the receiver dedupes).
+  core::SignalGuard signals;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    while (true) {
+      const int signal_number = signals.wait();
+      if (signal_number != 0) {
+        std::cerr << "send: received "
+                  << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << ", stopping\n";
+        stop.store(true);
+        return;
+      }
+      if (done.load()) return;
+    }
+  });
+  ingest::SendStats stats;
+  try {
+    stats = ingest::run_sender(options, stop);
+  } catch (...) {
+    done.store(true);
+    signals.wake();
+    watcher.join();
+    throw;
+  }
+  done.store(true);
+  signals.wake();
+  watcher.join();
+
+  std::cerr << "send done: " << stats.lines_sent << " lines in "
+            << stats.batches_sent << " batches (" << stats.batches_acked
+            << " acked, " << stats.batches_resent << " resent, "
+            << stats.reconnects << " reconnects), watermark seq "
+            << stats.last_acked_seq << " offset " << stats.acked_offset
+            << "\n";
   return core::SignalGuard::signal_received() != 0 ? kExitInterrupted
                                                    : kExitOk;
 }
@@ -1438,10 +1679,17 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "ingest") return cmd_ingest(args);
+    if (command == "send") return cmd_send(args);
     if (command == "supervise") return cmd_supervise(args);
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::cerr << "unknown command '" << command << "'\n";
     usage(kExitUsage);
+  } catch (const ingest::TransportAuthError& error) {
+    std::cerr << "transport error: " << error.what() << "\n";
+    return kExitTransportRejected;
+  } catch (const ingest::TransportRetriesExhausted& error) {
+    std::cerr << "transport error: " << error.what() << "\n";
+    return kExitTransportGaveUp;
   } catch (const core::CheckpointError& error) {
     std::cerr << "checkpoint error: " << error.what() << "\n";
     return kExitCheckpointMismatch;
