@@ -582,6 +582,20 @@ IngestStats run_ingest(const IngestOptions& options,
         remote_backlog.pop_front();
         continue;
       }
+      if (mark && work.end_offset < mark->offset) {
+        // A seq that advances while the source offset regresses can only
+        // come from a buggy or malicious sender. It must never become
+        // durable — replay rejects an offset-regressing record as journal
+        // corruption — so drop it without an ACK, like a gap.
+        if (options.log != nullptr) {
+          *options.log << "ingest: dropping offset-regressing remote batch "
+                       << work.seq << " from session " << work.session
+                       << " (offset " << work.end_offset << " < watermark "
+                       << mark->offset << ")\n";
+        }
+        remote_backlog.pop_front();
+        continue;
+      }
       try {
         if (remote_dirty) {
           writer.rollback_to(remote_rollback);

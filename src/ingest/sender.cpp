@@ -142,6 +142,17 @@ class Sender {
       } catch (const TransportAuthError&) {
         ::close(fd);
         throw;
+      } catch (const TransportError& error) {
+        // A re-syncable server ERROR (kOverloaded, kBadSequence) or wire
+        // garbage: treat it like a lost connection — back off and let the
+        // next handshake's HELLO_ACK decide what to replay. Only auth
+        // failures are fatal.
+        log("session error: " + std::string(error.what()) +
+            " (reconnecting)");
+        ::close(fd);
+        sleep_backoff(backoff);
+        backoff = std::min(backoff * 2, options_.reconnect_cap_seconds);
+        continue;
       }
       ::close(fd);
       if (end == SessionEnd::kDrained || end == SessionEnd::kStopped) break;

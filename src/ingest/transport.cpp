@@ -485,7 +485,12 @@ TransportServer::~TransportServer() {
   std::vector<std::thread> threads;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    threads.swap(threads_);
+    for (auto& [id, thread] : threads_) threads.push_back(std::move(thread));
+    threads_.clear();
+    for (std::thread& thread : finished_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    finished_threads_.clear();
   }
   for (std::thread& thread : threads) thread.join();
   if (listen_fd_ >= 0) {
@@ -496,6 +501,9 @@ TransportServer::~TransportServer() {
 
 void TransportServer::accept_loop() {
   while (!stopping_.load()) {
+    // Join handler threads that finished since the last accept, so
+    // reconnect churn cannot accumulate unjoined threads and their stacks.
+    reap_finished_threads();
     const int fd = io_->accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (stopping_.load()) break;
@@ -518,7 +526,8 @@ void TransportServer::accept_loop() {
       break;
     }
     connections_.emplace(conn->id, conn);
-    threads_.emplace_back([this, conn] { handle_connection(conn); });
+    threads_.emplace(conn->id,
+                     std::thread([this, conn] { handle_connection(conn); }));
   }
 }
 
@@ -531,13 +540,36 @@ void TransportServer::handle_connection(
   } catch (...) {
     // Injected I/O faults and the like: isolated to this connection.
   }
-  conn->dead.store(true);
   {
+    // Unregister first (the destructor only shutdown()s fds still in the
+    // map), then park our own thread handle for accept_loop to join.
     const std::lock_guard<std::mutex> lock(mutex_);
     connections_.erase(conn->id);
+    const auto it = threads_.find(conn->id);
+    if (it != threads_.end()) {
+      finished_threads_.push_back(std::move(it->second));
+      threads_.erase(it);
+    }
+  }
+  {
+    // Mark dead and close under send_mutex: the ingest loop's ack() checks
+    // `dead` under the same mutex, so it can never write to a closed (and
+    // possibly reused) fd and inject an ACK into another session's stream.
+    const std::lock_guard<std::mutex> lock(conn->send_mutex);
+    conn->dead.store(true);
+    ::close(conn->fd);
+    conn->fd = -1;
   }
   quota_cv_.notify_all();
-  ::close(conn->fd);
+}
+
+void TransportServer::reap_finished_threads() {
+  std::vector<std::thread> finished;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finished.swap(finished_threads_);
+  }
+  for (std::thread& thread : finished) thread.join();
 }
 
 bool TransportServer::send_locked(Connection& conn, std::string_view bytes) {
@@ -805,11 +837,16 @@ void TransportServer::ack(std::uint64_t connection_id, std::uint64_t seq,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = connections_.find(connection_id);
-    if (it != connections_.end()) conn = it->second;
-  }
-  if (conn == nullptr) return;  // sender re-syncs via HELLO_ACK on reconnect
-  if (conn->inflight.load() > 0) {
-    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (it == connections_.end()) {
+      return;  // sender re-syncs via HELLO_ACK on reconnect
+    }
+    conn = it->second;
+    // Decrement under mutex_: the reader's quota wait evaluates its
+    // predicate under the same mutex, so the notify below cannot land in
+    // the window between its predicate check and its block (lost wakeup).
+    if (conn->inflight.load() > 0) {
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   quota_cv_.notify_all();
   AckFrame frame;

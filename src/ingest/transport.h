@@ -328,6 +328,8 @@ class TransportServer {
 
   void accept_loop();
   void handle_connection(const std::shared_ptr<Connection>& conn);
+  /// Joins handler threads parked on finished_threads_.
+  void reap_finished_threads();
   void run_connection(const std::shared_ptr<Connection>& conn);
   /// Sends bytes under the connection's send mutex; marks it dead on error.
   bool send_locked(Connection& conn, std::string_view bytes);
@@ -348,12 +350,16 @@ class TransportServer {
   std::atomic<std::uint64_t> handshake_rejects_{0};
   std::atomic<std::uint64_t> refused_plaintext_{0};
 
-  mutable std::mutex mutex_;  ///< guards queue_, connections_, threads_
+  mutable std::mutex mutex_;  ///< guards queue_, connections_, thread lists
   std::condition_variable space_cv_;  ///< signalled when the queue drains
   std::condition_variable quota_cv_;  ///< signalled when an ACK frees quota
   std::deque<ReceivedBatch> queue_;
   std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> threads_;
+  /// Live reader threads keyed by connection id. A finished handler moves
+  /// its own handle to finished_threads_; accept_loop joins them, so
+  /// reconnect churn never accumulates unjoined threads.
+  std::map<std::uint64_t, std::thread> threads_;
+  std::vector<std::thread> finished_threads_;
   std::thread accept_thread_;
 };
 

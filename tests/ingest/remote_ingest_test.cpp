@@ -23,6 +23,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -578,6 +579,158 @@ TEST_F(RemoteIngestTest, CrashBetweenFsyncAndAckIsDedupedOnReconnect) {
   EXPECT_EQ(stats.remote_duplicates, 1u);
   EXPECT_EQ(stats.remote_batches, 0u);
   EXPECT_EQ(read_file((dir_ / "live.snap").string()), cold_bytes());
+}
+
+TEST_F(RemoteIngestTest, OffsetRegressingBatchNeverReachesJournal) {
+  const std::vector<std::string> delta = delta_lines();
+  const std::size_t half = delta.size() / 2;
+  const int port = pick_port();
+  ASSERT_GT(port, 0);
+  std::ostringstream log;
+  ingest::IngestOptions opts = listen_options(port);
+  opts.log = &log;
+  IngestRun run;
+  run.start(opts);
+
+  RawClient client(port);
+  ASSERT_TRUE(client.connected());
+  const auto hello_ack = client.handshake(kSecret, "mon-reg");
+  ASSERT_TRUE(hello_ack.has_value());
+
+  ingest::BatchFrame batch;
+  batch.seq = 1;
+  batch.end_offset = 500;
+  batch.lines = std::vector<std::string>(
+      delta.begin(), delta.begin() + static_cast<std::ptrdiff_t>(half));
+  client.send_raw(ingest::serialize_batch(batch));
+  const auto ack = client.read_frame();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, ingest::FrameType::kAck);
+
+  // seq advances but the offset regresses: a sender bug the exactly-once
+  // machinery cannot repair. Journaling it would poison the journal —
+  // replay rejects offset regressions as corruption — so the runner must
+  // drop it before the append, without an ACK.
+  const std::uintmax_t before = stable_journal_size();
+  batch.seq = 2;
+  batch.end_offset = 400;
+  batch.lines = std::vector<std::string>(
+      delta.begin() + static_cast<std::ptrdiff_t>(half), delta.end());
+  client.send_raw(ingest::serialize_batch(batch));
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(fs::file_size(dir_ / "delta.jnl"), before);
+
+  const ingest::IngestStats stats = run.finish();
+  EXPECT_EQ(stats.remote_batches, 1u);
+  EXPECT_NE(log.str().find("offset-regressing"), std::string::npos)
+      << log.str();
+
+  // The journal stayed clean: a restarted receiver replays it whole.
+  ingest::IngestOptions replay = listen_options(-1);
+  replay.listen_port = -1;
+  replay.secret.clear();
+  replay.drain = true;
+  IngestRun replay_run;
+  replay_run.start(replay);
+  const ingest::IngestStats replayed = replay_run.finish();
+  EXPECT_EQ(replayed.replayed_traces, half);
+}
+
+TEST_F(RemoteIngestTest, RetryableServerErrorTriggersReconnectNotExit) {
+  write_lines(send_path_, delta_lines());
+
+  // A hand-rolled receiver whose first connection rejects the opening
+  // BATCH with kOverloaded ("retry later") and whose second connection
+  // behaves: the sender must reconnect and drain, not exit with an error.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  struct ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<struct ::sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  ::socklen_t length = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd,
+                          reinterpret_cast<struct ::sockaddr*>(&addr),
+                          &length),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  std::thread server([listen_fd] {
+    const auto send_all = [](int fd, const std::string& bytes) {
+      (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    };
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      struct ::timeval timeout{};
+      timeout.tv_sec = 5;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                         sizeof(timeout));
+      ingest::FrameReader reader;
+      const auto next_frame = [&](ingest::Frame& frame) -> bool {
+        char buffer[4096];
+        while (true) {
+          if (reader.next(frame)) return true;
+          const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+          if (n > 0) {
+            reader.append(std::string_view(buffer,
+                                           static_cast<std::size_t>(n)));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          return false;  // EOF or timeout: give up on this connection
+        }
+      };
+      // Magic, CHALLENGE out, HELLO in (accepted unchecked), HELLO_ACK out.
+      std::size_t got = 0;
+      char magic[sizeof(ingest::kTransportMagic)];
+      while (got < sizeof(magic)) {
+        const ssize_t n = ::recv(fd, magic + got, sizeof(magic) - got, 0);
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      ingest::ChallengeFrame challenge;
+      challenge.base_fingerprint = 42;
+      send_all(fd, ingest::serialize_challenge(challenge));
+      ingest::Frame frame;
+      while (next_frame(frame) &&
+             frame.type != ingest::FrameType::kHello) {
+      }
+      send_all(fd, ingest::serialize_hello_ack(ingest::HelloAckFrame{}));
+      if (attempt == 0) {
+        while (next_frame(frame) &&
+               frame.type != ingest::FrameType::kBatch) {
+        }
+        send_all(fd, ingest::serialize_error(ingest::ErrorFrame{
+                         .code = ingest::TransportErrorCode::kOverloaded,
+                         .message = "shedding load"}));
+        std::this_thread::sleep_for(300ms);  // let the ERROR reach the peer
+        ::close(fd);
+        continue;
+      }
+      while (next_frame(frame)) {
+        if (frame.type != ingest::FrameType::kBatch) continue;
+        const auto batch = ingest::parse_batch(frame.payload);
+        send_all(fd, ingest::serialize_ack(ingest::AckFrame{
+                         .seq = batch.seq, .end_offset = batch.end_offset}));
+      }
+      ::close(fd);
+    }
+  });
+
+  const ingest::SendStats stats =
+      ingest::run_sender(send_options(port), never_stop_);
+  server.join();
+  ::close(listen_fd);
+
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_EQ(stats.lines_sent, delta_lines().size());
+  EXPECT_GT(stats.batches_resent, 0u);
+  EXPECT_EQ(stats.batches_acked, stats.batches_sent);
+  EXPECT_EQ(stats.acked_offset, fs::file_size(send_path_));
 }
 
 TEST_F(RemoteIngestTest, RejectedHandshakesWriteNothing) {
